@@ -1,0 +1,37 @@
+//! Adversarial constructions for uncertain scheduling.
+//!
+//! - [`theorem1`]: the exact adversary from the paper's Theorem 1 —
+//!   uniform unit-estimate instances, inflate the committed machine —
+//!   with the finite-λ and asymptotic ratio formulas its witnesses
+//!   converge to (regenerates Figure 1's construction);
+//! - [`worst_case`]: worst two-point realization search against fixed
+//!   assignments (exhaustive over machines) and adaptive strategies
+//!   (over caller-supplied inflate sets), certified against `rds-exact`
+//!   optimum brackets;
+//! - [`pathological`]: the classical tight instances for LPT and List
+//!   Scheduling used to sanity-check the substrates.
+//!
+//! # Example
+//! ```
+//! use rds_adversary::theorem1;
+//! use rds_algs::{LptNoChoice, Strategy};
+//! use rds_core::prelude::*;
+//!
+//! let inst = theorem1::uniform_instance(4, 3)?;
+//! let unc = Uncertainty::of(2.0);
+//! let placement = LptNoChoice.place(&inst, unc)?;
+//! let assignment = LptNoChoice.execute(&inst, &placement, &Realization::exact(&inst))?;
+//! let attack = theorem1::attack(&inst, unc, &assignment)?;
+//! assert!(attack.ratio_witness() > 1.0);
+//! # Ok::<(), rds_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pathological;
+pub mod theorem1;
+pub mod worst_case;
+
+pub use theorem1::AdversaryOutcome;
+pub use worst_case::WorstCase;

@@ -1,0 +1,98 @@
+//! Classical pathological instances used to stress the algorithms.
+
+use rds_core::{Instance, Result};
+
+/// Graham's tight LPT instance: tasks `2m−1, 2m−1, 2m−2, 2m−2, …, m+1,
+/// m+1, m, m, m` on `m` machines. LPT achieves exactly
+/// `(4/3 − 1/(3m))·C*` with `C* = 3m`.
+///
+/// # Errors
+/// Never fails for `m ≥ 1`.
+pub fn lpt_tight(m: usize) -> Result<Instance> {
+    assert!(m >= 1, "m must be >= 1");
+    let mut est = Vec::with_capacity(2 * m + 1);
+    for v in (m..=2 * m - 1).rev() {
+        est.push(v as f64);
+        est.push(v as f64);
+    }
+    est.push(m as f64);
+    Instance::from_estimates(&est, m)
+}
+
+/// The List Scheduling tight instance: `m(m−1)` unit tasks followed by
+/// one task of length `m`. LS in input order achieves `2m − 1` while the
+/// optimum is `m` — the `2 − 1/m` witness.
+///
+/// # Errors
+/// Never fails for `m ≥ 1`.
+pub fn ls_tight(m: usize) -> Result<Instance> {
+    assert!(m >= 1, "m must be >= 1");
+    let mut est = vec![1.0; m * (m - 1)];
+    est.push(m as f64);
+    Instance::from_estimates(&est, m)
+}
+
+/// A near-worst instance for `LPT-No Choice` under uncertainty (the
+/// Theorem-2 proof shape): many equal tasks so LPT balances perfectly on
+/// the estimates, leaving the adversary maximal room to punish one
+/// machine. `λ·m` tasks of estimate 1.
+///
+/// # Errors
+/// Never fails for `λ, m ≥ 1`.
+pub fn uncertain_lpt_stress(lambda: usize, m: usize) -> Result<Instance> {
+    crate::theorem1::uniform_instance(lambda, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_algs::list_scheduling::{list_schedule_estimates, lpt_estimates};
+
+    #[test]
+    fn lpt_tight_achieves_the_classic_ratio() {
+        for m in 2..=6 {
+            let inst = lpt_tight(m).unwrap();
+            let a = lpt_estimates(&inst).unwrap();
+            let lpt_mk = a.estimated_makespan(&inst).get();
+            let opt = 3.0 * m as f64;
+            let ratio = lpt_mk / opt;
+            let expected = 4.0 / 3.0 - 1.0 / (3.0 * m as f64);
+            assert!(
+                (ratio - expected).abs() < 1e-9,
+                "m={m}: ratio {ratio} != {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn lpt_tight_optimum_is_3m() {
+        // Verify the claimed optimum with the exact solver for small m.
+        for m in 2..=4 {
+            let inst = lpt_tight(m).unwrap();
+            let times: Vec<_> = inst.tasks().iter().map(|t| t.estimate).collect();
+            let (opt, _) = rds_exact::dp::optimal(&times, m).unwrap();
+            assert!((opt.get() - 3.0 * m as f64).abs() < 1e-9, "m={m}: {opt}");
+        }
+    }
+
+    #[test]
+    fn ls_tight_achieves_two_minus_one_over_m() {
+        for m in 2..=8 {
+            let inst = ls_tight(m).unwrap();
+            let a = list_schedule_estimates(&inst).unwrap();
+            let ls_mk = a.estimated_makespan(&inst).get();
+            let ratio = ls_mk / m as f64;
+            assert!(
+                (ratio - (2.0 - 1.0 / m as f64)).abs() < 1e-9,
+                "m={m}: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_sizes() {
+        assert_eq!(lpt_tight(4).unwrap().n(), 9);
+        assert_eq!(ls_tight(3).unwrap().n(), 7);
+        assert_eq!(uncertain_lpt_stress(2, 5).unwrap().n(), 10);
+    }
+}

@@ -1,0 +1,197 @@
+//! The Theorem-1 adversary: the construction that proves no
+//! no-replication algorithm beats `α²m/(α² + m − 1)`.
+//!
+//! The adversary presents `λ·m` tasks of identical estimate 1. After the
+//! algorithm commits its phase-1 placement, it inflates every task on the
+//! most-loaded machine by `α` and deflates everything else by `1/α`. The
+//! committed machine then needs `α·B` time, while the clairvoyant optimum
+//! redistributes the long and short tasks across all `m` machines.
+
+use rds_core::{Assignment, Instance, Realization, Result, TaskId, Time, Uncertainty};
+
+/// One adversarial round against a no-replication assignment.
+#[derive(Debug, Clone)]
+pub struct AdversaryOutcome {
+    /// The constructed worst-case realization.
+    pub realization: Realization,
+    /// The online algorithm's makespan `α·B` (B = tasks on the most
+    /// loaded machine).
+    pub online_makespan: Time,
+    /// The proof's upper bound on the clairvoyant optimum
+    /// `(1/α)·⌈(λm − B)/m⌉ + α·⌈B/m⌉`.
+    pub offline_upper: Time,
+    /// Number of tasks on the most loaded machine.
+    pub b: usize,
+}
+
+impl AdversaryOutcome {
+    /// The certified competitive-ratio witness
+    /// `online_makespan / offline_upper` (`C*` is at most
+    /// `offline_upper`, so the true ratio is at least this).
+    pub fn ratio_witness(&self) -> f64 {
+        self.online_makespan
+            .ratio(self.offline_upper)
+            .unwrap_or(1.0)
+    }
+}
+
+/// The uniform instance the adversary presents: `λ·m` unit tasks.
+///
+/// # Errors
+/// Propagates instance validation (never fails for `λ, m ≥ 1`).
+pub fn uniform_instance(lambda: usize, m: usize) -> Result<Instance> {
+    Instance::from_estimates(&vec![1.0; lambda * m], m)
+}
+
+/// Runs the adversary against a committed no-replication assignment.
+///
+/// # Errors
+/// Propagates realization validation (never fails for valid inputs).
+///
+/// # Panics
+/// Panics if the assignment does not match the instance shape.
+pub fn attack(
+    instance: &Instance,
+    uncertainty: Uncertainty,
+    assignment: &Assignment,
+) -> Result<AdversaryOutcome> {
+    assert_eq!(assignment.n(), instance.n());
+    let alpha = uncertainty.alpha();
+    let m = instance.m();
+    let n = instance.n();
+
+    // Most loaded machine under the estimates (= task count here, but
+    // computed generally so non-uniform instances also work).
+    let loads = assignment.estimated_loads(instance);
+    let worst = loads
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("at least one machine");
+    let b = (0..n)
+        .filter(|&j| assignment.machine_of(TaskId::new(j)).index() == worst)
+        .count();
+
+    let factors: Vec<f64> = (0..n)
+        .map(|j| {
+            if assignment.machine_of(TaskId::new(j)).index() == worst {
+                alpha
+            } else {
+                1.0 / alpha
+            }
+        })
+        .collect();
+    let realization = Realization::from_factors(instance, uncertainty, &factors)?;
+    let online_makespan = assignment.makespan(&realization);
+
+    // The proof's feasible offline schedule: spread the B long tasks and
+    // the λm − B short tasks evenly.
+    let long_per_machine = b.div_ceil(m) as f64;
+    let short_per_machine = (n - b).div_ceil(m) as f64;
+    let offline_upper = Time::of(short_per_machine / alpha + alpha * long_per_machine);
+
+    Ok(AdversaryOutcome {
+        realization,
+        online_makespan,
+        offline_upper,
+        b,
+    })
+}
+
+/// The asymptotic lower bound of Theorem 1 as λ → ∞ for finite `m`:
+/// `α²m/(α² + m − 1)`; re-exported here for convenience of the adversary
+/// benches.
+pub fn theorem1_bound(alpha: f64, m: usize) -> f64 {
+    let a2 = alpha * alpha;
+    a2 * m as f64 / (a2 + m as f64 - 1.0)
+}
+
+/// The finite-λ value of the adversary ratio when the algorithm places
+/// exactly `B = λ` tasks per machine (the best it can do):
+/// `α²mλ / (λ(α² + m − 1) + m(α² + 1))` — Theorem 1's intermediate
+/// expression, which the measured witnesses converge to from below.
+pub fn finite_lambda_bound(alpha: f64, m: usize, lambda: usize) -> f64 {
+    let a2 = alpha * alpha;
+    let (mf, lf) = (m as f64, lambda as f64);
+    a2 * mf * lf / (lf * (a2 + mf - 1.0) + mf * (a2 + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_algs::{LptNoChoice, Strategy};
+
+    fn balanced_attack(lambda: usize, m: usize, alpha: f64) -> AdversaryOutcome {
+        let inst = uniform_instance(lambda, m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        let placement = LptNoChoice.place(&inst, unc).unwrap();
+        let assignment = LptNoChoice
+            .execute(&inst, &placement, &Realization::exact(&inst))
+            .unwrap();
+        attack(&inst, unc, &assignment).unwrap()
+    }
+
+    #[test]
+    fn balanced_placement_gets_b_equal_lambda() {
+        let out = balanced_attack(3, 6, 2.0);
+        assert_eq!(out.b, 3);
+        assert_eq!(out.online_makespan, Time::of(6.0)); // α·B = 2·3
+    }
+
+    #[test]
+    fn witness_matches_finite_lambda_formula() {
+        // With B = λ and λ divisible arrangements, the witness equals the
+        // intermediate formula without the ceiling slack... the formula in
+        // the paper over-approximates the ceilings, so the measured
+        // witness is at least it.
+        for &(lambda, m, alpha) in &[(3usize, 6usize, 2.0f64), (5, 4, 1.5), (10, 3, 1.2)] {
+            let out = balanced_attack(lambda, m, alpha);
+            let fin = finite_lambda_bound(alpha, m, lambda);
+            assert!(
+                out.ratio_witness() >= fin - 1e-9,
+                "λ={lambda} m={m} α={alpha}: witness {} < formula {fin}",
+                out.ratio_witness()
+            );
+        }
+    }
+
+    #[test]
+    fn witness_converges_to_theorem1_bound() {
+        let (m, alpha) = (6, 2.0);
+        let bound = theorem1_bound(alpha, m);
+        let small = balanced_attack(2, m, alpha).ratio_witness();
+        let large = balanced_attack(600, m, alpha).ratio_witness();
+        assert!(small < large, "ratio should grow with λ");
+        assert!(large <= bound + 1e-9, "witness exceeds the proven bound");
+        assert!(bound - large < 0.02, "λ=600 should be close: {large} vs {bound}");
+    }
+
+    #[test]
+    fn finite_formula_monotone_and_bounded() {
+        let (m, alpha) = (8, 1.7);
+        let mut prev = 0.0;
+        for lambda in [1usize, 2, 5, 20, 100, 10_000] {
+            let v = finite_lambda_bound(alpha, m, lambda);
+            assert!(v > prev);
+            assert!(v <= theorem1_bound(alpha, m) + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn attack_realization_is_admissible() {
+        let out = balanced_attack(4, 3, 1.5);
+        // Constructed via Realization::from_factors → already validated;
+        // double check extremes appear.
+        let inst = uniform_instance(4, 3).unwrap();
+        let hi = out
+            .realization
+            .times()
+            .iter()
+            .filter(|t| (t.get() - 1.5).abs() < 1e-9)
+            .count();
+        assert_eq!(hi, out.b);
+        assert_eq!(inst.n() - hi, out.realization.n() - out.b);
+    }
+}

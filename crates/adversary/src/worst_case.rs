@@ -1,0 +1,186 @@
+//! Worst-case realization search for arbitrary instances and strategies.
+//!
+//! The paper's proofs always use two-point realizations (each task at
+//! factor `α` or `1/α`). For a *fixed* no-replication assignment the
+//! worst such realization inflates exactly the tasks of one machine —
+//! so the search space is just "which machine", which we enumerate. For
+//! adaptive strategies (replication at work) we evaluate each candidate
+//! realization end-to-end, re-running the strategy, and keep the worst.
+
+use rds_core::{Assignment, Instance, Realization, Result, TaskId, Uncertainty};
+use rds_exact::OptimalSolver;
+
+/// The worst case found by a search.
+#[derive(Debug, Clone)]
+pub struct WorstCase {
+    /// The realization achieving it.
+    pub realization: Realization,
+    /// The algorithm's makespan under it.
+    pub makespan: rds_core::Time,
+    /// Bracket on the clairvoyant optimum under it.
+    pub opt: rds_exact::OptMakespan,
+    /// Certified ratio lower bound: `makespan / opt.hi`.
+    pub ratio_lo: f64,
+    /// Ratio upper estimate: `makespan / opt.lo`.
+    pub ratio_hi: f64,
+}
+
+fn evaluate(
+    makespan: rds_core::Time,
+    realization: Realization,
+    m: usize,
+    solver: &OptimalSolver,
+) -> WorstCase {
+    let opt = solver.solve_realization(&realization, m);
+    let ratio_lo = makespan.ratio(opt.hi).unwrap_or(1.0);
+    let ratio_hi = makespan.ratio(opt.lo).unwrap_or(1.0);
+    WorstCase {
+        realization,
+        makespan,
+        opt,
+        ratio_lo,
+        ratio_hi,
+    }
+}
+
+/// Enumerates the `m` "inflate one machine's tasks" realizations against
+/// a fixed assignment and returns the one with the worst certified ratio.
+///
+/// # Errors
+/// Propagates realization construction failures.
+///
+/// # Panics
+/// Panics if the assignment does not match the instance.
+pub fn worst_per_machine_inflation(
+    instance: &Instance,
+    uncertainty: Uncertainty,
+    assignment: &Assignment,
+    solver: &OptimalSolver,
+) -> Result<WorstCase> {
+    assert_eq!(assignment.n(), instance.n());
+    let alpha = uncertainty.alpha();
+    let mut worst: Option<WorstCase> = None;
+    for target in 0..instance.m() {
+        let factors: Vec<f64> = (0..instance.n())
+            .map(|j| {
+                if assignment.machine_of(TaskId::new(j)).index() == target {
+                    alpha
+                } else {
+                    1.0 / alpha
+                }
+            })
+            .collect();
+        let realization = Realization::from_factors(instance, uncertainty, &factors)?;
+        let makespan = assignment.makespan(&realization);
+        let cand = evaluate(makespan, realization, instance.m(), solver);
+        if worst
+            .as_ref()
+            .is_none_or(|w| cand.ratio_lo > w.ratio_lo)
+        {
+            worst = Some(cand);
+        }
+    }
+    Ok(worst.expect("at least one machine"))
+}
+
+/// Evaluates a strategy end-to-end under a set of candidate two-point
+/// realizations (given as inflate-sets) and returns the worst.
+///
+/// # Errors
+/// Propagates strategy and realization failures.
+pub fn worst_over_inflate_sets<S: rds_algs::Strategy>(
+    instance: &Instance,
+    uncertainty: Uncertainty,
+    strategy: &S,
+    inflate_sets: &[Vec<TaskId>],
+    solver: &OptimalSolver,
+) -> Result<WorstCase> {
+    let alpha = uncertainty.alpha();
+    let mut worst: Option<WorstCase> = None;
+    for set in inflate_sets {
+        let mut factors = vec![1.0 / alpha; instance.n()];
+        for t in set {
+            factors[t.index()] = alpha;
+        }
+        let realization = Realization::from_factors(instance, uncertainty, &factors)?;
+        let out = strategy.run(instance, uncertainty, &realization)?;
+        let cand = evaluate(out.makespan, realization, instance.m(), solver);
+        if worst
+            .as_ref()
+            .is_none_or(|w| cand.ratio_lo > w.ratio_lo)
+        {
+            worst = Some(cand);
+        }
+    }
+    worst.ok_or(rds_core::Error::InvalidParameter {
+        what: "no inflate sets given",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_algs::{LptNoChoice, LptNoRestriction, Strategy};
+
+    #[test]
+    fn per_machine_search_beats_exact_realization() {
+        let inst = Instance::from_estimates(&[1.0; 12], 3).unwrap();
+        let unc = Uncertainty::of(2.0);
+        let placement = LptNoChoice.place(&inst, unc).unwrap();
+        let assignment = LptNoChoice
+            .execute(&inst, &placement, &Realization::exact(&inst))
+            .unwrap();
+        let solver = OptimalSolver::fast();
+        let worst =
+            worst_per_machine_inflation(&inst, unc, &assignment, &solver).unwrap();
+        // Under the exact realization the ratio is ~1; the adversary
+        // must do strictly better.
+        assert!(worst.ratio_lo > 1.2, "ratio_lo = {}", worst.ratio_lo);
+        assert!(worst.ratio_lo <= worst.ratio_hi);
+        // Never exceeds the Theorem 2 guarantee.
+        let bound = rds_bounds_lpt_no_choice(2.0, 3);
+        assert!(worst.ratio_hi <= bound + 1e-6, "{} > {bound}", worst.ratio_hi);
+    }
+
+    // Local copy of the Theorem-2 formula to avoid a dev-dependency cycle.
+    fn rds_bounds_lpt_no_choice(alpha: f64, m: usize) -> f64 {
+        let a2 = alpha * alpha;
+        2.0 * a2 * m as f64 / (2.0 * a2 + m as f64 - 1.0)
+    }
+
+    #[test]
+    fn replication_blunts_the_adversary() {
+        let inst = Instance::from_estimates(&[1.0; 12], 3).unwrap();
+        let unc = Uncertainty::of(2.0);
+        let solver = OptimalSolver::fast();
+
+        // Against the pinned strategy.
+        let placement = LptNoChoice.place(&inst, unc).unwrap();
+        let assignment = LptNoChoice
+            .execute(&inst, &placement, &Realization::exact(&inst))
+            .unwrap();
+        let pinned =
+            worst_per_machine_inflation(&inst, unc, &assignment, &solver).unwrap();
+
+        // Against the replicated strategy, trying the same inflate sets.
+        let per = assignment.tasks_per_machine();
+        let replicated =
+            worst_over_inflate_sets(&inst, unc, &LptNoRestriction, &per, &solver)
+                .unwrap();
+        assert!(
+            replicated.ratio_lo < pinned.ratio_lo,
+            "replication should help: {} vs {}",
+            replicated.ratio_lo,
+            pinned.ratio_lo
+        );
+    }
+
+    #[test]
+    fn empty_inflate_sets_error() {
+        let inst = Instance::from_estimates(&[1.0], 1).unwrap();
+        let unc = Uncertainty::of(1.5);
+        let solver = OptimalSolver::fast();
+        assert!(worst_over_inflate_sets(&inst, unc, &LptNoRestriction, &[], &solver)
+            .is_err());
+    }
+}

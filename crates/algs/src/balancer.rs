@@ -1,0 +1,178 @@
+//! Greedy least-loaded machine selection — the kernel of every List
+//! Scheduling variant in the paper.
+//!
+//! [`LoadBalancer`] maintains per-machine loads in a min-heap so each
+//! "assign next task to the least-loaded machine" step costs `O(log m)`.
+//! Ties break toward the smallest machine id, making every algorithm in
+//! this crate deterministic.
+
+use rds_core::{MachineId, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Tracks machine loads and answers least-loaded queries.
+///
+/// Loads only grow (tasks are never removed), which lets the heap hold
+/// exactly one live entry per machine: a query pops the minimum, and the
+/// subsequent [`LoadBalancer::add`] pushes the updated entry back.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    loads: Vec<Time>,
+    heap: BinaryHeap<Reverse<(Time, MachineId)>>,
+}
+
+impl LoadBalancer {
+    /// A balancer over `m` machines, all starting at zero load.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        Self::with_initial(vec![Time::ZERO; m])
+    }
+
+    /// A balancer with pre-existing per-machine loads (e.g. machines
+    /// already busy with memory-intensive tasks in `ABO_Δ`).
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty.
+    pub fn with_initial(initial: Vec<Time>) -> Self {
+        assert!(!initial.is_empty(), "need at least one machine");
+        let heap = initial
+            .iter()
+            .enumerate()
+            .map(|(i, &load)| Reverse((load, MachineId::new(i))))
+            .collect();
+        LoadBalancer {
+            loads: initial,
+            heap,
+        }
+    }
+
+    /// Number of machines.
+    pub fn m(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Current load of a machine.
+    ///
+    /// # Panics
+    /// Panics if `machine` is out of range.
+    pub fn load(&self, machine: MachineId) -> Time {
+        self.loads[machine.index()]
+    }
+
+    /// All current loads, indexed by machine.
+    pub fn loads(&self) -> &[Time] {
+        &self.loads
+    }
+
+    /// The maximum load (current makespan).
+    pub fn max_load(&self) -> Time {
+        self.loads.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+
+    /// The machine with the smallest load (ties → smallest id), without
+    /// modifying it.
+    pub fn least_loaded(&mut self) -> MachineId {
+        // Discard stale heap entries (an entry is stale when its recorded
+        // load differs from the live load).
+        while let Some(&Reverse((load, id))) = self.heap.peek() {
+            if self.loads[id.index()] == load {
+                return id;
+            }
+            self.heap.pop();
+        }
+        unreachable!("heap always holds a live entry per machine");
+    }
+
+    /// Adds `amount` to `machine`'s load.
+    ///
+    /// # Panics
+    /// Panics if `machine` is out of range.
+    pub fn add(&mut self, machine: MachineId, amount: Time) {
+        let load = &mut self.loads[machine.index()];
+        *load += amount;
+        self.heap.push(Reverse((*load, machine)));
+    }
+
+    /// Greedy step: assigns `amount` to the least-loaded machine and
+    /// returns it.
+    pub fn assign(&mut self, amount: Time) -> MachineId {
+        let id = self.least_loaded();
+        self.add(id, amount);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> Time {
+        Time::of(v)
+    }
+
+    #[test]
+    fn assigns_to_least_loaded_with_id_ties() {
+        let mut b = LoadBalancer::new(3);
+        assert_eq!(b.assign(t(2.0)), MachineId::new(0)); // tie → id 0
+        assert_eq!(b.assign(t(2.0)), MachineId::new(1));
+        assert_eq!(b.assign(t(1.0)), MachineId::new(2));
+        // Now loads are [2, 2, 1] → machine 2.
+        assert_eq!(b.assign(t(5.0)), MachineId::new(2));
+        // Loads [2, 2, 6] → machine 0 by tie-break.
+        assert_eq!(b.assign(t(1.0)), MachineId::new(0));
+        assert_eq!(b.loads(), &[t(3.0), t(2.0), t(6.0)]);
+        assert_eq!(b.max_load(), t(6.0));
+    }
+
+    #[test]
+    fn with_initial_respects_preloads() {
+        let mut b = LoadBalancer::with_initial(vec![t(5.0), t(0.0), t(3.0)]);
+        assert_eq!(b.least_loaded(), MachineId::new(1));
+        b.add(MachineId::new(1), t(10.0));
+        assert_eq!(b.least_loaded(), MachineId::new(2));
+        assert_eq!(b.load(MachineId::new(0)), t(5.0));
+    }
+
+    #[test]
+    fn least_loaded_is_idempotent() {
+        let mut b = LoadBalancer::new(2);
+        b.add(MachineId::new(0), t(1.0));
+        assert_eq!(b.least_loaded(), MachineId::new(1));
+        assert_eq!(b.least_loaded(), MachineId::new(1));
+    }
+
+    #[test]
+    fn zero_amount_assignments_rotate_by_id() {
+        let mut b = LoadBalancer::new(2);
+        // Zero loads stay tied; tie-break must remain id 0.
+        assert_eq!(b.assign(Time::ZERO), MachineId::new(0));
+        assert_eq!(b.assign(Time::ZERO), MachineId::new(0));
+    }
+
+    #[test]
+    fn many_assignments_match_naive_simulation() {
+        // Cross-check against a naive O(n·m) reference.
+        let weights: Vec<f64> = (0..200).map(|i| ((i * 37) % 23) as f64 + 0.5).collect();
+        let m = 7;
+        let mut b = LoadBalancer::new(m);
+        let mut naive = vec![0.0f64; m];
+        for &w in &weights {
+            let fast = b.assign(t(w));
+            let (slow_idx, _) = naive
+                .iter()
+                .enumerate()
+                .min_by(|(i, a), (j, c)| a.partial_cmp(c).unwrap().then(i.cmp(j)))
+                .unwrap();
+            assert_eq!(fast.index(), slow_idx);
+            naive[slow_idx] += w;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn rejects_zero_machines() {
+        LoadBalancer::new(0);
+    }
+}

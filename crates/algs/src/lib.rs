@@ -1,0 +1,47 @@
+//! Scheduling algorithms from *Replicated Data Placement for Uncertain
+//! Scheduling* (Chaubey & Saule, 2015), plus the classical substrates
+//! they build on.
+//!
+//! Replication-bound model strategies (all implement [`Strategy`]):
+//!
+//! | Strategy | Replication | Guarantee |
+//! |---|---|---|
+//! | [`LptNoChoice`] | `\|M_j\| = 1` | `2α²m/(2α² + m − 1)` (Th. 2) |
+//! | [`LptNoRestriction`] | `\|M_j\| = m` | `min(1 + (m−1)α²/(2m), 2 − 1/m)` (Th. 3) |
+//! | [`LsGroup`] | `\|M_j\| = m/k` | `kα²/(α²+k−1)·(1+(k−1)/m) + (m−k)/m` (Th. 4) |
+//!
+//! Memory-aware model (bi-objective, all implement
+//! [`memory::MemoryStrategy`]): [`memory::sabo::Sabo`] and
+//! [`memory::abo::Abo`], built on the reimplemented `SBO_Δ` split
+//! ([`memory::sbo`]).
+//!
+//! # Example
+//! ```
+//! use rds_algs::{LptNoRestriction, Strategy};
+//! use rds_core::prelude::*;
+//!
+//! let inst = Instance::from_estimates(&[4.0, 3.0, 3.0, 2.0], 2)?;
+//! let unc = Uncertainty::of(1.5);
+//! let real = Realization::from_factors(&inst, unc, &[1.5, 1.0, 1.0, 0.8])?;
+//! let out = LptNoRestriction.run(&inst, unc, &real)?;
+//! assert!(out.makespan.get() > 0.0);
+//! # Ok::<(), rds_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod balancer;
+pub mod group;
+pub mod group_lpt;
+pub mod list_scheduling;
+pub mod memory;
+pub mod no_choice;
+pub mod no_restriction;
+pub mod strategy;
+
+pub use group::LsGroup;
+pub use group_lpt::LptGroup;
+pub use no_choice::LptNoChoice;
+pub use no_restriction::LptNoRestriction;
+pub use strategy::{Outcome, Strategy};

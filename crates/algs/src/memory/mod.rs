@@ -1,0 +1,65 @@
+//! The memory-aware bi-objective model (§7): minimize makespan *and*
+//! maximum memory occupation at once.
+//!
+//! - [`pi`]: the reference schedules `π₁` (makespan) and `π₂` (memory);
+//! - [`sbo`]: the `SBO_Δ` threshold split into time-intensive (`S₁`) and
+//!   memory-intensive (`S₂`) tasks — the reimplemented IPDPS 2008 substrate;
+//! - [`sabo`]: `SABO_Δ` — static, replication-free (Theorems 5–6);
+//! - [`abo`]: `ABO_Δ` — replicates `S₁` everywhere and list-schedules it
+//!   online (Theorems 7–8).
+
+pub mod abo;
+pub mod pi;
+pub mod sabo;
+pub mod sbo;
+
+use rds_core::{Assignment, Instance, Placement, Realization, Result, Size, Time, Uncertainty};
+
+/// Result of a memory-aware strategy: both objectives plus the artifacts.
+#[derive(Debug, Clone)]
+pub struct MemoryOutcome {
+    /// Phase-1 placement (drives the memory occupation).
+    pub placement: Placement,
+    /// Phase-2 executed assignment (drives the makespan).
+    pub assignment: Assignment,
+    /// Achieved makespan under the realization.
+    pub makespan: Time,
+    /// Achieved maximum memory occupation `Mem_max`.
+    pub mem_max: Size,
+}
+
+/// A bi-objective two-phase algorithm.
+pub trait MemoryStrategy {
+    /// Human-readable name.
+    fn name(&self) -> String;
+
+    /// Runs both phases and measures both objectives.
+    ///
+    /// # Errors
+    /// Implementation-specific model violations.
+    fn run(
+        &self,
+        instance: &Instance,
+        uncertainty: Uncertainty,
+        realization: &Realization,
+    ) -> Result<MemoryOutcome>;
+}
+
+/// Measures both objectives for a (placement, assignment) pair and checks
+/// feasibility — shared tail of every memory strategy.
+pub(crate) fn finish(
+    instance: &Instance,
+    placement: Placement,
+    assignment: Assignment,
+    realization: &Realization,
+) -> Result<MemoryOutcome> {
+    assignment.check_feasible(&placement)?;
+    let makespan = assignment.makespan(realization);
+    let mem_max = rds_core::memory::mem_max(instance, &placement);
+    Ok(MemoryOutcome {
+        placement,
+        assignment,
+        makespan,
+        mem_max,
+    })
+}

@@ -1,0 +1,108 @@
+//! The two reference schedules `π₁` (makespan-oriented) and `π₂`
+//! (memory-oriented) that the memory-aware algorithms combine (§7).
+//!
+//! The paper takes `π₁` as any `ρ₁`-approximation on the estimated
+//! makespan and `π₂` as any `ρ₂`-approximation on memory occupation. Our
+//! defaults are LPT on the estimates (`ρ₁ = 4/3 − 1/(3m)`) and LPT on the
+//! sizes (`ρ₂ = 4/3 − 1/(3m)` — memory occupation is a makespan on
+//! sizes), matching the figure parameters `ρ = 4/3`.
+
+use crate::list_scheduling::{lpt_estimates, lpt_sizes};
+use rds_core::{Assignment, Instance, Result, Size, Time};
+
+/// The pair of reference schedules plus their measured objectives.
+#[derive(Debug, Clone)]
+pub struct PiSchedules {
+    /// Makespan-oriented schedule `π₁`.
+    pub pi1: Assignment,
+    /// Memory-oriented schedule `π₂`.
+    pub pi2: Assignment,
+    /// `C̃^π₁_max`: estimated makespan of `π₁`.
+    pub c_pi1: Time,
+    /// `Mem^π₂_max`: memory occupation of `π₂` (each task counted once on
+    /// its `π₂` machine — `π₂` is replication-free by construction).
+    pub mem_pi2: Size,
+    /// Approximation quality `ρ₁` of `π₁` on the estimated makespan.
+    pub rho1: f64,
+    /// Approximation quality `ρ₂` of `π₂` on the memory occupation.
+    pub rho2: f64,
+}
+
+/// Memory occupation of a replication-free assignment: per-machine sum of
+/// task sizes, maximized.
+fn assignment_mem_max(instance: &Instance, a: &Assignment) -> Size {
+    let mut mem = vec![Size::ZERO; instance.m()];
+    for (j, id) in a.machines().iter().enumerate() {
+        mem[id.index()] += instance.size(rds_core::TaskId::new(j));
+    }
+    mem.into_iter().max().unwrap_or(Size::ZERO)
+}
+
+impl PiSchedules {
+    /// Builds the default LPT-based pair.
+    ///
+    /// # Errors
+    /// Propagates assignment construction failures (cannot occur for
+    /// well-formed instances).
+    pub fn lpt_defaults(instance: &Instance) -> Result<Self> {
+        let rho = 4.0 / 3.0 - 1.0 / (3.0 * instance.m() as f64);
+        let pi1 = lpt_estimates(instance)?;
+        let pi2 = lpt_sizes(instance)?;
+        Ok(Self::from_assignments(instance, pi1, pi2, rho, rho))
+    }
+
+    /// Wraps externally built schedules (e.g. optimal ones with
+    /// `ρ₁ = ρ₂ = 1` from `rds-exact`), measuring their objectives.
+    pub fn from_assignments(
+        instance: &Instance,
+        pi1: Assignment,
+        pi2: Assignment,
+        rho1: f64,
+        rho2: f64,
+    ) -> Self {
+        let c_pi1 = pi1.estimated_makespan(instance);
+        let mem_pi2 = assignment_mem_max(instance, &pi2);
+        PiSchedules {
+            pi1,
+            pi2,
+            c_pi1,
+            mem_pi2,
+            rho1,
+            rho2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_measure_both_objectives() {
+        let inst = Instance::from_estimates_and_sizes(
+            &[(4.0, 1.0), (3.0, 2.0), (2.0, 4.0), (1.0, 3.0)],
+            2,
+        )
+        .unwrap();
+        let pis = PiSchedules::lpt_defaults(&inst).unwrap();
+        // π₁ = LPT on estimates [4,3,2,1]: 4→p0, 3→p1, 2→p1, 1→p0 → C̃ = 5.
+        assert_eq!(pis.c_pi1, Time::of(5.0));
+        // π₂ = LPT on sizes [4,3,2,1]: same shape → Mem_max = 5.
+        assert_eq!(pis.mem_pi2, Size::of(5.0));
+        let rho = 4.0 / 3.0 - 1.0 / 6.0;
+        assert!((pis.rho1 - rho).abs() < 1e-12);
+        assert_eq!(pis.rho1, pis.rho2);
+    }
+
+    #[test]
+    fn custom_schedules_keep_given_rho() {
+        let inst =
+            Instance::from_estimates_and_sizes(&[(2.0, 1.0), (2.0, 1.0)], 2).unwrap();
+        let pi1 = lpt_estimates(&inst).unwrap();
+        let pi2 = lpt_sizes(&inst).unwrap();
+        let pis = PiSchedules::from_assignments(&inst, pi1, pi2, 1.0, 1.0);
+        assert_eq!(pis.rho1, 1.0);
+        assert_eq!(pis.c_pi1, Time::of(2.0));
+        assert_eq!(pis.mem_pi2, Size::of(1.0));
+    }
+}

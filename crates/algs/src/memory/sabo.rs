@@ -1,0 +1,175 @@
+//! **`SABO_Δ`** — static asymmetric bi-objective algorithm (§7.1).
+//!
+//! Phase 1 classifies each task with the `SBO_Δ` threshold and pins it:
+//! memory-intensive tasks (`S₂`) to their `π₂` machine, time-intensive
+//! tasks (`S₁`) to their `π₁` machine. No replication; phase 2 just loads
+//! tasks where they were assigned.
+//!
+//! Guarantees: `(1 + Δ)·α²·ρ₁` on makespan (Theorem 5) and
+//! `(1 + 1/Δ)·ρ₂` on memory (Theorem 6).
+
+use crate::memory::pi::PiSchedules;
+use crate::memory::sbo::{classify, TaskClass};
+use crate::memory::{finish, MemoryOutcome, MemoryStrategy};
+use rds_core::{Assignment, Instance, Placement, Realization, Result, TaskId, Uncertainty};
+
+/// The `SABO_Δ` algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct Sabo {
+    delta: f64,
+}
+
+impl Sabo {
+    /// Creates `SABO_Δ` with threshold `delta > 0`.
+    ///
+    /// # Panics
+    /// Panics unless `delta` is finite and `> 0`.
+    pub fn new(delta: f64) -> Self {
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "delta = {delta} must be finite and > 0"
+        );
+        Sabo { delta }
+    }
+
+    /// The threshold `Δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Phase 1 with explicit reference schedules (lets callers plug in
+    /// optimal `π` pairs with `ρ = 1`).
+    ///
+    /// # Errors
+    /// Propagates placement construction failures.
+    pub fn place_with(
+        &self,
+        instance: &Instance,
+        pis: &PiSchedules,
+    ) -> Result<(Placement, Assignment)> {
+        let classes = classify(instance, pis, self.delta);
+        let machines: Vec<_> = (0..instance.n())
+            .map(|j| {
+                let t = TaskId::new(j);
+                match classes[j] {
+                    TaskClass::TimeIntensive => pis.pi1.machine_of(t),
+                    TaskClass::MemoryIntensive => pis.pi2.machine_of(t),
+                }
+            })
+            .collect();
+        let placement = Placement::pinned(instance, &machines)?;
+        let assignment = Assignment::new(instance, machines)?;
+        Ok((placement, assignment))
+    }
+}
+
+impl MemoryStrategy for Sabo {
+    fn name(&self) -> String {
+        format!("SABO(delta={})", self.delta)
+    }
+
+    fn run(
+        &self,
+        instance: &Instance,
+        _uncertainty: Uncertainty,
+        realization: &Realization,
+    ) -> Result<MemoryOutcome> {
+        let pis = PiSchedules::lpt_defaults(instance)?;
+        let (placement, assignment) = self.place_with(instance, &pis)?;
+        finish(instance, placement, assignment, realization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::{Size, Time};
+
+    fn inst() -> Instance {
+        Instance::from_estimates_and_sizes(
+            &[
+                (8.0, 1.0), // time-intensive
+                (6.0, 1.0), // time-intensive
+                (1.0, 6.0), // memory-intensive
+                (1.0, 5.0), // memory-intensive
+                (2.0, 2.0),
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn no_replication_ever() {
+        let i = inst();
+        let real = Realization::exact(&i);
+        let out = Sabo::new(1.0).run(&i, Uncertainty::of(1.5), &real).unwrap();
+        assert_eq!(out.placement.max_replicas(), 1);
+    }
+
+    #[test]
+    fn respects_theorem5_and_6_on_exact_realization() {
+        let i = inst();
+        let real = Realization::exact(&i);
+        let pis = PiSchedules::lpt_defaults(&i).unwrap();
+        for &delta in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+            let out = Sabo::new(delta).run(&i, Uncertainty::CERTAIN, &real).unwrap();
+            // Makespan ≤ (1+Δ)·α²·ρ₁·C* with α = 1; use C̃*/LB via avg.
+            let opt_lb = (i.total_estimate() / i.m() as f64).max(i.max_estimate());
+            let bound = (1.0 + delta) * pis.rho1 * opt_lb.get();
+            assert!(
+                out.makespan.get() <= bound + 1e-9,
+                "delta={delta} makespan={} bound={bound}",
+                out.makespan
+            );
+            // Memory ≤ (1 + 1/Δ)·ρ₂·Mem*; Mem* ≥ max(avg size, max size).
+            let mem_lb = rds_core::memory::mem_max_lower_bound(&i);
+            let mem_bound = (1.0 + 1.0 / delta) * pis.rho2 * mem_lb.get();
+            assert!(
+                out.mem_max.get() <= mem_bound + 1e-9,
+                "delta={delta} mem={} bound={mem_bound}",
+                out.mem_max
+            );
+        }
+    }
+
+    #[test]
+    fn small_delta_prioritizes_makespan() {
+        let i = inst();
+        let real = Realization::exact(&i);
+        let fast = Sabo::new(0.01).run(&i, Uncertainty::CERTAIN, &real).unwrap();
+        let lean = Sabo::new(100.0).run(&i, Uncertainty::CERTAIN, &real).unwrap();
+        // Δ → 0: everything follows π₁ → best makespan, worst memory.
+        // Δ → ∞: everything follows π₂ → best memory, worse makespan.
+        assert!(fast.makespan <= lean.makespan);
+        assert!(lean.mem_max <= fast.mem_max);
+    }
+
+    #[test]
+    fn extreme_deltas_reduce_to_pure_schedules() {
+        let i = inst();
+        let real = Realization::exact(&i);
+        let pis = PiSchedules::lpt_defaults(&i).unwrap();
+        let (_, a_small) = Sabo::new(1e-9).place_with(&i, &pis).unwrap();
+        assert_eq!(&a_small, &pis.pi1);
+        let (_, a_big) = Sabo::new(1e9).place_with(&i, &pis).unwrap();
+        assert_eq!(&a_big, &pis.pi2);
+        let _ = real;
+    }
+
+    #[test]
+    fn outcome_measures_both_objectives() {
+        let i = Instance::from_estimates_and_sizes(&[(2.0, 3.0), (2.0, 3.0)], 2).unwrap();
+        let real = Realization::exact(&i);
+        let out = Sabo::new(1.0).run(&i, Uncertainty::CERTAIN, &real).unwrap();
+        // Two identical tasks on two machines: one each.
+        assert_eq!(out.makespan, Time::of(2.0));
+        assert_eq!(out.mem_max, Size::of(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_bad_delta() {
+        Sabo::new(f64::NAN);
+    }
+}

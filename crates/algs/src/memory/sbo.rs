@@ -1,0 +1,181 @@
+//! The `SBO_Δ` threshold split (Saule et al., IPDPS 2008 — the cited
+//! substrate reimplemented from this paper's description).
+//!
+//! A task `j` is *memory-intensive* (set `S₂`) when
+//! `p̃_j / C̃^π₁_max ≤ Δ · s_j / Mem^π₂_max`, and *time-intensive*
+//! (set `S₁`) otherwise. Memory-intensive tasks follow the memory-optimal
+//! schedule `π₂`; time-intensive tasks follow the makespan side (pinned
+//! to `π₁` in `SABO_Δ`, replicated everywhere in `ABO_Δ`).
+
+use crate::memory::pi::PiSchedules;
+use rds_core::{Instance, TaskId};
+
+/// Which side of the `SBO_Δ` threshold a task falls on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskClass {
+    /// Set `S₁`: processing-time intensive, scheduled for makespan.
+    TimeIntensive,
+    /// Set `S₂`: memory intensive, scheduled for memory.
+    MemoryIntensive,
+}
+
+/// Classifies every task against the `SBO_Δ` threshold.
+///
+/// The comparison is done by cross-multiplication
+/// (`p̃_j·Mem^π₂_max ≤ Δ·s_j·C̃^π₁_max`), which is exact for the boundary
+/// cases where an objective is zero: with `C̃^π₁_max = 0` every estimate
+/// is zero and all tasks are memory-intensive; with `Mem^π₂_max = 0`
+/// every size is zero and tasks with positive estimates are
+/// time-intensive.
+///
+/// # Panics
+/// Panics unless `delta` is finite and `> 0`.
+pub fn classify(instance: &Instance, pis: &PiSchedules, delta: f64) -> Vec<TaskClass> {
+    assert!(
+        delta.is_finite() && delta > 0.0,
+        "delta = {delta} must be finite and > 0"
+    );
+    instance
+        .task_ids()
+        .map(|t| classify_one(instance, pis, delta, t))
+        .collect()
+}
+
+/// Classifies a single task (see [`classify`]).
+pub fn classify_one(
+    instance: &Instance,
+    pis: &PiSchedules,
+    delta: f64,
+    task: TaskId,
+) -> TaskClass {
+    // With Mem^π₂_max = 0 every size is zero: memory is irrelevant, so
+    // any task with work to do follows the makespan schedule. (The
+    // cross-multiplied comparison below would degenerate to 0 ≤ 0.)
+    if pis.mem_pi2.is_zero() {
+        return if instance.estimate(task).is_zero() {
+            TaskClass::MemoryIntensive
+        } else {
+            TaskClass::TimeIntensive
+        };
+    }
+    let lhs = instance.estimate(task).get() * pis.mem_pi2.get();
+    let rhs = delta * instance.size(task).get() * pis.c_pi1.get();
+    if lhs <= rhs {
+        TaskClass::MemoryIntensive
+    } else {
+        TaskClass::TimeIntensive
+    }
+}
+
+/// Convenience: indices of the two sets `(S₁, S₂)`.
+pub fn split(instance: &Instance, pis: &PiSchedules, delta: f64) -> (Vec<TaskId>, Vec<TaskId>) {
+    let classes = classify(instance, pis, delta);
+    let mut s1 = Vec::new();
+    let mut s2 = Vec::new();
+    for (j, class) in classes.iter().enumerate() {
+        match class {
+            TaskClass::TimeIntensive => s1.push(TaskId::new(j)),
+            TaskClass::MemoryIntensive => s2.push(TaskId::new(j)),
+        }
+    }
+    (s1, s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pis(inst: &Instance) -> PiSchedules {
+        PiSchedules::lpt_defaults(inst).unwrap()
+    }
+
+    #[test]
+    fn pure_time_task_goes_to_s1() {
+        // Task 0: big estimate, zero size → time intensive.
+        // Task 1: zero estimate, big size → memory intensive.
+        let inst =
+            Instance::from_estimates_and_sizes(&[(10.0, 0.0), (0.0, 10.0)], 2).unwrap();
+        let p = pis(&inst);
+        let classes = classify(&inst, &p, 1.0);
+        assert_eq!(classes[0], TaskClass::TimeIntensive);
+        assert_eq!(classes[1], TaskClass::MemoryIntensive);
+    }
+
+    #[test]
+    fn delta_moves_the_threshold() {
+        // A balanced task flips from S₁ to S₂ as Δ grows.
+        let inst = Instance::from_estimates_and_sizes(
+            &[(4.0, 1.0), (1.0, 4.0), (2.0, 2.0)],
+            2,
+        )
+        .unwrap();
+        let p = pis(&inst);
+        let tiny = classify(&inst, &p, 1e-6);
+        let huge = classify(&inst, &p, 1e6);
+        // With Δ → 0 everything with a positive estimate is time-intensive.
+        assert!(tiny.iter().all(|&c| c == TaskClass::TimeIntensive));
+        // With Δ → ∞ everything with a positive size is memory-intensive.
+        assert!(huge.iter().all(|&c| c == TaskClass::MemoryIntensive));
+    }
+
+    #[test]
+    fn monotone_in_delta() {
+        // Once a task is memory-intensive at Δ, it stays so for larger Δ.
+        let inst = Instance::from_estimates_and_sizes(
+            &[(3.0, 1.0), (1.0, 1.0), (2.0, 5.0), (4.0, 4.0)],
+            2,
+        )
+        .unwrap();
+        let p = pis(&inst);
+        let deltas = [0.1, 0.3, 1.0, 3.0, 10.0];
+        let mut prev_s2 = 0;
+        for &d in &deltas {
+            let (_, s2) = split(&inst, &p, d);
+            assert!(s2.len() >= prev_s2, "S2 shrank as delta grew");
+            prev_s2 = s2.len();
+        }
+    }
+
+    #[test]
+    fn zero_makespan_instance_all_memory() {
+        let inst =
+            Instance::from_estimates_and_sizes(&[(0.0, 1.0), (0.0, 2.0)], 2).unwrap();
+        let p = pis(&inst);
+        assert!(classify(&inst, &p, 0.5)
+            .iter()
+            .all(|&c| c == TaskClass::MemoryIntensive));
+    }
+
+    #[test]
+    fn zero_memory_instance_all_time() {
+        let inst =
+            Instance::from_estimates_and_sizes(&[(1.0, 0.0), (2.0, 0.0)], 2).unwrap();
+        let p = pis(&inst);
+        assert!(classify(&inst, &p, 2.0)
+            .iter()
+            .all(|&c| c == TaskClass::TimeIntensive));
+    }
+
+    #[test]
+    fn split_partitions_all_tasks() {
+        let inst = Instance::from_estimates_and_sizes(
+            &[(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (5.0, 0.5)],
+            3,
+        )
+        .unwrap();
+        let p = pis(&inst);
+        let (s1, s2) = split(&inst, &p, 1.0);
+        assert_eq!(s1.len() + s2.len(), inst.n());
+        let mut all: Vec<usize> = s1.iter().chain(&s2).map(|t| t.index()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_bad_delta() {
+        let inst = Instance::from_estimates(&[1.0], 1).unwrap();
+        let p = pis(&inst);
+        classify(&inst, &p, 0.0);
+    }
+}

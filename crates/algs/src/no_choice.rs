@@ -1,0 +1,132 @@
+//! **Strategy 1 — `LPT-No Choice`** (§4): no replication, `|M_j| = 1`.
+//!
+//! Phase 1 runs offline LPT on the *estimated* processing times and pins
+//! each task's data to the chosen machine. Phase 2 has no decisions left:
+//! every task runs where its data is.
+//!
+//! Guarantee (Theorem 2): competitive ratio `2α²m / (2α² + m − 1)`;
+//! no algorithm of this class can beat `α²m / (α² + m − 1)` (Theorem 1).
+
+use crate::list_scheduling::lpt_estimates;
+use crate::strategy::Strategy;
+use rds_core::{
+    Assignment, Instance, MachineSet, Placement, Realization, Result, TaskId, Uncertainty,
+};
+
+/// The `LPT-No Choice` strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LptNoChoice;
+
+impl Strategy for LptNoChoice {
+    fn name(&self) -> String {
+        "LPT-No Choice".into()
+    }
+
+    fn replication_budget(&self, _m: usize) -> usize {
+        1
+    }
+
+    fn place(&self, instance: &Instance, _uncertainty: Uncertainty) -> Result<Placement> {
+        let assignment = lpt_estimates(instance)?;
+        Placement::pinned(instance, assignment.machines())
+    }
+
+    fn execute(
+        &self,
+        instance: &Instance,
+        placement: &Placement,
+        _realization: &Realization,
+    ) -> Result<Assignment> {
+        // No choice: read the unique machine out of each placement set.
+        let machines = (0..instance.n())
+            .map(|j| {
+                let set = placement.set(TaskId::new(j));
+                match set {
+                    MachineSet::One(id) => Ok(*id),
+                    other => other
+                        .iter(instance.m())
+                        .next()
+                        .ok_or(rds_core::Error::EmptyPlacement { task: j }),
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Assignment::new(instance, machines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::Time;
+
+    #[test]
+    fn placement_is_single_replica_lpt() {
+        let inst = Instance::from_estimates(&[5.0, 4.0, 3.0, 2.0, 1.0], 2).unwrap();
+        let p = LptNoChoice.place(&inst, Uncertainty::of(2.0)).unwrap();
+        assert_eq!(p.max_replicas(), 1);
+        // LPT on [5,4,3,2,1] over 2 machines: 5→p0, 4→p1, 3→p1(7>5? no:
+        // loads (5,4) → least is p1) → p1:7; 2→p0:7; 1→p0 or p1 tie→p0: 8.
+        let real = Realization::exact(&inst);
+        let a = LptNoChoice.execute(&inst, &p, &real).unwrap();
+        assert_eq!(a.makespan(&real), Time::of(8.0));
+    }
+
+    #[test]
+    fn execution_ignores_realization() {
+        // The assignment must be identical whatever the realization:
+        // there is no runtime flexibility without replication.
+        let inst = Instance::from_estimates(&[3.0, 3.0, 3.0, 3.0], 2).unwrap();
+        let unc = Uncertainty::of(2.0);
+        let p = LptNoChoice.place(&inst, unc).unwrap();
+        let r1 = Realization::exact(&inst);
+        let r2 = Realization::uniform_factor(&inst, unc, 2.0).unwrap();
+        let a1 = LptNoChoice.execute(&inst, &p, &r1).unwrap();
+        let a2 = LptNoChoice.execute(&inst, &p, &r2).unwrap();
+        assert_eq!(a1, a2);
+        // But the makespan of course scales.
+        assert_eq!(a2.makespan(&r2), a1.makespan(&r1) * 2.0);
+    }
+
+    #[test]
+    fn run_end_to_end_respects_theorem2_on_adversarial_uniform_instance() {
+        // λm unit tasks; adversary inflates the most loaded machine.
+        // Theorem 2 bound: 2α²m/(2α² + m − 1).
+        let (m, lambda, alpha) = (4usize, 3usize, 1.5f64);
+        let n = m * lambda;
+        let inst = Instance::from_estimates(&vec![1.0; n], m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        let p = LptNoChoice.place(&inst, unc).unwrap();
+        let a0 = LptNoChoice
+            .execute(&inst, &p, &Realization::exact(&inst))
+            .unwrap();
+        // Find most loaded machine under estimates and inflate its tasks.
+        let loads = a0.estimated_loads(&inst);
+        let worst = loads
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1))
+            .unwrap()
+            .0;
+        let factors: Vec<f64> = (0..n)
+            .map(|j| {
+                if a0.machine_of(TaskId::new(j)).index() == worst {
+                    alpha
+                } else {
+                    1.0 / alpha
+                }
+            })
+            .collect();
+        let real = Realization::from_factors(&inst, unc, &factors).unwrap();
+        let out = LptNoChoice.run(&inst, unc, &real).unwrap();
+        // Optimal distributes all tasks evenly: each machine gets λ tasks;
+        // with mixed sizes OPT ≤ λ·α... compute a crude OPT lower bound:
+        // total/m.
+        let opt_lb = real.total() / m as f64;
+        let ratio = out.makespan.get() / opt_lb.get();
+        let bound = 2.0 * alpha * alpha * m as f64 / (2.0 * alpha * alpha + m as f64 - 1.0);
+        assert!(
+            ratio <= bound + 1e-9,
+            "ratio {ratio} exceeds Theorem 2 bound {bound}"
+        );
+    }
+}

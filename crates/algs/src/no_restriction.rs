@@ -1,0 +1,116 @@
+//! **Strategy 2 — `LPT-No Restriction`** (§5): replicate everywhere,
+//! `|M_j| = m`.
+//!
+//! Phase 1 copies every task's data to every machine. Phase 2 runs LPT
+//! online: tasks sorted by non-increasing *estimate*, each dispatched to
+//! the first machine that becomes idle (equivalently, the machine with
+//! the smallest actual load so far).
+//!
+//! Guarantee (Theorem 3): `1 + ((m−1)/m)·α²/2`; being a List Scheduling
+//! variant it also enjoys Graham's `2 − 1/m`, so the effective bound is
+//! the minimum of the two (§5.2).
+
+use crate::list_scheduling::online_lpt_by_estimate;
+use crate::strategy::Strategy;
+use rds_core::{Assignment, Instance, Placement, Realization, Result, Uncertainty};
+
+/// The `LPT-No Restriction` strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LptNoRestriction;
+
+impl Strategy for LptNoRestriction {
+    fn name(&self) -> String {
+        "LPT-No Restriction".into()
+    }
+
+    fn replication_budget(&self, m: usize) -> usize {
+        m
+    }
+
+    fn place(&self, instance: &Instance, _uncertainty: Uncertainty) -> Result<Placement> {
+        Ok(Placement::everywhere(instance))
+    }
+
+    fn execute(
+        &self,
+        instance: &Instance,
+        _placement: &Placement,
+        realization: &Realization,
+    ) -> Result<Assignment> {
+        online_lpt_by_estimate(instance, realization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::{metrics, TaskId, Time};
+
+    #[test]
+    fn placement_replicates_everywhere() {
+        let inst = Instance::from_estimates(&[1.0, 2.0], 3).unwrap();
+        let p = LptNoRestriction.place(&inst, Uncertainty::of(2.0)).unwrap();
+        assert_eq!(p.max_replicas(), 3);
+        assert_eq!(p.total_replicas(), 6);
+    }
+
+    #[test]
+    fn online_dispatch_adapts_to_actual_times() {
+        // Estimates all equal; the realization makes tasks on one machine
+        // slow. Online dispatch reroutes later tasks to fast machines —
+        // the whole point of replication.
+        let inst = Instance::from_estimates(&[2.0; 6], 2).unwrap();
+        let unc = Uncertainty::of(2.0);
+        // First dispatched task becomes slow (actual 4), rest fast (1).
+        let real =
+            Realization::from_factors(&inst, unc, &[2.0, 0.5, 0.5, 0.5, 0.5, 0.5]).unwrap();
+        let out = LptNoRestriction.run(&inst, unc, &real).unwrap();
+        // t0→p0 (4), t1→p1 (1), t2→p1 (2), t3→p1 (3), t4→p1 (4),
+        // t5→ tie 4=4 → p0 (5). Makespan 5.
+        assert_eq!(out.makespan, Time::of(5.0));
+        // Compare with the pinned (no-replication) LPT outcome, which
+        // cannot react: LPT pins 3 tasks per machine → p0 gets t0 (slow).
+        let pinned = crate::no_choice::LptNoChoice.run(&inst, unc, &real).unwrap();
+        assert!(out.makespan <= pinned.makespan);
+    }
+
+    #[test]
+    fn respects_graham_bound_on_random_like_instances() {
+        // For any realization, the result of online LS is within
+        // 2 − 1/m of OPT(actual); spot-check with avg-load lower bound.
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) % 97) as f64 + 1.0
+        };
+        for m in [2usize, 5] {
+            let est: Vec<f64> = (0..50).map(|_| next()).collect();
+            let inst = Instance::from_estimates(&est, m).unwrap();
+            let unc = Uncertainty::of(1.8);
+            let factors: Vec<f64> = (0..50)
+                .map(|j| if j % 3 == 0 { 1.8 } else { 1.0 / 1.8 })
+                .collect();
+            let real = Realization::from_factors(&inst, unc, &factors).unwrap();
+            let out = LptNoRestriction.run(&inst, unc, &real).unwrap();
+            let lb = real.total() / m as f64;
+            let lb = lb.max(real.max());
+            let ratio = out.makespan.get() / lb.get();
+            assert!(ratio <= 2.0 - 1.0 / m as f64 + 1e-9, "m={m} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn dispatch_order_is_estimate_descending() {
+        // Estimates [1, 10]; on one machine the order doesn't change the
+        // makespan, but on two machines the big-estimate task must be
+        // dispatched first (to the empty system, machine 0 by tie-break).
+        let inst = Instance::from_estimates(&[1.0, 10.0], 2).unwrap();
+        let real = Realization::exact(&inst);
+        let a = LptNoRestriction
+            .execute(&inst, &Placement::everywhere(&inst), &real)
+            .unwrap();
+        assert_eq!(a.machine_of(TaskId::new(1)).index(), 0);
+        assert_eq!(a.machine_of(TaskId::new(0)).index(), 1);
+        assert_eq!(metrics::makespan(&a.loads(&real)), Time::of(10.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! The two-phase strategy abstraction.
+//!
+//! Every algorithm of the replication-bound model is a [`Strategy`]:
+//! phase 1 places data knowing only estimates (`p̃`, `m`, `α`); phase 2
+//! executes online, learning actual times only as tasks complete, and may
+//! run each task only on a machine of its placement set.
+//!
+//! Implementations compute the phase-2 outcome in closed form (greedy
+//! over actual loads) — provably identical to the event-driven execution,
+//! which `rds-sim` cross-validates.
+
+use rds_core::{Assignment, Instance, Placement, Realization, Result, Time, Uncertainty};
+
+/// A complete two-phase algorithm.
+pub trait Strategy {
+    /// Human-readable name (used in reports and benchmark output).
+    fn name(&self) -> String;
+
+    /// The replication budget `k` this strategy uses on `m` machines:
+    /// every placement it produces satisfies `|M_j| ≤ k`.
+    fn replication_budget(&self, m: usize) -> usize;
+
+    /// **Phase 1** — choose where each task's data lives, using only the
+    /// estimates and the uncertainty factor.
+    ///
+    /// # Errors
+    /// Implementation-specific (e.g. invalid group counts).
+    fn place(&self, instance: &Instance, uncertainty: Uncertainty) -> Result<Placement>;
+
+    /// **Phase 2** — produce the executed task→machine assignment under
+    /// `realization`, respecting `placement`.
+    ///
+    /// Implementations must be *semi-clairvoyant*: the dispatch decision
+    /// for a task may depend on actual times only of already-completed
+    /// tasks (all closed-form greedy implementations here have this
+    /// property by construction).
+    ///
+    /// # Errors
+    /// Implementation-specific; feasibility violations surface as
+    /// [`rds_core::Error::InfeasibleAssignment`] from [`Strategy::run`].
+    fn execute(
+        &self,
+        instance: &Instance,
+        placement: &Placement,
+        realization: &Realization,
+    ) -> Result<Assignment>;
+
+    /// Runs both phases, checks feasibility and the replication budget,
+    /// and gathers the outcome.
+    ///
+    /// # Errors
+    /// Any phase error, plus the feasibility/budget violations.
+    fn run(
+        &self,
+        instance: &Instance,
+        uncertainty: Uncertainty,
+        realization: &Realization,
+    ) -> Result<Outcome> {
+        let placement = self.place(instance, uncertainty)?;
+        placement.check_budget(self.replication_budget(instance.m()))?;
+        let assignment = self.execute(instance, &placement, realization)?;
+        assignment.check_feasible(&placement)?;
+        let makespan = assignment.makespan(realization);
+        Ok(Outcome {
+            placement,
+            assignment,
+            makespan,
+        })
+    }
+}
+
+/// The result of running a [`Strategy`] end to end.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Phase-1 data placement.
+    pub placement: Placement,
+    /// Phase-2 executed assignment.
+    pub assignment: Assignment,
+    /// Achieved makespan under the realization.
+    pub makespan: Time,
+}
+
+impl Outcome {
+    /// Total number of data replicas placed (`Σ_j |M_j|`).
+    pub fn total_replicas(&self) -> usize {
+        self.placement.total_replicas()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::{MachineId, MachineSet, TaskId};
+
+    /// A deliberately broken strategy: places on p0 only but executes on p1.
+    struct Broken;
+
+    impl Strategy for Broken {
+        fn name(&self) -> String {
+            "broken".into()
+        }
+        fn replication_budget(&self, _m: usize) -> usize {
+            1
+        }
+        fn place(&self, instance: &Instance, _u: Uncertainty) -> Result<Placement> {
+            Placement::new(
+                instance,
+                vec![MachineSet::One(MachineId::new(0)); instance.n()],
+            )
+        }
+        fn execute(
+            &self,
+            instance: &Instance,
+            _p: &Placement,
+            _r: &Realization,
+        ) -> Result<Assignment> {
+            Assignment::new(instance, vec![MachineId::new(1); instance.n()])
+        }
+    }
+
+    #[test]
+    fn run_catches_infeasible_execution() {
+        let inst = Instance::from_estimates(&[1.0, 2.0], 2).unwrap();
+        let real = Realization::exact(&inst);
+        let err = Broken.run(&inst, Uncertainty::CERTAIN, &real).unwrap_err();
+        assert!(matches!(
+            err,
+            rds_core::Error::InfeasibleAssignment { task: 0, machine: 1 }
+        ));
+    }
+
+    /// A strategy whose placement violates its declared budget.
+    struct OverBudget;
+
+    impl Strategy for OverBudget {
+        fn name(&self) -> String {
+            "overbudget".into()
+        }
+        fn replication_budget(&self, _m: usize) -> usize {
+            1
+        }
+        fn place(&self, instance: &Instance, _u: Uncertainty) -> Result<Placement> {
+            Ok(Placement::everywhere(instance))
+        }
+        fn execute(
+            &self,
+            instance: &Instance,
+            _p: &Placement,
+            _r: &Realization,
+        ) -> Result<Assignment> {
+            Assignment::new(instance, vec![MachineId::new(0); instance.n()])
+        }
+    }
+
+    #[test]
+    fn run_catches_budget_violation() {
+        let inst = Instance::from_estimates(&[1.0], 3).unwrap();
+        let real = Realization::exact(&inst);
+        let err = OverBudget
+            .run(&inst, Uncertainty::CERTAIN, &real)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            rds_core::Error::ReplicationBudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn outcome_replica_count() {
+        let inst = Instance::from_estimates(&[1.0, 1.0], 2).unwrap();
+        let real = Realization::exact(&inst);
+        let out = crate::no_restriction::LptNoRestriction
+            .run(&inst, Uncertainty::CERTAIN, &real)
+            .unwrap();
+        assert_eq!(out.total_replicas(), 4);
+        let _ = TaskId::new(0); // silence unused import lint in some cfgs
+    }
+}

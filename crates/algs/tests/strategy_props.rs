@@ -1,0 +1,119 @@
+//! Property tests across the strategy implementations.
+
+use proptest::prelude::*;
+use rds_algs::memory::{abo::Abo, sabo::Sabo, MemoryStrategy};
+use rds_algs::{group_lpt::LptGroup, LptNoChoice, LptNoRestriction, LsGroup};
+use rds_algs::Strategy as _;
+use rds_core::{Instance, Realization, Size, Time, Uncertainty};
+
+fn instances() -> impl Strategy<Value = (Instance, Uncertainty, Realization)> {
+    (
+        prop::collection::vec(0.2f64..20.0, 1..30),
+        2usize..7,
+        1.0f64..2.5,
+        any::<u64>(),
+    )
+        .prop_map(|(est, m, alpha, pattern)| {
+            let inst = Instance::from_estimates(&est, m).unwrap();
+            let unc = Uncertainty::of(alpha);
+            let factors: Vec<f64> = (0..inst.n())
+                .map(|j| {
+                    if (pattern >> (j % 64)) & 1 == 1 {
+                        alpha
+                    } else {
+                        1.0 / alpha
+                    }
+                })
+                .collect();
+            let real = Realization::from_factors(&inst, unc, &factors).unwrap();
+            (inst, unc, real)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_strategies_produce_feasible_within_budget(
+        (inst, unc, real) in instances(),
+    ) {
+        let m = inst.m();
+        let mut strategies: Vec<Box<dyn rds_algs::Strategy>> = vec![
+            Box::new(LptNoChoice),
+            Box::new(LptNoRestriction),
+        ];
+        for k in 1..=m {
+            strategies.push(Box::new(LsGroup::new_relaxed(k)));
+            strategies.push(Box::new(LptGroup::new_relaxed(k)));
+        }
+        for s in &strategies {
+            // run() internally asserts feasibility and budget; the
+            // property is simply that it never fails on valid inputs.
+            let out = s.run(&inst, unc, &real).unwrap();
+            // Makespan sandwich: avg-load LB ≤ C_max ≤ total work.
+            let avg = real.total() / m as f64;
+            prop_assert!(out.makespan + Time::of(1e-9) >= avg * (1.0 - 1e-12),
+                "{}: {} < avg {}", s.name(), out.makespan, avg);
+            prop_assert!(out.makespan <= real.total() + Time::of(1e-9));
+        }
+    }
+
+    #[test]
+    fn more_uncertainty_never_improves_the_adversarial_envelope(
+        est in prop::collection::vec(0.5f64..10.0, 2..20),
+        m in 2usize..6,
+    ) {
+        // For the static strategy, the worst uniform-inflation makespan
+        // is monotone in α.
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let mut prev = Time::ZERO;
+        for &alpha in &[1.0, 1.5, 2.0, 3.0] {
+            let unc = Uncertainty::of(alpha);
+            let real = Realization::uniform_factor(&inst, unc, alpha).unwrap();
+            let out = LptNoChoice.run(&inst, unc, &real).unwrap();
+            prop_assert!(out.makespan >= prev);
+            prev = out.makespan;
+        }
+    }
+
+    #[test]
+    fn memory_strategies_partition_consistently(
+        pairs in prop::collection::vec((0.2f64..10.0, 0.0f64..8.0), 2..20),
+        m in 2usize..5,
+        delta in 0.1f64..5.0,
+    ) {
+        let inst = Instance::from_estimates_and_sizes(&pairs, m).unwrap();
+        let unc = Uncertainty::of(1.5);
+        let real = Realization::exact(&inst);
+        let sabo = Sabo::new(delta).run(&inst, unc, &real).unwrap();
+        let abo = Abo::new(delta).run(&inst, unc, &real).unwrap();
+        // SABO never replicates; ABO replicates a (possibly empty)
+        // subset everywhere.
+        prop_assert_eq!(sabo.placement.max_replicas(), 1);
+        let abo_max = abo.placement.max_replicas();
+        prop_assert!(abo_max == 1 || abo_max == m);
+        // SABO memory ≤ ABO memory (ABO pays for replication).
+        prop_assert!(sabo.mem_max <= abo.mem_max + Size::of(1e-9));
+        // Both memory values are at least the single-copy lower bound.
+        let lb = rds_core::memory::mem_max_lower_bound(&inst);
+        prop_assert!(abo.mem_max + Size::of(1e-9) >= lb);
+    }
+
+    #[test]
+    fn group_strategies_agree_at_k_extremes(
+        (inst, unc, real) in instances(),
+    ) {
+        let m = inst.m();
+        // k = m ⇒ groups of one machine ⇒ pinned; makespan must equal the
+        // phase-1 balancer outcome regardless of realization adaptivity.
+        let gm = LsGroup::new(m).run(&inst, unc, &real).unwrap();
+        prop_assert_eq!(gm.placement.max_replicas(), 1);
+        // k = 1 ⇒ one group of all machines ⇒ same replicas as everywhere.
+        let g1 = LsGroup::new(1).run(&inst, unc, &real).unwrap();
+        prop_assert_eq!(g1.placement.max_replicas(), m);
+        // Full adaptivity is at least as good as no adaptivity on the
+        // same dispatch-order family... not guaranteed per-instance, but
+        // the placement budget ordering always holds:
+        prop_assert!(g1.total_replicas() >= gm.total_replicas());
+    }
+}

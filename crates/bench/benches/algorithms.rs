@@ -1,0 +1,68 @@
+//! Criterion performance benches for the scheduling algorithms:
+//! throughput of each strategy as instance size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rds_algs::{LptNoChoice, LptNoRestriction, LsGroup, Strategy};
+use rds_core::{Instance, Uncertainty};
+use rds_workloads::{realize::RealizationModel, rng, EstimateDistribution};
+
+fn setup(n: usize, m: usize, seed: u64) -> (Instance, Uncertainty, rds_core::Realization) {
+    let mut r = rng::rng(seed);
+    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    let inst = Instance::from_estimates(&est, m).unwrap();
+    let unc = Uncertainty::of(1.5);
+    let real = RealizationModel::UniformFactor
+        .realize(&inst, unc, &mut r)
+        .unwrap();
+    (inst, unc, real)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_end_to_end");
+    for &n in &[100usize, 1_000, 10_000] {
+        let m = 32;
+        let (inst, unc, real) = setup(n, m, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("lpt_no_choice", n), &n, |b, _| {
+            b.iter(|| LptNoChoice.run(&inst, unc, &real).unwrap().makespan)
+        });
+        group.bench_with_input(BenchmarkId::new("lpt_no_restriction", n), &n, |b, _| {
+            b.iter(|| LptNoRestriction.run(&inst, unc, &real).unwrap().makespan)
+        });
+        group.bench_with_input(BenchmarkId::new("ls_group_k4", n), &n, |b, _| {
+            b.iter(|| LsGroup::new(4).run(&inst, unc, &real).unwrap().makespan)
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_strategies(c: &mut Criterion) {
+    use rds_algs::memory::{abo::Abo, sabo::Sabo, MemoryStrategy};
+    let mut group = c.benchmark_group("memory_strategies");
+    for &n in &[100usize, 1_000] {
+        let m = 16;
+        let mut r = rng::rng(7);
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                let p = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample(&mut r);
+                let s = EstimateDistribution::Uniform { lo: 1.0, hi: 5.0 }.sample(&mut r);
+                (p, s)
+            })
+            .collect();
+        let inst = Instance::from_estimates_and_sizes(&pairs, m).unwrap();
+        let unc = Uncertainty::of(1.5);
+        let real = RealizationModel::UniformFactor
+            .realize(&inst, unc, &mut r)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("sabo", n), &n, |b, _| {
+            b.iter(|| Sabo::new(1.0).run(&inst, unc, &real).unwrap().makespan)
+        });
+        group.bench_with_input(BenchmarkId::new("abo", n), &n, |b, _| {
+            b.iter(|| Abo::new(1.0).run(&inst, unc, &real).unwrap().makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_memory_strategies);
+criterion_main!(benches);

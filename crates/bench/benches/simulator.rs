@@ -1,0 +1,57 @@
+//! Criterion benches for the discrete-event engine: dispatch throughput
+//! and the cost of the engine relative to the closed-form greedy path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rds_algs::{LptNoRestriction, Strategy};
+use rds_core::{Instance, Placement, Uncertainty};
+use rds_sim::executors::{simulate_grouped, simulate_no_restriction};
+use rds_workloads::{realize::RealizationModel, rng, EstimateDistribution};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_dispatch");
+    for &n in &[100usize, 1_000, 10_000] {
+        let m = 32;
+        let mut r = rng::rng(9);
+        let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let unc = Uncertainty::of(1.5);
+        let real = RealizationModel::UniformFactor
+            .realize(&inst, unc, &mut r)
+            .unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("event_engine", n), &n, |b, _| {
+            b.iter(|| simulate_no_restriction(&inst, &real).unwrap().makespan)
+        });
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &n, |b, _| {
+            b.iter(|| LptNoRestriction.run(&inst, unc, &real).unwrap().makespan)
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouped(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_grouped");
+    let (n, m) = (2_000usize, 32usize);
+    let mut r = rng::rng(10);
+    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    let inst = Instance::from_estimates(&est, m).unwrap();
+    let unc = Uncertainty::of(1.5);
+    let real = RealizationModel::UniformFactor
+        .realize(&inst, unc, &mut r)
+        .unwrap();
+    for &k in &[1usize, 4, 32] {
+        let placement = rds_algs::LsGroup::new(k).place(&inst, unc).unwrap();
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, _| {
+            b.iter(|| simulate_grouped(&inst, &placement, &real).unwrap().makespan)
+        });
+    }
+    // Everywhere placement as the baseline shape.
+    let everywhere = Placement::everywhere(&inst);
+    group.bench_function("everywhere", |b| {
+        b.iter(|| simulate_grouped(&inst, &everywhere, &real).unwrap().makespan)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_grouped);
+criterion_main!(benches);

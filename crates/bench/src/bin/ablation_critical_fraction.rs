@@ -1,0 +1,107 @@
+//! **Ablation A3** — how much replication is enough?
+//!
+//! Sweeps the critical-fraction policy from 0% (pure `LPT-No Choice`) to
+//! 100% (pure replicate-everywhere), measuring makespan against total
+//! replica count. The paper's conclusion — "even a small amount of
+//! replications can improve the guarantee significantly" — should show
+//! up as a steep improvement at small fractions, then diminishing
+//! returns.
+//!
+//! Run: `cargo run --release -p rds-bench --bin ablation_critical_fraction [--quick]`
+
+use rds_algs::Strategy;
+use rds_bench::{header, quick_mode, sweep_threads};
+use rds_core::{Instance, Uncertainty};
+use rds_exact::OptimalSolver;
+use rds_par::parallel_map;
+use rds_policies::CriticalTaskReplication;
+use rds_report::{table::fmt, Align, Chart, Series, Summary, Table};
+use rds_workloads::{realize::RealizationModel, rng, EstimateDistribution};
+
+fn main() {
+    header("A3 — critical-task replication sweep (m = 8, α = 2)");
+    let quick = quick_mode();
+    let (m, alpha) = (8usize, 2.0f64);
+    let n = if quick { 24 } else { 48 };
+    let reps = if quick { 8 } else { 40 };
+    let unc = Uncertainty::of(alpha);
+    let solver = OptimalSolver::fast();
+
+    let fractions = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0];
+    let mut t = Table::new(vec![
+        "critical fraction",
+        "total replicas",
+        "mean ratio",
+        "max ratio",
+    ])
+    .align(vec![Align::Right; 4]);
+    let mut curve = Vec::new();
+
+    for &f in &fractions {
+        let strategy = CriticalTaskReplication::new(f);
+        let results = parallel_map(
+            (0..reps).collect::<Vec<_>>(),
+            sweep_threads(),
+            |rep| -> (f64, usize) {
+                let mut r = rng::rng(rng::child_seed(0xC817 + (f * 100.0) as u64, rep as u64));
+                let est = EstimateDistribution::HeavyTail {
+                    lo: 1.0,
+                    shape: 1.4,
+                    cap: 40.0,
+                }
+                .sample_n(n, &mut r);
+                let inst = Instance::from_estimates(&est, m).expect("instance");
+                let real = RealizationModel::TwoPoint { p_inflate: 0.25 }
+                    .realize(&inst, unc, &mut r)
+                    .expect("realization");
+                let out = strategy.run(&inst, unc, &real).expect("strategy");
+                let ratio = out
+                    .makespan
+                    .ratio(solver.solve_realization(&real, m).lo)
+                    .unwrap_or(1.0);
+                (ratio, out.placement.total_replicas())
+            },
+        );
+        let mut ratios = Summary::new();
+        let mut replicas = Summary::new();
+        for (ratio, reps_count) in &results {
+            ratios.push(*ratio);
+            replicas.push(*reps_count as f64);
+        }
+        t.row(vec![
+            format!("{:.0}%", f * 100.0),
+            fmt(replicas.mean(), 0),
+            fmt(ratios.mean(), 3),
+            fmt(ratios.max(), 3),
+        ]);
+        curve.push((replicas.mean(), ratios.mean()));
+    }
+    println!("{}", t.to_markdown());
+
+    let chart = Chart::new("mean ratio vs total replicas (critical-fraction sweep)", 72, 14)
+        .series(Series::new("critical-fraction policy", '*', curve.clone()));
+    println!("{}", chart.render());
+
+    // Endpoints must be ordered: full replication beats none.
+    let at = |f: f64| -> f64 {
+        let idx = fractions.iter().position(|&x| x == f).unwrap();
+        curve[idx].1
+    };
+    let early_gain = at(0.0) - at(0.3);
+    let late_gain = at(0.3) - at(1.0);
+    println!("gain 0→30%: {early_gain:.3}   gain 30→100%: {late_gain:.3}");
+    assert!(
+        at(1.0) < at(0.0),
+        "full replication must beat none: {} vs {}",
+        at(1.0),
+        at(0.0)
+    );
+    println!(
+        "Finding: unlike the *guarantee*-space story (where a few replicas \
+         shift the bound a lot), under broad two-point noise the measured \
+         benefit tracks the fraction of replicated WORK roughly linearly — \
+         medium tasks inflate too, so protecting only the giants is not \
+         enough. Critical-task replication is the right tool when \
+         stragglers are rare and heavy, not when noise is ubiquitous."
+    );
+}

@@ -1,0 +1,29 @@
+//! Analytic guarantees of *Replicated Data Placement for Uncertain
+//! Scheduling* (Chaubey & Saule, 2015).
+//!
+//! Every theorem of the paper as a closed-form function, plus the series
+//! generators behind every figure:
+//!
+//! - [`replication`]: Theorems 1–4 and the classical Graham bounds
+//!   (Table 1, Figures 1 and 3);
+//! - [`memory`]: Theorems 5–8 for `SABO_Δ`/`ABO_Δ` and the reconstructed
+//!   zenith impossibility frontier (Table 2, Figure 6);
+//! - [`series`]: the exact panels of Figures 3 and 6.
+//!
+//! This crate is dependency-free and purely numeric, so the empirical
+//! crates can verify *measured* ratios against these *proven* bounds.
+//!
+//! # Example
+//! ```
+//! // Theorem 2 vs Theorem 1 at the paper's figure parameters.
+//! let ub = rds_bounds::replication::lpt_no_choice(2.0, 210);
+//! let lb = rds_bounds::replication::lower_bound_no_replication(2.0, 210);
+//! assert!(lb < ub);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod memory;
+pub mod replication;
+pub mod series;

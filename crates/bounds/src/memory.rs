@@ -1,0 +1,198 @@
+//! Closed-form guarantees of the memory-aware model (paper §7, Th. 5–8).
+//!
+//! Both algorithms are parameterized by a threshold `Δ > 0` trading
+//! makespan for memory, and by the qualities `ρ₁` (of the makespan-side
+//! schedule `π₁`) and `ρ₂` (of the memory-side schedule `π₂`).
+
+/// Validates the common memory-model parameter domain.
+#[track_caller]
+fn check(delta: f64, alpha: f64, rho: f64) {
+    assert!(
+        delta.is_finite() && delta > 0.0,
+        "delta = {delta} must be finite and > 0"
+    );
+    assert!(
+        alpha.is_finite() && alpha >= 1.0,
+        "alpha = {alpha} must be finite and >= 1"
+    );
+    assert!(
+        rho.is_finite() && rho >= 1.0,
+        "rho = {rho} must be finite and >= 1"
+    );
+}
+
+/// **Theorem 5** — `SABO_Δ` makespan guarantee: `(1 + Δ)·α²·ρ₁`.
+///
+/// # Panics
+/// Panics unless `delta > 0`, `alpha >= 1`, `rho1 >= 1`.
+pub fn sabo_makespan(delta: f64, alpha: f64, rho1: f64) -> f64 {
+    check(delta, alpha, rho1);
+    (1.0 + delta) * alpha * alpha * rho1
+}
+
+/// **Theorem 6** — `SABO_Δ` memory guarantee: `(1 + 1/Δ)·ρ₂`.
+///
+/// # Panics
+/// Panics unless `delta > 0` and `rho2 >= 1`.
+pub fn sabo_memory(delta: f64, rho2: f64) -> f64 {
+    check(delta, 1.0, rho2);
+    (1.0 + 1.0 / delta) * rho2
+}
+
+/// **Theorem 7** — `ABO_Δ` makespan guarantee: `2 − 1/m + Δ·α²·ρ₁`.
+///
+/// # Panics
+/// Panics unless `delta > 0`, `alpha >= 1`, `rho1 >= 1`, `m >= 1`.
+pub fn abo_makespan(delta: f64, alpha: f64, rho1: f64, m: usize) -> f64 {
+    check(delta, alpha, rho1);
+    assert!(m >= 1, "m must be >= 1");
+    2.0 - 1.0 / m as f64 + delta * alpha * alpha * rho1
+}
+
+/// **Theorem 8** — `ABO_Δ` memory guarantee: `(1 + m/Δ)·ρ₂`.
+///
+/// # Panics
+/// Panics unless `delta > 0`, `rho2 >= 1`, `m >= 1`.
+pub fn abo_memory(delta: f64, rho2: f64, m: usize) -> f64 {
+    check(delta, 1.0, rho2);
+    assert!(m >= 1, "m must be >= 1");
+    (1.0 + m as f64 / delta) * rho2
+}
+
+/// A point on a memory–makespan guarantee curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// The threshold `Δ` producing this point.
+    pub delta: f64,
+    /// Makespan approximation guarantee.
+    pub makespan: f64,
+    /// Memory approximation guarantee.
+    pub memory: f64,
+}
+
+/// The `SABO_Δ` guarantee pair for a given `Δ`.
+pub fn sabo_point(delta: f64, alpha: f64, rho1: f64, rho2: f64) -> TradeoffPoint {
+    TradeoffPoint {
+        delta,
+        makespan: sabo_makespan(delta, alpha, rho1),
+        memory: sabo_memory(delta, rho2),
+    }
+}
+
+/// The `ABO_Δ` guarantee pair for a given `Δ`.
+pub fn abo_point(delta: f64, alpha: f64, rho1: f64, rho2: f64, m: usize) -> TradeoffPoint {
+    TradeoffPoint {
+        delta,
+        makespan: abo_makespan(delta, alpha, rho1, m),
+        memory: abo_memory(delta, rho2, m),
+    }
+}
+
+/// Zenith impossibility frontier reconstructed from the `SBO_Δ` family
+/// (Saule et al., IPDPS 2008, cited by the paper): for a makespan
+/// guarantee `x > 1` no algorithm can guarantee memory better than
+/// `1 + 1/(x − 1)` — the `(x − 1)(y − 1) = 1` hyperbola that the
+/// `(1 + Δ, 1 + 1/Δ)` pairs achieve with equality.
+///
+/// Returns `f64::INFINITY` for `x <= 1`.
+pub fn impossibility_memory_for_makespan(x: f64) -> f64 {
+    assert!(x.is_finite() && x >= 1.0, "x = {x} must be >= 1");
+    if x <= 1.0 {
+        f64::INFINITY
+    } else {
+        1.0 + 1.0 / (x - 1.0)
+    }
+}
+
+/// Smallest `Δ` at which `ABO_Δ`'s makespan guarantee beats `SABO_Δ`'s,
+/// if any. §7 observes that for `α·ρ₁ ≥ 2` ABO always wins on makespan;
+/// this solves `2 − 1/m + Δα²ρ₁ < (1 + Δ)α²ρ₁` for `Δ`, which reduces to
+/// the condition `α²ρ₁ > 2 − 1/m` independent of `Δ`.
+pub fn abo_beats_sabo_on_makespan(alpha: f64, rho1: f64, m: usize) -> bool {
+    check(1.0, alpha, rho1);
+    assert!(m >= 1);
+    alpha * alpha * rho1 > 2.0 - 1.0 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn theorem5_to_8_hand_values() {
+        // Δ = 1, α² = 2, ρ = 4/3 (Figure 6a parameters).
+        let alpha = (2.0f64).sqrt();
+        assert!((sabo_makespan(1.0, alpha, 4.0 / 3.0) - 2.0 * 2.0 * 4.0 / 3.0).abs() < EPS);
+        assert!((sabo_memory(1.0, 4.0 / 3.0) - 8.0 / 3.0).abs() < EPS);
+        assert!((abo_makespan(1.0, alpha, 4.0 / 3.0, 5) - (2.0 - 0.2 + 8.0 / 3.0)).abs() < EPS);
+        assert!((abo_memory(1.0, 4.0 / 3.0, 5) - 8.0).abs() < EPS);
+    }
+
+    #[test]
+    fn monotonicity_in_delta() {
+        let alpha = (3.0f64).sqrt();
+        let mut prev_mk = 0.0;
+        let mut prev_mem = f64::INFINITY;
+        for i in 1..50 {
+            let d = i as f64 * 0.2;
+            let p = sabo_point(d, alpha, 1.0, 1.0);
+            assert!(p.makespan > prev_mk);
+            assert!(p.memory < prev_mem);
+            prev_mk = p.makespan;
+            prev_mem = p.memory;
+        }
+    }
+
+    #[test]
+    fn sabo_with_rho_one_touches_impossibility_scaled() {
+        // With ρ₁ = ρ₂ = 1 and α = 1 the SABO pairs are exactly the
+        // (1 + Δ, 1 + 1/Δ) family, i.e. on the impossibility frontier.
+        for &d in &[0.1, 0.5, 1.0, 2.0, 10.0] {
+            let p = sabo_point(d, 1.0, 1.0, 1.0);
+            let frontier = impossibility_memory_for_makespan(p.makespan);
+            assert!((p.memory - frontier).abs() < 1e-9, "delta = {d}");
+        }
+    }
+
+    #[test]
+    fn impossibility_frontier_shape() {
+        assert_eq!(impossibility_memory_for_makespan(1.0), f64::INFINITY);
+        assert!((impossibility_memory_for_makespan(2.0) - 2.0).abs() < EPS);
+        assert!((impossibility_memory_for_makespan(3.0) - 1.5).abs() < EPS);
+        // Decreasing in x.
+        assert!(
+            impossibility_memory_for_makespan(1.5) > impossibility_memory_for_makespan(2.5)
+        );
+    }
+
+    #[test]
+    fn abo_vs_sabo_condition() {
+        // Figure 6b parameters: α² = 3, ρ₁ = 1, m = 5 → α²ρ₁ = 3 > 1.8.
+        assert!(abo_beats_sabo_on_makespan((3.0f64).sqrt(), 1.0, 5));
+        // Tiny alpha and rho: SABO can win on makespan for small Δ.
+        assert!(!abo_beats_sabo_on_makespan(1.0, 1.0, 5));
+    }
+
+    #[test]
+    fn abo_always_worse_on_memory() {
+        // (1 + m/Δ)ρ₂ > (1 + 1/Δ)ρ₂ whenever m > 1: SABO is the
+        // memory-centric choice, as §7 concludes.
+        for &d in &[0.3, 1.0, 4.0] {
+            assert!(abo_memory(d, 1.2, 5) > sabo_memory(d, 1.2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_nonpositive_delta() {
+        sabo_makespan(0.0, 1.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_bad_rho() {
+        sabo_memory(1.0, 0.5);
+    }
+}

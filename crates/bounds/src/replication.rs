@@ -1,0 +1,267 @@
+//! Closed-form guarantees of the replication-bound model (paper §4–§6).
+//!
+//! All functions take the uncertainty factor `alpha = α ≥ 1` and the
+//! machine count `m ≥ 1` and return the proven competitive-ratio bound.
+//! Domains are enforced with panics (documented per function): passing an
+//! out-of-domain parameter is a programmer error, not a runtime condition.
+
+/// Validates the common `(alpha, m)` domain.
+#[track_caller]
+fn check_domain(alpha: f64, m: usize) {
+    assert!(
+        alpha.is_finite() && alpha >= 1.0,
+        "alpha = {alpha} must be finite and >= 1"
+    );
+    assert!(m >= 1, "m must be >= 1");
+}
+
+/// **Theorem 1** — lower bound for no replication (`|M_j| = 1`): no online
+/// algorithm has a competitive ratio better than
+/// `α²·m / (α² + m − 1)`.
+///
+/// # Panics
+/// Panics unless `alpha >= 1` and `m >= 1`.
+pub fn lower_bound_no_replication(alpha: f64, m: usize) -> f64 {
+    check_domain(alpha, m);
+    let a2 = alpha * alpha;
+    let m = m as f64;
+    a2 * m / (a2 + m - 1.0)
+}
+
+/// **Corollary of Theorem 1** — the `m → ∞` limit of the no-replication
+/// lower bound: `α²`.
+///
+/// # Panics
+/// Panics unless `alpha >= 1`.
+pub fn lower_bound_no_replication_limit(alpha: f64) -> f64 {
+    check_domain(alpha, 1);
+    alpha * alpha
+}
+
+/// **Theorem 2** — `LPT-No Choice` (`|M_j| = 1`) competitive ratio:
+/// `2α²·m / (2α² + m − 1)`.
+///
+/// # Panics
+/// Panics unless `alpha >= 1` and `m >= 1`.
+pub fn lpt_no_choice(alpha: f64, m: usize) -> f64 {
+    check_domain(alpha, m);
+    let a2 = alpha * alpha;
+    let m = m as f64;
+    2.0 * a2 * m / (2.0 * a2 + m - 1.0)
+}
+
+/// **Theorem 3** — `LPT-No Restriction` (`|M_j| = m`) competitive ratio:
+/// `1 + ((m − 1)/m)·α²/2`.
+///
+/// # Panics
+/// Panics unless `alpha >= 1` and `m >= 1`.
+pub fn lpt_no_restriction(alpha: f64, m: usize) -> f64 {
+    check_domain(alpha, m);
+    let a2 = alpha * alpha;
+    let m = m as f64;
+    1.0 + (m - 1.0) / m * a2 / 2.0
+}
+
+/// Graham's List Scheduling guarantee `2 − 1/m`, which holds for any
+/// list-scheduling variant regardless of uncertainty (related work, §2).
+///
+/// # Panics
+/// Panics unless `m >= 1`.
+pub fn graham_list_scheduling(m: usize) -> f64 {
+    check_domain(1.0, m);
+    2.0 - 1.0 / m as f64
+}
+
+/// Graham's offline LPT guarantee `4/3 − 1/(3m)` (related work, §2;
+/// holds only with exact processing times, i.e. `α = 1`).
+///
+/// # Panics
+/// Panics unless `m >= 1`.
+pub fn graham_lpt_offline(m: usize) -> f64 {
+    check_domain(1.0, m);
+    4.0 / 3.0 - 1.0 / (3.0 * m as f64)
+}
+
+/// The effective `LPT-No Restriction` guarantee discussed at the end of
+/// §5.2: since the algorithm is a List Scheduling variant, it also enjoys
+/// `2 − 1/m`, so the bound is `min(Theorem 3, 2 − 1/m)`.
+///
+/// # Panics
+/// Panics unless `alpha >= 1` and `m >= 1`.
+pub fn lpt_no_restriction_best(alpha: f64, m: usize) -> f64 {
+    lpt_no_restriction(alpha, m).min(graham_list_scheduling(m))
+}
+
+/// **Theorem 4** — `LS-Group` with `k` groups (`|M_j| = m/k`) competitive
+/// ratio: `(kα²/(α² + k − 1))·(1 + (k−1)/m) + (m − k)/m`.
+///
+/// # Panics
+/// Panics unless `alpha >= 1` and `1 <= k <= m`.
+pub fn ls_group(alpha: f64, m: usize, k: usize) -> f64 {
+    check_domain(alpha, m);
+    assert!(k >= 1 && k <= m, "k = {k} must satisfy 1 <= k <= m = {m}");
+    let a2 = alpha * alpha;
+    let (mf, kf) = (m as f64, k as f64);
+    kf * a2 / (a2 + kf - 1.0) * (1.0 + (kf - 1.0) / mf) + (mf - kf) / mf
+}
+
+/// Number of replicas per task used by `LS-Group` with `k` equal groups:
+/// `|M_j| = m/k`.
+///
+/// # Panics
+/// Panics unless `k` divides `m` and `1 <= k <= m`.
+pub fn ls_group_replicas(m: usize, k: usize) -> usize {
+    assert!(k >= 1 && k <= m && m.is_multiple_of(k), "k = {k} must divide m = {m}");
+    m / k
+}
+
+/// The divisors of `m` in increasing order — the admissible group counts
+/// for the paper's `LS-Group` (it assumes `k | m`).
+pub fn group_counts(m: usize) -> Vec<usize> {
+    assert!(m >= 1, "m must be >= 1");
+    let mut divs: Vec<usize> = (1..=m).filter(|k| m.is_multiple_of(*k)).collect();
+    divs.sort_unstable();
+    divs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn theorem1_values() {
+        // α = 1 ⇒ bound is m/m = 1: no uncertainty, no obstruction.
+        assert!((lower_bound_no_replication(1.0, 10) - 1.0).abs() < EPS);
+        // Hand-computed: α = 2, m = 6 → 4·6/(4+5) = 24/9.
+        assert!((lower_bound_no_replication(2.0, 6) - 24.0 / 9.0).abs() < EPS);
+        // m = 1: single machine, every algorithm is optimal ⇒ bound 1.
+        assert!((lower_bound_no_replication(3.0, 1) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn theorem1_limit() {
+        let alpha = 1.7;
+        let lim = lower_bound_no_replication_limit(alpha);
+        assert!((lim - alpha * alpha).abs() < EPS);
+        // The finite-m bound increases towards the limit.
+        let b_small = lower_bound_no_replication(alpha, 10);
+        let b_big = lower_bound_no_replication(alpha, 100_000);
+        assert!(b_small < b_big && b_big < lim + EPS);
+        assert!(lim - b_big < 1e-3);
+    }
+
+    #[test]
+    fn theorem2_values() {
+        // Hand-computed: α = 2, m = 6 → 2·4·6/(8+5) = 48/13.
+        assert!((lpt_no_choice(2.0, 6) - 48.0 / 13.0).abs() < EPS);
+        // α = 1 ⇒ 2m/(m+1); for m = 3 that's 1.5 (the classical LS-flavored bound).
+        assert!((lpt_no_choice(1.0, 3) - 1.5).abs() < EPS);
+    }
+
+    #[test]
+    fn theorem2_dominates_theorem1() {
+        // The achievable bound is never better than the impossibility bound.
+        for &alpha in &[1.0, 1.1, 1.5, 2.0, 3.0] {
+            for &m in &[1usize, 2, 5, 30, 210] {
+                assert!(
+                    lpt_no_choice(alpha, m) >= lower_bound_no_replication(alpha, m) - EPS,
+                    "alpha={alpha} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_values() {
+        // α = 2, m = 6: 1 + (5/6)·2 = 8/3.
+        assert!((lpt_no_restriction(2.0, 6) - 8.0 / 3.0).abs() < EPS);
+        // m = 1: ratio 1 — a single machine cannot be misloaded.
+        assert!((lpt_no_restriction(3.0, 1) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn crossover_with_graham_at_alpha_sq_2() {
+        // §5.2: for α² < 2 Theorem 3 beats 2 − 1/m; for α² > 2 it loses.
+        let m = 50;
+        let below = lpt_no_restriction((2.0f64).sqrt() * 0.99, m);
+        let above = lpt_no_restriction((2.0f64).sqrt() * 1.01, m);
+        let graham = graham_list_scheduling(m);
+        assert!(below < graham);
+        assert!(above > graham);
+        assert!(lpt_no_restriction_best(2.0, m) <= graham + EPS);
+        assert!(
+            (lpt_no_restriction_best(1.1, m) - lpt_no_restriction(1.1, m)).abs() < EPS
+        );
+    }
+
+    #[test]
+    fn theorem4_interpolates() {
+        let (alpha, m) = (1.5, 210);
+        // k = m means |M_j| = 1 (no replication): should be within a
+        // whisker of the LPT-No Choice style guarantee for large m
+        // (the paper notes they are almost equal for practical α).
+        let at_m = ls_group(alpha, m, m);
+        let no_choice = lpt_no_choice(alpha, m);
+        assert!((at_m - no_choice).abs() < 0.25, "at_m={at_m} nc={no_choice}");
+        // Monotone non-decreasing in k for fixed alpha, m (more groups =
+        // fewer replicas = weaker guarantee).
+        let divisors = group_counts(m);
+        let mut prev = f64::NEG_INFINITY;
+        for &k in &divisors {
+            let g = ls_group(alpha, m, k);
+            assert!(g >= prev - 1e-9, "k={k}: {g} < {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn theorem4_k1_close_to_no_restriction_for_large_alpha() {
+        // §7: at α = 1.5 there is "no more difference" between LS-Group
+        // with one group and LPT-No Restriction.
+        let m = 210;
+        let diff = (ls_group(1.5, m, 1) - lpt_no_restriction(1.5, m)).abs();
+        assert!(diff < 0.15, "diff = {diff}");
+    }
+
+    #[test]
+    fn ls_group_formula_hand_value() {
+        // α = 2, m = 6, k = 2: (2·4/5)(1 + 1/6) + 4/6 = 1.6·7/6 + 2/3.
+        let expect = 1.6 * 7.0 / 6.0 + 2.0 / 3.0;
+        assert!((ls_group(2.0, 6, 2) - expect).abs() < EPS);
+    }
+
+    #[test]
+    fn group_helpers() {
+        assert_eq!(group_counts(6), vec![1, 2, 3, 6]);
+        assert_eq!(ls_group_replicas(6, 2), 3);
+        assert_eq!(group_counts(1), vec![1]);
+        // 210 = 2·3·5·7 has 16 divisors.
+        assert_eq!(group_counts(210).len(), 16);
+    }
+
+    #[test]
+    fn graham_bounds() {
+        assert!((graham_list_scheduling(4) - 1.75).abs() < EPS);
+        assert!((graham_lpt_offline(3) - (4.0 / 3.0 - 1.0 / 9.0)).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_alpha_below_one() {
+        lower_bound_no_replication(0.5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 7")]
+    fn rejects_bad_k() {
+        ls_group(2.0, 6, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_non_divisor_replicas() {
+        ls_group_replicas(6, 4);
+    }
+}

@@ -1,0 +1,277 @@
+//! Series generators behind the paper's figures.
+//!
+//! Each function returns plain `(x, y)` data so callers (bench binaries,
+//! plots, tests) can render or assert on it without recomputing formulas.
+
+use crate::memory::{abo_point, sabo_point, TradeoffPoint};
+use crate::replication;
+
+/// One point of the Figure 3 ratio–replication plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioReplicationPoint {
+    /// Number of groups `k` (only for the LS-Group series).
+    pub k: Option<usize>,
+    /// Replicas per task `|M_j|` (the x axis).
+    pub replicas: usize,
+    /// Guaranteed competitive ratio (the y axis).
+    pub ratio: f64,
+}
+
+/// The full set of series of one Figure 3 panel (fixed `m`, fixed `α`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioReplicationPanel {
+    /// Number of machines (the paper uses `m = 210`).
+    pub m: usize,
+    /// Uncertainty factor of the panel.
+    pub alpha: f64,
+    /// Theorem 1 impossibility at `|M_j| = 1`.
+    pub lower_bound: RatioReplicationPoint,
+    /// LPT-No Choice guarantee at `|M_j| = 1` (Theorem 2).
+    pub lpt_no_choice: RatioReplicationPoint,
+    /// LPT-No Restriction guarantee at `|M_j| = m` (Theorem 3).
+    pub lpt_no_restriction: RatioReplicationPoint,
+    /// Graham List Scheduling guarantee at `|M_j| = m`.
+    pub graham: RatioReplicationPoint,
+    /// LS-Group guarantee for every divisor `k` of `m` (Theorem 4),
+    /// ordered by increasing replica count `m/k`.
+    pub ls_group: Vec<RatioReplicationPoint>,
+}
+
+/// Builds one panel of Figure 3.
+///
+/// # Panics
+/// Panics unless `alpha >= 1` and `m >= 1`.
+pub fn ratio_replication_panel(alpha: f64, m: usize) -> RatioReplicationPanel {
+    let ls_group = replication::group_counts(m)
+        .into_iter()
+        .rev() // k = m first → replicas = 1 first
+        .map(|k| RatioReplicationPoint {
+            k: Some(k),
+            replicas: replication::ls_group_replicas(m, k),
+            ratio: replication::ls_group(alpha, m, k),
+        })
+        .collect();
+    RatioReplicationPanel {
+        m,
+        alpha,
+        lower_bound: RatioReplicationPoint {
+            k: None,
+            replicas: 1,
+            ratio: replication::lower_bound_no_replication(alpha, m),
+        },
+        lpt_no_choice: RatioReplicationPoint {
+            k: None,
+            replicas: 1,
+            ratio: replication::lpt_no_choice(alpha, m),
+        },
+        lpt_no_restriction: RatioReplicationPoint {
+            k: None,
+            replicas: m,
+            ratio: replication::lpt_no_restriction(alpha, m),
+        },
+        graham: RatioReplicationPoint {
+            k: None,
+            replicas: m,
+            ratio: replication::graham_list_scheduling(m),
+        },
+        ls_group,
+    }
+}
+
+/// The three panels of Figure 3 exactly as in the paper:
+/// `m = 210`, `α ∈ {1.1, 1.5, 2}`.
+pub fn figure3_panels() -> Vec<RatioReplicationPanel> {
+    [1.1, 1.5, 2.0]
+        .into_iter()
+        .map(|alpha| ratio_replication_panel(alpha, 210))
+        .collect()
+}
+
+/// A memory–makespan tradeoff panel of Figure 6 (fixed `m`, `α²`, `ρ`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryMakespanPanel {
+    /// Number of machines.
+    pub m: usize,
+    /// `α²` of the panel (the paper reports the squared value).
+    pub alpha_sq: f64,
+    /// `ρ₁ = ρ₂` of the panel.
+    pub rho: f64,
+    /// SABO_Δ guarantee curve over the Δ sweep.
+    pub sabo: Vec<TradeoffPoint>,
+    /// ABO_Δ guarantee curve over the same sweep.
+    pub abo: Vec<TradeoffPoint>,
+    /// Reconstructed impossibility frontier sampled on the same
+    /// makespan range: `(makespan, min memory)` pairs.
+    pub impossibility: Vec<(f64, f64)>,
+}
+
+/// Logarithmic Δ sweep in `[lo, hi]` with `steps` points.
+///
+/// # Panics
+/// Panics unless `0 < lo <= hi` and `steps >= 2`.
+pub fn delta_sweep(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && lo <= hi && steps >= 2, "bad sweep parameters");
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..steps)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (steps - 1) as f64).exp())
+        .collect()
+}
+
+/// Builds one Figure 6 panel.
+///
+/// # Panics
+/// Panics on out-of-domain parameters (see the theorem functions).
+pub fn memory_makespan_panel(
+    m: usize,
+    alpha_sq: f64,
+    rho: f64,
+    deltas: &[f64],
+) -> MemoryMakespanPanel {
+    let alpha = alpha_sq.sqrt();
+    let sabo: Vec<TradeoffPoint> = deltas
+        .iter()
+        .map(|&d| sabo_point(d, alpha, rho, rho))
+        .collect();
+    let abo: Vec<TradeoffPoint> = deltas
+        .iter()
+        .map(|&d| abo_point(d, alpha, rho, rho, m))
+        .collect();
+    let mk_lo = sabo
+        .iter()
+        .chain(&abo)
+        .map(|p| p.makespan)
+        .fold(f64::INFINITY, f64::min);
+    let mk_hi = sabo
+        .iter()
+        .chain(&abo)
+        .map(|p| p.makespan)
+        .fold(1.0, f64::max);
+    let impossibility = (0..deltas.len())
+        .map(|i| {
+            let x = mk_lo + (mk_hi - mk_lo) * i as f64 / (deltas.len() - 1) as f64;
+            (x, crate::memory::impossibility_memory_for_makespan(x.max(1.0 + 1e-9)))
+        })
+        .collect();
+    MemoryMakespanPanel {
+        m,
+        alpha_sq,
+        rho,
+        sabo,
+        abo,
+        impossibility,
+    }
+}
+
+/// The three panels of Figure 6 exactly as in the paper:
+/// `(m = 5, α² = 2, ρ = 4/3)`, `(m = 5, α² = 3, ρ = 1)`,
+/// `(m = 5, α² = 3, ρ = 4/3)`.
+pub fn figure6_panels(deltas: &[f64]) -> Vec<MemoryMakespanPanel> {
+    vec![
+        memory_makespan_panel(5, 2.0, 4.0 / 3.0, deltas),
+        memory_makespan_panel(5, 3.0, 1.0, deltas),
+        memory_makespan_panel(5, 3.0, 4.0 / 3.0, deltas),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_has_one_point_per_divisor() {
+        let p = ratio_replication_panel(1.5, 210);
+        assert_eq!(p.ls_group.len(), 16); // 210 has 16 divisors
+        // Ordered by increasing replica count, starting at 1 (k = m).
+        assert_eq!(p.ls_group.first().unwrap().replicas, 1);
+        assert_eq!(p.ls_group.last().unwrap().replicas, 210);
+        let mut prev = 0;
+        for pt in &p.ls_group {
+            assert!(pt.replicas > prev);
+            prev = pt.replicas;
+        }
+    }
+
+    #[test]
+    fn panel_series_consistency() {
+        let p = ratio_replication_panel(2.0, 210);
+        // LB below LPT-No Choice.
+        assert!(p.lower_bound.ratio < p.lpt_no_choice.ratio);
+        // LS-Group guarantee decreases with more replication.
+        let first = p.ls_group.first().unwrap().ratio;
+        let last = p.ls_group.last().unwrap().ratio;
+        assert!(last < first);
+        // Paper §7, α = 2 discussion: ratio improves from > 7.5 at one
+        // replica to < 6 at three replicas.
+        assert!(first > 7.5, "first = {first}");
+        let at3 = p
+            .ls_group
+            .iter()
+            .find(|pt| pt.replicas == 3)
+            .unwrap()
+            .ratio;
+        assert!(at3 < 6.0, "at3 = {at3}");
+    }
+
+    #[test]
+    fn figure3_has_three_panels() {
+        let panels = figure3_panels();
+        assert_eq!(panels.len(), 3);
+        assert_eq!(panels[0].alpha, 1.1);
+        assert_eq!(panels[2].alpha, 2.0);
+        assert!(panels.iter().all(|p| p.m == 210));
+    }
+
+    #[test]
+    fn alpha_2_few_replicas_beat_no_replication_guarantee() {
+        // §7: with α = 2, LS-Group gets a better guarantee with < 50
+        // replicas than anything achievable without replication.
+        let p = ratio_replication_panel(2.0, 210);
+        let lb = p.lower_bound.ratio;
+        let winning = p
+            .ls_group
+            .iter()
+            .find(|pt| pt.ratio < lb)
+            .expect("some group setting beats the no-replication lower bound");
+        assert!(winning.replicas < 50, "needs {} replicas", winning.replicas);
+    }
+
+    #[test]
+    fn delta_sweep_is_log_spaced() {
+        let s = delta_sweep(0.1, 10.0, 5);
+        assert_eq!(s.len(), 5);
+        assert!((s[0] - 0.1).abs() < 1e-12);
+        assert!((s[4] - 10.0).abs() < 1e-9);
+        assert!((s[2] - 1.0).abs() < 1e-9); // geometric midpoint
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sweep")]
+    fn delta_sweep_rejects_bad_range() {
+        delta_sweep(1.0, 0.5, 4);
+    }
+
+    #[test]
+    fn figure6_panels_match_paper_parameters() {
+        let deltas = delta_sweep(0.05, 20.0, 30);
+        let panels = figure6_panels(&deltas);
+        assert_eq!(panels.len(), 3);
+        assert_eq!(panels[0].alpha_sq, 2.0);
+        assert_eq!(panels[1].rho, 1.0);
+        assert!(panels.iter().all(|p| p.m == 5));
+        for p in &panels {
+            assert_eq!(p.sabo.len(), deltas.len());
+            assert_eq!(p.abo.len(), deltas.len());
+            // Impossibility sits below or at both curves' memory values
+            // at comparable makespan (only a sanity spot check: curves
+            // must lie above the frontier).
+            for pt in p.sabo.iter().chain(&p.abo) {
+                let frontier =
+                    crate::memory::impossibility_memory_for_makespan(pt.makespan);
+                assert!(
+                    pt.memory >= frontier - 1e-9,
+                    "guarantee below impossibility frontier"
+                );
+            }
+        }
+    }
+}

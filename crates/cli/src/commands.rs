@@ -1,0 +1,381 @@
+//! The `rds` subcommands.
+//!
+//! Each command takes parsed [`Args`] and writes its report to the given
+//! writer, so the binary stays a thin shell and everything is testable.
+
+use crate::args::Args;
+use rds_algs::{LptNoChoice, LptNoRestriction, LsGroup, Strategy};
+use rds_bounds::replication as rb;
+use rds_core::{Instance, Realization, Result as CoreResult, Schedule, Uncertainty};
+use rds_exact::OptimalSolver;
+use rds_report::{table::fmt, Align, Table};
+use rds_workloads::{realize::RealizationModel, rng, EstimateDistribution};
+use std::io::Write;
+
+/// Any error a command can produce.
+pub type CmdError = Box<dyn std::error::Error>;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+rds — replicated data placement for uncertain scheduling
+
+USAGE: rds <COMMAND> [OPTIONS]
+
+COMMANDS:
+  bounds    print the proven competitive-ratio guarantees
+            --alpha <f64> --m <usize> [--k <usize>]
+  plan      run phase 1 of a strategy on an instance
+            --strategy <no-choice|no-restriction|group> [--k <usize>]
+            --estimates <a,b,c,...> --m <usize> --alpha <f64>
+  simulate  run both phases under a sampled realization
+            (same options as plan, plus --seed <u64> --model
+            <exact|uniform|two-point|inflate> [--gantt])
+  envelope  robustness envelope of the static LPT placement
+            --estimates <a,b,c,...> --m <usize> --alpha <f64>
+  memory    SABO/ABO bi-objective sweep over delta
+            --m <usize> --alpha <f64> [--n <usize>] [--seed <u64>]
+  help      show this message
+";
+
+fn build_strategy(args: &Args) -> Result<Box<dyn Strategy>, CmdError> {
+    let name: String = args.get_or("strategy", "no-restriction".to_string())?;
+    Ok(match name.as_str() {
+        "no-choice" => Box::new(LptNoChoice),
+        "no-restriction" => Box::new(LptNoRestriction),
+        "group" => {
+            let k: usize = args.require("k")?;
+            Box::new(LsGroup::new_relaxed(k))
+        }
+        other => return Err(format!("unknown strategy {other:?}").into()),
+    })
+}
+
+fn build_instance(args: &Args) -> Result<(Instance, Uncertainty), CmdError> {
+    let m: usize = args.require("m")?;
+    let alpha: f64 = args.require("alpha")?;
+    let unc = Uncertainty::new(alpha)?;
+    let inst = match args.floats("estimates")? {
+        Some(est) => Instance::from_estimates(&est, m)?,
+        None => {
+            // Synthesize when not given explicitly.
+            let n: usize = args.get_or("n", 4 * m)?;
+            let seed: u64 = args.get_or("seed", 42u64)?;
+            let mut r = rng::rng(seed);
+            let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+            Instance::from_estimates(&est, m)?
+        }
+    };
+    Ok((inst, unc))
+}
+
+fn build_realization(
+    args: &Args,
+    inst: &Instance,
+    unc: Uncertainty,
+) -> Result<Realization, CmdError> {
+    let model: String = args.get_or("model", "uniform".to_string())?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let mut r = rng::rng(seed);
+    let model = match model.as_str() {
+        "exact" => RealizationModel::Exact,
+        "uniform" => RealizationModel::UniformFactor,
+        "two-point" => RealizationModel::TwoPoint { p_inflate: 0.3 },
+        "inflate" => RealizationModel::AllInflate,
+        other => return Err(format!("unknown realization model {other:?}").into()),
+    };
+    Ok(model.realize(inst, unc, &mut r)?)
+}
+
+/// `rds bounds`: the guarantee table for given `α`, `m` (and optional `k`).
+pub fn cmd_bounds(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let alpha: f64 = args.require("alpha")?;
+    let m: usize = args.require("m")?;
+    let mut t = Table::new(vec!["result", "value"]).align(vec![Align::Left, Align::Right]);
+    t.row(vec![
+        "Th.1 lower bound (|M_j| = 1)".to_string(),
+        fmt(rb::lower_bound_no_replication(alpha, m), 4),
+    ]);
+    t.row(vec![
+        "Th.2 LPT-No Choice".to_string(),
+        fmt(rb::lpt_no_choice(alpha, m), 4),
+    ]);
+    t.row(vec![
+        "Th.3 LPT-No Restriction".to_string(),
+        fmt(rb::lpt_no_restriction(alpha, m), 4),
+    ]);
+    t.row(vec![
+        "Graham List Scheduling".to_string(),
+        fmt(rb::graham_list_scheduling(m), 4),
+    ]);
+    if let Some(k) = args.get::<usize>("k")? {
+        t.row(vec![
+            format!("Th.4 LS-Group(k={k})"),
+            fmt(rb::ls_group(alpha, m, k), 4),
+        ]);
+    }
+    writeln!(out, "guarantees for alpha = {alpha}, m = {m}:")?;
+    writeln!(out, "{}", t.to_markdown())?;
+    Ok(())
+}
+
+/// `rds plan`: phase 1 only — show the placement.
+pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let (inst, unc) = build_instance(args)?;
+    let strategy = build_strategy(args)?;
+    let placement = strategy.place(&inst, unc)?;
+    writeln!(
+        out,
+        "{} on n = {}, m = {}, alpha = {}:",
+        strategy.name(),
+        inst.n(),
+        inst.m(),
+        unc.alpha()
+    )?;
+    let mut t = Table::new(vec!["task", "estimate", "placement |M_j|", "machines"]);
+    for t_id in inst.task_ids() {
+        t.row(vec![
+            format!("{t_id}"),
+            format!("{}", inst.estimate(t_id)),
+            placement.replicas(t_id).to_string(),
+            format!("{}", placement.set(t_id)),
+        ]);
+    }
+    writeln!(out, "{}", t.to_markdown())?;
+    writeln!(
+        out,
+        "total replicas: {} ({}x the no-replication footprint)",
+        placement.total_replicas(),
+        placement.total_replicas() as f64 / inst.n() as f64
+    )?;
+    Ok(())
+}
+
+/// `rds simulate`: both phases under a sampled realization.
+pub fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let (inst, unc) = build_instance(args)?;
+    let strategy = build_strategy(args)?;
+    let real = build_realization(args, &inst, unc)?;
+    let outcome = strategy.run(&inst, unc, &real)?;
+    let opt = OptimalSolver::default().solve_realization(&real, inst.m());
+    writeln!(
+        out,
+        "{}: C_max = {}   C* in [{}, {}]   ratio <= {:.4}",
+        strategy.name(),
+        outcome.makespan,
+        opt.lo,
+        opt.hi,
+        outcome.makespan.ratio(opt.lo).unwrap_or(1.0)
+    )?;
+    if args.flag("gantt") {
+        let schedule: CoreResult<Schedule> = Ok(Schedule::sequence(
+            &outcome.assignment.tasks_per_machine(),
+            &real,
+        ));
+        writeln!(out, "{}", rds_report::gantt::render(&schedule?, 60))?;
+    }
+    Ok(())
+}
+
+/// `rds envelope`: static-schedule robustness report.
+pub fn cmd_envelope(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let (inst, unc) = build_instance(args)?;
+    let placement = LptNoChoice.place(&inst, unc)?;
+    let assignment = LptNoChoice.execute(&inst, &placement, &Realization::exact(&inst))?;
+    let env = rds_robust::envelope(&inst, &assignment, unc);
+    writeln!(
+        out,
+        "LPT placement envelope: planned = {}, best = {}, worst = {} (width {:.3})",
+        env.planned,
+        env.best,
+        env.worst,
+        env.relative_width()
+    )?;
+    let crit = rds_robust::machine_criticality(&inst, &assignment);
+    let mut t = Table::new(vec!["machine", "criticality"]).align(vec![Align::Right; 2]);
+    for (i, c) in crit.iter().enumerate() {
+        t.row(vec![format!("p{i}"), fmt(*c, 3)]);
+    }
+    writeln!(out, "{}", t.to_markdown())?;
+    Ok(())
+}
+
+/// `rds memory`: bi-objective SABO/ABO sweep on a synthesized workload.
+pub fn cmd_memory(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use rds_algs::memory::{abo::Abo, sabo::Sabo, MemoryStrategy};
+    let m: usize = args.require("m")?;
+    let alpha: f64 = args.require("alpha")?;
+    let unc = Uncertainty::new(alpha)?;
+    let n: usize = args.get_or("n", 5 * m)?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let mut r = rng::rng(seed);
+    use rand::Rng as _;
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|_| (r.gen_range(1.0..10.0), r.gen_range(0.5..6.0)))
+        .collect();
+    let inst = Instance::from_estimates_and_sizes(&pairs, m)?;
+    let real = build_realization(args, &inst, unc)?;
+    let mut t = Table::new(vec![
+        "delta",
+        "SABO C_max",
+        "SABO Mem_max",
+        "ABO C_max",
+        "ABO Mem_max",
+    ])
+    .align(vec![Align::Right; 5]);
+    for &d in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+        let sabo = Sabo::new(d).run(&inst, unc, &real)?;
+        let abo = Abo::new(d).run(&inst, unc, &real)?;
+        t.row(vec![
+            fmt(d, 2),
+            fmt(sabo.makespan.get(), 2),
+            fmt(sabo.mem_max.get(), 2),
+            fmt(abo.makespan.get(), 2),
+            fmt(abo.mem_max.get(), 2),
+        ]);
+    }
+    writeln!(out, "memory-aware sweep on n = {n}, m = {m}, alpha = {alpha}:")?;
+    writeln!(out, "{}", t.to_markdown())?;
+    Ok(())
+}
+
+/// Dispatches a full command line (without the program name).
+pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        writeln!(out, "{USAGE}")?;
+        return Ok(());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_ref() {
+        "bounds" => cmd_bounds(&args, out),
+        "plan" => cmd_plan(&args, out),
+        "simulate" => cmd_simulate(&args, out),
+        "envelope" => cmd_envelope(&args, out),
+        "memory" => cmd_memory(&args, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `rds help`").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(argv: &[&str]) -> Result<String, CmdError> {
+        let mut buf = Vec::new();
+        run(argv, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn bounds_prints_all_theorems() {
+        let out = run_to_string(&["bounds", "--alpha", "2", "--m", "6", "--k", "2"]).unwrap();
+        assert!(out.contains("Th.1"));
+        assert!(out.contains("Th.2"));
+        assert!(out.contains("Th.3"));
+        assert!(out.contains("Th.4 LS-Group(k=2)"));
+        // Spot value: Th.1 at α=2, m=6 is 24/9 ≈ 2.6667.
+        assert!(out.contains("2.6667"));
+    }
+
+    #[test]
+    fn plan_shows_placement_per_task() {
+        let out = run_to_string(&[
+            "plan",
+            "--strategy",
+            "group",
+            "--k",
+            "2",
+            "--estimates",
+            "4,3,2,1",
+            "--m",
+            "4",
+            "--alpha",
+            "1.5",
+        ])
+        .unwrap();
+        assert!(out.contains("LS-Group(k=2)"));
+        assert!(out.contains("t0"));
+        assert!(out.contains("total replicas: 8"));
+    }
+
+    #[test]
+    fn simulate_reports_ratio_and_gantt() {
+        let out = run_to_string(&[
+            "simulate",
+            "--strategy",
+            "no-restriction",
+            "--estimates",
+            "4,3,2,2,1",
+            "--m",
+            "2",
+            "--alpha",
+            "2",
+            "--model",
+            "two-point",
+            "--seed",
+            "7",
+            "--gantt",
+        ])
+        .unwrap();
+        assert!(out.contains("C_max"));
+        assert!(out.contains("ratio <="));
+        assert!(out.contains("p0"), "gantt rendered");
+    }
+
+    #[test]
+    fn envelope_reports_criticality() {
+        let out = run_to_string(&[
+            "envelope",
+            "--estimates",
+            "4,3,2,1",
+            "--m",
+            "2",
+            "--alpha",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("envelope"));
+        assert!(out.contains("criticality"));
+    }
+
+    #[test]
+    fn memory_sweep_prints_both_algorithms() {
+        let out = run_to_string(&["memory", "--m", "3", "--alpha", "1.5", "--n", "9"]).unwrap();
+        assert!(out.contains("SABO C_max"));
+        assert!(out.contains("ABO Mem_max"));
+        assert!(out.lines().count() > 7);
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        assert!(run_to_string(&["frobnicate"]).is_err());
+        let help = run_to_string(&["help"]).unwrap();
+        assert!(help.contains("USAGE"));
+        let empty = run_to_string(&[]).unwrap();
+        assert!(empty.contains("USAGE"));
+    }
+
+    #[test]
+    fn synthesized_instance_when_no_estimates() {
+        let out = run_to_string(&["simulate", "--m", "3", "--alpha", "1.5", "--n", "9"]).unwrap();
+        assert!(out.contains("C_max"));
+    }
+
+    #[test]
+    fn bad_strategy_is_an_error() {
+        let err = run_to_string(&[
+            "plan",
+            "--strategy",
+            "nope",
+            "--m",
+            "2",
+            "--alpha",
+            "1.5",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown strategy"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Library behind the `rds` command-line tool.
+//!
+//! Split from the binary so every command is unit-testable against an
+//! in-memory writer. See [`commands::USAGE`] for the interface.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, USAGE};

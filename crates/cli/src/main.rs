@@ -1,0 +1,10 @@
+//! `rds` — the command-line entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = rds_cli::run(&argv, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,341 @@
+//! A compact fixed-capacity bitset over machine indices.
+//!
+//! Placement sets `M_j` are subsets of the `m` machines. For the strategies
+//! in the paper they are either singletons, whole groups, or the full set,
+//! but the general API (and future replication policies) needs arbitrary
+//! subsets. [`MachineMask`] stores them as packed 64-bit blocks.
+
+use crate::ids::MachineId;
+use std::fmt;
+
+const BLOCK_BITS: usize = 64;
+
+/// A subset of the machines `0..m`, stored as a packed bitmask.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MachineMask {
+    blocks: Vec<u64>,
+    /// Capacity in bits; member indices are always `< len`.
+    len: usize,
+}
+
+impl MachineMask {
+    /// Creates an empty mask with capacity for machines `0..m`.
+    pub fn empty(m: usize) -> Self {
+        MachineMask {
+            blocks: vec![0; m.div_ceil(BLOCK_BITS)],
+            len: m,
+        }
+    }
+
+    /// Creates a mask containing every machine `0..m`.
+    pub fn full(m: usize) -> Self {
+        let mut mask = Self::empty(m);
+        for b in &mut mask.blocks {
+            *b = !0;
+        }
+        mask.clear_tail();
+        mask
+    }
+
+    /// Creates a mask containing only `machine`.
+    ///
+    /// # Panics
+    /// Panics if `machine.index() >= m`.
+    pub fn singleton(m: usize, machine: MachineId) -> Self {
+        let mut mask = Self::empty(m);
+        mask.insert(machine);
+        mask
+    }
+
+    /// Creates a mask containing the contiguous range `range` of machines.
+    ///
+    /// # Panics
+    /// Panics if the range end exceeds `m`.
+    pub fn range(m: usize, range: std::ops::Range<usize>) -> Self {
+        assert!(range.end <= m, "range end {} exceeds m = {}", range.end, m);
+        let mut mask = Self::empty(m);
+        for i in range {
+            mask.insert(MachineId::new(i));
+        }
+        mask
+    }
+
+    /// Builds a mask from an iterator of machine ids.
+    ///
+    /// # Panics
+    /// Panics if any id is `>= m`.
+    pub fn from_iter_with_capacity(m: usize, iter: impl IntoIterator<Item = MachineId>) -> Self {
+        let mut mask = Self::empty(m);
+        for id in iter {
+            mask.insert(id);
+        }
+        mask
+    }
+
+    /// Zeroes bits at positions `>= len` in the last block.
+    fn clear_tail(&mut self) {
+        let tail = self.len % BLOCK_BITS;
+        if tail != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Capacity: the number of machines `m` this mask ranges over.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Adds `machine` to the set. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `machine.index() >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, machine: MachineId) -> bool {
+        let i = machine.index();
+        assert!(i < self.len, "machine {i} out of range (m = {})", self.len);
+        let (block, bit) = (i / BLOCK_BITS, i % BLOCK_BITS);
+        let was = self.blocks[block] & (1 << bit) != 0;
+        self.blocks[block] |= 1 << bit;
+        !was
+    }
+
+    /// Removes `machine` from the set. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, machine: MachineId) -> bool {
+        let i = machine.index();
+        if i >= self.len {
+            return false;
+        }
+        let (block, bit) = (i / BLOCK_BITS, i % BLOCK_BITS);
+        let was = self.blocks[block] & (1 << bit) != 0;
+        self.blocks[block] &= !(1 << bit);
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, machine: MachineId) -> bool {
+        let i = machine.index();
+        i < self.len && self.blocks[i / BLOCK_BITS] & (1 << (i % BLOCK_BITS)) != 0
+    }
+
+    /// Number of machines in the set.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` when no machine is in the set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// `true` when every machine `0..m` is in the set.
+    pub fn is_full(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// The smallest machine id in the set, if any.
+    pub fn first(&self) -> Option<MachineId> {
+        for (bi, &b) in self.blocks.iter().enumerate() {
+            if b != 0 {
+                return Some(MachineId::new(bi * BLOCK_BITS + b.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// `true` if every member of `self` is also in `other`.
+    pub fn is_subset(&self, other: &MachineMask) -> bool {
+        debug_assert_eq!(self.len, other.len, "mask capacity mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &MachineMask) {
+        assert_eq!(self.len, other.len, "mask capacity mismatch");
+        for (a, &b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &MachineMask) {
+        assert_eq!(self.len, other.len, "mask capacity mismatch");
+        for (a, &b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            mask: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the members of a [`MachineMask`].
+pub struct Iter<'a> {
+    mask: &'a MachineMask,
+    block: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = MachineId;
+
+    fn next(&mut self) -> Option<MachineId> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(MachineId::new(self.block * BLOCK_BITS + bit));
+            }
+            self.block += 1;
+            if self.block >= self.mask.blocks.len() {
+                return None;
+            }
+            self.bits = self.mask.blocks[self.block];
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.bits.count_ones() as usize)
+            + self.mask.blocks[(self.block + 1).min(self.mask.blocks.len())..]
+                .iter()
+                .map(|b| b.count_ones() as usize)
+                .sum::<usize>();
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a MachineMask {
+    type Item = MachineId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for MachineMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|m| m.index())).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<MachineId> {
+        v.iter().copied().map(MachineId::new).collect()
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = MachineMask::empty(70);
+        assert!(e.is_empty());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.first(), None);
+
+        let f = MachineMask::full(70);
+        assert!(f.is_full());
+        assert_eq!(f.count(), 70);
+        assert!(f.contains(MachineId::new(69)));
+        assert_eq!(f.first(), Some(MachineId::new(0)));
+    }
+
+    #[test]
+    fn full_does_not_set_tail_bits() {
+        // Capacity 65 spans two blocks; the second block has one valid bit.
+        let f = MachineMask::full(65);
+        assert_eq!(f.count(), 65);
+        assert_eq!(f.iter().count(), 65);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut m = MachineMask::empty(100);
+        assert!(m.insert(MachineId::new(63)));
+        assert!(m.insert(MachineId::new(64)));
+        assert!(!m.insert(MachineId::new(63)), "double insert reports false");
+        assert!(m.contains(MachineId::new(63)));
+        assert!(m.contains(MachineId::new(64)));
+        assert!(!m.contains(MachineId::new(65)));
+        assert_eq!(m.count(), 2);
+        assert!(m.remove(MachineId::new(63)));
+        assert!(!m.remove(MachineId::new(63)));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        MachineMask::empty(8).insert(MachineId::new(8));
+    }
+
+    #[test]
+    fn range_constructor() {
+        let m = MachineMask::range(10, 3..7);
+        assert_eq!(m.iter().collect::<Vec<_>>(), ids(&[3, 4, 5, 6]));
+        assert_eq!(MachineMask::range(10, 5..5).count(), 0);
+    }
+
+    #[test]
+    fn singleton_and_first() {
+        let m = MachineMask::singleton(10, MachineId::new(7));
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.first(), Some(MachineId::new(7)));
+    }
+
+    #[test]
+    fn subset_union_intersection() {
+        let a = MachineMask::range(130, 0..10);
+        let b = MachineMask::range(130, 5..15);
+        assert!(!a.is_subset(&b));
+        assert!(MachineMask::range(130, 6..9).is_subset(&b));
+        assert!(a.is_subset(&MachineMask::full(130)));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 15);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), ids(&[5, 6, 7, 8, 9]));
+    }
+
+    #[test]
+    fn iter_crosses_block_boundaries() {
+        let m = MachineMask::from_iter_with_capacity(200, ids(&[0, 63, 64, 127, 128, 199]));
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            ids(&[0, 63, 64, 127, 128, 199])
+        );
+        assert_eq!(m.iter().len(), 6);
+    }
+
+    #[test]
+    fn debug_format() {
+        let m = MachineMask::from_iter_with_capacity(8, ids(&[1, 3]));
+        assert_eq!(format!("{m:?}"), "{1, 3}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Error type shared by the whole workspace.
+
+use std::fmt;
+
+/// Convenience alias used across all `rds-*` crates.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced when constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A scalar (time or size) was NaN, infinite, or negative.
+    InvalidScalar {
+        /// Which newtype rejected the value (`"Time"` or `"Size"`).
+        what: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
+    /// The uncertainty factor `alpha` must satisfy `alpha >= 1`.
+    AlphaOutOfRange {
+        /// The offending value.
+        alpha: f64,
+    },
+    /// An instance must contain at least one task.
+    EmptyInstance,
+    /// There must be at least one machine.
+    NoMachines,
+    /// A vector indexed by task had the wrong length.
+    TaskCountMismatch {
+        /// Number of tasks in the instance.
+        expected: usize,
+        /// Length actually provided.
+        got: usize,
+    },
+    /// A realized processing time fell outside `[p̃/α, α·p̃]`.
+    RealizationOutOfInterval {
+        /// Offending task index.
+        task: usize,
+        /// The estimate `p̃_j`.
+        estimate: f64,
+        /// The offending actual value `p_j`.
+        actual: f64,
+        /// The uncertainty factor in force.
+        alpha: f64,
+    },
+    /// A task was assigned to a machine not in its placement set `M_j`.
+    InfeasibleAssignment {
+        /// Offending task index.
+        task: usize,
+        /// Machine the task was assigned to.
+        machine: usize,
+    },
+    /// A machine index was `>= m`.
+    MachineOutOfRange {
+        /// The offending machine index.
+        machine: usize,
+        /// Number of machines.
+        m: usize,
+    },
+    /// A task index was `>= n`.
+    TaskOutOfRange {
+        /// The offending task index.
+        task: usize,
+        /// Number of tasks.
+        n: usize,
+    },
+    /// A placement set `M_j` was empty, so the task could never run.
+    EmptyPlacement {
+        /// Offending task index.
+        task: usize,
+    },
+    /// The group count for grouped replication was invalid
+    /// (`k == 0` or `k > m`).
+    BadGroupCount {
+        /// Requested group count.
+        k: usize,
+        /// Number of machines.
+        m: usize,
+    },
+    /// The replication budget was violated: `|M_j| > k`.
+    ReplicationBudgetExceeded {
+        /// Offending task index.
+        task: usize,
+        /// Number of replicas placed.
+        replicas: usize,
+        /// The budget `k`.
+        budget: usize,
+    },
+    /// A parameter outside its documented domain (catch-all with context).
+    InvalidParameter {
+        /// Human-readable description of the violated precondition.
+        what: &'static str,
+    },
+    /// A solver hit its configured resource limit before finishing.
+    ResourceLimit {
+        /// Which limit was hit.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidScalar { what, value } => {
+                write!(f, "invalid {what}: {value} (must be finite and >= 0)")
+            }
+            Error::AlphaOutOfRange { alpha } => {
+                write!(f, "uncertainty factor alpha = {alpha} must be >= 1")
+            }
+            Error::EmptyInstance => write!(f, "instance has no tasks"),
+            Error::NoMachines => write!(f, "no machines"),
+            Error::TaskCountMismatch { expected, got } => {
+                write!(f, "expected {expected} per-task entries, got {got}")
+            }
+            Error::RealizationOutOfInterval {
+                task,
+                estimate,
+                actual,
+                alpha,
+            } => write!(
+                f,
+                "task {task}: actual time {actual} outside [{lo}, {hi}] \
+                 (estimate {estimate}, alpha {alpha})",
+                lo = estimate / alpha,
+                hi = estimate * alpha,
+            ),
+            Error::InfeasibleAssignment { task, machine } => write!(
+                f,
+                "task {task} assigned to machine {machine} which is not in its placement set"
+            ),
+            Error::MachineOutOfRange { machine, m } => {
+                write!(f, "machine index {machine} out of range (m = {m})")
+            }
+            Error::TaskOutOfRange { task, n } => {
+                write!(f, "task index {task} out of range (n = {n})")
+            }
+            Error::EmptyPlacement { task } => {
+                write!(f, "task {task} has an empty placement set")
+            }
+            Error::BadGroupCount { k, m } => {
+                write!(f, "invalid group count k = {k} for m = {m} machines")
+            }
+            Error::ReplicationBudgetExceeded {
+                task,
+                replicas,
+                budget,
+            } => write!(
+                f,
+                "task {task} replicated {replicas} times, exceeding budget k = {budget}"
+            ),
+            Error::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            Error::ResourceLimit { what } => write!(f, "resource limit reached: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::RealizationOutOfInterval {
+            task: 3,
+            estimate: 2.0,
+            actual: 9.0,
+            alpha: 2.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("task 3"));
+        assert!(msg.contains("[1, 4]"));
+
+        let e = Error::ReplicationBudgetExceeded {
+            task: 1,
+            replicas: 5,
+            budget: 2,
+        };
+        assert!(e.to_string().contains("budget k = 2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::EmptyInstance);
+    }
+}

@@ -1,0 +1,114 @@
+//! Strongly-typed indices for tasks and machines.
+//!
+//! Both wrap a `u32`: no realistic instance in this problem domain exceeds
+//! four billion tasks or machines, and the smaller representation keeps
+//! hot per-task arrays compact.
+
+use std::fmt;
+
+macro_rules! index_newtype {
+    ($(#[$doc:meta])* $name:ident, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a `usize` index, panicking on overflow.
+            #[inline]
+            #[track_caller]
+            pub fn new(i: usize) -> Self {
+                Self(u32::try_from(i).expect(concat!($label, " index overflows u32")))
+            }
+
+            /// Returns the id as a `usize`, suitable for indexing slices.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(v: $name) -> usize {
+                v.index()
+            }
+        }
+    };
+}
+
+index_newtype!(
+    /// Identifies a task (job) within an [`crate::Instance`].
+    ///
+    /// Task ids are dense: an instance with `n` tasks uses ids `0..n`.
+    TaskId,
+    "t"
+);
+
+index_newtype!(
+    /// Identifies a machine (processor) of the parallel system.
+    ///
+    /// Machine ids are dense: a system with `m` machines uses ids `0..m`.
+    MachineId,
+    "p"
+);
+
+/// Iterator over all machine ids `0..m`.
+pub fn machines(m: usize) -> impl DoubleEndedIterator<Item = MachineId> + ExactSizeIterator {
+    (0..m as u32).map(MachineId)
+}
+
+/// Iterator over all task ids `0..n`.
+pub fn tasks(n: usize) -> impl DoubleEndedIterator<Item = TaskId> + ExactSizeIterator {
+    (0..n as u32).map(TaskId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let t = TaskId::new(42);
+        assert_eq!(t.index(), 42);
+        assert_eq!(usize::from(t), 42);
+        assert_eq!(TaskId::from(42u32), t);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(TaskId::new(3).to_string(), "t3");
+        assert_eq!(MachineId::new(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn iterators_are_dense_and_sized() {
+        let ms: Vec<MachineId> = machines(4).collect();
+        assert_eq!(ms, vec![MachineId(0), MachineId(1), MachineId(2), MachineId(3)]);
+        assert_eq!(machines(4).len(), 4);
+        assert_eq!(tasks(0).len(), 0);
+        let rev: Vec<TaskId> = tasks(3).rev().collect();
+        assert_eq!(rev, vec![TaskId(2), TaskId(1), TaskId(0)]);
+    }
+
+    #[test]
+    fn ordering_matches_index() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "index overflows")]
+    fn overflow_panics() {
+        let _ = TaskId::new(usize::MAX);
+    }
+}

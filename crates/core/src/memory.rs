@@ -1,0 +1,109 @@
+//! Memory occupation metrics for the memory-aware model (§7 of the paper).
+//!
+//! Every replica of task `j` on machine `i` contributes `s_j` to that
+//! machine's memory occupation; the secondary objective is
+//! `Mem_max = max_i Mem_i`. Unlike the makespan, memory occupation is not
+//! subject to uncertainty (sizes are known exactly).
+
+use crate::instance::Instance;
+use crate::placement::Placement;
+use crate::scalar::Size;
+
+/// Per-machine memory occupation `Mem_i = Σ_{j : i ∈ M_j} s_j`.
+///
+/// # Panics
+/// Panics if `placement` covers a different task count than `instance`.
+pub fn occupation(instance: &Instance, placement: &Placement) -> Vec<Size> {
+    assert_eq!(
+        instance.n(),
+        placement.n(),
+        "placement/instance task count mismatch"
+    );
+    let m = instance.m();
+    let mut mem = vec![Size::ZERO; m];
+    for (j, task) in instance.tasks().iter().enumerate() {
+        let set = placement.set(crate::ids::TaskId::new(j));
+        for machine in set.iter(m) {
+            mem[machine.index()] += task.size;
+        }
+    }
+    mem
+}
+
+/// The maximum memory occupation `Mem_max = max_i Mem_i`.
+pub fn mem_max(instance: &Instance, placement: &Placement) -> Size {
+    occupation(instance, placement)
+        .into_iter()
+        .max()
+        .unwrap_or(Size::ZERO)
+}
+
+/// Total memory used across the whole system, `Σ_i Mem_i = Σ_j |M_j|·s_j`.
+pub fn total(instance: &Instance, placement: &Placement) -> Size {
+    occupation(instance, placement).into_iter().sum()
+}
+
+/// Lower bound on the optimal `Mem_max` when each task needs at least one
+/// replica: `max(max_j s_j, ⌈Σ_j s_j / m⌉)` — the same pigeonhole bound as
+/// the makespan one, since memory occupation *is* a makespan on sizes.
+pub fn mem_max_lower_bound(instance: &Instance) -> Size {
+    let avg = instance.total_size() / instance.m() as f64;
+    instance.max_size().max(avg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MachineId;
+    use crate::placement::MachineSet;
+
+    fn setup() -> (Instance, Placement) {
+        let inst = Instance::from_estimates_and_sizes(
+            &[(1.0, 4.0), (1.0, 2.0), (1.0, 1.0)],
+            3,
+        )
+        .unwrap();
+        let p = Placement::new(
+            &inst,
+            vec![
+                MachineSet::One(MachineId::new(0)),
+                MachineSet::All,
+                MachineSet::Span { start: 1, end: 3 },
+            ],
+        )
+        .unwrap();
+        (inst, p)
+    }
+
+    #[test]
+    fn occupation_counts_every_replica() {
+        let (inst, p) = setup();
+        let mem = occupation(&inst, &p);
+        // Machine 0: s0 + s1 = 6, machine 1: s1 + s2 = 3, machine 2: 3.
+        assert_eq!(mem, vec![Size::of(6.0), Size::of(3.0), Size::of(3.0)]);
+        assert_eq!(mem_max(&inst, &p), Size::of(6.0));
+        assert_eq!(total(&inst, &p), Size::of(12.0));
+    }
+
+    #[test]
+    fn everywhere_multiplies_total_size() {
+        let (inst, _) = setup();
+        let p = Placement::everywhere(&inst);
+        assert_eq!(mem_max(&inst, &p), Size::of(7.0));
+        assert_eq!(total(&inst, &p), Size::of(21.0));
+    }
+
+    #[test]
+    fn lower_bound() {
+        let (inst, _) = setup();
+        // max size 4 > avg 7/3.
+        assert_eq!(mem_max_lower_bound(&inst), Size::of(4.0));
+        // Lower bound is indeed ≤ any single-replica placement's Mem_max.
+        let pinned = Placement::pinned(
+            &inst,
+            &[MachineId::new(0), MachineId::new(1), MachineId::new(2)],
+        )
+        .unwrap();
+        assert!(mem_max_lower_bound(&inst) <= mem_max(&inst, &pinned));
+    }
+}

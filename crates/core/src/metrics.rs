@@ -1,0 +1,110 @@
+//! Load-balance metrics and competitive-ratio helpers.
+
+use crate::scalar::Time;
+
+/// The maximum of a load vector (makespan).
+pub fn makespan(loads: &[Time]) -> Time {
+    loads.iter().copied().max().unwrap_or(Time::ZERO)
+}
+
+/// The minimum load over all machines.
+pub fn min_load(loads: &[Time]) -> Time {
+    loads.iter().copied().min().unwrap_or(Time::ZERO)
+}
+
+/// Mean load `Σ load_i / m`.
+pub fn mean_load(loads: &[Time]) -> Time {
+    if loads.is_empty() {
+        return Time::ZERO;
+    }
+    loads.iter().copied().sum::<Time>() / loads.len() as f64
+}
+
+/// Load imbalance `max_i load_i / mean load`, `1.0` for perfect balance.
+///
+/// Returns `None` when the mean load is zero.
+pub fn imbalance(loads: &[Time]) -> Option<f64> {
+    makespan(loads).ratio(mean_load(loads))
+}
+
+/// Competitive/approximation ratio `C_max / C*_max`.
+///
+/// Returns `None` when the optimum is zero (empty instance): any algorithm
+/// is trivially optimal there.
+pub fn ratio(cmax: Time, opt: Time) -> Option<f64> {
+    cmax.ratio(opt)
+}
+
+/// An interval bracketing a competitive ratio when the optimum is only
+/// known within `[opt_lo, opt_hi]` (e.g. from a dual-approximation solver).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioBracket {
+    /// Lowest possible ratio, `C_max / opt_hi`.
+    pub lo: f64,
+    /// Highest possible ratio, `C_max / opt_lo`.
+    pub hi: f64,
+}
+
+impl RatioBracket {
+    /// Brackets `C_max / C*` given `C* ∈ [opt_lo, opt_hi]`.
+    ///
+    /// Returns `None` when `opt_lo` is zero.
+    pub fn new(cmax: Time, opt_lo: Time, opt_hi: Time) -> Option<Self> {
+        debug_assert!(opt_lo <= opt_hi, "inverted optimum bracket");
+        Some(RatioBracket {
+            lo: cmax.ratio(opt_hi)?,
+            hi: cmax.ratio(opt_lo)?,
+        })
+    }
+
+    /// Midpoint of the bracket.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Width of the bracket, `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> Time {
+        Time::of(v)
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let loads = [t(1.0), t(3.0), t(2.0)];
+        assert_eq!(makespan(&loads), t(3.0));
+        assert_eq!(min_load(&loads), t(1.0));
+        assert_eq!(mean_load(&loads), t(2.0));
+        assert_eq!(imbalance(&loads), Some(1.5));
+    }
+
+    #[test]
+    fn empty_loads() {
+        assert_eq!(makespan(&[]), Time::ZERO);
+        assert_eq!(mean_load(&[]), Time::ZERO);
+        assert_eq!(imbalance(&[]), None);
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        assert_eq!(ratio(t(3.0), t(2.0)), Some(1.5));
+        assert_eq!(ratio(t(3.0), Time::ZERO), None);
+    }
+
+    #[test]
+    fn bracket() {
+        let b = RatioBracket::new(t(6.0), t(2.0), t(3.0)).unwrap();
+        assert_eq!(b.lo, 2.0);
+        assert_eq!(b.hi, 3.0);
+        assert_eq!(b.mid(), 2.5);
+        assert_eq!(b.width(), 1.0);
+        assert!(RatioBracket::new(t(6.0), Time::ZERO, t(3.0)).is_none());
+    }
+}

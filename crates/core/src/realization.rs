@@ -1,0 +1,191 @@
+//! Realizations: the actual processing times revealed at execution time.
+//!
+//! A [`Realization`] binds one vector of actual times `p_j` to an instance.
+//! Constructing one validates every task against the α-interval, so any
+//! `Realization` the rest of the system sees is admissible by construction.
+
+use crate::error::{Error, Result};
+use crate::ids::TaskId;
+use crate::instance::Instance;
+use crate::scalar::Time;
+use crate::uncertainty::Uncertainty;
+
+/// Actual processing times for every task of an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Realization {
+    actual: Vec<Time>,
+}
+
+impl Realization {
+    /// Validates and wraps a vector of actual times.
+    ///
+    /// # Errors
+    /// - [`Error::TaskCountMismatch`] if the length differs from `n`.
+    /// - [`Error::RealizationOutOfInterval`] if any `p_j` violates
+    ///   `p̃_j/α ≤ p_j ≤ α·p̃_j`.
+    pub fn new(instance: &Instance, uncertainty: Uncertainty, actual: Vec<Time>) -> Result<Self> {
+        if actual.len() != instance.n() {
+            return Err(Error::TaskCountMismatch {
+                expected: instance.n(),
+                got: actual.len(),
+            });
+        }
+        for (i, (&p, task)) in actual.iter().zip(instance.tasks()).enumerate() {
+            if !uncertainty.contains(task.estimate, p) {
+                return Err(Error::RealizationOutOfInterval {
+                    task: i,
+                    estimate: task.estimate.get(),
+                    actual: p.get(),
+                    alpha: uncertainty.alpha(),
+                });
+            }
+        }
+        Ok(Realization { actual })
+    }
+
+    /// Builds a realization from per-task deviation factors `p_j = f_j·p̃_j`.
+    ///
+    /// # Errors
+    /// - [`Error::TaskCountMismatch`] on length mismatch.
+    /// - [`Error::RealizationOutOfInterval`] if any factor is outside `[1/α, α]`.
+    pub fn from_factors(
+        instance: &Instance,
+        uncertainty: Uncertainty,
+        factors: &[f64],
+    ) -> Result<Self> {
+        if factors.len() != instance.n() {
+            return Err(Error::TaskCountMismatch {
+                expected: instance.n(),
+                got: factors.len(),
+            });
+        }
+        let actual = instance
+            .tasks()
+            .iter()
+            .zip(factors)
+            .enumerate()
+            .map(|(i, (task, &f))| uncertainty.apply_factor(i, task.estimate, f))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Realization { actual })
+    }
+
+    /// Builds a realization applying the *same* factor to every task.
+    ///
+    /// # Errors
+    /// Same as [`Self::from_factors`].
+    pub fn uniform_factor(
+        instance: &Instance,
+        uncertainty: Uncertainty,
+        factor: f64,
+    ) -> Result<Self> {
+        Self::from_factors(instance, uncertainty, &vec![factor; instance.n()])
+    }
+
+    /// The realization where every actual time equals its estimate.
+    pub fn exact(instance: &Instance) -> Self {
+        Realization {
+            actual: instance.tasks().iter().map(|t| t.estimate).collect(),
+        }
+    }
+
+    /// Actual time of a task.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn actual(&self, id: TaskId) -> Time {
+        self.actual[id.index()]
+    }
+
+    /// All actual times, indexed by task id.
+    #[inline]
+    pub fn times(&self) -> &[Time] {
+        &self.actual
+    }
+
+    /// Number of tasks covered.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.actual.len()
+    }
+
+    /// Sum of actual times `Σ p_j`.
+    pub fn total(&self) -> Time {
+        self.actual.iter().copied().sum()
+    }
+
+    /// Largest actual time `max_j p_j`.
+    pub fn max(&self) -> Time {
+        self.actual.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::from_estimates(&[4.0, 2.0, 1.0], 2).unwrap()
+    }
+
+    #[test]
+    fn exact_matches_estimates() {
+        let i = inst();
+        let r = Realization::exact(&i);
+        for id in i.task_ids() {
+            assert_eq!(r.actual(id), i.estimate(id));
+        }
+        assert_eq!(r.total(), Time::of(7.0));
+        assert_eq!(r.max(), Time::of(4.0));
+    }
+
+    #[test]
+    fn new_validates_interval() {
+        let i = inst();
+        let u = Uncertainty::of(2.0);
+        let ok = Realization::new(&i, u, vec![Time::of(8.0), Time::of(1.0), Time::of(2.0)]);
+        assert!(ok.is_ok());
+        let err = Realization::new(&i, u, vec![Time::of(8.1), Time::of(1.0), Time::of(2.0)]);
+        assert!(matches!(
+            err.unwrap_err(),
+            Error::RealizationOutOfInterval { task: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn new_validates_length() {
+        let i = inst();
+        let err = Realization::new(&i, Uncertainty::CERTAIN, vec![Time::ONE]);
+        assert!(matches!(err.unwrap_err(), Error::TaskCountMismatch { .. }));
+    }
+
+    #[test]
+    fn from_factors() {
+        let i = inst();
+        let u = Uncertainty::of(2.0);
+        let r = Realization::from_factors(&i, u, &[2.0, 0.5, 1.0]).unwrap();
+        assert_eq!(r.actual(TaskId::new(0)), Time::of(8.0));
+        assert_eq!(r.actual(TaskId::new(1)), Time::of(1.0));
+        assert_eq!(r.actual(TaskId::new(2)), Time::of(1.0));
+        assert!(Realization::from_factors(&i, u, &[3.0, 1.0, 1.0]).is_err());
+        assert!(Realization::from_factors(&i, u, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_factor() {
+        let i = inst();
+        let u = Uncertainty::of(1.5);
+        let r = Realization::uniform_factor(&i, u, 1.5).unwrap();
+        assert_eq!(r.actual(TaskId::new(0)), Time::of(6.0));
+        assert_eq!(r.n(), 3);
+    }
+
+    #[test]
+    fn zero_estimate_tasks_are_fine() {
+        let i = Instance::from_estimates(&[0.0, 1.0], 2).unwrap();
+        let u = Uncertainty::of(2.0);
+        // 0/α = 0 = α·0, only 0 admissible.
+        let r = Realization::from_factors(&i, u, &[2.0, 1.0]).unwrap();
+        assert_eq!(r.actual(TaskId::new(0)), Time::ZERO);
+    }
+}

@@ -1,0 +1,354 @@
+//! Non-negative scalar newtypes used throughout the model.
+//!
+//! Processing times ([`Time`]) and memory sizes ([`Size`]) are both
+//! represented as validated non-negative finite `f64` values. Wrapping them
+//! in distinct newtypes keeps the two axes of the bi-objective model
+//! (makespan seconds vs. bytes of replicated data) from being mixed up at
+//! compile time, and lets us centralise the total-ordering and validation
+//! logic that raw `f64` lacks.
+//!
+//! Invariant: the inner value is always finite and `>= 0`. All constructors
+//! enforce it; arithmetic that could break it (subtraction) is checked.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+macro_rules! nonneg_scalar {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+            /// The unit value.
+            pub const ONE: $name = $name(1.0);
+
+            /// Creates a new value, rejecting NaN, infinities and negatives.
+            pub fn new(v: f64) -> Result<Self> {
+                if v.is_finite() && v >= 0.0 {
+                    Ok(Self(v))
+                } else {
+                    Err(Error::InvalidScalar {
+                        what: stringify!($name),
+                        value: v,
+                    })
+                }
+            }
+
+            /// Creates a new value, panicking on invalid input.
+            ///
+            /// Convenient for literals in tests and examples; library code
+            /// paths that handle external data should prefer [`Self::new`].
+            #[track_caller]
+            pub fn of(v: f64) -> Self {
+                Self::new(v).expect(concat!("invalid ", stringify!($name)))
+            }
+
+            /// Returns the raw `f64`.
+            #[inline]
+            pub fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is exactly zero.
+            #[inline]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                if self >= other { self } else { other }
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                if self <= other { self } else { other }
+            }
+
+            /// Checked subtraction: `None` if `other > self`.
+            #[inline]
+            pub fn checked_sub(self, other: Self) -> Option<Self> {
+                if other.0 <= self.0 {
+                    Some(Self(self.0 - other.0))
+                } else {
+                    None
+                }
+            }
+
+            /// Saturating subtraction: clamps at zero.
+            #[inline]
+            pub fn saturating_sub(self, other: Self) -> Self {
+                Self((self.0 - other.0).max(0.0))
+            }
+
+            /// Ratio `self / other` as a plain `f64`.
+            ///
+            /// Returns `None` when `other` is zero.
+            #[inline]
+            pub fn ratio(self, other: Self) -> Option<f64> {
+                if other.0 == 0.0 {
+                    None
+                } else {
+                    Some(self.0 / other.0)
+                }
+            }
+
+            /// `true` when the two values differ by at most `tol` relative
+            /// to the larger magnitude (absolute near zero).
+            pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+                let scale = self.0.max(other.0).max(1.0);
+                (self.0 - other.0).abs() <= tol * scale
+            }
+        }
+
+        impl Eq for $name {}
+
+        #[allow(clippy::derive_ord_xor_partial_ord)]
+        impl Ord for $name {
+            #[inline]
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Inner values are never NaN, so total_cmp agrees with the
+                // IEEE partial order on the valid domain.
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl PartialOrd for $name {
+            #[inline]
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl std::hash::Hash for $name {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                self.0.to_bits().hash(state);
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::ZERO
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                let v = self.0 + rhs.0;
+                debug_assert!(v.is_finite(), "scalar addition overflowed");
+                Self(v)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            /// Panics in debug builds if the result would be negative;
+            /// clamps to zero in release builds.
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                debug_assert!(
+                    rhs.0 <= self.0,
+                    "scalar subtraction underflow: {} - {}",
+                    self.0,
+                    rhs.0
+                );
+                Self((self.0 - rhs.0).max(0.0))
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                debug_assert!(rhs.is_finite() && rhs >= 0.0, "scaling by {rhs}");
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                debug_assert!(rhs.is_finite() && rhs > 0.0, "dividing by {rhs}");
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, Add::add)
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                iter.copied().sum()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.fmt(f)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+nonneg_scalar!(
+    /// A processing time (estimated or actual).
+    ///
+    /// Unit-agnostic: seconds, cycles, or any consistent unit. Always
+    /// finite and non-negative.
+    Time
+);
+
+nonneg_scalar!(
+    /// The memory size of a task's input data.
+    ///
+    /// One replica of task `j` on machine `i` contributes `s_j` to
+    /// machine `i`'s memory occupation `Mem_i`.
+    Size
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_invalid() {
+        assert!(Time::new(f64::NAN).is_err());
+        assert!(Time::new(f64::INFINITY).is_err());
+        assert!(Time::new(-1.0).is_err());
+        assert!(Time::new(0.0).is_ok());
+        assert!(Size::new(-0.5).is_err());
+    }
+
+    #[test]
+    fn new_accepts_boundary_values() {
+        assert_eq!(Time::new(0.0).unwrap(), Time::ZERO);
+        assert!(Time::new(f64::MAX).is_ok());
+        assert!(Time::new(f64::MIN_POSITIVE).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Time")]
+    fn of_panics_on_negative() {
+        let _ = Time::of(-3.0);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let mut v = [Time::of(3.0), Time::of(1.0), Time::of(2.0), Time::ZERO];
+        v.sort();
+        let raw: Vec<f64> = v.iter().map(|t| t.get()).collect();
+        assert_eq!(raw, vec![0.0, 1.0, 2.0, 3.0]);
+        assert!(Time::of(1.5) > Time::ONE);
+        assert!(Time::ZERO < Time::ONE);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Time::of(2.5);
+        let b = Time::of(1.5);
+        assert_eq!(a + b, Time::of(4.0));
+        assert_eq!(a - b, Time::ONE);
+        assert_eq!(a * 2.0, Time::of(5.0));
+        assert_eq!(a / 2.0, Time::of(1.25));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::of(4.0));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn checked_and_saturating_sub() {
+        let a = Time::of(1.0);
+        let b = Time::of(2.0);
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.checked_sub(a), Some(Time::ONE));
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Time = (1..=4).map(|i| Time::of(i as f64)).sum();
+        assert_eq!(total, Time::of(10.0));
+        let v = [Size::of(1.0), Size::of(2.0)];
+        let total: Size = v.iter().sum();
+        assert_eq!(total, Size::of(3.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::of(1.0);
+        let b = Time::of(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(a), a);
+    }
+
+    #[test]
+    fn ratio() {
+        assert_eq!(Time::of(3.0).ratio(Time::of(2.0)), Some(1.5));
+        assert_eq!(Time::of(3.0).ratio(Time::ZERO), None);
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        let a = Time::of(1e12);
+        let b = Time::of(1e12 * (1.0 + 1e-12));
+        assert!(a.approx_eq(b, 1e-9));
+        assert!(!a.approx_eq(Time::of(2e12), 1e-9));
+        // Near zero the comparison is absolute.
+        assert!(Time::ZERO.approx_eq(Time::of(1e-12), 1e-9));
+    }
+
+    #[test]
+    fn display_and_into_f64() {
+        assert_eq!(format!("{}", Time::of(1.5)), "1.5");
+        let x: f64 = Size::of(2.0).into();
+        assert_eq!(x, 2.0);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |t: Time| {
+            let mut s = DefaultHasher::new();
+            t.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(Time::of(1.5)), h(Time::of(1.5)));
+    }
+}

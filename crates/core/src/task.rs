@@ -1,0 +1,50 @@
+//! Tasks (jobs) and their scheduler-visible attributes.
+
+use crate::ids::TaskId;
+use crate::scalar::{Size, Time};
+
+/// A task to be scheduled.
+///
+/// The scheduler sees only the *estimate* `p̃_j` before completion; the
+/// actual processing time lives in a [`crate::Realization`], never here.
+/// `size` is the memory footprint of the task's input data, used by the
+/// memory-aware model (it is ignored by the replication-bound model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Dense id of the task within its instance.
+    pub id: TaskId,
+    /// Estimated processing time `p̃_j`.
+    pub estimate: Time,
+    /// Size `s_j` of the task's input data.
+    pub size: Size,
+}
+
+impl Task {
+    /// Creates a task with the given estimate and a zero memory size.
+    pub fn timed(id: TaskId, estimate: Time) -> Self {
+        Task {
+            id,
+            estimate,
+            size: Size::ZERO,
+        }
+    }
+
+    /// Creates a task with both an estimate and a data size.
+    pub fn sized(id: TaskId, estimate: Time, size: Size) -> Self {
+        Task { id, estimate, size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = Task::timed(TaskId::new(0), Time::of(2.0));
+        assert_eq!(t.size, Size::ZERO);
+        let t = Task::sized(TaskId::new(1), Time::of(2.0), Size::of(3.0));
+        assert_eq!(t.size, Size::of(3.0));
+        assert_eq!(t.estimate, Time::of(2.0));
+    }
+}

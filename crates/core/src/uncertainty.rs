@@ -1,0 +1,198 @@
+//! The bounded multiplicative uncertainty model.
+//!
+//! The scheduler knows an estimate `p̃_j` per task and a factor `α ≥ 1`
+//! such that the actual time satisfies `p̃_j/α ≤ p_j ≤ α·p̃_j`
+//! (Equation 1 of the paper). `α = 1` recovers clairvoyant scheduling.
+
+use crate::error::{Error, Result};
+use crate::scalar::Time;
+
+/// Relative tolerance used when checking interval membership, so that the
+/// algebraic identities `(p̃/α)·α = p̃` survive floating-point rounding.
+pub const INTERVAL_TOLERANCE: f64 = 1e-9;
+
+/// The uncertainty factor `α` known to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uncertainty {
+    alpha: f64,
+}
+
+impl Uncertainty {
+    /// Exact knowledge of processing times (`α = 1`).
+    pub const CERTAIN: Uncertainty = Uncertainty { alpha: 1.0 };
+
+    /// Creates an uncertainty model with factor `alpha`.
+    ///
+    /// # Errors
+    /// Returns [`Error::AlphaOutOfRange`] unless `alpha` is finite and `>= 1`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if alpha.is_finite() && alpha >= 1.0 {
+            Ok(Uncertainty { alpha })
+        } else {
+            Err(Error::AlphaOutOfRange { alpha })
+        }
+    }
+
+    /// Creates an uncertainty model, panicking on invalid `alpha`.
+    #[track_caller]
+    pub fn of(alpha: f64) -> Self {
+        Self::new(alpha).expect("invalid alpha")
+    }
+
+    /// The factor `α`.
+    #[inline]
+    pub fn alpha(self) -> f64 {
+        self.alpha
+    }
+
+    /// `α²`, which is the quantity appearing in every guarantee of the paper.
+    #[inline]
+    pub fn alpha_sq(self) -> f64 {
+        self.alpha * self.alpha
+    }
+
+    /// `true` when `α = 1` (no uncertainty).
+    #[inline]
+    pub fn is_certain(self) -> bool {
+        self.alpha == 1.0
+    }
+
+    /// Lower end of the interval for a given estimate: `p̃/α`.
+    #[inline]
+    pub fn lo(self, estimate: Time) -> Time {
+        estimate / self.alpha
+    }
+
+    /// Upper end of the interval for a given estimate: `α·p̃`.
+    #[inline]
+    pub fn hi(self, estimate: Time) -> Time {
+        estimate * self.alpha
+    }
+
+    /// Both interval ends `(p̃/α, α·p̃)`.
+    #[inline]
+    pub fn interval(self, estimate: Time) -> (Time, Time) {
+        (self.lo(estimate), self.hi(estimate))
+    }
+
+    /// Checks `p̃/α ≤ p ≤ α·p̃` up to [`INTERVAL_TOLERANCE`].
+    pub fn contains(self, estimate: Time, actual: Time) -> bool {
+        let (lo, hi) = self.interval(estimate);
+        let tol = INTERVAL_TOLERANCE * hi.get().max(1.0);
+        actual.get() >= lo.get() - tol && actual.get() <= hi.get() + tol
+    }
+
+    /// Clamps `actual` into the admissible interval for `estimate`.
+    pub fn clamp(self, estimate: Time, actual: Time) -> Time {
+        let (lo, hi) = self.interval(estimate);
+        actual.max(lo).min(hi)
+    }
+
+    /// Maps a *deviation factor* `f ∈ [1/α, α]` and an estimate to an
+    /// actual time `f·p̃`, validating the factor range.
+    ///
+    /// # Errors
+    /// Returns [`Error::RealizationOutOfInterval`] when `f` is outside
+    /// `[1/α, α]` (up to tolerance).
+    pub fn apply_factor(self, task: usize, estimate: Time, factor: f64) -> Result<Time> {
+        let tol = INTERVAL_TOLERANCE * self.alpha;
+        if !(factor.is_finite() && factor >= 1.0 / self.alpha - tol && factor <= self.alpha + tol)
+        {
+            return Err(Error::RealizationOutOfInterval {
+                task,
+                estimate: estimate.get(),
+                actual: estimate.get() * factor,
+                alpha: self.alpha,
+            });
+        }
+        // Clamp so the returned value is inside the closed interval even
+        // when `factor` was at the tolerance edge.
+        Ok(self.clamp(estimate, estimate * factor.max(0.0)))
+    }
+}
+
+impl Default for Uncertainty {
+    fn default() -> Self {
+        Uncertainty::CERTAIN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert!(Uncertainty::new(1.0).is_ok());
+        assert!(Uncertainty::new(2.5).is_ok());
+        assert!(matches!(
+            Uncertainty::new(0.99).unwrap_err(),
+            Error::AlphaOutOfRange { .. }
+        ));
+        assert!(Uncertainty::new(f64::NAN).is_err());
+        assert!(Uncertainty::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn interval_endpoints() {
+        let u = Uncertainty::of(2.0);
+        let (lo, hi) = u.interval(Time::of(4.0));
+        assert_eq!(lo, Time::of(2.0));
+        assert_eq!(hi, Time::of(8.0));
+        assert_eq!(u.alpha_sq(), 4.0);
+    }
+
+    #[test]
+    fn certain_interval_is_degenerate() {
+        let u = Uncertainty::CERTAIN;
+        assert!(u.is_certain());
+        let (lo, hi) = u.interval(Time::of(3.0));
+        assert_eq!(lo, hi);
+        assert!(u.contains(Time::of(3.0), Time::of(3.0)));
+        assert!(!u.contains(Time::of(3.0), Time::of(3.1)));
+    }
+
+    #[test]
+    fn contains_respects_tolerance() {
+        let u = Uncertainty::of(3.0);
+        let p = Time::of(7.0);
+        // Round-tripping the lower endpoint must stay inside.
+        let lo = u.lo(p);
+        assert!(u.contains(p, lo));
+        assert!(u.contains(p, u.hi(p)));
+        assert!(!u.contains(p, u.hi(p) * 1.001));
+        assert!(!u.contains(p, lo * 0.999));
+    }
+
+    #[test]
+    fn clamp_pulls_into_interval() {
+        let u = Uncertainty::of(2.0);
+        let p = Time::of(4.0);
+        assert_eq!(u.clamp(p, Time::of(100.0)), Time::of(8.0));
+        assert_eq!(u.clamp(p, Time::ZERO), Time::of(2.0));
+        assert_eq!(u.clamp(p, Time::of(5.0)), Time::of(5.0));
+    }
+
+    #[test]
+    fn apply_factor_validates() {
+        let u = Uncertainty::of(2.0);
+        let p = Time::of(4.0);
+        assert_eq!(u.apply_factor(0, p, 2.0).unwrap(), Time::of(8.0));
+        assert_eq!(u.apply_factor(0, p, 0.5).unwrap(), Time::of(2.0));
+        assert_eq!(u.apply_factor(0, p, 1.0).unwrap(), p);
+        assert!(u.apply_factor(0, p, 2.1).is_err());
+        assert!(u.apply_factor(0, p, 0.4).is_err());
+        assert!(u.apply_factor(0, p, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn apply_factor_result_always_in_interval() {
+        // A factor right at the tolerance edge must still produce a
+        // value accepted by `contains`.
+        let u = Uncertainty::of(3.0);
+        let p = Time::of(1e6);
+        let f = 1.0 / 3.0; // inexact in binary
+        let actual = u.apply_factor(0, p, f).unwrap();
+        assert!(u.contains(p, actual));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: `MachineMask` against a `HashSet` reference model.
+
+use proptest::prelude::*;
+use rds_core::{MachineId, MachineMask};
+use std::collections::HashSet;
+
+/// A random op sequence over a mask of the given capacity.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+    Contains(usize),
+}
+
+fn ops(m: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..3u8, 0..m).prop_map(|(kind, i)| match kind {
+            0 => Op::Insert(i),
+            1 => Op::Remove(i),
+            _ => Op::Contains(i),
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mask_behaves_like_hashset(
+        m in 1usize..200,
+        ops in (1usize..200).prop_flat_map(ops),
+    ) {
+        let mut mask = MachineMask::empty(m);
+        let mut model: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(i) if i < m => {
+                    let newly = mask.insert(MachineId::new(i));
+                    prop_assert_eq!(newly, model.insert(i));
+                }
+                Op::Remove(i) if i < m => {
+                    let was = mask.remove(MachineId::new(i));
+                    prop_assert_eq!(was, model.remove(&i));
+                }
+                Op::Contains(i) if i < m => {
+                    prop_assert_eq!(mask.contains(MachineId::new(i)), model.contains(&i));
+                }
+                _ => {}
+            }
+            prop_assert_eq!(mask.count(), model.len());
+            prop_assert_eq!(mask.is_empty(), model.is_empty());
+        }
+        // Iteration yields the sorted model.
+        let mut sorted: Vec<usize> = model.into_iter().collect();
+        sorted.sort_unstable();
+        let got: Vec<usize> = mask.iter().map(|id| id.index()).collect();
+        prop_assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn union_and_intersection_match_model(
+        m in 1usize..150,
+        a in prop::collection::vec(0usize..150, 0..60),
+        b in prop::collection::vec(0usize..150, 0..60),
+    ) {
+        let a: Vec<usize> = a.into_iter().filter(|&x| x < m).collect();
+        let b: Vec<usize> = b.into_iter().filter(|&x| x < m).collect();
+        let ma = MachineMask::from_iter_with_capacity(m, a.iter().map(|&i| MachineId::new(i)));
+        let mb = MachineMask::from_iter_with_capacity(m, b.iter().map(|&i| MachineId::new(i)));
+        let sa: HashSet<usize> = a.iter().copied().collect();
+        let sb: HashSet<usize> = b.iter().copied().collect();
+
+        let mut u = ma.clone();
+        u.union_with(&mb);
+        let mut expect: Vec<usize> = sa.union(&sb).copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(u.iter().map(|id| id.index()).collect::<Vec<_>>(), expect);
+
+        let mut i = ma.clone();
+        i.intersect_with(&mb);
+        let mut expect: Vec<usize> = sa.intersection(&sb).copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(i.iter().map(|id| id.index()).collect::<Vec<_>>(), expect);
+
+        // Subset relations.
+        prop_assert_eq!(i.is_subset(&ma), true);
+        prop_assert_eq!(ma.is_subset(&u), true);
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+    }
+
+    #[test]
+    fn full_and_first_are_consistent(m in 1usize..200) {
+        let f = MachineMask::full(m);
+        prop_assert!(f.is_full());
+        prop_assert_eq!(f.count(), m);
+        prop_assert_eq!(f.first(), Some(MachineId::new(0)));
+        let e = MachineMask::empty(m);
+        prop_assert_eq!(e.first(), None);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests on the scalar newtypes and the uncertainty interval.
+
+use proptest::prelude::*;
+use rds_core::{Time, Uncertainty};
+
+fn finite_nonneg() -> impl Strategy<Value = f64> {
+    0.0f64..1e12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn construction_accepts_exactly_the_valid_domain(v in any::<f64>()) {
+        let ok = v.is_finite() && v >= 0.0;
+        prop_assert_eq!(Time::new(v).is_ok(), ok);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_monotone(a in finite_nonneg(), b in finite_nonneg()) {
+        let (ta, tb) = (Time::of(a), Time::of(b));
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert!(ta + tb >= ta);
+        prop_assert!(ta + tb >= tb);
+    }
+
+    #[test]
+    fn ordering_agrees_with_f64(a in finite_nonneg(), b in finite_nonneg()) {
+        let (ta, tb) = (Time::of(a), Time::of(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta == tb, a == b);
+        prop_assert_eq!(ta.max(tb).get(), a.max(b));
+        prop_assert_eq!(ta.min(tb).get(), a.min(b));
+    }
+
+    #[test]
+    fn saturating_sub_never_negative(a in finite_nonneg(), b in finite_nonneg()) {
+        let r = Time::of(a).saturating_sub(Time::of(b));
+        prop_assert!(r.get() >= 0.0);
+        if a >= b {
+            prop_assert_eq!(r.get(), a - b);
+        } else {
+            prop_assert_eq!(r, Time::ZERO);
+        }
+        prop_assert_eq!(
+            Time::of(a).checked_sub(Time::of(b)).is_some(),
+            b <= a
+        );
+    }
+
+    #[test]
+    fn interval_roundtrips_survive_floating_point(
+        estimate in 1e-6f64..1e9,
+        alpha in 1.0f64..8.0,
+    ) {
+        let unc = Uncertainty::of(alpha);
+        let p = Time::of(estimate);
+        // Both endpoints are members of the closed interval.
+        prop_assert!(unc.contains(p, unc.lo(p)));
+        prop_assert!(unc.contains(p, unc.hi(p)));
+        // lo·α and hi/α round-trip back inside.
+        prop_assert!(unc.contains(p, unc.lo(p) * alpha));
+        prop_assert!(unc.contains(p, unc.hi(p) / alpha));
+        // Clamp is idempotent and lands inside.
+        let wild = Time::of(estimate * alpha * 3.0);
+        let clamped = unc.clamp(p, wild);
+        prop_assert!(unc.contains(p, clamped));
+        prop_assert_eq!(unc.clamp(p, clamped), clamped);
+    }
+
+    #[test]
+    fn interval_width_grows_with_alpha(
+        estimate in 1e-3f64..1e6,
+        a1 in 1.0f64..3.0,
+        extra in 0.01f64..3.0,
+    ) {
+        let p = Time::of(estimate);
+        let narrow = Uncertainty::of(a1);
+        let wide = Uncertainty::of(a1 + extra);
+        let (nlo, nhi) = narrow.interval(p);
+        let (wlo, whi) = wide.interval(p);
+        prop_assert!(wlo <= nlo);
+        prop_assert!(whi >= nhi);
+    }
+}

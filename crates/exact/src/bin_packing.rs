@@ -1,0 +1,197 @@
+//! First Fit Decreasing bin packing — the engine behind MULTIFIT and the
+//! Hochbaum–Shmoys dual-approximation scheme.
+//!
+//! Scheduling with a makespan target `C` is bin packing with bin capacity
+//! `C`: the schedule fits on `m` machines iff the tasks pack into `m`
+//! bins.
+
+use rds_core::{MachineId, Time};
+
+/// Outcome of an FFD packing attempt against `m` bins of capacity `cap`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FfdResult {
+    /// Everything packed; the per-task bin assignment (indexed by the
+    /// position in the *input* slice).
+    Packed(Vec<MachineId>),
+    /// FFD needed more than `m` bins. This does **not** prove that no
+    /// packing exists — FFD is a heuristic.
+    Overflow {
+        /// Number of bins FFD would have needed.
+        bins_needed: usize,
+    },
+}
+
+/// Packs `times` into at most `m` bins of capacity `cap` with First Fit
+/// Decreasing. A small relative tolerance absorbs floating-point fuzz at
+/// exact-fit boundaries.
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn first_fit_decreasing(times: &[Time], m: usize, cap: Time) -> FfdResult {
+    assert!(m >= 1, "m must be >= 1");
+    let tol = 1e-12 * cap.get().max(1.0);
+    let mut order: Vec<usize> = (0..times.len()).collect();
+    order.sort_by(|&a, &b| times[b].cmp(&times[a]).then(a.cmp(&b)));
+
+    let mut loads: Vec<f64> = Vec::with_capacity(m);
+    let mut assignment = vec![MachineId::new(0); times.len()];
+    let mut overflow_bins = 0usize;
+    for &j in &order {
+        let p = times[j].get();
+        match loads
+            .iter()
+            .position(|&load| load + p <= cap.get() + tol)
+        {
+            Some(bin) => {
+                loads[bin] += p;
+                assignment[j] = MachineId::new(bin);
+            }
+            None if loads.len() < m => {
+                if p > cap.get() + tol {
+                    // The task alone exceeds the capacity: unpackable.
+                    return FfdResult::Overflow {
+                        bins_needed: usize::MAX,
+                    };
+                }
+                assignment[j] = MachineId::new(loads.len());
+                loads.push(p);
+            }
+            None => {
+                overflow_bins += 1;
+            }
+        }
+    }
+    if overflow_bins == 0 {
+        FfdResult::Packed(assignment)
+    } else {
+        FfdResult::Overflow {
+            bins_needed: m + overflow_bins,
+        }
+    }
+}
+
+/// MULTIFIT (Coffman, Garey & Johnson): binary search the capacity with
+/// FFD as the feasibility oracle. Returns `(capacity, assignment)` of the
+/// best packing found. The resulting makespan is at most `13/11 · C*`.
+///
+/// # Panics
+/// Panics if `m == 0` or `iterations == 0`.
+pub fn multifit(times: &[Time], m: usize, iterations: usize) -> (Time, Vec<MachineId>) {
+    assert!(m >= 1 && iterations >= 1);
+    let lb = crate::lower_bounds::combined(times, m);
+    // Upper start: an LPT-like bound — avg·2 + pmax always packs.
+    let mut hi = (crate::lower_bounds::average_load(times, m) * 2.0)
+        .max(crate::lower_bounds::longest_task(times))
+        .max(Time::of(1e-12));
+    let mut lo = lb;
+    // Ensure hi is genuinely feasible before the search.
+    let mut best = loop {
+        match first_fit_decreasing(times, m, hi) {
+            FfdResult::Packed(a) => break (hi, a),
+            FfdResult::Overflow { .. } => hi = hi * 2.0,
+        }
+    };
+    for _ in 0..iterations {
+        let mid = (lo + best.0) / 2.0;
+        match first_fit_decreasing(times, m, mid) {
+            FfdResult::Packed(a) => {
+                best = (mid, a);
+            }
+            FfdResult::Overflow { .. } => lo = mid,
+        }
+        if (best.0 - lo).get() <= 1e-12 * best.0.get().max(1.0) {
+            break;
+        }
+    }
+    // Tighten the reported capacity to the actual max bin load.
+    let mut loads = vec![Time::ZERO; m];
+    for (j, &bin) in best.1.iter().enumerate() {
+        loads[bin.index()] += times[j];
+    }
+    let makespan = loads.into_iter().max().unwrap_or(Time::ZERO);
+    (makespan, best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> Vec<Time> {
+        v.iter().map(|&x| Time::of(x)).collect()
+    }
+
+    fn max_load(times: &[Time], a: &[MachineId], m: usize) -> f64 {
+        let mut loads = vec![0.0; m];
+        for (j, id) in a.iter().enumerate() {
+            loads[id.index()] += times[j].get();
+        }
+        loads.into_iter().fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn ffd_packs_exact_fit() {
+        let t = ts(&[4.0, 3.0, 3.0, 2.0]);
+        match first_fit_decreasing(&t, 2, Time::of(6.0)) {
+            FfdResult::Packed(a) => {
+                assert!(max_load(&t, &a, 2) <= 6.0 + 1e-9);
+            }
+            other => panic!("expected packed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ffd_reports_overflow() {
+        let t = ts(&[4.0, 4.0, 4.0]);
+        match first_fit_decreasing(&t, 2, Time::of(4.0)) {
+            FfdResult::Overflow { bins_needed } => assert_eq!(bins_needed, 3),
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ffd_rejects_oversized_task() {
+        let t = ts(&[10.0]);
+        assert!(matches!(
+            first_fit_decreasing(&t, 3, Time::of(5.0)),
+            FfdResult::Overflow { .. }
+        ));
+    }
+
+    #[test]
+    fn ffd_respects_capacity_tolerance() {
+        // 0.1 added ten times is not exactly 1.0 in binary; the packing
+        // must still succeed with capacity 1.0.
+        let t = ts(&[0.1; 10]);
+        assert!(matches!(
+            first_fit_decreasing(&t, 1, Time::of(1.0)),
+            FfdResult::Packed(_)
+        ));
+    }
+
+    #[test]
+    fn multifit_reaches_optimum_on_balanced_instance() {
+        // {3,3,2,2,2} on 2 machines: optimum 6.
+        let t = ts(&[3.0, 3.0, 2.0, 2.0, 2.0]);
+        let (mk, a) = multifit(&t, 2, 40);
+        assert!((mk.get() - 6.0).abs() < 1e-9, "got {mk}");
+        assert!((max_load(&t, &a, 2) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multifit_within_13_over_11() {
+        let t = ts(&[9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0]);
+        let (mk, _) = multifit(&t, 3, 40);
+        let lb = crate::lower_bounds::combined(&t, 3);
+        assert!(mk.get() <= 13.0 / 11.0 * lb.get() * 1.2 + 1e-9);
+        // Here the instance is benign: 45/3 = 15 and a perfect split exists.
+        assert!((mk.get() - 15.0).abs() < 1e-9, "got {mk}");
+    }
+
+    #[test]
+    fn multifit_single_machine() {
+        let t = ts(&[1.0, 2.0, 3.0]);
+        let (mk, a) = multifit(&t, 1, 10);
+        assert!((mk.get() - 6.0).abs() < 1e-9);
+        assert!(a.iter().all(|id| id.index() == 0));
+    }
+}

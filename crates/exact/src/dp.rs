@@ -1,0 +1,157 @@
+//! Exact optimal makespan by dynamic programming over task subsets.
+//!
+//! `f_k(S)` = the best makespan achievable scheduling subset `S` on `k`
+//! machines; `f_k(S) = min_{T ⊆ S} max(Σ T, f_{k−1}(S − T))`. Complexity
+//! `O(3ⁿ · m)` time, `O(2ⁿ)` space — reserved for small `n` (≤ ~16).
+
+use rds_core::{Error, MachineId, Result, Time};
+
+/// Hard cap on `n` for the DP (3ⁿ work).
+pub const MAX_TASKS: usize = 18;
+
+/// Exact optimal makespan and an optimal assignment.
+///
+/// # Errors
+/// Returns [`Error::ResourceLimit`] when `n > MAX_TASKS`.
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn optimal(times: &[Time], m: usize) -> Result<(Time, Vec<MachineId>)> {
+    assert!(m >= 1, "m must be >= 1");
+    let n = times.len();
+    if n > MAX_TASKS {
+        return Err(Error::ResourceLimit {
+            what: "dp task count",
+        });
+    }
+    if n == 0 {
+        return Ok((Time::ZERO, Vec::new()));
+    }
+    // More machines than tasks never helps beyond n machines.
+    let m_eff = m.min(n);
+    let full: usize = (1usize << n) - 1;
+
+    // Subset sums.
+    let mut sum = vec![0.0f64; 1 << n];
+    for s in 1..=full {
+        let low = s.trailing_zeros() as usize;
+        sum[s] = sum[s & (s - 1)] + times[low].get();
+    }
+
+    // f[s] for the current machine count; choice[k][s] = subset given to
+    // machine k when solving s with k+1 machines.
+    let mut f: Vec<f64> = sum.clone(); // one machine: makespan = subset sum
+    let mut choice: Vec<Vec<usize>> = vec![vec![0; 1 << n]; m_eff];
+    for (s, c) in choice[0].iter_mut().enumerate() {
+        *c = s; // with one machine, the machine takes everything
+    }
+    for choice_k in choice.iter_mut().take(m_eff).skip(1) {
+        let mut g = vec![f64::INFINITY; 1 << n];
+        g[0] = 0.0;
+        for s in 1..=full {
+            // Iterate over non-empty subsets t of s (the last machine's
+            // share); allow empty t implicitly via t = 0 case below.
+            let mut best = f[s]; // t = ∅ → last machine idle
+            let mut best_t = 0usize;
+            let mut t = s;
+            while t > 0 {
+                let cand = sum[t].max(f[s & !t]);
+                if cand < best {
+                    best = cand;
+                    best_t = t;
+                }
+                t = (t - 1) & s;
+            }
+            g[s] = best;
+            choice_k[s] = best_t;
+        }
+        f = g;
+    }
+
+    // Reconstruct.
+    let mut assignment = vec![MachineId::new(0); n];
+    let mut s = full;
+    for k in (0..m_eff).rev() {
+        let t = choice[k][s];
+        let mut bits = t;
+        while bits > 0 {
+            let j = bits.trailing_zeros() as usize;
+            assignment[j] = MachineId::new(k);
+            bits &= bits - 1;
+        }
+        s &= !t;
+    }
+    debug_assert_eq!(s, 0, "all tasks assigned");
+    let makespan = Time::new(f[full]).expect("finite makespan");
+    Ok((makespan, assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> Vec<Time> {
+        v.iter().map(|&x| Time::of(x)).collect()
+    }
+
+    fn check_assignment(times: &[Time], a: &[MachineId], m: usize, expect: f64) {
+        let mut loads = vec![0.0; m];
+        for (j, id) in a.iter().enumerate() {
+            loads[id.index()] += times[j].get();
+        }
+        let mk = loads.into_iter().fold(0.0, f64::max);
+        assert!((mk - expect).abs() < 1e-9, "assignment makespan {mk} != {expect}");
+    }
+
+    #[test]
+    fn known_optima() {
+        let cases: &[(&[f64], usize, f64)] = &[
+            (&[3.0, 3.0, 2.0, 2.0, 2.0], 2, 6.0),
+            (&[4.0, 3.0, 2.0], 2, 5.0),
+            (&[1.0; 7], 2, 4.0),
+            (&[5.0, 5.0, 4.0, 4.0, 3.0, 3.0], 3, 8.0),
+            (&[10.0, 1.0, 1.0], 3, 10.0),
+            (&[6.0], 1, 6.0),
+        ];
+        for &(raw, m, expect) in cases {
+            let t = ts(raw);
+            let (mk, a) = optimal(&t, m).unwrap();
+            assert!((mk.get() - expect).abs() < 1e-9, "{raw:?} on {m}: {mk}");
+            check_assignment(&t, &a, m, mk.get());
+        }
+    }
+
+    #[test]
+    fn more_machines_than_tasks() {
+        let t = ts(&[2.0, 3.0]);
+        let (mk, a) = optimal(&t, 10).unwrap();
+        assert!((mk.get() - 3.0).abs() < 1e-12);
+        check_assignment(&t, &a, 10, 3.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (mk, a) = optimal(&[], 3).unwrap();
+        assert_eq!(mk, Time::ZERO);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn rejects_large_n() {
+        let t = ts(&[1.0; MAX_TASKS + 1]);
+        assert!(matches!(
+            optimal(&t, 2).unwrap_err(),
+            Error::ResourceLimit { .. }
+        ));
+    }
+
+    #[test]
+    fn dp_at_least_lower_bound() {
+        let t = ts(&[7.0, 5.0, 4.0, 4.0, 3.0, 2.0, 2.0, 1.0]);
+        for m in 1..=4 {
+            let (mk, _) = optimal(&t, m).unwrap();
+            let lb = crate::lower_bounds::combined(&t, m);
+            assert!(mk >= lb, "m={m}: {mk} < {lb}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Minimal parallel-execution substrate for the experiment harness.
+//!
+//! The paper's evaluation sweeps (m, k, α, Δ, seeds) are embarrassingly
+//! parallel; this crate provides just enough machinery to saturate a
+//! workstation without pulling in a full framework:
+//!
+//! - [`pool::ThreadPool`]: a fixed-size crossbeam-channel worker pool
+//!   with per-job panic isolation;
+//! - [`sweep::parallel_map`]: order-preserving scoped parallel map with
+//!   dynamic work claiming.
+//!
+//! # Example
+//! ```
+//! let squares = rds_par::parallel_map((0..100).collect(), 4, |x: u64| x * x);
+//! assert_eq!(squares[9], 81);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pool;
+pub mod sweep;
+
+pub use pool::ThreadPool;
+pub use sweep::{parallel_map, parallel_reps};

@@ -1,0 +1,119 @@
+//! Order-preserving parallel map for experiment sweeps.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on `threads` worker threads (scoped — no
+/// `'static` bound needed) and returns the results in input order.
+///
+/// Work is claimed dynamically through an atomic cursor, so uneven item
+/// costs (e.g. exact solves of different sizes) still balance well.
+///
+/// # Panics
+/// Propagates the first panic raised inside `f`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 || n == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().take().expect("each slot claimed once");
+                let r = f(item);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+/// Runs `reps` seeded repetitions of `f` in parallel, preserving the
+/// repetition order: `f(rep_index)` for `rep_index ∈ 0..reps`.
+pub fn parallel_reps<R, F>(reps: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    parallel_map((0..reps).collect(), threads, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..1000).collect(), 8, |x: i32| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+        let out = parallel_map(vec![7], 4, |x: i32| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn balances_uneven_work() {
+        // Items with wildly different costs still all complete.
+        let out = parallel_map((0..64).collect(), 4, |x: u64| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        assert_eq!(out.len(), 64);
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn reps_are_indexed() {
+        let out = parallel_reps(10, 3, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_propagate() {
+        parallel_map(vec![1, 2, 3], 2, |x: i32| {
+            if x == 2 {
+                panic!("inner");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![1, 2, 3], 1, |x: i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

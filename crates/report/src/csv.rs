@@ -1,0 +1,101 @@
+//! Minimal CSV emission (RFC 4180 quoting) for experiment outputs.
+
+use std::fmt::Write as _;
+
+/// A CSV document builder.
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    out: String,
+    columns: usize,
+}
+
+/// Quotes a field when it contains a comma, quote, or newline.
+fn escape(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl Csv {
+    /// Starts a document with a header row.
+    pub fn new<S: AsRef<str>>(headers: &[S]) -> Self {
+        let mut csv = Csv {
+            out: String::new(),
+            columns: headers.len(),
+        };
+        csv.write_row(headers);
+        csv
+    }
+
+    fn write_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        let mut first = true;
+        for c in cells {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            let _ = write!(self.out, "{}", escape(c.as_ref()));
+        }
+        self.out.push('\n');
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header count.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(cells.len(), self.columns, "csv row arity");
+        self.write_row(cells);
+        self
+    }
+
+    /// Appends a row of numbers formatted with `prec` decimals.
+    pub fn row_f64(&mut self, cells: &[f64], prec: usize) -> &mut Self {
+        let strings: Vec<String> = cells.iter().map(|x| format!("{x:.prec$}")).collect();
+        self.row(&strings)
+    }
+
+    /// The document text.
+    pub fn finish(&self) -> &str {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&["1", "2"]);
+        assert_eq!(c.finish(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut c = Csv::new(&["x"]);
+        c.row(&["has,comma"]);
+        c.row(&["has\"quote"]);
+        c.row(&["has\nnewline"]);
+        let lines: Vec<&str> = c.finish().split('\n').collect();
+        assert_eq!(lines[1], "\"has,comma\"");
+        assert_eq!(lines[2], "\"has\"\"quote\"");
+        assert_eq!(lines[3], "\"has");
+    }
+
+    #[test]
+    fn float_rows() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row_f64(&[1.23456, 2.0], 3);
+        assert_eq!(c.finish(), "a,b\n1.235,2.000\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "csv row arity")]
+    fn arity() {
+        Csv::new(&["a", "b"]).row(&["1"]);
+    }
+}

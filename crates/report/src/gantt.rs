@@ -1,0 +1,127 @@
+//! ASCII Gantt charts of executed schedules (the paper's Figures 2, 4, 5
+//! are exactly such drawings).
+
+use rds_core::{MachineId, Schedule, Time};
+
+/// Renders a schedule as one row per machine, time flowing left to
+/// right, each slot drawn as the task id's glyph repeated over its span.
+///
+/// Tasks are labelled `0-9` then `a-z` then `A-Z`, cycling; idle time is
+/// `·`. `width` is the number of character cells for the full makespan.
+///
+/// # Panics
+/// Panics unless `width >= 10`.
+pub fn render(schedule: &Schedule, width: usize) -> String {
+    assert!(width >= 10, "gantt too narrow");
+    let makespan = schedule.makespan();
+    let mut out = String::new();
+    if makespan.is_zero() {
+        out.push_str("(empty schedule)\n");
+        return out;
+    }
+    let scale = |t: Time| -> usize {
+        ((t.get() / makespan.get()) * width as f64).round() as usize
+    };
+    for (i, slots) in schedule.all_slots().iter().enumerate() {
+        out.push_str(&format!("p{i:<3}|"));
+        let mut row = vec!['\u{00B7}'; width];
+        for slot in slots {
+            let a = scale(slot.start).min(width - 1);
+            let b = scale(slot.end).clamp(a + 1, width);
+            let glyph = task_glyph(slot.task.index());
+            for cell in &mut row[a..b] {
+                *cell = glyph;
+            }
+        }
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "     0{}{}\n",
+        " ".repeat(width.saturating_sub(makespan_label_len(makespan) + 1)),
+        format_time(makespan),
+    ));
+    let _ = MachineId::new(0);
+    out
+}
+
+fn task_glyph(index: usize) -> char {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    GLYPHS[index % GLYPHS.len()] as char
+}
+
+fn format_time(t: Time) -> String {
+    let v = t.get();
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn makespan_label_len(t: Time) -> usize {
+    format_time(t).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::{Instance, Realization, Slot, TaskId};
+
+    #[test]
+    fn renders_rows_and_glyphs() {
+        let inst = Instance::from_estimates(&[2.0, 2.0, 4.0], 2).unwrap();
+        let real = Realization::exact(&inst);
+        let order = vec![vec![TaskId::new(0), TaskId::new(1)], vec![TaskId::new(2)]];
+        let s = Schedule::sequence(&order, &real);
+        let text = render(&s, 40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("p0"));
+        assert!(lines[1].starts_with("p1"));
+        assert!(lines[0].contains('0') && lines[0].contains('1'));
+        assert!(lines[1].contains('2'));
+        // Machine 1 is busy the whole horizon: no idle dots between pipes.
+        let row1: String = lines[1]
+            .trim_start_matches(|c: char| c != '|')
+            .trim_matches('|')
+            .to_string();
+        assert!(!row1.contains('\u{00B7}'), "row1 = {row1}");
+        // Axis shows the makespan.
+        assert!(lines[2].contains('4'));
+    }
+
+    #[test]
+    fn idle_time_is_dotted() {
+        let inst = Instance::from_estimates(&[1.0, 4.0], 2).unwrap();
+        let real = Realization::exact(&inst);
+        let s = Schedule::from_slots(vec![
+            vec![Slot {
+                task: TaskId::new(0),
+                start: rds_core::Time::ZERO,
+                end: rds_core::Time::ONE,
+            }],
+            vec![Slot {
+                task: TaskId::new(1),
+                start: rds_core::Time::ZERO,
+                end: rds_core::Time::of(4.0),
+            }],
+        ]);
+        let _ = real;
+        let text = render(&s, 40);
+        assert!(text.lines().next().unwrap().contains('\u{00B7}'));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::from_slots(vec![vec![], vec![]]);
+        assert!(render(&s, 20).contains("empty"));
+    }
+
+    #[test]
+    fn glyphs_cycle() {
+        assert_eq!(task_glyph(0), '0');
+        assert_eq!(task_glyph(10), 'a');
+        assert_eq!(task_glyph(36), 'A');
+        assert_eq!(task_glyph(62), '0');
+    }
+}

@@ -1,0 +1,148 @@
+//! ASCII histograms for makespan/ratio distributions.
+
+/// A fixed-bin histogram over a closed range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Observations below `lo` / above `hi`.
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `bins >= 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi && bins >= 1, "bad histogram shape");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Builds a histogram spanning the data's own range.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64], bins: usize) -> Self {
+        assert!(!values.is_empty(), "no data");
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let hi = if hi > lo { hi } else { lo + 1.0 };
+        let mut h = Self::new(lo, hi, bins);
+        for &v in values {
+            h.push(v);
+        }
+        h
+    }
+
+    /// Records an observation.
+    pub fn push(&mut self, v: f64) {
+        debug_assert!(!v.is_nan());
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v > self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((v - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Renders horizontal bars, `width` characters for the fullest bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("  < {:>9.3} | {}\n", self.lo, self.underflow));
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            let a = self.lo + w * i as f64;
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!("{a:>12.3} | {bar} {c}\n"));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("  > {:>9.3} | {}\n", self.hi, self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 5.5, 9.99, 10.0] {
+            h.push(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 2]);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(1.0, 2.0, 2);
+        h.push(0.5);
+        h.push(3.0);
+        h.push(1.5);
+        assert_eq!(h.count(), 3);
+        let text = h.render(20);
+        assert!(text.contains('<'));
+        assert!(text.contains('>'));
+    }
+
+    #[test]
+    fn of_spans_data() {
+        let h = Histogram::of(&[1.0, 2.0, 3.0, 4.0], 4);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bins().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn constant_data_does_not_panic() {
+        let h = Histogram::of(&[2.0, 2.0], 3);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn render_scales_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        for _ in 0..10 {
+            h.push(0.5);
+        }
+        h.push(1.5);
+        let text = h.render(10);
+        let lines: Vec<&str> = text.lines().collect();
+        let hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[0]), 10);
+        assert_eq!(hashes(lines[1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad histogram shape")]
+    fn rejects_inverted_range() {
+        Histogram::new(2.0, 1.0, 3);
+    }
+}

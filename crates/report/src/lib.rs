@@ -1,0 +1,29 @@
+//! Reporting utilities for the benchmark harness and examples.
+//!
+//! - [`stats`]: streaming [`stats::Summary`] (Welford, mergeable for
+//!   parallel reductions) and quantile [`stats::Samples`];
+//! - [`table`]: aligned markdown tables;
+//! - [`csv`]: RFC-4180 CSV emission;
+//! - [`plot`]: ASCII line/scatter charts (terminal renderings of the
+//!   paper's figures);
+//! - [`gantt`]: ASCII Gantt charts of executed schedules (Figures 2/4/5);
+//! - [`svg`]: dependency-free SVG renderings of the same charts and
+//!   Gantts, for publication-style output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod gantt;
+pub mod histogram;
+pub mod plot;
+pub mod stats;
+pub mod svg;
+pub mod table;
+
+pub use csv::Csv;
+pub use histogram::Histogram;
+pub use plot::{Chart, Series};
+pub use svg::{gantt_svg, SvgChart};
+pub use stats::{Samples, Summary};
+pub use table::{Align, Table};

@@ -1,0 +1,337 @@
+//! Hand-rolled SVG emission: publication-style renderings of the
+//! paper's figures (line charts) and executed schedules (Gantt charts),
+//! with zero graphics dependencies.
+
+use crate::plot::Series;
+use rds_core::Schedule;
+use std::fmt::Write as _;
+
+/// Canvas geometry shared by the renderers.
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+/// A qualitative color cycle (ColorBrewer Set1-ish, readable on white).
+const COLORS: &[&str] = &[
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628", "#f781bf", "#999999",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// An SVG line/scatter chart over named series.
+#[derive(Debug)]
+pub struct SvgChart {
+    title: String,
+    width: f64,
+    height: f64,
+    series: Vec<Series>,
+    log_x: bool,
+    x_label: String,
+    y_label: String,
+}
+
+impl SvgChart {
+    /// Creates a chart canvas of the given pixel dimensions.
+    ///
+    /// # Panics
+    /// Panics unless both dimensions are at least 160 px.
+    pub fn new(title: impl Into<String>, width: f64, height: f64) -> Self {
+        assert!(width >= 160.0 && height >= 160.0, "svg canvas too small");
+        SvgChart {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+            log_x: false,
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Logarithmic x axis.
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Axis labels.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Adds a series (re-using the ASCII [`Series`] type).
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.max(f64::MIN_POSITIVE).ln()
+        } else {
+            x
+        }
+    }
+
+    /// Renders the chart to an SVG document string.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|&(x, y)| (self.tx(x), y))
+            .collect();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#,
+            w = self.width,
+            h = self.height
+        );
+        let _ = write!(
+            out,
+            r#"<rect width="{w}" height="{h}" fill="white"/><text x="{cx}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{t}</text>"#,
+            w = self.width,
+            h = self.height,
+            cx = self.width / 2.0,
+            t = esc(&self.title)
+        );
+        if pts.is_empty() {
+            out.push_str("<text x=\"40\" y=\"60\" font-size=\"12\">(no data)</text></svg>");
+            return out;
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let plot_w = self.width - MARGIN_L - MARGIN_R;
+        let plot_h = self.height - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (self.tx(x) - x0) / (x1 - x0) * plot_w;
+        let py = |y: f64| MARGIN_T + (1.0 - (y - y0) / (y1 - y0)) * plot_h;
+
+        // Axes + ticks.
+        let _ = write!(
+            out,
+            r##"<g stroke="#444" stroke-width="1"><line x1="{l}" y1="{b}" x2="{r}" y2="{b}"/><line x1="{l}" y1="{t}" x2="{l}" y2="{b}"/></g>"##,
+            l = MARGIN_L,
+            r = self.width - MARGIN_R,
+            t = MARGIN_T,
+            b = self.height - MARGIN_B
+        );
+        for i in 0..=4 {
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let _ = write!(
+                out,
+                r##"<text x="{x}" y="{y}" text-anchor="end" font-size="11">{v:.2}</text><line x1="{l}" y1="{gy}" x2="{r}" y2="{gy}" stroke="#ddd" stroke-width="0.5"/>"##,
+                x = MARGIN_L - 6.0,
+                y = py(fy) + 4.0,
+                v = fy,
+                l = MARGIN_L,
+                r = self.width - MARGIN_R,
+                gy = py(fy)
+            );
+        }
+        // Raw x extremes for tick labels (untransformed).
+        let (rx0, rx1) = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .filter(|(x, _)| x.is_finite())
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &(x, _)| {
+                (a.min(x), b.max(x))
+            });
+        let _ = write!(
+            out,
+            r#"<text x="{l}" y="{y}" font-size="11">{rx0:.3}</text><text x="{r}" y="{y}" text-anchor="end" font-size="11">{rx1:.3}</text>"#,
+            l = MARGIN_L,
+            r = self.width - MARGIN_R,
+            y = self.height - MARGIN_B + 16.0,
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{cx}" y="{y}" text-anchor="middle" font-size="12">{t}</text>"#,
+            cx = MARGIN_L + plot_w / 2.0,
+            y = self.height - 12.0,
+            t = esc(&self.x_label)
+        );
+        let _ = write!(
+            out,
+            r#"<text x="14" y="{cy}" text-anchor="middle" font-size="12" transform="rotate(-90 14 {cy})">{t}</text>"#,
+            cy = MARGIN_T + plot_h / 2.0,
+            t = esc(&self.y_label)
+        );
+
+        // Series: polyline + dots + legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let mut sorted: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .copied()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .collect();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let path: Vec<String> = sorted
+                .iter()
+                .map(|&(x, y)| format!("{:.2},{:.2}", px(x), py(y)))
+                .collect();
+            if path.len() > 1 {
+                let _ = write!(
+                    out,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                    path.join(" ")
+                );
+            }
+            for &(x, y) in &sorted {
+                let _ = write!(
+                    out,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="3" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+            let ly = MARGIN_T + 16.0 * i as f64;
+            let _ = write!(
+                out,
+                r#"<rect x="{lx}" y="{ry}" width="10" height="10" fill="{color}"/><text x="{tx}" y="{ty}" font-size="11">{label}</text>"#,
+                lx = self.width - MARGIN_R - 150.0,
+                ry = ly - 9.0,
+                tx = self.width - MARGIN_R - 136.0,
+                ty = ly,
+                label = esc(&s.label)
+            );
+        }
+        out.push_str("</svg>");
+        out
+    }
+}
+
+/// Renders an executed schedule as an SVG Gantt chart.
+///
+/// # Panics
+/// Panics unless `width >= 160`.
+pub fn gantt_svg(schedule: &Schedule, width: f64) -> String {
+    assert!(width >= 160.0, "svg canvas too small");
+    let makespan = schedule.makespan().get().max(1e-12);
+    let m = schedule.m();
+    let row_h = 26.0;
+    let height = MARGIN_T + m as f64 * row_h + MARGIN_B;
+    let plot_w = width - MARGIN_L - MARGIN_R;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif"><rect width="{width}" height="{height}" fill="white"/>"#
+    );
+    for (i, slots) in schedule.all_slots().iter().enumerate() {
+        let y = MARGIN_T + i as f64 * row_h;
+        let _ = write!(
+            out,
+            r#"<text x="{x}" y="{ty}" text-anchor="end" font-size="11">p{i}</text>"#,
+            x = MARGIN_L - 8.0,
+            ty = y + row_h * 0.65
+        );
+        for slot in slots {
+            let x = MARGIN_L + slot.start.get() / makespan * plot_w;
+            let w = ((slot.end - slot.start).get() / makespan * plot_w).max(1.0);
+            let color = COLORS[slot.task.index() % COLORS.len()];
+            let _ = write!(
+                out,
+                r#"<rect x="{x:.2}" y="{ry:.2}" width="{w:.2}" height="{rh}" fill="{color}" stroke="white" stroke-width="0.8"/><text x="{cx:.2}" y="{cy:.2}" text-anchor="middle" font-size="10" fill="white">{t}</text>"#,
+                ry = y + 3.0,
+                rh = row_h - 6.0,
+                cx = x + w / 2.0,
+                cy = y + row_h * 0.65,
+                t = slot.task.index()
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        r#"<text x="{l}" y="{y}" font-size="11">0</text><text x="{r}" y="{y}" text-anchor="end" font-size="11">{mk:.2}</text></svg>"#,
+        l = MARGIN_L,
+        r = width - MARGIN_R,
+        y = height - MARGIN_B + 18.0,
+        mk = makespan
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::{Instance, Realization, TaskId};
+
+    #[test]
+    fn chart_contains_all_series_and_axes() {
+        let svg = SvgChart::new("test chart", 640.0, 400.0)
+            .labels("replicas", "ratio")
+            .series(Series::new("bound", '#', vec![(1.0, 7.9), (3.0, 5.8), (210.0, 2.0)]))
+            .series(Series::new("measured", '*', vec![(1.0, 3.9), (210.0, 1.5)]))
+            .log_x()
+            .render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("test chart"));
+        assert!(svg.contains("bound"));
+        assert!(svg.contains("measured"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("replicas"));
+        // Two series → two legend rects + dots.
+        assert!(svg.matches("<circle").count() >= 5);
+    }
+
+    #[test]
+    fn chart_escapes_markup() {
+        let svg = SvgChart::new("a < b & c", 320.0, 200.0)
+            .series(Series::new("x<y", 'x', vec![(0.0, 1.0)]))
+            .render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("x&lt;y"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let svg = SvgChart::new("empty", 320.0, 200.0).render();
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_machine_and_scaled_bars() {
+        let inst = Instance::from_estimates(&[2.0, 2.0, 4.0], 2).unwrap();
+        let real = Realization::exact(&inst);
+        let order = vec![vec![TaskId::new(0), TaskId::new(1)], vec![TaskId::new(2)]];
+        let s = rds_core::Schedule::sequence(&order, &real);
+        let svg = gantt_svg(&s, 640.0);
+        assert!(svg.contains(">p0<") && svg.contains(">p1<"));
+        // Three task rectangles.
+        assert_eq!(svg.matches("<rect").count(), 1 + 3); // background + 3 slots
+        assert!(svg.contains("4.00")); // makespan label
+    }
+
+    #[test]
+    #[should_panic(expected = "svg canvas too small")]
+    fn minimum_canvas() {
+        SvgChart::new("tiny", 10.0, 10.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Aligned text/markdown table rendering for the benchmark binaries.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-justified (labels).
+    Left,
+    /// Right-justified (numbers).
+    Right,
+}
+
+/// A simple table builder rendering to GitHub-flavored markdown.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers, all left-aligned.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets per-column alignment.
+    ///
+    /// # Panics
+    /// Panics if the length differs from the header count.
+    pub fn align(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment arity");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a markdown table with padded columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let pad = |cell: &str, w: usize, a: Align| match a {
+            Align::Left => format!("{cell:<w$}"),
+            Align::Right => format!("{cell:>w$}"),
+        };
+        out.push('|');
+        for (header, &w) in self.headers.iter().zip(&widths) {
+            let _ = write!(out, " {} |", pad(header, w, Align::Left));
+        }
+        out.push('\n');
+        out.push('|');
+        for (i, &a) in self.aligns.iter().enumerate() {
+            let dashes = "-".repeat(widths[i]);
+            match a {
+                Align::Left => {
+                    let _ = write!(out, " {dashes} |");
+                }
+                Align::Right => {
+                    let _ = write!(out, " {}:|", &dashes[..dashes.len().saturating_sub(0)]);
+                }
+            }
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, " {} |", pad(cell, widths[i], self.aligns[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `prec` decimals.
+pub fn fmt(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_markdown() {
+        let mut t = Table::new(vec!["name", "value"]).align(vec![Align::Left, Align::Right]);
+        t.row(vec!["alpha", "1.50"]);
+        t.row(vec!["m", "210"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| name "));
+        assert!(lines[1].contains("-:"), "right column marker: {}", lines[1]);
+        assert!(lines[2].contains("| alpha |"));
+        assert!(lines[3].contains("|   210 |"), "right aligned: {}", lines[3]);
+    }
+
+    #[test]
+    fn tracks_len() {
+        let mut t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        Table::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(2.0, 3), "2.000");
+    }
+}

@@ -1,0 +1,292 @@
+//! Online dispatch policies for phase 2.
+//!
+//! A [`Dispatcher`] is invoked by the engine every time a machine becomes
+//! idle and answers "which pending task should this machine start?". It
+//! sees only scheduler-visible information (estimates, placement, what
+//! has completed so far) — never the actual time of an unfinished task,
+//! which is how the engine enforces the semi-clairvoyant model.
+
+use rds_core::{Instance, MachineId, Placement, TaskId, Time};
+
+/// Read-only scheduler-visible state handed to the dispatcher.
+pub struct SimView<'a> {
+    /// The instance (estimates, sizes).
+    pub instance: &'a Instance,
+    /// The phase-1 placement restricting eligibility.
+    pub placement: &'a Placement,
+    /// `pending[j]` is `true` while task `j` has not been started.
+    pub pending: &'a [bool],
+}
+
+impl SimView<'_> {
+    /// `true` if task `t` is still pending and may run on `machine`.
+    pub fn eligible(&self, t: TaskId, machine: MachineId) -> bool {
+        self.pending[t.index()] && self.placement.allows(t, machine)
+    }
+}
+
+/// An online dispatch policy.
+pub trait Dispatcher {
+    /// Picks the task `machine` should start at time `now`, or `None` to
+    /// leave it idle (a machine left idle is never offered work again,
+    /// since all tasks are released at time zero and eligibility is
+    /// static).
+    fn next_task(&mut self, machine: MachineId, now: Time, view: &SimView<'_>) -> Option<TaskId>;
+
+    /// Observation hook: `task` completed on `machine` at `now`, having
+    /// taken `actual` time (this is the moment the actual time becomes
+    /// known to the scheduler).
+    fn on_complete(&mut self, task: TaskId, machine: MachineId, actual: Time, now: Time) {
+        let _ = (task, machine, actual, now);
+    }
+
+    /// Observation hook: a previously started `task` was lost (its
+    /// machine failed) and is pending again. Dispatchers that skip
+    /// started tasks must make it eligible once more.
+    fn on_requeue(&mut self, task: TaskId) {
+        let _ = task;
+    }
+}
+
+/// Dispatches tasks following a fixed priority order: the idle machine
+/// receives the first pending task in `order` that its placement allows.
+///
+/// - order = task-id order → Graham's online List Scheduling;
+/// - order = estimate-descending → online LPT (`LPT-No Restriction`'s
+///   phase 2, and the within-group policy of `LS-Group` if so configured).
+#[derive(Debug, Clone)]
+pub struct OrderedDispatcher {
+    order: Vec<TaskId>,
+    /// Index of the first possibly-pending entry (fast-forward cursor
+    /// valid for the everywhere-placement case; general placements scan).
+    cursor: usize,
+}
+
+impl OrderedDispatcher {
+    /// Dispatcher following the given priority order.
+    pub fn new(order: Vec<TaskId>) -> Self {
+        OrderedDispatcher { order, cursor: 0 }
+    }
+
+    /// Task-id (FIFO) order — Graham's List Scheduling.
+    pub fn fifo(instance: &Instance) -> Self {
+        Self::new(instance.task_ids().collect())
+    }
+
+    /// Non-increasing estimate order — online LPT.
+    pub fn lpt_by_estimate(instance: &Instance) -> Self {
+        Self::new(instance.ids_by_estimate_desc())
+    }
+}
+
+impl Dispatcher for OrderedDispatcher {
+    fn next_task(&mut self, machine: MachineId, _now: Time, view: &SimView<'_>) -> Option<TaskId> {
+        // Advance the cursor past started tasks to keep the common case
+        // (everywhere placement) O(1) amortized.
+        while self.cursor < self.order.len() && !view.pending[self.order[self.cursor].index()] {
+            self.cursor += 1;
+        }
+        self.order[self.cursor..]
+            .iter()
+            .copied()
+            .find(|&t| view.eligible(t, machine))
+    }
+
+    fn on_requeue(&mut self, _task: TaskId) {
+        // A started task became pending again: the fast-forward cursor
+        // may have passed it. Requeues are rare (machine failures), so
+        // simply rescan from the beginning.
+        self.cursor = 0;
+    }
+}
+
+/// Dispatches a fixed task→machine assignment (no runtime choice):
+/// each machine runs its preassigned tasks in the given per-machine order.
+/// This is `LPT-No Choice`'s phase 2, and `SABO_Δ`'s.
+#[derive(Debug, Clone)]
+pub struct PinnedDispatcher {
+    queues: Vec<Vec<TaskId>>, // per machine, in reverse execution order
+}
+
+impl PinnedDispatcher {
+    /// Builds per-machine queues from a per-task machine vector, running
+    /// each machine's tasks in task-id order.
+    pub fn new(machine_of: &[MachineId], m: usize) -> Self {
+        let mut queues = vec![Vec::new(); m];
+        for (j, id) in machine_of.iter().enumerate() {
+            queues[id.index()].push(TaskId::new(j));
+        }
+        for q in &mut queues {
+            q.reverse(); // pop from the back = task-id order
+        }
+        PinnedDispatcher { queues }
+    }
+}
+
+impl Dispatcher for PinnedDispatcher {
+    fn next_task(&mut self, machine: MachineId, _now: Time, view: &SimView<'_>) -> Option<TaskId> {
+        let q = &mut self.queues[machine.index()];
+        while let Some(&t) = q.last() {
+            if view.pending[t.index()] {
+                return Some(t);
+            }
+            q.pop();
+        }
+        None
+    }
+
+    // Note: a pinned task requeued after its machine failed is stranded
+    // by construction (its queue entry was popped and no other machine
+    // holds it); the failure engine reports it. No cursor to reset.
+}
+
+/// Two-stage dispatcher for `ABO_Δ`: first drain a pinned set (the
+/// memory-intensive tasks), then serve the replicated time-intensive
+/// tasks from a priority order.
+#[derive(Debug, Clone)]
+pub struct StagedDispatcher {
+    pinned: PinnedDispatcher,
+    ordered: OrderedDispatcher,
+}
+
+impl StagedDispatcher {
+    /// `pinned_of[j] = Some(machine)` for stage-1 tasks; stage-2 tasks
+    /// (the `None`s) are served in `order` afterwards.
+    pub fn new(pinned_of: &[Option<MachineId>], m: usize, order: Vec<TaskId>) -> Self {
+        let mut queues = vec![Vec::new(); m];
+        for (j, id) in pinned_of.iter().enumerate() {
+            if let Some(id) = id {
+                queues[id.index()].push(TaskId::new(j));
+            }
+        }
+        for q in &mut queues {
+            q.reverse();
+        }
+        StagedDispatcher {
+            pinned: PinnedDispatcher { queues },
+            ordered: OrderedDispatcher::new(order),
+        }
+    }
+}
+
+impl Dispatcher for StagedDispatcher {
+    fn next_task(&mut self, machine: MachineId, now: Time, view: &SimView<'_>) -> Option<TaskId> {
+        self.pinned
+            .next_task(machine, now, view)
+            .or_else(|| self.ordered.next_task(machine, now, view))
+    }
+
+    fn on_requeue(&mut self, task: TaskId) {
+        self.ordered.on_requeue(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::{Instance, Placement};
+
+    fn setup(n: usize, m: usize) -> (Instance, Placement) {
+        let inst = Instance::from_estimates(&vec![1.0; n], m).unwrap();
+        let p = Placement::everywhere(&inst);
+        (inst, p)
+    }
+
+    #[test]
+    fn ordered_respects_pending_and_order() {
+        let (inst, p) = setup(3, 2);
+        let mut pending = vec![true; 3];
+        let mut d = OrderedDispatcher::fifo(&inst);
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            pending: &pending,
+        };
+        assert_eq!(
+            d.next_task(MachineId::new(0), Time::ZERO, &view),
+            Some(TaskId::new(0))
+        );
+        pending[0] = false;
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            pending: &pending,
+        };
+        assert_eq!(
+            d.next_task(MachineId::new(1), Time::ZERO, &view),
+            Some(TaskId::new(1))
+        );
+    }
+
+    #[test]
+    fn ordered_skips_ineligible_machines() {
+        let inst = Instance::from_estimates(&[1.0, 1.0], 2).unwrap();
+        let p = Placement::pinned(&inst, &[MachineId::new(1), MachineId::new(0)]).unwrap();
+        let pending = vec![true; 2];
+        let mut d = OrderedDispatcher::fifo(&inst);
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            pending: &pending,
+        };
+        // Machine 0 cannot take task 0 (pinned to machine 1); gets task 1.
+        assert_eq!(
+            d.next_task(MachineId::new(0), Time::ZERO, &view),
+            Some(TaskId::new(1))
+        );
+    }
+
+    #[test]
+    fn pinned_serves_only_own_queue() {
+        let (inst, p) = setup(4, 2);
+        let machine_of = [
+            MachineId::new(0),
+            MachineId::new(1),
+            MachineId::new(0),
+            MachineId::new(1),
+        ];
+        let mut d = PinnedDispatcher::new(&machine_of, 2);
+        let pending = vec![true; 4];
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            pending: &pending,
+        };
+        assert_eq!(
+            d.next_task(MachineId::new(0), Time::ZERO, &view),
+            Some(TaskId::new(0))
+        );
+        assert_eq!(
+            d.next_task(MachineId::new(1), Time::ZERO, &view),
+            Some(TaskId::new(1))
+        );
+    }
+
+    #[test]
+    fn staged_drains_pinned_before_ordered() {
+        let (inst, p) = setup(3, 1);
+        let pinned_of = [Some(MachineId::new(0)), None, None];
+        let mut d = StagedDispatcher::new(&pinned_of, 1, vec![TaskId::new(2), TaskId::new(1)]);
+        let mut pending = vec![true; 3];
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            pending: &pending,
+        };
+        assert_eq!(
+            d.next_task(MachineId::new(0), Time::ZERO, &view),
+            Some(TaskId::new(0))
+        );
+        pending[0] = false;
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            pending: &pending,
+        };
+        // Then the ordered stage, in the given (2 before 1) order.
+        assert_eq!(
+            d.next_task(MachineId::new(0), Time::ZERO, &view),
+            Some(TaskId::new(2))
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! The event queue driving the phase-2 execution engine.
+
+use rds_core::{MachineId, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A machine-becomes-idle event.
+///
+/// Ordering: earliest time first; ties broken by smallest machine id,
+/// which matches the deterministic tie-break of the closed-form greedy
+/// implementations in `rds-algs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleEvent {
+    /// When the machine becomes idle.
+    pub time: Time,
+    /// Which machine.
+    pub machine: MachineId,
+}
+
+/// Min-priority queue of [`IdleEvent`]s.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Time, MachineId)>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue with every machine idle at time zero.
+    pub fn all_idle(m: usize) -> Self {
+        let mut q = Self::new();
+        for i in 0..m {
+            q.push(IdleEvent {
+                time: Time::ZERO,
+                machine: MachineId::new(i),
+            });
+        }
+        q
+    }
+
+    /// Inserts an event.
+    pub fn push(&mut self, ev: IdleEvent) {
+        self.heap.push(Reverse((ev.time, ev.machine)));
+    }
+
+    /// Removes and returns the earliest event (ties → smallest machine).
+    pub fn pop(&mut self) -> Option<IdleEvent> {
+        self.heap
+            .pop()
+            .map(|Reverse((time, machine))| IdleEvent { time, machine })
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_machine_order() {
+        let mut q = EventQueue::new();
+        q.push(IdleEvent {
+            time: Time::of(2.0),
+            machine: MachineId::new(0),
+        });
+        q.push(IdleEvent {
+            time: Time::of(1.0),
+            machine: MachineId::new(5),
+        });
+        q.push(IdleEvent {
+            time: Time::of(1.0),
+            machine: MachineId::new(3),
+        });
+        let order: Vec<(f64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time.get(), e.machine.index()))
+            .collect();
+        assert_eq!(order, vec![(1.0, 3), (1.0, 5), (2.0, 0)]);
+    }
+
+    #[test]
+    fn all_idle_seeds_every_machine_at_zero() {
+        let mut q = EventQueue::all_idle(3);
+        assert_eq!(q.len(), 3);
+        for expected in 0..3 {
+            let e = q.pop().unwrap();
+            assert_eq!(e.time, Time::ZERO);
+            assert_eq!(e.machine.index(), expected);
+        }
+        assert!(q.is_empty());
+    }
+}

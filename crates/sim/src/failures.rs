@@ -1,0 +1,394 @@
+//! Machine-failure simulation: the fault-tolerance side of replication.
+//!
+//! The paper motivates replication partly through Hadoop, which
+//! replicates data "for the purpose of tolerating hardware faults". This
+//! module makes that executable: machines can fail at given times, a
+//! failed machine's in-flight task is lost and must restart *on another
+//! machine holding its data* — impossible without replication. The same
+//! [`Dispatcher`] policies drive the surviving machines.
+
+use crate::dispatcher::{Dispatcher, SimView};
+use crate::trace::{Trace, TraceEvent};
+use rds_core::{
+    Error, Instance, MachineId, Placement, Realization, Result, Schedule, Slot, TaskId, Time,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled machine failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Failure {
+    /// The machine that fails.
+    pub machine: MachineId,
+    /// When it fails (it processes nothing from this instant on).
+    pub at: Time,
+}
+
+/// Result of a failure-injected execution.
+#[derive(Debug, Clone)]
+pub struct FaultySimResult {
+    /// Completed work only (lost attempts are not slots).
+    pub schedule: Schedule,
+    /// Completion time of the last surviving task.
+    pub makespan: Time,
+    /// Chronological trace (includes `Starved` markers for dead ends).
+    pub trace: Trace,
+    /// Number of task attempts killed by failures and restarted.
+    pub restarts: usize,
+}
+
+/// Event kinds, ordered so failures at time `t` process before idle
+/// events at `t` (conservative: the machine is gone first).
+const KIND_FAILURE: u8 = 0;
+const KIND_IDLE: u8 = 1;
+
+/// Runs the execution with failure injection.
+///
+/// # Errors
+/// - The base engine's dispatcher-misbehaviour errors;
+/// - [`Error::InvalidParameter`] when a pending task's every data-holding
+///   machine has failed (the task is stranded — the exact scenario
+///   replication exists to prevent).
+pub fn run_with_failures(
+    instance: &Instance,
+    placement: &Placement,
+    realization: &Realization,
+    dispatcher: &mut dyn Dispatcher,
+    failures: &[Failure],
+) -> Result<FaultySimResult> {
+    let n = instance.n();
+    let m = instance.m();
+    if placement.n() != n || realization.n() != n {
+        return Err(Error::TaskCountMismatch {
+            expected: n,
+            got: placement.n().min(realization.n()),
+        });
+    }
+    let mut pending = vec![true; n];
+    let mut remaining = n;
+    let mut alive = vec![true; m];
+    let mut idle = vec![false; m];
+    // What each machine is currently running: (task, start, end).
+    let mut running: Vec<Option<(TaskId, Time, Time)>> = vec![None; m];
+    let mut slots: Vec<Vec<Slot>> = vec![Vec::new(); m];
+    let mut trace = Trace::new();
+    let mut restarts = 0usize;
+    let mut makespan = Time::ZERO;
+
+    let mut queue: BinaryHeap<Reverse<(Time, u8, MachineId)>> = BinaryHeap::new();
+    for i in 0..m {
+        queue.push(Reverse((Time::ZERO, KIND_IDLE, MachineId::new(i))));
+    }
+    for f in failures {
+        if f.machine.index() >= m {
+            return Err(Error::MachineOutOfRange {
+                machine: f.machine.index(),
+                m,
+            });
+        }
+        queue.push(Reverse((f.at, KIND_FAILURE, f.machine)));
+    }
+
+    while let Some(Reverse((time, kind, machine))) = queue.pop() {
+        let mi = machine.index();
+        if kind == KIND_FAILURE {
+            if !alive[mi] {
+                continue;
+            }
+            alive[mi] = false;
+            idle[mi] = false;
+            if let Some((task, start, end)) = running[mi].take() {
+                if end > time {
+                    // In-flight attempt is lost: requeue the task
+                    // (`remaining` counts completions, so no adjustment).
+                    pending[task.index()] = true;
+                    restarts += 1;
+                    dispatcher.on_requeue(task);
+                    // Wake every idle surviving machine to pick it up.
+                    for w in 0..m {
+                        if alive[w] && idle[w] {
+                            idle[w] = false;
+                            queue.push(Reverse((time, KIND_IDLE, MachineId::new(w))));
+                        }
+                    }
+                } else {
+                    // It finished exactly at the failure instant: count it.
+                    complete(
+                        &mut slots[mi],
+                        &mut trace,
+                        dispatcher,
+                        task,
+                        machine,
+                        start,
+                        end,
+                        realization,
+                        &mut makespan,
+                    );
+                    remaining_done(&mut remaining);
+                }
+            }
+            continue;
+        }
+
+        // Idle event.
+        if !alive[mi] {
+            continue;
+        }
+        // Completion bookkeeping for the attempt that just ended.
+        if let Some((task, start, end)) = running[mi] {
+            if end == time {
+                running[mi] = None;
+                complete(
+                    &mut slots[mi],
+                    &mut trace,
+                    dispatcher,
+                    task,
+                    machine,
+                    start,
+                    end,
+                    realization,
+                    &mut makespan,
+                );
+                remaining_done(&mut remaining);
+            } else {
+                // Stale wake-up while busy (e.g. a requeue broadcast).
+                continue;
+            }
+        }
+        if remaining == 0 {
+            continue;
+        }
+        let view = SimView {
+            instance,
+            placement,
+            pending: &pending,
+        };
+        match dispatcher.next_task(machine, time, &view) {
+            Some(task) => {
+                if task.index() >= n {
+                    return Err(Error::TaskOutOfRange {
+                        task: task.index(),
+                        n,
+                    });
+                }
+                if !pending[task.index()] {
+                    return Err(Error::InvalidParameter {
+                        what: "dispatcher returned an already-started task",
+                    });
+                }
+                if !placement.allows(task, machine) {
+                    return Err(Error::InfeasibleAssignment {
+                        task: task.index(),
+                        machine: mi,
+                    });
+                }
+                pending[task.index()] = false;
+                let end = time + realization.actual(task);
+                running[mi] = Some((task, time, end));
+                trace.push(TraceEvent::Start {
+                    time,
+                    task,
+                    machine,
+                });
+                queue.push(Reverse((end, KIND_IDLE, machine)));
+            }
+            None => {
+                idle[mi] = true;
+                trace.push(TraceEvent::Starved { time, machine });
+            }
+        }
+    }
+
+    if remaining > 0 {
+        // Some task is stranded: all its replicas are on dead machines
+        // (or the dispatcher refused it).
+        return Err(Error::InvalidParameter {
+            what: "task stranded: every machine holding its data failed",
+        });
+    }
+    Ok(FaultySimResult {
+        schedule: Schedule::from_slots(slots),
+        makespan,
+        trace,
+        restarts,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complete(
+    slots: &mut Vec<Slot>,
+    trace: &mut Trace,
+    dispatcher: &mut dyn Dispatcher,
+    task: TaskId,
+    machine: MachineId,
+    start: Time,
+    end: Time,
+    realization: &Realization,
+    makespan: &mut Time,
+) {
+    let actual = realization.actual(task);
+    slots.push(Slot { task, start, end });
+    trace.push(TraceEvent::Complete {
+        time: end,
+        task,
+        machine,
+        actual,
+    });
+    dispatcher.on_complete(task, machine, actual, end);
+    *makespan = (*makespan).max(end);
+}
+
+fn remaining_done(remaining: &mut usize) {
+    *remaining -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::OrderedDispatcher;
+    use rds_core::Placement;
+
+    fn fail(machine: usize, at: f64) -> Failure {
+        Failure {
+            machine: MachineId::new(machine),
+            at: Time::of(at),
+        }
+    }
+
+    #[test]
+    fn no_failures_matches_plain_engine() {
+        let inst = Instance::from_estimates(&[3.0, 3.0, 2.0, 1.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let plain = crate::engine::Engine::new(&inst, &p, &r)
+            .unwrap()
+            .run(&mut OrderedDispatcher::fifo(&inst))
+            .unwrap();
+        let faulty =
+            run_with_failures(&inst, &p, &r, &mut OrderedDispatcher::fifo(&inst), &[])
+                .unwrap();
+        assert_eq!(plain.makespan, faulty.makespan);
+        assert_eq!(faulty.restarts, 0);
+    }
+
+    #[test]
+    fn replicated_task_restarts_elsewhere() {
+        // One long task on 2 machines, replicated everywhere; machine 0
+        // fails mid-flight → the task restarts on machine 1.
+        let inst = Instance::from_estimates(&[4.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let res = run_with_failures(
+            &inst,
+            &p,
+            &r,
+            &mut OrderedDispatcher::fifo(&inst),
+            &[fail(0, 2.0)],
+        )
+        .unwrap();
+        assert_eq!(res.restarts, 1);
+        // Restarted at t=2 on machine 1, full re-run: done at 6.
+        assert_eq!(res.makespan, Time::of(6.0));
+        let slots1 = res.schedule.slots(MachineId::new(1));
+        assert_eq!(slots1.len(), 1);
+        assert_eq!(slots1[0].start, Time::of(2.0));
+    }
+
+    #[test]
+    fn pinned_task_is_stranded_by_failure() {
+        // The same scenario without replication: the task dies with its
+        // only machine.
+        let inst = Instance::from_estimates(&[4.0, 1.0], 2).unwrap();
+        let p = Placement::pinned(&inst, &[MachineId::new(0), MachineId::new(1)]).unwrap();
+        let r = Realization::exact(&inst);
+        let mut d = crate::dispatcher::PinnedDispatcher::new(
+            &[MachineId::new(0), MachineId::new(1)],
+            2,
+        );
+        let err = run_with_failures(&inst, &p, &r, &mut d, &[fail(0, 2.0)]).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { what } if what.contains("stranded")));
+    }
+
+    #[test]
+    fn failure_after_completion_is_harmless() {
+        let inst = Instance::from_estimates(&[2.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let res = run_with_failures(
+            &inst,
+            &p,
+            &r,
+            &mut OrderedDispatcher::fifo(&inst),
+            &[fail(0, 3.0)],
+        )
+        .unwrap();
+        assert_eq!(res.restarts, 0);
+        assert_eq!(res.makespan, Time::of(2.0));
+    }
+
+    #[test]
+    fn dead_machine_takes_no_new_work() {
+        // Machine 0 fails at t=0 (before anything): all work flows to m1.
+        let inst = Instance::from_estimates(&[1.0, 1.0, 1.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let res = run_with_failures(
+            &inst,
+            &p,
+            &r,
+            &mut OrderedDispatcher::fifo(&inst),
+            &[fail(0, 0.0)],
+        )
+        .unwrap();
+        assert!(res.schedule.slots(MachineId::new(0)).is_empty());
+        assert_eq!(res.makespan, Time::of(3.0));
+    }
+
+    #[test]
+    fn cascading_failures_with_enough_replicas() {
+        // 3 machines, everywhere placement; two failures in sequence.
+        let inst = Instance::from_estimates(&[6.0, 1.0, 1.0], 3).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let res = run_with_failures(
+            &inst,
+            &p,
+            &r,
+            &mut OrderedDispatcher::lpt_by_estimate(&inst),
+            &[fail(0, 1.0), fail(1, 2.0)],
+        )
+        .unwrap();
+        // The big task (started on m0) restarts somewhere at t=1; if that
+        // was m1 it restarts again at t=2 on m2. Everything completes.
+        assert!(res.restarts >= 1);
+        assert!(res.makespan >= Time::of(7.0));
+        res.schedule.validate(&inst, &r).unwrap();
+    }
+
+    #[test]
+    fn group_placement_survives_in_group_failure() {
+        // Groups of 2: a failure inside a group leaves a surviving holder.
+        let inst = Instance::from_estimates(&[2.0, 2.0, 2.0, 2.0], 4).unwrap();
+        let sets = vec![
+            rds_core::MachineSet::Span { start: 0, end: 2 },
+            rds_core::MachineSet::Span { start: 0, end: 2 },
+            rds_core::MachineSet::Span { start: 2, end: 4 },
+            rds_core::MachineSet::Span { start: 2, end: 4 },
+        ];
+        let p = Placement::new(&inst, sets).unwrap();
+        let r = Realization::exact(&inst);
+        let res = run_with_failures(
+            &inst,
+            &p,
+            &r,
+            &mut OrderedDispatcher::fifo(&inst),
+            &[fail(0, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(res.restarts, 1);
+        res.schedule.validate(&inst, &r).unwrap();
+        // All four tasks completed despite the failure.
+        let total: usize = res.schedule.all_slots().iter().map(|s| s.len()).sum();
+        assert_eq!(total, 4);
+    }
+}

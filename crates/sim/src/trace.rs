@@ -1,0 +1,236 @@
+//! Execution traces: what happened, when, on which machine.
+
+use rds_core::{MachineId, TaskId, Time};
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A task started on a machine.
+    Start {
+        /// Simulation time of the start.
+        time: Time,
+        /// The started task.
+        task: TaskId,
+        /// The executing machine.
+        machine: MachineId,
+    },
+    /// A task completed (its actual time became known).
+    Complete {
+        /// Simulation time of the completion.
+        time: Time,
+        /// The completed task.
+        task: TaskId,
+        /// The executing machine.
+        machine: MachineId,
+        /// The revealed actual processing time.
+        actual: Time,
+    },
+    /// A machine went permanently idle (no eligible pending work).
+    Starved {
+        /// When the machine ran out of eligible work.
+        time: Time,
+        /// The starved machine.
+        machine: MachineId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> Time {
+        match *self {
+            TraceEvent::Start { time, .. }
+            | TraceEvent::Complete { time, .. }
+            | TraceEvent::Starved { time, .. } => time,
+        }
+    }
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event (times must be non-decreasing; enforced in debug).
+    pub fn push(&mut self, ev: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.time() <= ev.time()),
+            "trace out of order"
+        );
+        self.events.push(ev);
+    }
+
+    /// All events in chronological order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of `Start` events (tasks dispatched).
+    pub fn starts(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Start { .. }))
+            .count()
+    }
+
+    /// Total idle time across machines before the makespan: for each
+    /// machine, `makespan − busy_time` summed (a load-balance diagnostic).
+    pub fn total_idle(&self, m: usize) -> Time {
+        let mut busy = vec![Time::ZERO; m];
+        let mut makespan = Time::ZERO;
+        for e in &self.events {
+            if let TraceEvent::Complete {
+                time,
+                machine,
+                actual,
+                ..
+            } = *e
+            {
+                busy[machine.index()] += actual;
+                makespan = makespan.max(time);
+            }
+        }
+        busy.into_iter()
+            .map(|b| makespan.saturating_sub(b))
+            .sum()
+    }
+}
+
+impl Trace {
+    /// Serializes the trace as CSV (`time,event,task,machine,actual`),
+    /// RFC-4180-trivial since no field needs quoting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,event,task,machine,actual\n");
+        for e in &self.events {
+            match *e {
+                TraceEvent::Start { time, task, machine } => {
+                    out.push_str(&format!("{time},start,{},{},\n", task.index(), machine.index()));
+                }
+                TraceEvent::Complete { time, task, machine, actual } => {
+                    out.push_str(&format!(
+                        "{time},complete,{},{},{actual}\n",
+                        task.index(),
+                        machine.index()
+                    ));
+                }
+                TraceEvent::Starved { time, machine } => {
+                    out.push_str(&format!("{time},starved,,{},\n", machine.index()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_counts() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Start {
+            time: Time::ZERO,
+            task: TaskId::new(0),
+            machine: MachineId::new(0),
+        });
+        t.push(TraceEvent::Complete {
+            time: Time::of(2.0),
+            task: TaskId::new(0),
+            machine: MachineId::new(0),
+            actual: Time::of(2.0),
+        });
+        t.push(TraceEvent::Starved {
+            time: Time::of(2.0),
+            machine: MachineId::new(0),
+        });
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.starts(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_round_trips_fields() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Start {
+            time: Time::ZERO,
+            task: TaskId::new(3),
+            machine: MachineId::new(1),
+        });
+        t.push(TraceEvent::Complete {
+            time: Time::of(2.5),
+            task: TaskId::new(3),
+            machine: MachineId::new(1),
+            actual: Time::of(2.5),
+        });
+        t.push(TraceEvent::Starved {
+            time: Time::of(2.5),
+            machine: MachineId::new(0),
+        });
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,event,task,machine,actual");
+        assert_eq!(lines[1], "0,start,3,1,");
+        assert_eq!(lines[2], "2.5,complete,3,1,2.5");
+        assert_eq!(lines[3], "2.5,starved,,0,");
+    }
+
+    #[test]
+    fn idle_time_accounts_for_makespan_gap() {
+        let mut t = Trace::new();
+        // m0 busy [0,4]; m1 busy [0,1] → idle = 0 + 3.
+        for (machine, dur) in [(0usize, 4.0), (1usize, 1.0)] {
+            t.push(TraceEvent::Start {
+                time: Time::ZERO,
+                task: TaskId::new(machine),
+                machine: MachineId::new(machine),
+            });
+
+            let _ = dur;
+        }
+        t.push(TraceEvent::Complete {
+            time: Time::of(1.0),
+            task: TaskId::new(1),
+            machine: MachineId::new(1),
+            actual: Time::of(1.0),
+        });
+        t.push(TraceEvent::Complete {
+            time: Time::of(4.0),
+            task: TaskId::new(0),
+            machine: MachineId::new(0),
+            actual: Time::of(4.0),
+        });
+        assert_eq!(t.total_idle(2), Time::of(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "trace out of order")]
+    #[cfg(debug_assertions)]
+    fn rejects_time_travel() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Starved {
+            time: Time::of(2.0),
+            machine: MachineId::new(0),
+        });
+        t.push(TraceEvent::Starved {
+            time: Time::of(1.0),
+            machine: MachineId::new(0),
+        });
+    }
+}

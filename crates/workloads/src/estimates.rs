@@ -1,0 +1,171 @@
+//! Estimated-processing-time distributions.
+//!
+//! These generate the `p̃_j` the scheduler sees. The shapes mirror the
+//! application domains the paper motivates: near-uniform kernels,
+//! bimodal mixes (short bookkeeping + long compute), heavy-tailed
+//! out-of-core workloads, and the identical-task instances the adversary
+//! analysis uses.
+
+use rand::Rng;
+
+/// A distribution over estimated processing times.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateDistribution {
+    /// Every task has the same estimate (the Theorem-1 adversary shape).
+    Identical {
+        /// The common estimate.
+        value: f64,
+    },
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Smallest estimate.
+        lo: f64,
+        /// Largest estimate.
+        hi: f64,
+    },
+    /// Two-point mixture: `short` with probability `1 − p_long`, `long`
+    /// otherwise. Models a few heavy stragglers among light tasks.
+    Bimodal {
+        /// Duration of the common short tasks.
+        short: f64,
+        /// Duration of the rare long tasks.
+        long: f64,
+        /// Probability a task is long.
+        p_long: f64,
+    },
+    /// Exponential with the given mean (via inverse CDF).
+    Exponential {
+        /// Mean estimate.
+        mean: f64,
+    },
+    /// Bounded Pareto-like heavy tail: `lo · u^(−1/shape)` truncated at
+    /// `cap`. Models out-of-core block sizes.
+    HeavyTail {
+        /// Scale (minimum value).
+        lo: f64,
+        /// Tail exponent (`> 0`; smaller = heavier).
+        shape: f64,
+        /// Truncation cap.
+        cap: f64,
+    },
+}
+
+impl EstimateDistribution {
+    /// Samples one estimate.
+    ///
+    /// # Panics
+    /// Panics (in debug) if the distribution parameters are out of their
+    /// documented domain.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            EstimateDistribution::Identical { value } => {
+                debug_assert!(value >= 0.0);
+                value
+            }
+            EstimateDistribution::Uniform { lo, hi } => {
+                debug_assert!(0.0 <= lo && lo <= hi);
+                if lo == hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            EstimateDistribution::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
+                debug_assert!((0.0..=1.0).contains(&p_long));
+                if rng.gen::<f64>() < p_long {
+                    long
+                } else {
+                    short
+                }
+            }
+            EstimateDistribution::Exponential { mean } => {
+                debug_assert!(mean > 0.0);
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            }
+            EstimateDistribution::HeavyTail { lo, shape, cap } => {
+                debug_assert!(lo > 0.0 && shape > 0.0 && cap >= lo);
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (lo * u.powf(-1.0 / shape)).min(cap)
+            }
+        }
+    }
+
+    /// Samples `n` estimates.
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng;
+
+    #[test]
+    fn identical_is_constant() {
+        let mut r = rng(1);
+        let d = EstimateDistribution::Identical { value: 3.5 };
+        assert!(d.sample_n(10, &mut r).iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = rng(2);
+        let d = EstimateDistribution::Uniform { lo: 2.0, hi: 5.0 };
+        for v in d.sample_n(1000, &mut r) {
+            assert!((2.0..=5.0).contains(&v));
+        }
+        // Degenerate range.
+        let d = EstimateDistribution::Uniform { lo: 3.0, hi: 3.0 };
+        assert_eq!(d.sample(&mut r), 3.0);
+    }
+
+    #[test]
+    fn bimodal_hits_both_modes() {
+        let mut r = rng(3);
+        let d = EstimateDistribution::Bimodal {
+            short: 1.0,
+            long: 100.0,
+            p_long: 0.2,
+        };
+        let samples = d.sample_n(2000, &mut r);
+        let longs = samples.iter().filter(|&&v| v == 100.0).count();
+        let shorts = samples.iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(longs + shorts, 2000);
+        // 0.2 ± generous slack.
+        assert!((300..500).contains(&longs), "longs = {longs}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut r = rng(4);
+        let d = EstimateDistribution::Exponential { mean: 4.0 };
+        let samples = d.sample_n(20_000, &mut r);
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean = {mean}");
+        assert!(samples.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn heavy_tail_bounded_and_heavy() {
+        let mut r = rng(5);
+        let d = EstimateDistribution::HeavyTail {
+            lo: 1.0,
+            shape: 1.1,
+            cap: 1000.0,
+        };
+        let samples = d.sample_n(20_000, &mut r);
+        assert!(samples.iter().all(|&v| (1.0..=1000.0).contains(&v)));
+        // A heavy tail produces some large values.
+        assert!(samples.iter().any(|&v| v > 100.0));
+        // …but the median stays small.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(sorted[samples.len() / 2] < 3.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload and realization generators for the uncertain-scheduling
+//! experiments.
+//!
+//! - [`estimates`]: distributions over the estimated times `p̃_j`;
+//! - [`realize`]: models of how actual times deviate within `[p̃/α, α·p̃]`;
+//! - [`scenarios`]: named end-to-end workloads mirroring the paper's
+//!   motivating applications (out-of-core sparse linear algebra,
+//!   MapReduce batches, iterative solvers, the adversary shape);
+//! - [`rng`]: seeded, reproducible randomness.
+//!
+//! # Example
+//! ```
+//! use rds_workloads::{realize::RealizationModel, scenarios, rng};
+//!
+//! let s = scenarios::mapreduce(100, 8, 42)?;
+//! let mut r = rng::rng(1);
+//! let real = RealizationModel::UniformFactor
+//!     .realize(&s.instance, s.uncertainty, &mut r)?;
+//! assert_eq!(real.n(), 100);
+//! # Ok::<(), rds_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod estimates;
+pub mod realize;
+pub mod rng;
+pub mod scenarios;
+
+pub use estimates::EstimateDistribution;
+pub use realize::RealizationModel;
+pub use scenarios::Scenario;

@@ -1,0 +1,200 @@
+//! Realization models: how actual times deviate from estimates within
+//! the `[p̃/α, α·p̃]` interval.
+
+use rand::Rng;
+use rds_core::{Instance, Realization, Result, Uncertainty};
+
+/// A stochastic (or degenerate) model of estimate error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RealizationModel {
+    /// Actual = estimate (perfect prediction).
+    Exact,
+    /// Every task inflated by the full factor `α` (uniform slowdown).
+    AllInflate,
+    /// Every task deflated by the full factor `1/α` (uniform speedup).
+    AllDeflate,
+    /// Per-task factor drawn uniformly from `[1/α, α]`.
+    UniformFactor,
+    /// Per-task factor drawn log-uniformly from `[1/α, α]` (symmetric in
+    /// the multiplicative sense: inflation and deflation equally likely).
+    LogUniformFactor,
+    /// Each task independently takes factor `α` with probability
+    /// `p_inflate`, else `1/α` — the two-point shape every adversary in
+    /// the paper uses.
+    TwoPoint {
+        /// Probability of inflation.
+        p_inflate: f64,
+    },
+    /// Systematic estimator bias plus mild per-task jitter: every factor
+    /// is `bias · jitter` with `jitter` log-uniform in a narrow band,
+    /// clamped into `[1/α, α]`. Models a throughput misprediction that
+    /// hits all tasks the same way (the paper's §3: "an inaccuracy of
+    /// the throughput of the system leads to a multiplicative error").
+    SystematicBias {
+        /// The common bias factor (clamped into `[1/α, α]`).
+        bias: f64,
+        /// Half-width of the log-uniform jitter band (e.g. `0.05`).
+        jitter: f64,
+    },
+}
+
+impl RealizationModel {
+    /// Draws a realization for `instance` under `uncertainty`.
+    ///
+    /// # Errors
+    /// Never fails for valid inputs; propagates interval validation as a
+    /// defensive check.
+    pub fn realize(
+        &self,
+        instance: &Instance,
+        uncertainty: Uncertainty,
+        rng: &mut impl Rng,
+    ) -> Result<Realization> {
+        let alpha = uncertainty.alpha();
+        let factors: Vec<f64> = (0..instance.n())
+            .map(|_| match *self {
+                RealizationModel::Exact => 1.0,
+                RealizationModel::AllInflate => alpha,
+                RealizationModel::AllDeflate => 1.0 / alpha,
+                RealizationModel::UniformFactor => {
+                    if alpha == 1.0 {
+                        1.0
+                    } else {
+                        rng.gen_range(1.0 / alpha..=alpha)
+                    }
+                }
+                RealizationModel::LogUniformFactor => {
+                    if alpha == 1.0 {
+                        1.0
+                    } else {
+                        let l = alpha.ln();
+                        rng.gen_range(-l..=l).exp()
+                    }
+                }
+                RealizationModel::TwoPoint { p_inflate } => {
+                    debug_assert!((0.0..=1.0).contains(&p_inflate));
+                    if rng.gen::<f64>() < p_inflate {
+                        alpha
+                    } else {
+                        1.0 / alpha
+                    }
+                }
+                RealizationModel::SystematicBias { bias, jitter } => {
+                    debug_assert!(bias > 0.0 && jitter >= 0.0);
+                    let j = if jitter == 0.0 {
+                        1.0
+                    } else {
+                        rng.gen_range(-jitter..=jitter).exp()
+                    };
+                    (bias * j).clamp(1.0 / alpha, alpha)
+                }
+            })
+            .collect();
+        Realization::from_factors(instance, uncertainty, &factors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng;
+    use rds_core::TaskId;
+
+    fn inst() -> Instance {
+        Instance::from_estimates(&[2.0, 4.0, 6.0, 8.0], 2).unwrap()
+    }
+
+    #[test]
+    fn exact_and_extremes() {
+        let i = inst();
+        let u = Uncertainty::of(2.0);
+        let mut r = rng(1);
+        let exact = RealizationModel::Exact.realize(&i, u, &mut r).unwrap();
+        assert_eq!(exact.actual(TaskId::new(1)).get(), 4.0);
+        let hi = RealizationModel::AllInflate.realize(&i, u, &mut r).unwrap();
+        assert_eq!(hi.actual(TaskId::new(1)).get(), 8.0);
+        let lo = RealizationModel::AllDeflate.realize(&i, u, &mut r).unwrap();
+        assert_eq!(lo.actual(TaskId::new(1)).get(), 2.0);
+    }
+
+    #[test]
+    fn uniform_factor_within_interval() {
+        let i = inst();
+        let u = Uncertainty::of(3.0);
+        let mut r = rng(2);
+        for _ in 0..50 {
+            let real = RealizationModel::UniformFactor.realize(&i, u, &mut r).unwrap();
+            for t in i.task_ids() {
+                assert!(u.contains(i.estimate(t), real.actual(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn two_point_only_extremes() {
+        let i = inst();
+        let u = Uncertainty::of(2.0);
+        let mut r = rng(3);
+        let real = RealizationModel::TwoPoint { p_inflate: 0.5 }
+            .realize(&i, u, &mut r)
+            .unwrap();
+        for t in i.task_ids() {
+            let f = real.actual(t).get() / i.estimate(t).get();
+            assert!((f - 2.0).abs() < 1e-9 || (f - 0.5).abs() < 1e-9, "f = {f}");
+        }
+    }
+
+    #[test]
+    fn log_uniform_is_multiplicatively_symmetric() {
+        let i = Instance::from_estimates(&vec![1.0; 20_000], 2).unwrap();
+        let u = Uncertainty::of(4.0);
+        let mut r = rng(4);
+        let real = RealizationModel::LogUniformFactor.realize(&i, u, &mut r).unwrap();
+        let mean_log: f64 = real
+            .times()
+            .iter()
+            .map(|t| t.get().ln())
+            .sum::<f64>()
+            / 20_000.0;
+        assert!(mean_log.abs() < 0.05, "mean log factor = {mean_log}");
+    }
+
+    #[test]
+    fn systematic_bias_is_correlated_and_clamped() {
+        let i = inst();
+        let u = Uncertainty::of(2.0);
+        let mut r = rng(6);
+        let real = RealizationModel::SystematicBias { bias: 1.5, jitter: 0.02 }
+            .realize(&i, u, &mut r)
+            .unwrap();
+        for t in i.task_ids() {
+            let f = real.actual(t).get() / i.estimate(t).get();
+            assert!((1.4..1.6).contains(&f), "factor {f} not near the bias");
+        }
+        // A bias beyond α clamps at the interval edge.
+        let real = RealizationModel::SystematicBias { bias: 10.0, jitter: 0.0 }
+            .realize(&i, u, &mut r)
+            .unwrap();
+        for t in i.task_ids() {
+            assert!(u.contains(i.estimate(t), real.actual(t)));
+            assert!((real.actual(t).get() / i.estimate(t).get() - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alpha_one_degenerates_to_exact() {
+        let i = inst();
+        let u = Uncertainty::CERTAIN;
+        let mut r = rng(5);
+        for model in [
+            RealizationModel::UniformFactor,
+            RealizationModel::LogUniformFactor,
+            RealizationModel::AllInflate,
+        ] {
+            let real = model.realize(&i, u, &mut r).unwrap();
+            for t in i.task_ids() {
+                assert_eq!(real.actual(t), i.estimate(t));
+            }
+        }
+    }
+}

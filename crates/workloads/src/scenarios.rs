@@ -1,0 +1,163 @@
+//! Named workload scenarios mirroring the application domains the paper
+//! motivates in its introduction.
+
+use crate::estimates::EstimateDistribution;
+use crate::rng::rng;
+use rand::Rng;
+use rds_core::{Instance, Result, Uncertainty};
+
+/// A fully specified workload: task estimates, sizes, machines, and the
+/// uncertainty the scheduler must plan under.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short identifier used in reports.
+    pub name: &'static str,
+    /// The generated instance.
+    pub instance: Instance,
+    /// The uncertainty factor of the scenario.
+    pub uncertainty: Uncertainty,
+}
+
+/// Out-of-core sparse linear algebra (the paper's §1 motivation,
+/// \[Zhou12\]): one task per matrix block, heavy-tailed block sizes, task
+/// memory proportional to its time (data-bound kernels), analytic runtime
+/// models accurate within `α ≈ 1.5` \[Erlebacher14\].
+///
+/// # Errors
+/// Never fails for `n ≥ 1`, `m ≥ 1`.
+pub fn out_of_core_spmv(n: usize, m: usize, seed: u64) -> Result<Scenario> {
+    let mut r = rng(seed);
+    let dist = EstimateDistribution::HeavyTail {
+        lo: 1.0,
+        shape: 1.6,
+        cap: 60.0,
+    };
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            let p = dist.sample(&mut r);
+            // Data-bound: size tracks time with mild jitter.
+            let s = p * r.gen_range(0.8..1.2);
+            (p, s)
+        })
+        .collect();
+    Ok(Scenario {
+        name: "out-of-core-spmv",
+        instance: Instance::from_estimates_and_sizes(&pairs, m)?,
+        uncertainty: Uncertainty::of(1.5),
+    })
+}
+
+/// MapReduce-style batch (the paper's Hadoop motivation \[White09\]):
+/// mostly uniform map tasks plus a fraction of stragglers; user-guessed
+/// runtimes are poor, `α = 2`. Sizes are uniform block sizes (HDFS-like).
+///
+/// # Errors
+/// Never fails for `n ≥ 1`, `m ≥ 1`.
+pub fn mapreduce(n: usize, m: usize, seed: u64) -> Result<Scenario> {
+    let mut r = rng(seed);
+    let dist = EstimateDistribution::Bimodal {
+        short: 2.0,
+        long: 12.0,
+        p_long: 0.08,
+    };
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|_| (dist.sample(&mut r), r.gen_range(0.9..1.1)))
+        .collect();
+    Ok(Scenario {
+        name: "mapreduce",
+        instance: Instance::from_estimates_and_sizes(&pairs, m)?,
+        uncertainty: Uncertainty::of(2.0),
+    })
+}
+
+/// Iterative solver sweep (\[Zhou12-P2S2\]): near-uniform per-iteration
+/// tasks whose runtime model is tight (`α = 1.1`); replication cost is
+/// amortized over many iterations, sizes equal to times.
+///
+/// # Errors
+/// Never fails for `n ≥ 1`, `m ≥ 1`.
+pub fn iterative_solver(n: usize, m: usize, seed: u64) -> Result<Scenario> {
+    let mut r = rng(seed);
+    let dist = EstimateDistribution::Uniform { lo: 4.0, hi: 6.0 };
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            let p = dist.sample(&mut r);
+            (p, p)
+        })
+        .collect();
+    Ok(Scenario {
+        name: "iterative-solver",
+        instance: Instance::from_estimates_and_sizes(&pairs, m)?,
+        uncertainty: Uncertainty::of(1.1),
+    })
+}
+
+/// The Theorem-1 adversary shape: `λ·m` identical unit tasks.
+///
+/// # Errors
+/// Never fails for `λ ≥ 1`, `m ≥ 1`.
+pub fn adversary_uniform(lambda: usize, m: usize, alpha: f64) -> Result<Scenario> {
+    Ok(Scenario {
+        name: "adversary-uniform",
+        instance: Instance::from_estimates(&vec![1.0; lambda * m], m)?,
+        uncertainty: Uncertainty::new(alpha)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_reproducible() {
+        let a = out_of_core_spmv(50, 8, 42).unwrap();
+        let b = out_of_core_spmv(50, 8, 42).unwrap();
+        assert_eq!(a.instance, b.instance);
+        let c = out_of_core_spmv(50, 8, 43).unwrap();
+        assert_ne!(a.instance, c.instance);
+    }
+
+    #[test]
+    fn spmv_sizes_track_times() {
+        let s = out_of_core_spmv(200, 8, 1).unwrap();
+        for t in s.instance.tasks() {
+            let ratio = t.size.get() / t.estimate.get();
+            assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+        }
+        assert_eq!(s.uncertainty.alpha(), 1.5);
+    }
+
+    #[test]
+    fn mapreduce_has_stragglers() {
+        let s = mapreduce(500, 16, 7).unwrap();
+        let longs = s
+            .instance
+            .tasks()
+            .iter()
+            .filter(|t| t.estimate.get() > 10.0)
+            .count();
+        assert!(longs > 10, "expected stragglers, got {longs}");
+        assert!(longs < 100);
+    }
+
+    #[test]
+    fn iterative_solver_is_tight() {
+        let s = iterative_solver(100, 8, 3).unwrap();
+        assert_eq!(s.uncertainty.alpha(), 1.1);
+        for t in s.instance.tasks() {
+            assert!((4.0..=6.0).contains(&t.estimate.get()));
+            assert_eq!(t.size, rds_core::Size::of(t.estimate.get()));
+        }
+    }
+
+    #[test]
+    fn adversary_shape() {
+        let s = adversary_uniform(3, 6, 2.0).unwrap();
+        assert_eq!(s.instance.n(), 18);
+        assert!(s
+            .instance
+            .tasks()
+            .iter()
+            .all(|t| t.estimate == rds_core::Time::ONE));
+    }
+}

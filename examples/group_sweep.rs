@@ -1,0 +1,69 @@
+//! Choosing the group count k: measured makespans across the whole
+//! replication spectrum, in parallel.
+//!
+//! For a cluster of m machines, sweeps every divisor k of m (replicas
+//! per task = m/k), measuring mean and worst makespan over many random
+//! realizations with the crossbeam-backed sweep executor — the empirical
+//! companion to Figure 3.
+//!
+//! Run: `cargo run --release --example group_sweep`
+
+use replicated_placement::par::parallel_map;
+use replicated_placement::prelude::*;
+use replicated_placement::report::{table::fmt, Align, Summary, Table};
+use replicated_placement::workloads::{realize::RealizationModel, rng, EstimateDistribution};
+
+fn main() -> Result<()> {
+    let (n, m, alpha, reps) = (120usize, 24usize, 1.8f64, 40usize);
+    let unc = Uncertainty::of(alpha);
+    let mut r = rng::rng(77);
+    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    let inst = Instance::from_estimates(&est, m)?;
+    println!("group sweep: n = {n}, m = {m}, α = {alpha}, {reps} realizations per k\n");
+
+    let divisors: Vec<usize> = (1..=m).filter(|k| m % k == 0).collect();
+    let threads = std::thread::available_parallelism().map_or(4, |t| t.get());
+
+    let mut table = Table::new(vec![
+        "k",
+        "replicas/task",
+        "guarantee (Th.4)",
+        "mean C_max",
+        "worst C_max",
+    ])
+    .align(vec![Align::Right; 5]);
+
+    for &k in &divisors {
+        let strategy = LsGroup::new(k);
+        let placement = strategy.place(&inst, unc)?;
+        let makespans = parallel_map((0..reps).collect::<Vec<_>>(), threads, |rep| {
+            let mut r = rng::rng(rng::child_seed(31337 + k as u64, rep as u64));
+            let real = RealizationModel::TwoPoint { p_inflate: 0.3 }
+                .realize(&inst, unc, &mut r)
+                .expect("realization");
+            strategy
+                .execute(&inst, &placement, &real)
+                .expect("execution")
+                .makespan(&real)
+                .get()
+        });
+        let mut s = Summary::new();
+        for mk in makespans {
+            s.push(mk);
+        }
+        table.row(vec![
+            k.to_string(),
+            (m / k).to_string(),
+            fmt(rds_bounds::replication::ls_group(alpha, m, k), 3),
+            fmt(s.mean(), 2),
+            fmt(s.max(), 2),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading: measured makespans improve monotonically with replication \
+         (k ↓), with most of the gain captured by the first few replicas — \
+         the Figure 3 story, measured instead of proven."
+    );
+    Ok(())
+}

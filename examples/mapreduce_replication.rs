@@ -1,0 +1,72 @@
+//! MapReduce straggler mitigation via data replication.
+//!
+//! Hadoop-style systems replicate blocks for fault tolerance anyway
+//! ([White09]); the paper's point is that the *scheduler* can exploit the
+//! same replicas to absorb runtime uncertainty. This example shows a
+//! bimodal map workload (8% stragglers) where replication lets the
+//! dispatcher route around slow tasks discovered at runtime.
+//!
+//! Run: `cargo run --release --example mapreduce_replication`
+
+use replicated_placement::prelude::*;
+use replicated_placement::report::{table::fmt, Align, Summary, Table};
+use replicated_placement::workloads::{realize::RealizationModel, rng, scenarios};
+
+fn main() -> Result<()> {
+    let reps = 25;
+    let scenario = scenarios::mapreduce(200, 16, 99)?;
+    let inst = &scenario.instance;
+    let unc = scenario.uncertainty;
+    println!(
+        "MapReduce batch: n = {}, m = {}, α = {} — user-guessed runtimes",
+        inst.n(),
+        inst.m(),
+        unc.alpha()
+    );
+
+    // HDFS-style replication factors: 1 (no replication), 3 (the Hadoop
+    // default, modeled as groups of ~3... here groups of m/k machines),
+    // and everywhere.
+    let k_for_3_replicas = inst.m() / 3; // groups of ~3 machines
+    let strategies: Vec<(Box<dyn Strategy>, &str)> = vec![
+        (Box::new(LptNoChoice), "no replication (1×)"),
+        (
+            Box::new(LsGroup::new_relaxed(k_for_3_replicas)),
+            "grouped ≈3× (HDFS-like)",
+        ),
+        (Box::new(LptNoRestriction), "replicate everywhere"),
+    ];
+
+    let mut table = Table::new(vec!["placement", "replicas/task", "mean C_max", "worst C_max"])
+        .align(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut baseline_mean = None;
+    for (strategy, label) in &strategies {
+        let placement = strategy.place(inst, unc)?;
+        let mut s = Summary::new();
+        for rep in 0..reps {
+            // Stragglers appear at run time: two-point realization.
+            let mut r = rng::rng(rng::child_seed(2025, rep));
+            let real =
+                RealizationModel::TwoPoint { p_inflate: 0.15 }.realize(inst, unc, &mut r)?;
+            let assignment = strategy.execute(inst, &placement, &real)?;
+            s.push(assignment.makespan(&real).get());
+        }
+        if baseline_mean.is_none() {
+            baseline_mean = Some(s.mean());
+        }
+        table.row(vec![
+            label.to_string(),
+            placement.max_replicas().to_string(),
+            fmt(s.mean(), 2),
+            fmt(s.max(), 2),
+        ]);
+    }
+    println!("\n{}", table.to_markdown());
+    println!(
+        "Reading: the Hadoop-default ≈3× replication already recovers most of \
+         the straggler-absorption benefit of full replication — matching the \
+         paper's conclusion that a small amount of replication improves the \
+         guarantee significantly."
+    );
+    Ok(())
+}

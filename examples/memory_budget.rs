@@ -1,0 +1,77 @@
+//! Bi-objective scheduling under a memory budget: SABO_Δ vs ABO_Δ.
+//!
+//! A system designer has a per-node memory budget and wants the best
+//! makespan achievable within it. This example sweeps Δ for both
+//! memory-aware algorithms, prints the achieved (makespan, memory)
+//! frontier on a real workload, and picks the best algorithm per budget —
+//! the operational version of the paper's Figure 6 discussion.
+//!
+//! Run: `cargo run --release --example memory_budget`
+
+use replicated_placement::prelude::*;
+use replicated_placement::report::{table::fmt, Align, Table};
+use replicated_placement::workloads::{realize::RealizationModel, rng, scenarios};
+
+fn main() -> Result<()> {
+    let scenario = scenarios::out_of_core_spmv(80, 8, 31)?;
+    let inst = &scenario.instance;
+    let unc = scenario.uncertainty;
+    let mut r = rng::rng(5);
+    let real = RealizationModel::LogUniformFactor.realize(inst, unc, &mut r)?;
+    println!(
+        "workload: n = {}, m = {}, α = {}, total data = {}",
+        inst.n(),
+        inst.m(),
+        unc.alpha(),
+        inst.total_size()
+    );
+
+    let deltas = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let mut table = Table::new(vec![
+        "delta",
+        "SABO C_max",
+        "SABO Mem_max",
+        "ABO C_max",
+        "ABO Mem_max",
+    ])
+    .align(vec![Align::Right; 5]);
+    let mut frontier: Vec<(String, f64, f64)> = Vec::new();
+    for &d in &deltas {
+        let sabo = Sabo::new(d).run(inst, unc, &real)?;
+        let abo = Abo::new(d).run(inst, unc, &real)?;
+        table.row(vec![
+            fmt(d, 2),
+            fmt(sabo.makespan.get(), 2),
+            fmt(sabo.mem_max.get(), 2),
+            fmt(abo.makespan.get(), 2),
+            fmt(abo.mem_max.get(), 2),
+        ]);
+        frontier.push((format!("SABO Δ={d}"), sabo.makespan.get(), sabo.mem_max.get()));
+        frontier.push((format!("ABO Δ={d}"), abo.makespan.get(), abo.mem_max.get()));
+    }
+    println!("\n{}", table.to_markdown());
+
+    // Answer budget queries: best makespan within a memory cap.
+    let mem_lb = rds_core::memory::mem_max_lower_bound(inst).get();
+    println!("per-node memory lower bound (no replication can beat): {mem_lb:.1}\n");
+    for budget_factor in [1.2, 2.0, 4.0] {
+        let budget = mem_lb * budget_factor;
+        let best = frontier
+            .iter()
+            .filter(|(_, _, mem)| *mem <= budget)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        match best {
+            Some((name, mk, mem)) => println!(
+                "budget {budget:.1} ({}× LB): best is {name} with C_max {mk:.2} (mem {mem:.1})",
+                budget_factor
+            ),
+            None => println!("budget {budget:.1}: no configuration fits"),
+        }
+    }
+    println!(
+        "\nReading: tight budgets favour SABO (its memory guarantee \
+         (1 + 1/Δ)ρ₂ is m-independent); loose budgets favour ABO, whose \
+         replicated time-tasks buy online adaptivity."
+    );
+    Ok(())
+}

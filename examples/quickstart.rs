@@ -1,0 +1,66 @@
+//! Quickstart: place data, execute online, compare against the optimum.
+//!
+//! Run: `cargo run --example quickstart`
+
+use replicated_placement::prelude::*;
+
+fn main() -> Result<()> {
+    // A small workload: 8 tasks with *estimated* runtimes on 3 machines.
+    // The scheduler knows the real runtime only within a factor α = 1.5.
+    let inst = Instance::from_estimates(&[9.0, 8.0, 6.0, 5.0, 4.0, 4.0, 3.0, 2.0], 3)?;
+    let unc = Uncertainty::of(1.5);
+
+    // Reality disagrees with the estimates (inside the allowed interval):
+    // the big task runs long, two medium tasks run short.
+    let real = Realization::from_factors(
+        &inst,
+        unc,
+        &[1.5, 1.0, 0.67, 1.0, 1.2, 0.8, 1.0, 1.0],
+    )?;
+
+    // The clairvoyant optimum for the *actual* times, for reference.
+    let opt = OptimalSolver::default().solve_realization(&real, inst.m());
+    println!("clairvoyant optimum C*            = {}", opt.lo);
+
+    // Strategy 1: no replication. Phase 1 commits everything.
+    let pinned = LptNoChoice.run(&inst, unc, &real)?;
+    println!(
+        "LPT-No Choice       (1 replica)   : C_max = {}  (ratio {:.3})",
+        pinned.makespan,
+        pinned.makespan.ratio(opt.lo).unwrap()
+    );
+
+    // Strategy 3: replicate within 3 groups — some runtime flexibility.
+    // (m = 3, so k = 3 groups of 1 machine ≙ pinning; use k = 1..m.)
+    let grouped = LsGroup::new(1).run(&inst, unc, &real)?;
+    println!(
+        "LS-Group(k=1)       ({} replicas)  : C_max = {}  (ratio {:.3})",
+        grouped.placement.max_replicas(),
+        grouped.makespan,
+        grouped.makespan.ratio(opt.lo).unwrap()
+    );
+
+    // Strategy 2: replicate everywhere — full runtime flexibility.
+    let everywhere = LptNoRestriction.run(&inst, unc, &real)?;
+    println!(
+        "LPT-No Restriction  ({} replicas)  : C_max = {}  (ratio {:.3})",
+        inst.m(),
+        everywhere.makespan,
+        everywhere.makespan.ratio(opt.lo).unwrap()
+    );
+
+    // The proven guarantees these must respect:
+    let m = inst.m();
+    let a = unc.alpha();
+    println!(
+        "\nproven bounds: LPT-No Choice ≤ {:.3}, LPT-No Restriction ≤ {:.3}",
+        rds_bounds::replication::lpt_no_choice(a, m),
+        rds_bounds::replication::lpt_no_restriction_best(a, m),
+    );
+
+    // Watch the online execution as a Gantt chart.
+    let simulated = executors::simulate_no_restriction(&inst, &real)?;
+    println!("\nonline execution (LPT-No Restriction):");
+    println!("{}", replicated_placement::report::gantt::render(&simulated.schedule, 60));
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Integration: the Theorem-1 adversary behaves exactly as the proof
+//! says, across strategies and parameters.
+
+use replicated_placement::adversary::{theorem1, worst_case};
+use replicated_placement::prelude::*;
+use rds_bounds::replication as rb;
+
+fn balanced_assignment(inst: &Instance, unc: Uncertainty) -> Assignment {
+    let placement = LptNoChoice.place(inst, unc).unwrap();
+    LptNoChoice
+        .execute(inst, &placement, &Realization::exact(inst))
+        .unwrap()
+}
+
+#[test]
+fn witness_bracketed_between_finite_formula_and_theorem1() {
+    for &(lambda, m, alpha) in &[
+        (2usize, 3usize, 1.2f64),
+        (4, 4, 1.5),
+        (8, 6, 2.0),
+        (16, 5, 3.0),
+    ] {
+        let inst = theorem1::uniform_instance(lambda, m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        let a = balanced_assignment(&inst, unc);
+        let atk = theorem1::attack(&inst, unc, &a).unwrap();
+        let fin = theorem1::finite_lambda_bound(alpha, m, lambda);
+        let asym = theorem1::theorem1_bound(alpha, m);
+        assert!(
+            atk.ratio_witness() >= fin - 1e-9,
+            "λ={lambda} m={m} α={alpha}: witness {} below finite formula {fin}",
+            atk.ratio_witness()
+        );
+        assert!(
+            atk.ratio_witness() <= asym + 1e-9,
+            "λ={lambda} m={m} α={alpha}: witness exceeds asymptotic bound"
+        );
+    }
+}
+
+#[test]
+fn witness_against_exact_optimum_still_below_theorem2() {
+    // The witness uses the proof's crude offline schedule; against the
+    // *exact* optimum the ratio can only be larger, but must stay below
+    // the Theorem-2 guarantee of the algorithm under attack.
+    let solver = OptimalSolver::default();
+    for &(lambda, m, alpha) in &[(3usize, 4usize, 1.5f64), (4, 3, 2.0)] {
+        let inst = theorem1::uniform_instance(lambda, m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        let a = balanced_assignment(&inst, unc);
+        let atk = theorem1::attack(&inst, unc, &a).unwrap();
+        let opt = solver.solve_realization(&atk.realization, m);
+        let exact_ratio = atk.online_makespan.ratio(opt.lo).unwrap();
+        assert!(exact_ratio >= atk.ratio_witness() - 1e-9);
+        assert!(
+            exact_ratio <= rb::lpt_no_choice(alpha, m) + 1e-6,
+            "λ={lambda} m={m} α={alpha}: {exact_ratio}"
+        );
+    }
+}
+
+#[test]
+fn theorem1_sandwich_lb_le_ub() {
+    // Structural sanity across a parameter grid: the adversary's
+    // achievable witness (lower bound side) never exceeds the algorithmic
+    // guarantee (upper bound side); both are ≥ 1.
+    for m in [2usize, 3, 8, 50, 210] {
+        for &alpha in &[1.0, 1.1, 1.5, 2.0, 4.0] {
+            let lb = rb::lower_bound_no_replication(alpha, m);
+            let ub = rb::lpt_no_choice(alpha, m);
+            assert!((1.0..=ub + 1e-12).contains(&lb), "m={m} α={alpha}");
+        }
+    }
+}
+
+#[test]
+fn adversary_is_less_effective_against_replication() {
+    // Run the machine-inflation adversary against all three strategies
+    // on the same uniform instance.
+    let (lambda, m, alpha) = (3usize, 4usize, 2.0f64);
+    let inst = theorem1::uniform_instance(lambda, m).unwrap();
+    let unc = Uncertainty::of(alpha);
+    let solver = OptimalSolver::default();
+    let a = balanced_assignment(&inst, unc);
+    let sets = a.tasks_per_machine();
+
+    let pinned =
+        worst_case::worst_per_machine_inflation(&inst, unc, &a, &solver).unwrap();
+    let grouped =
+        worst_case::worst_over_inflate_sets(&inst, unc, &LsGroup::new(2), &sets, &solver)
+            .unwrap();
+    let full = worst_case::worst_over_inflate_sets(
+        &inst,
+        unc,
+        &LptNoRestriction,
+        &sets,
+        &solver,
+    )
+    .unwrap();
+
+    assert!(full.ratio_lo <= grouped.ratio_lo + 1e-9);
+    assert!(grouped.ratio_lo <= pinned.ratio_lo + 1e-9);
+    // All bounded by their respective theorems.
+    assert!(pinned.ratio_hi <= rb::lpt_no_choice(alpha, m) + 1e-6);
+    assert!(grouped.ratio_hi <= rb::ls_group(alpha, m, 2) + 1e-6);
+    assert!(full.ratio_hi <= rb::lpt_no_restriction_best(alpha, m) + 1e-6);
+}
+
+#[test]
+fn pathological_instances_under_uncertainty() {
+    // Graham's tight LPT instance plus the adversary: the combined
+    // ratio still respects Theorem 2.
+    use replicated_placement::adversary::pathological;
+    let solver = OptimalSolver::default();
+    for m in 2..=4usize {
+        let inst = pathological::lpt_tight(m).unwrap();
+        for &alpha in &[1.3, 2.0] {
+            let unc = Uncertainty::of(alpha);
+            let a = balanced_assignment(&inst, unc);
+            let worst =
+                worst_case::worst_per_machine_inflation(&inst, unc, &a, &solver).unwrap();
+            assert!(
+                worst.ratio_hi <= rb::lpt_no_choice(alpha, m) + 1e-6,
+                "m={m} α={alpha}: {}",
+                worst.ratio_hi
+            );
+            // And it genuinely hurts more than the exact realization.
+            assert!(worst.ratio_lo > 1.0);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration: the future-work extension policies compose with the rest
+//! of the system (bounds, exact solver, robustness analyses).
+
+use replicated_placement::prelude::*;
+use replicated_placement::robust;
+use replicated_placement::workloads::{realize::RealizationModel, rng, EstimateDistribution};
+
+fn random_instance(n: usize, m: usize, seed: u64) -> Instance {
+    let mut r = rng::rng(seed);
+    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    Instance::from_estimates(&est, m).unwrap()
+}
+
+#[test]
+fn extension_policies_respect_graham_bound() {
+    // Every extension policy is a List Scheduling variant in phase 2, so
+    // 2 − 1/m must hold against the exact optimum of the actual times.
+    let solver = OptimalSolver::default();
+    let m = 4;
+    for seed in 0..6u64 {
+        let inst = random_instance(14, m, seed);
+        let unc = Uncertainty::of(2.0);
+        let mut r = rng::rng(1000 + seed);
+        let real = RealizationModel::TwoPoint { p_inflate: 0.3 }
+            .realize(&inst, unc, &mut r)
+            .unwrap();
+        let opt = solver.solve_realization(&real, m);
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(ChainedReplication::new(2)),
+            Box::new(ChainedReplication::new(3)),
+            Box::new(RandomKReplication::new(2, seed)),
+            Box::new(CriticalTaskReplication::new(0.3)),
+            Box::new(rds_algs::group_lpt::LptGroup::new_relaxed(2)),
+        ];
+        for s in &strategies {
+            let out = s.run(&inst, unc, &real).unwrap();
+            let ratio = out.makespan.ratio(opt.lo).unwrap_or(1.0);
+            assert!(
+                ratio <= 2.0 - 1.0 / m as f64 + 1e-6,
+                "{} seed {seed}: ratio {ratio}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn replica_budgets_interpolate_memory_footprint() {
+    let inst = random_instance(30, 6, 9);
+    let unc = Uncertainty::of(1.5);
+    // Total replicas must be ordered: pinned < critical(30%) < chained(3)
+    // on this instance shape < everywhere.
+    let pinned = LptNoChoice.place(&inst, unc).unwrap().total_replicas();
+    let critical = CriticalTaskReplication::new(0.3)
+        .place(&inst, unc)
+        .unwrap()
+        .total_replicas();
+    let chained = ChainedReplication::new(3)
+        .place(&inst, unc)
+        .unwrap()
+        .total_replicas();
+    let everywhere = LptNoRestriction.place(&inst, unc).unwrap().total_replicas();
+    assert!(pinned < critical, "{pinned} vs {critical}");
+    assert!(critical < chained * 2, "sanity");
+    assert!(chained < everywhere, "{chained} vs {everywhere}");
+    assert_eq!(pinned, inst.n());
+    assert_eq!(chained, 3 * inst.n());
+    assert_eq!(everywhere, 6 * inst.n());
+}
+
+#[test]
+fn chained_beats_pinned_under_adversarial_straggler() {
+    // A straggler on one machine: the chain lets its queued work drift to
+    // the neighbour, pinning cannot.
+    let inst = Instance::from_estimates(&[3.0; 12], 4).unwrap();
+    let unc = Uncertainty::of(2.0);
+    let mut worst_chain: f64 = 0.0;
+    let mut worst_pin: f64 = 0.0;
+    let pinned_out = LptNoChoice.place(&inst, unc).unwrap();
+    let base = LptNoChoice
+        .execute(&inst, &pinned_out, &Realization::exact(&inst))
+        .unwrap();
+    for target in 0..4usize {
+        let factors: Vec<f64> = (0..12)
+            .map(|j| {
+                if base.machine_of(TaskId::new(j)).index() == target {
+                    2.0
+                } else {
+                    0.5
+                }
+            })
+            .collect();
+        let real = Realization::from_factors(&inst, unc, &factors).unwrap();
+        let chain = ChainedReplication::new(2).run(&inst, unc, &real).unwrap();
+        let pin = LptNoChoice.run(&inst, unc, &real).unwrap();
+        worst_chain = worst_chain.max(chain.makespan.get());
+        worst_pin = worst_pin.max(pin.makespan.get());
+    }
+    assert!(
+        worst_chain < worst_pin,
+        "chained worst {worst_chain} should beat pinned worst {worst_pin}"
+    );
+}
+
+#[test]
+fn eva_ordering_matches_replication_spectrum() {
+    // Expected value of adaptivity vs the static baseline must grow with
+    // the replication budget.
+    let inst = random_instance(36, 6, 77);
+    let unc = Uncertainty::of(2.0);
+    let model = RealizationModel::TwoPoint { p_inflate: 0.3 };
+    let eva_group = robust::expected_value_of_adaptivity(
+        &LptNoChoice,
+        &LsGroup::new(2),
+        &inst,
+        unc,
+        model,
+        40,
+        5,
+    )
+    .unwrap()
+    .mean();
+    let eva_full = robust::expected_value_of_adaptivity(
+        &LptNoChoice,
+        &LptNoRestriction,
+        &inst,
+        unc,
+        model,
+        40,
+        5,
+    )
+    .unwrap()
+    .mean();
+    assert!(eva_full >= eva_group - 0.02, "{eva_full} vs {eva_group}");
+    assert!(eva_group > 0.0);
+}
+
+#[test]
+fn criticality_guides_critical_replication() {
+    // The tasks the critical policy replicates are exactly high-criticality
+    // ones under the robustness analysis.
+    let inst = Instance::from_estimates(&[12.0, 10.0, 2.0, 2.0, 2.0, 2.0], 3).unwrap();
+    let unc = Uncertainty::of(1.5);
+    let placement = LptNoChoice.place(&inst, unc).unwrap();
+    let assignment = LptNoChoice
+        .execute(&inst, &placement, &Realization::exact(&inst))
+        .unwrap();
+    let crit = robust::task_criticality(&inst, &assignment);
+    let policy = CriticalTaskReplication::new(0.5);
+    let chosen = policy.critical_set(&inst);
+    // Every chosen task has criticality at least as high as every
+    // non-chosen task.
+    let chosen_min = chosen
+        .iter()
+        .map(|t| crit[t.index()])
+        .fold(f64::INFINITY, f64::min);
+    let rest_max = (0..inst.n())
+        .filter(|j| !chosen.iter().any(|t| t.index() == *j))
+        .map(|j| crit[j])
+        .fold(0.0, f64::max);
+    assert!(
+        chosen_min >= rest_max - 1e-9,
+        "chosen_min {chosen_min} rest_max {rest_max}"
+    );
+}

@@ -1,0 +1,165 @@
+//! Integration: every measured competitive ratio respects its theorem.
+//!
+//! For each strategy × uncertainty × realization-model combination, run
+//! end to end on the simulator-equivalent closed forms and compare the
+//! achieved makespan against the *exact* optimum of the realized times
+//! (instances kept small enough for the exact solvers). The proven
+//! bounds of Theorems 2–4 must hold on every single run.
+
+use replicated_placement::prelude::*;
+use replicated_placement::workloads::{realize::RealizationModel, rng, EstimateDistribution};
+use rds_bounds::replication as rb;
+
+fn check_ratio_bound<S: Strategy>(
+    strategy: &S,
+    bound: f64,
+    inst: &Instance,
+    unc: Uncertainty,
+    real: &Realization,
+    solver: &OptimalSolver,
+    context: &str,
+) {
+    let out = strategy.run(inst, unc, real).expect("strategy runs");
+    let opt = solver.solve_realization(real, inst.m());
+    // Use the certified lower end of the optimum bracket: the *highest*
+    // ratio the measurement could justify. It must respect the bound.
+    let ratio = out.makespan.ratio(opt.lo).unwrap_or(1.0);
+    assert!(
+        ratio <= bound + 1e-6,
+        "{context}: measured ratio {ratio:.4} exceeds bound {bound:.4} \
+         (C_max = {}, opt ∈ [{}, {}])",
+        out.makespan,
+        opt.lo,
+        opt.hi
+    );
+}
+
+#[test]
+fn theorem_bounds_hold_across_workloads_and_realizations() {
+    let solver = OptimalSolver::default();
+    let models = [
+        RealizationModel::Exact,
+        RealizationModel::AllInflate,
+        RealizationModel::AllDeflate,
+        RealizationModel::UniformFactor,
+        RealizationModel::TwoPoint { p_inflate: 0.3 },
+    ];
+    let mut trial = 0u64;
+    for &m in &[2usize, 4, 6] {
+        for &alpha in &[1.0, 1.3, 2.0] {
+            let unc = Uncertainty::of(alpha);
+            for &n in &[m, 2 * m + 1, 12] {
+                let mut r = rng::rng(rng::child_seed(0xA11CE, trial));
+                trial += 1;
+                let est =
+                    EstimateDistribution::Uniform { lo: 1.0, hi: 9.0 }.sample_n(n, &mut r);
+                let inst = Instance::from_estimates(&est, m).unwrap();
+                for model in &models {
+                    let real = model.realize(&inst, unc, &mut r).unwrap();
+                    check_ratio_bound(
+                        &LptNoChoice,
+                        rb::lpt_no_choice(alpha, m),
+                        &inst,
+                        unc,
+                        &real,
+                        &solver,
+                        &format!("LPT-NC m={m} α={alpha} n={n} {model:?}"),
+                    );
+                    check_ratio_bound(
+                        &LptNoRestriction,
+                        rb::lpt_no_restriction_best(alpha, m),
+                        &inst,
+                        unc,
+                        &real,
+                        &solver,
+                        &format!("LPT-NR m={m} α={alpha} n={n} {model:?}"),
+                    );
+                    for k in rb::group_counts(m) {
+                        check_ratio_bound(
+                            &LsGroup::new(k),
+                            rb::ls_group(alpha, m, k),
+                            &inst,
+                            unc,
+                            &real,
+                            &solver,
+                            &format!("LS-Group(k={k}) m={m} α={alpha} n={n} {model:?}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn certain_alpha_recovers_classical_ratios() {
+    // With α = 1 the uncertain bounds collapse to (near-)classical ones:
+    // LPT-No Choice → 2m/(m+1) ≥ LPT's offline 4/3 − 1/(3m), so any LPT
+    // run must respect 4/3 − 1/(3m) too (LPT property, not the theorem).
+    let solver = OptimalSolver::default();
+    for &m in &[2usize, 3, 5] {
+        for seed in 0..5u64 {
+            let mut r = rng::rng(seed);
+            let est = EstimateDistribution::Uniform { lo: 1.0, hi: 20.0 }
+                .sample_n(2 * m + 3, &mut r);
+            let inst = Instance::from_estimates(&est, m).unwrap();
+            let real = Realization::exact(&inst);
+            let out = LptNoChoice
+                .run(&inst, Uncertainty::CERTAIN, &real)
+                .unwrap();
+            let opt = solver.solve_realization(&real, m);
+            let ratio = out.makespan.ratio(opt.lo).unwrap();
+            assert!(
+                ratio <= 4.0 / 3.0 - 1.0 / (3.0 * m as f64) + 1e-6,
+                "m={m} seed={seed}: LPT ratio {ratio}"
+            );
+        }
+    }
+}
+
+#[test]
+fn replication_never_hurts_worst_case_on_uniform_adversary() {
+    // On the adversary-shaped workload, measured worst ratios must be
+    // ordered: full replication ≤ grouped ≤ none (up to solver noise).
+    let m = 6;
+    let alpha = 2.0;
+    let unc = Uncertainty::of(alpha);
+    let inst = Instance::from_estimates(&vec![1.0; 3 * m], m).unwrap();
+    let solver = OptimalSolver::default();
+
+    let worst_ratio = |strategy: &dyn Strategy| -> f64 {
+        // Enumerate single-machine inflations against the strategy's
+        // balanced assignment.
+        let placement = strategy.place(&inst, unc).unwrap();
+        let balanced = strategy
+            .execute(&inst, &placement, &Realization::exact(&inst))
+            .unwrap();
+        let mut worst: f64 = 1.0;
+        for target in 0..m {
+            let factors: Vec<f64> = (0..inst.n())
+                .map(|j| {
+                    if balanced.machine_of(TaskId::new(j)).index() == target {
+                        alpha
+                    } else {
+                        1.0 / alpha
+                    }
+                })
+                .collect();
+            let real = Realization::from_factors(&inst, unc, &factors).unwrap();
+            let out = strategy.run(&inst, unc, &real).unwrap();
+            let opt = solver.solve_realization(&real, m);
+            worst = worst.max(out.makespan.ratio(opt.hi).unwrap_or(1.0));
+        }
+        worst
+    };
+
+    let none = worst_ratio(&LptNoChoice);
+    let grouped = worst_ratio(&LsGroup::new(2));
+    let full = worst_ratio(&LptNoRestriction);
+    assert!(
+        full <= grouped + 1e-9 && grouped <= none + 1e-9,
+        "expected full ({full:.3}) ≤ grouped ({grouped:.3}) ≤ none ({none:.3})"
+    );
+    // And the gap must be material for α = 2.
+    assert!(none - full > 0.3, "replication gain too small: {none} vs {full}");
+}

@@ -1,0 +1,167 @@
+//! Integration: Theorems 5–8 hold on real executions with exact
+//! reference quantities.
+//!
+//! On small instances we compute the true optima (`C*` via the exact
+//! solver on actual times; `Mem*` via the exact solver on sizes — memory
+//! occupation of a replication-free placement *is* a makespan on sizes)
+//! and plug optimal π-schedules (`ρ₁ = ρ₂ = 1`) into SABO/ABO, so the
+//! theorem inequalities can be checked without slack from heuristic ρ's.
+
+use replicated_placement::prelude::*;
+use replicated_placement::workloads::{realize::RealizationModel, rng};
+use rds_algs::memory::pi::PiSchedules;
+use rds_algs::memory::{abo::Abo, sabo::Sabo};
+use rds_core::Time;
+
+/// Builds optimal π₁ (makespan on estimates) and π₂ (memory on sizes)
+/// with the exact solver, wrapped as ρ = 1 schedules.
+fn optimal_pis(inst: &Instance) -> PiSchedules {
+    let est: Vec<Time> = inst.tasks().iter().map(|t| t.estimate).collect();
+    let (_, a1) = rds_exact::dp::optimal(&est, inst.m()).unwrap();
+    let sizes: Vec<Time> = inst
+        .tasks()
+        .iter()
+        .map(|t| Time::of(t.size.get()))
+        .collect();
+    let (_, a2) = rds_exact::dp::optimal(&sizes, inst.m()).unwrap();
+    let pi1 = Assignment::new(inst, a1).unwrap();
+    let pi2 = Assignment::new(inst, a2).unwrap();
+    PiSchedules::from_assignments(inst, pi1, pi2, 1.0, 1.0)
+}
+
+fn random_sized_instance(n: usize, m: usize, seed: u64) -> Instance {
+    use rand::Rng;
+    let mut r = rng::rng(seed);
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|_| (r.gen_range(1.0..8.0), r.gen_range(0.5..6.0)))
+        .collect();
+    Instance::from_estimates_and_sizes(&pairs, m).unwrap()
+}
+
+#[test]
+fn sabo_respects_theorems_5_and_6_with_exact_references() {
+    let solver = OptimalSolver::default();
+    for seed in 0..8u64 {
+        let inst = random_sized_instance(10, 3, seed);
+        let unc = Uncertainty::of(1.5);
+        let pis = optimal_pis(&inst);
+        let mut r = rng::rng(1000 + seed);
+        let real = RealizationModel::TwoPoint { p_inflate: 0.5 }
+            .realize(&inst, unc, &mut r)
+            .unwrap();
+        for &delta in &[0.3, 1.0, 2.5] {
+            let sabo = Sabo::new(delta);
+            let (placement, assignment) = sabo.place_with(&inst, &pis).unwrap();
+            assignment.check_feasible(&placement).unwrap();
+            let cmax = assignment.makespan(&real);
+            // Theorem 5: C_max ≤ (1 + Δ)·α²·ρ₁·C*.
+            let opt = solver.solve_realization(&real, inst.m());
+            let bound = rds_bounds::memory::sabo_makespan(delta, unc.alpha(), 1.0);
+            assert!(
+                cmax.get() <= bound * opt.hi.get() + 1e-6,
+                "seed {seed} Δ={delta}: Th.5 violated ({cmax} > {bound}·{})",
+                opt.hi
+            );
+            // Theorem 6: Mem_max ≤ (1 + 1/Δ)·ρ₂·Mem*.
+            let mem = rds_core::memory::mem_max(&inst, &placement);
+            let sizes: Vec<Time> = inst
+                .tasks()
+                .iter()
+                .map(|t| Time::of(t.size.get()))
+                .collect();
+            let (mem_opt, _) = rds_exact::dp::optimal(&sizes, inst.m()).unwrap();
+            let mem_bound = rds_bounds::memory::sabo_memory(delta, 1.0);
+            assert!(
+                mem.get() <= mem_bound * mem_opt.get() + 1e-6,
+                "seed {seed} Δ={delta}: Th.6 violated ({mem} > {mem_bound}·{mem_opt})"
+            );
+        }
+    }
+}
+
+#[test]
+fn abo_respects_theorems_7_and_8_with_exact_references() {
+    let solver = OptimalSolver::default();
+    for seed in 0..8u64 {
+        let inst = random_sized_instance(10, 3, 50 + seed);
+        let unc = Uncertainty::of(1.5);
+        let pis = optimal_pis(&inst);
+        let mut r = rng::rng(2000 + seed);
+        let real = RealizationModel::UniformFactor
+            .realize(&inst, unc, &mut r)
+            .unwrap();
+        for &delta in &[0.3, 1.0, 2.5] {
+            let abo = Abo::new(delta);
+            let (placement, classes) = abo.place_with(&inst, &pis).unwrap();
+            let assignment = abo.execute_with(&inst, &pis, &classes, &real).unwrap();
+            assignment.check_feasible(&placement).unwrap();
+            let cmax = assignment.makespan(&real);
+            let opt = solver.solve_realization(&real, inst.m());
+            // Theorem 7: C_max ≤ (2 − 1/m + Δ·α²·ρ₁)·C*.
+            let bound =
+                rds_bounds::memory::abo_makespan(delta, unc.alpha(), 1.0, inst.m());
+            assert!(
+                cmax.get() <= bound * opt.hi.get() + 1e-6,
+                "seed {seed} Δ={delta}: Th.7 violated"
+            );
+            // Theorem 8: Mem_max ≤ (1 + m/Δ)·ρ₂·Mem*.
+            let mem = rds_core::memory::mem_max(&inst, &placement);
+            let sizes: Vec<Time> = inst
+                .tasks()
+                .iter()
+                .map(|t| Time::of(t.size.get()))
+                .collect();
+            let (mem_opt, _) = rds_exact::dp::optimal(&sizes, inst.m()).unwrap();
+            let mem_bound = rds_bounds::memory::abo_memory(delta, 1.0, inst.m());
+            assert!(
+                mem.get() <= mem_bound * mem_opt.get() + 1e-6,
+                "seed {seed} Δ={delta}: Th.8 violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_sweep_moves_the_split_monotonically() {
+    // The *split* is monotone in Δ (S₂ only grows); Mem_max of a mixture
+    // is not guaranteed monotone point-wise, but the extremes must be
+    // ordered: the all-π₂ placement (Δ → ∞) cannot use more memory than
+    // the all-π₁ placement (Δ → 0), since π₂ is the memory-balanced one.
+    let inst = random_sized_instance(24, 4, 7);
+    let unc = Uncertainty::of(1.4);
+    let real = Realization::exact(&inst);
+    let pis = rds_algs::memory::pi::PiSchedules::lpt_defaults(&inst).unwrap();
+    let deltas = [0.05, 0.2, 1.0, 5.0, 20.0, 1e6];
+    let mut prev_s2 = 0usize;
+    for &d in &deltas {
+        let (s1, s2) = rds_algs::memory::sbo::split(&inst, &pis, d);
+        assert_eq!(s1.len() + s2.len(), inst.n());
+        assert!(s2.len() >= prev_s2, "S2 shrank as Δ grew");
+        prev_s2 = s2.len();
+    }
+    let lean = Sabo::new(1e6).run(&inst, unc, &real).unwrap();
+    let fast = Sabo::new(1e-6).run(&inst, unc, &real).unwrap();
+    assert!(
+        lean.mem_max <= fast.mem_max,
+        "all-π₂ memory {} should not exceed all-π₁ memory {}",
+        lean.mem_max,
+        fast.mem_max
+    );
+}
+
+#[test]
+fn abo_memory_accounts_replication_cost() {
+    // The achieved Mem_max of ABO must equal Σ_{S1} s_j + max-machine S2
+    // contribution — i.e. replicas are really charged everywhere.
+    let inst = Instance::from_estimates_and_sizes(
+        &[(9.0, 2.0), (8.0, 1.0), (0.5, 5.0), (0.4, 4.0)],
+        2,
+    )
+    .unwrap();
+    let unc = Uncertainty::of(1.2);
+    let real = Realization::exact(&inst);
+    let out = Abo::new(1.0).run(&inst, unc, &real).unwrap();
+    // Tasks 0, 1 are time-intensive (replicated, sizes 2 + 1); tasks 2, 3
+    // memory-intensive, LPT-on-sizes puts 5 and 4 on different machines.
+    assert_eq!(out.mem_max.get(), 2.0 + 1.0 + 5.0);
+}

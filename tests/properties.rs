@@ -1,0 +1,204 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use replicated_placement::prelude::*;
+// Explicit import: `proptest::prelude::Strategy` shadows the scheduling
+// trait under the glob imports above.
+use rds_algs::Strategy as SchedulingStrategy;
+use rds_exact::lower_bounds;
+
+/// Strategy for a vector of 1..=n positive estimates.
+fn estimates(max_n: usize) -> impl proptest::strategy::Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..100.0, 1..=max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn realization_always_inside_interval(
+        est in estimates(30),
+        alpha in 1.0f64..4.0,
+        pattern_seed in any::<u64>(),
+    ) {
+        let m = 3;
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        let factors: Vec<f64> = (0..inst.n())
+            .map(|j| if (pattern_seed >> (j % 64)) & 1 == 1 { alpha } else { 1.0 / alpha })
+            .collect();
+        let real = Realization::from_factors(&inst, unc, &factors).unwrap();
+        for t in inst.task_ids() {
+            prop_assert!(unc.contains(inst.estimate(t), real.actual(t)));
+        }
+    }
+
+    #[test]
+    fn makespan_equals_max_load_and_sums_conserve(
+        est in estimates(40),
+        m in 1usize..8,
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let real = Realization::exact(&inst);
+        let a = rds_algs::list_scheduling::lpt_estimates(&inst).unwrap();
+        let loads = a.loads(&real);
+        // Sum of loads = sum of processing times.
+        let total: f64 = loads.iter().map(|t| t.get()).sum();
+        prop_assert!((total - real.total().get()).abs() < 1e-6 * total.max(1.0));
+        // Makespan = max load.
+        prop_assert_eq!(a.makespan(&real), loads.into_iter().max().unwrap());
+    }
+
+    #[test]
+    fn strategies_always_feasible_and_bounded_by_graham(
+        est in estimates(25),
+        alpha in 1.0f64..3.0,
+        pattern in any::<u64>(),
+        m in 2usize..7,
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        let factors: Vec<f64> = (0..inst.n())
+            .map(|j| if (pattern >> (j % 64)) & 1 == 1 { alpha } else { 1.0 / alpha })
+            .collect();
+        let real = Realization::from_factors(&inst, unc, &factors).unwrap();
+
+        // LPT-No Restriction is a List Scheduling variant: its makespan
+        // is bounded by avg + (m-1)/m * pmax for the actual times.
+        let out = LptNoRestriction.run(&inst, unc, &real).unwrap();
+        let avg = real.total() / m as f64;
+        let bound = avg + real.max() * ((m - 1) as f64 / m as f64);
+        prop_assert!(out.makespan.get() <= bound.get() + 1e-9,
+            "LS property violated: {} > {}", out.makespan, bound);
+
+        // Every strategy's output is feasible (run() checks it, but the
+        // property re-asserts the placement shapes too).
+        for k in 1..=m {
+            if m % k != 0 { continue; }
+            let g = LsGroup::new(k).run(&inst, unc, &real).unwrap();
+            prop_assert!(g.placement.max_replicas() == m / k);
+        }
+    }
+
+    #[test]
+    fn exact_optimum_is_a_true_lower_bound(
+        est in estimates(10),
+        m in 1usize..5,
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let real = Realization::exact(&inst);
+        let times = real.times();
+        let (opt, assign) = rds_exact::dp::optimal(times, m).unwrap();
+        // Optimal ≥ every combinatorial lower bound.
+        prop_assert!(opt >= lower_bounds::combined(times, m) * 0.999_999_999);
+        // Optimal ≤ any heuristic (LPT here).
+        let lpt = rds_algs::list_scheduling::lpt_estimates(&inst).unwrap();
+        prop_assert!(opt <= lpt.makespan(&real) * 1.000_000_001);
+        // The reconstruction achieves the reported value.
+        let mut loads = vec![0.0f64; m];
+        for (j, id) in assign.iter().enumerate() {
+            loads[id.index()] += times[j].get();
+        }
+        let achieved = loads.into_iter().fold(0.0, f64::max);
+        prop_assert!((achieved - opt.get()).abs() < 1e-9 * achieved.max(1.0));
+    }
+
+    #[test]
+    fn multifit_within_bound_and_above_optimal(
+        est in estimates(12),
+        m in 1usize..5,
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let times: Vec<Time> = inst.tasks().iter().map(|t| t.estimate).collect();
+        let (mf, _) = rds_exact::bin_packing::multifit(&times, m, 40);
+        let (opt, _) = rds_exact::dp::optimal(&times, m).unwrap();
+        prop_assert!(mf >= opt * 0.999_999_999, "multifit below optimal");
+        prop_assert!(mf.get() <= 13.0 / 11.0 * opt.get() + 1e-9, "multifit beyond 13/11");
+    }
+
+    #[test]
+    fn placement_budget_consistency(
+        est in estimates(20),
+        m in 2usize..9,
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let everywhere = Placement::everywhere(&inst);
+        prop_assert!(everywhere.check_budget(m).is_ok());
+        prop_assert!(everywhere.check_budget(m - 1).is_err());
+        prop_assert_eq!(everywhere.total_replicas(), m * inst.n());
+    }
+
+    #[test]
+    fn balancer_matches_naive_greedy(
+        weights in prop::collection::vec(0.0f64..50.0, 1..60),
+        m in 1usize..9,
+    ) {
+        let mut fast = rds_algs::balancer::LoadBalancer::new(m);
+        let mut naive = vec![0.0f64; m];
+        for &w in &weights {
+            let picked = fast.assign(Time::of(w));
+            let slow = naive
+                .iter()
+                .enumerate()
+                .min_by(|(i, a), (j, b)| a.partial_cmp(b).unwrap().then(i.cmp(j)))
+                .unwrap()
+                .0;
+            prop_assert_eq!(picked.index(), slow);
+            naive[slow] += w;
+        }
+    }
+
+    #[test]
+    fn two_point_adversary_never_exceeds_theorem2(
+        lambda in 1usize..6,
+        m in 2usize..6,
+        alpha in 1.0f64..2.5,
+    ) {
+        // The full Theorem-1 adversary flow as a property.
+        let inst = replicated_placement::adversary::theorem1::uniform_instance(lambda, m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        let p = LptNoChoice.place(&inst, unc).unwrap();
+        let a = LptNoChoice.execute(&inst, &p, &Realization::exact(&inst)).unwrap();
+        let atk = replicated_placement::adversary::theorem1::attack(&inst, unc, &a).unwrap();
+        let bound = rds_bounds::replication::lpt_no_choice(alpha, m);
+        // Witness ratio uses an optimum overestimate, so it must respect
+        // the upper bound as well.
+        prop_assert!(atk.ratio_witness() <= bound + 1e-9);
+    }
+
+    #[test]
+    fn group_partition_is_a_partition(
+        m in 1usize..64,
+        k_seed in any::<u64>(),
+    ) {
+        let k = (k_seed as usize % m) + 1;
+        let g = GroupPartition::new(m, k).unwrap();
+        let mut seen = vec![false; m];
+        for grp in 0..k {
+            for i in g.group_range(grp) {
+                prop_assert!(!seen[i], "machine {} in two groups", i);
+                seen[i] = true;
+                prop_assert_eq!(g.group_of(MachineId::new(i)), grp);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        // Near-equal sizes.
+        let sizes: Vec<usize> = (0..k).map(|grp| g.group_size(grp)).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1);
+    }
+
+    #[test]
+    fn schedule_sequencing_roundtrip(
+        est in estimates(20),
+        m in 1usize..6,
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let real = Realization::exact(&inst);
+        let a = rds_algs::list_scheduling::list_schedule_estimates(&inst).unwrap();
+        let s = Schedule::sequence(&a.tasks_per_machine(), &real);
+        s.validate(&inst, &real).unwrap();
+        prop_assert_eq!(s.to_assignment(&inst).unwrap(), a.clone());
+        prop_assert_eq!(s.makespan(), a.makespan(&real));
+    }
+}
