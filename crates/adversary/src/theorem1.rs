@@ -164,7 +164,10 @@ mod tests {
         let large = balanced_attack(600, m, alpha).ratio_witness();
         assert!(small < large, "ratio should grow with λ");
         assert!(large <= bound + 1e-9, "witness exceeds the proven bound");
-        assert!(bound - large < 0.02, "λ=600 should be close: {large} vs {bound}");
+        assert!(
+            bound - large < 0.02,
+            "λ=600 should be close: {large} vs {bound}"
+        );
     }
 
     #[test]

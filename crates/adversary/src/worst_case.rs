@@ -73,10 +73,7 @@ pub fn worst_per_machine_inflation(
         let realization = Realization::from_factors(instance, uncertainty, &factors)?;
         let makespan = assignment.makespan(&realization);
         let cand = evaluate(makespan, realization, instance.m(), solver);
-        if worst
-            .as_ref()
-            .is_none_or(|w| cand.ratio_lo > w.ratio_lo)
-        {
+        if worst.as_ref().is_none_or(|w| cand.ratio_lo > w.ratio_lo) {
             worst = Some(cand);
         }
     }
@@ -105,10 +102,7 @@ pub fn worst_over_inflate_sets<S: rds_algs::Strategy>(
         let realization = Realization::from_factors(instance, uncertainty, &factors)?;
         let out = strategy.run(instance, uncertainty, &realization)?;
         let cand = evaluate(out.makespan, realization, instance.m(), solver);
-        if worst
-            .as_ref()
-            .is_none_or(|w| cand.ratio_lo > w.ratio_lo)
-        {
+        if worst.as_ref().is_none_or(|w| cand.ratio_lo > w.ratio_lo) {
             worst = Some(cand);
         }
     }
@@ -131,15 +125,18 @@ mod tests {
             .execute(&inst, &placement, &Realization::exact(&inst))
             .unwrap();
         let solver = OptimalSolver::fast();
-        let worst =
-            worst_per_machine_inflation(&inst, unc, &assignment, &solver).unwrap();
+        let worst = worst_per_machine_inflation(&inst, unc, &assignment, &solver).unwrap();
         // Under the exact realization the ratio is ~1; the adversary
         // must do strictly better.
         assert!(worst.ratio_lo > 1.2, "ratio_lo = {}", worst.ratio_lo);
         assert!(worst.ratio_lo <= worst.ratio_hi);
         // Never exceeds the Theorem 2 guarantee.
         let bound = rds_bounds_lpt_no_choice(2.0, 3);
-        assert!(worst.ratio_hi <= bound + 1e-6, "{} > {bound}", worst.ratio_hi);
+        assert!(
+            worst.ratio_hi <= bound + 1e-6,
+            "{} > {bound}",
+            worst.ratio_hi
+        );
     }
 
     // Local copy of the Theorem-2 formula to avoid a dev-dependency cycle.
@@ -159,14 +156,12 @@ mod tests {
         let assignment = LptNoChoice
             .execute(&inst, &placement, &Realization::exact(&inst))
             .unwrap();
-        let pinned =
-            worst_per_machine_inflation(&inst, unc, &assignment, &solver).unwrap();
+        let pinned = worst_per_machine_inflation(&inst, unc, &assignment, &solver).unwrap();
 
         // Against the replicated strategy, trying the same inflate sets.
         let per = assignment.tasks_per_machine();
         let replicated =
-            worst_over_inflate_sets(&inst, unc, &LptNoRestriction, &per, &solver)
-                .unwrap();
+            worst_over_inflate_sets(&inst, unc, &LptNoRestriction, &per, &solver).unwrap();
         assert!(
             replicated.ratio_lo < pinned.ratio_lo,
             "replication should help: {} vs {}",
@@ -180,7 +175,6 @@ mod tests {
         let inst = Instance::from_estimates(&[1.0], 1).unwrap();
         let unc = Uncertainty::of(1.5);
         let solver = OptimalSolver::fast();
-        assert!(worst_over_inflate_sets(&inst, unc, &LptNoRestriction, &[], &solver)
-            .is_err());
+        assert!(worst_over_inflate_sets(&inst, unc, &LptNoRestriction, &[], &solver).is_err());
     }
 }

@@ -16,8 +16,7 @@
 use crate::balancer::LoadBalancer;
 use crate::strategy::Strategy;
 use rds_core::{
-    Assignment, GroupPartition, Instance, MachineId, Placement, Realization, Result,
-    Uncertainty,
+    Assignment, GroupPartition, Instance, MachineId, Placement, Realization, Result, Uncertainty,
 };
 
 /// The `LS-Group` strategy with a fixed group count `k`.
@@ -78,10 +77,7 @@ impl Strategy for LsGroup {
     fn place(&self, instance: &Instance, _uncertainty: Uncertainty) -> Result<Placement> {
         let partition = self.partition(instance.m())?;
         let group_of = self.assign_groups(instance, &partition);
-        let sets = group_of
-            .iter()
-            .map(|&g| partition.group_set(g))
-            .collect();
+        let sets = group_of.iter().map(|&g| partition.group_set(g)).collect();
         Placement::new(instance, sets)
     }
 
@@ -134,8 +130,8 @@ mod tests {
         let inst = Instance::from_estimates(&[3.0, 2.0, 1.0, 1.0], 6).unwrap();
         let p = LsGroup::new(2).place(&inst, Uncertainty::CERTAIN).unwrap();
         assert_eq!(p.max_replicas(), 3); // m/k = 3
-        // LS over groups in id order: t0→G0(3), t1→G1(2), t2→G1(3),
-        // t3→G0 or G1 tie → G0.
+                                         // LS over groups in id order: t0→G0(3), t1→G1(2), t2→G1(3),
+                                         // t3→G0 or G1 tie → G0.
         assert!(p.allows(TaskId::new(0), MachineId::new(0)));
         assert!(p.allows(TaskId::new(0), MachineId::new(2)));
         assert!(!p.allows(TaskId::new(0), MachineId::new(3)));

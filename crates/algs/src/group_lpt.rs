@@ -13,8 +13,7 @@
 use crate::balancer::LoadBalancer;
 use crate::strategy::Strategy;
 use rds_core::{
-    Assignment, GroupPartition, Instance, MachineId, Placement, Realization, Result,
-    Uncertainty,
+    Assignment, GroupPartition, Instance, MachineId, Placement, Realization, Result, Uncertainty,
 };
 
 /// The `LPT-Group` strategy with a fixed group count `k`.
@@ -112,14 +111,7 @@ mod tests {
         let p = LptGroup::new(2).place(&inst, Uncertainty::CERTAIN).unwrap();
         // Task 2 alone in its group.
         let g_of_t2: Vec<bool> = (0..3)
-            .map(|j| {
-                p.set(TaskId::new(j))
-                    .iter(4)
-                    .next()
-                    .unwrap()
-                    .index()
-                    < 2
-            })
+            .map(|j| p.set(TaskId::new(j)).iter(4).next().unwrap().index() < 2)
             .collect();
         assert_eq!(g_of_t2[2], !g_of_t2[0]);
         assert_eq!(g_of_t2[0], g_of_t2[1]);
@@ -128,8 +120,7 @@ mod tests {
     #[test]
     fn beats_or_matches_ls_group_on_skewed_instance() {
         // LPT phase 1 balances skewed estimates better than LS.
-        let inst =
-            Instance::from_estimates(&[1.0, 1.0, 1.0, 1.0, 4.0, 4.0], 4).unwrap();
+        let inst = Instance::from_estimates(&[1.0, 1.0, 1.0, 1.0, 4.0, 4.0], 4).unwrap();
         let real = Realization::exact(&inst);
         let lpt = LptGroup::new(2)
             .run(&inst, Uncertainty::CERTAIN, &real)
@@ -137,7 +128,12 @@ mod tests {
         let ls = LsGroup::new(2)
             .run(&inst, Uncertainty::CERTAIN, &real)
             .unwrap();
-        assert!(lpt.makespan <= ls.makespan, "{} > {}", lpt.makespan, ls.makespan);
+        assert!(
+            lpt.makespan <= ls.makespan,
+            "{} > {}",
+            lpt.makespan,
+            ls.makespan
+        );
         assert_eq!(lpt.makespan, Time::of(4.0));
     }
 

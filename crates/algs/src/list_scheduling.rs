@@ -39,9 +39,7 @@ pub fn greedy_by_order(
 /// well-formed instances).
 pub fn list_schedule_estimates(instance: &Instance) -> Result<Assignment> {
     let order: Vec<TaskId> = instance.task_ids().collect();
-    let machines = greedy_by_order(instance.n(), instance.m(), &order, |t| {
-        instance.estimate(t)
-    });
+    let machines = greedy_by_order(instance.n(), instance.m(), &order, |t| instance.estimate(t));
     Assignment::new(instance, machines)
 }
 
@@ -53,9 +51,7 @@ pub fn list_schedule_estimates(instance: &Instance) -> Result<Assignment> {
 /// well-formed instances).
 pub fn lpt_estimates(instance: &Instance) -> Result<Assignment> {
     let order = instance.ids_by_estimate_desc();
-    let machines = greedy_by_order(instance.n(), instance.m(), &order, |t| {
-        instance.estimate(t)
-    });
+    let machines = greedy_by_order(instance.n(), instance.m(), &order, |t| instance.estimate(t));
     Assignment::new(instance, machines)
 }
 
@@ -95,9 +91,7 @@ pub fn online_list_schedule(
     order: &[TaskId],
     realization: &Realization,
 ) -> Result<Assignment> {
-    let machines = greedy_by_order(instance.n(), instance.m(), order, |t| {
-        realization.actual(t)
-    });
+    let machines = greedy_by_order(instance.n(), instance.m(), order, |t| realization.actual(t));
     Assignment::new(instance, machines)
 }
 
@@ -198,7 +192,9 @@ mod tests {
         // (2 − 1/m)·LB where LB = max(avg, pmax) ≤ OPT.
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) % 100) as f64 + 1.0
         };
         for m in [2usize, 3, 8] {

@@ -165,11 +165,8 @@ mod tests {
     fn online_dispatch_avoids_preloaded_machines() {
         // S₂ task preloads machine 0 heavily; the replicated S₁ tasks
         // must flow to the idle machines.
-        let i = Instance::from_estimates_and_sizes(
-            &[(0.5, 10.0), (5.0, 0.1), (5.0, 0.1)],
-            2,
-        )
-        .unwrap();
+        let i =
+            Instance::from_estimates_and_sizes(&[(0.5, 10.0), (5.0, 0.1), (5.0, 0.1)], 2).unwrap();
         let real = Realization::exact(&i);
         let out = Abo::new(1.0).run(&i, Uncertainty::CERTAIN, &real).unwrap();
         let m0 = out.assignment.machine_of(TaskId::new(0));
@@ -190,10 +187,11 @@ mod tests {
         let pis = PiSchedules::lpt_defaults(&i).unwrap();
         let m = i.m();
         for &delta in &[0.5, 1.0, 2.0, 5.0] {
-            let out = Abo::new(delta).run(&i, Uncertainty::CERTAIN, &real).unwrap();
+            let out = Abo::new(delta)
+                .run(&i, Uncertainty::CERTAIN, &real)
+                .unwrap();
             let opt_lb = (i.total_estimate() / m as f64).max(i.max_estimate());
-            let mk_bound =
-                (2.0 - 1.0 / m as f64 + delta * pis.rho1) * opt_lb.get();
+            let mk_bound = (2.0 - 1.0 / m as f64 + delta * pis.rho1) * opt_lb.get();
             assert!(
                 out.makespan.get() <= mk_bound + 1e-9,
                 "delta={delta}: makespan {} > bound {mk_bound}",
@@ -214,16 +212,24 @@ mod tests {
         // §7.3: ABO trades memory for makespan; with a realization that
         // punishes static placement, ABO's online phase can win.
         let i = Instance::from_estimates_and_sizes(
-            &[(4.0, 0.1), (4.0, 0.1), (4.0, 0.1), (4.0, 0.1), (0.5, 5.0), (0.5, 5.0)],
+            &[
+                (4.0, 0.1),
+                (4.0, 0.1),
+                (4.0, 0.1),
+                (4.0, 0.1),
+                (0.5, 5.0),
+                (0.5, 5.0),
+            ],
             2,
         )
         .unwrap();
         let unc = Uncertainty::of(2.0);
         // Estimated-equal time tasks turn out wildly different.
-        let real =
-            Realization::from_factors(&i, unc, &[2.0, 0.5, 0.5, 0.5, 1.0, 1.0]).unwrap();
+        let real = Realization::from_factors(&i, unc, &[2.0, 0.5, 0.5, 0.5, 1.0, 1.0]).unwrap();
         let abo = Abo::new(1.0).run(&i, unc, &real).unwrap();
-        let sabo = crate::memory::sabo::Sabo::new(1.0).run(&i, unc, &real).unwrap();
+        let sabo = crate::memory::sabo::Sabo::new(1.0)
+            .run(&i, unc, &real)
+            .unwrap();
         // ABO reacts online; SABO cannot.
         assert!(abo.makespan <= sabo.makespan);
         // And pays for it in memory.

@@ -96,8 +96,7 @@ mod tests {
 
     #[test]
     fn custom_schedules_keep_given_rho() {
-        let inst =
-            Instance::from_estimates_and_sizes(&[(2.0, 1.0), (2.0, 1.0)], 2).unwrap();
+        let inst = Instance::from_estimates_and_sizes(&[(2.0, 1.0), (2.0, 1.0)], 2).unwrap();
         let pi1 = lpt_estimates(&inst).unwrap();
         let pi2 = lpt_sizes(&inst).unwrap();
         let pis = PiSchedules::from_assignments(&inst, pi1, pi2, 1.0, 1.0);

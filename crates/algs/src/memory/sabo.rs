@@ -113,7 +113,9 @@ mod tests {
         let real = Realization::exact(&i);
         let pis = PiSchedules::lpt_defaults(&i).unwrap();
         for &delta in &[0.25, 0.5, 1.0, 2.0, 4.0] {
-            let out = Sabo::new(delta).run(&i, Uncertainty::CERTAIN, &real).unwrap();
+            let out = Sabo::new(delta)
+                .run(&i, Uncertainty::CERTAIN, &real)
+                .unwrap();
             // Makespan ≤ (1+Δ)·α²·ρ₁·C* with α = 1; use C̃*/LB via avg.
             let opt_lb = (i.total_estimate() / i.m() as f64).max(i.max_estimate());
             let bound = (1.0 + delta) * pis.rho1 * opt_lb.get();
@@ -137,8 +139,12 @@ mod tests {
     fn small_delta_prioritizes_makespan() {
         let i = inst();
         let real = Realization::exact(&i);
-        let fast = Sabo::new(0.01).run(&i, Uncertainty::CERTAIN, &real).unwrap();
-        let lean = Sabo::new(100.0).run(&i, Uncertainty::CERTAIN, &real).unwrap();
+        let fast = Sabo::new(0.01)
+            .run(&i, Uncertainty::CERTAIN, &real)
+            .unwrap();
+        let lean = Sabo::new(100.0)
+            .run(&i, Uncertainty::CERTAIN, &real)
+            .unwrap();
         // Δ → 0: everything follows π₁ → best makespan, worst memory.
         // Δ → ∞: everything follows π₂ → best memory, worse makespan.
         assert!(fast.makespan <= lean.makespan);

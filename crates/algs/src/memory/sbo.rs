@@ -42,12 +42,7 @@ pub fn classify(instance: &Instance, pis: &PiSchedules, delta: f64) -> Vec<TaskC
 }
 
 /// Classifies a single task (see [`classify`]).
-pub fn classify_one(
-    instance: &Instance,
-    pis: &PiSchedules,
-    delta: f64,
-    task: TaskId,
-) -> TaskClass {
+pub fn classify_one(instance: &Instance, pis: &PiSchedules, delta: f64, task: TaskId) -> TaskClass {
     // With Mem^π₂_max = 0 every size is zero: memory is irrelevant, so
     // any task with work to do follows the makespan schedule. (The
     // cross-multiplied comparison below would degenerate to 0 ≤ 0.)
@@ -93,8 +88,7 @@ mod tests {
     fn pure_time_task_goes_to_s1() {
         // Task 0: big estimate, zero size → time intensive.
         // Task 1: zero estimate, big size → memory intensive.
-        let inst =
-            Instance::from_estimates_and_sizes(&[(10.0, 0.0), (0.0, 10.0)], 2).unwrap();
+        let inst = Instance::from_estimates_and_sizes(&[(10.0, 0.0), (0.0, 10.0)], 2).unwrap();
         let p = pis(&inst);
         let classes = classify(&inst, &p, 1.0);
         assert_eq!(classes[0], TaskClass::TimeIntensive);
@@ -104,11 +98,8 @@ mod tests {
     #[test]
     fn delta_moves_the_threshold() {
         // A balanced task flips from S₁ to S₂ as Δ grows.
-        let inst = Instance::from_estimates_and_sizes(
-            &[(4.0, 1.0), (1.0, 4.0), (2.0, 2.0)],
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_estimates_and_sizes(&[(4.0, 1.0), (1.0, 4.0), (2.0, 2.0)], 2).unwrap();
         let p = pis(&inst);
         let tiny = classify(&inst, &p, 1e-6);
         let huge = classify(&inst, &p, 1e6);
@@ -138,8 +129,7 @@ mod tests {
 
     #[test]
     fn zero_makespan_instance_all_memory() {
-        let inst =
-            Instance::from_estimates_and_sizes(&[(0.0, 1.0), (0.0, 2.0)], 2).unwrap();
+        let inst = Instance::from_estimates_and_sizes(&[(0.0, 1.0), (0.0, 2.0)], 2).unwrap();
         let p = pis(&inst);
         assert!(classify(&inst, &p, 0.5)
             .iter()
@@ -148,8 +138,7 @@ mod tests {
 
     #[test]
     fn zero_memory_instance_all_time() {
-        let inst =
-            Instance::from_estimates_and_sizes(&[(1.0, 0.0), (2.0, 0.0)], 2).unwrap();
+        let inst = Instance::from_estimates_and_sizes(&[(1.0, 0.0), (2.0, 0.0)], 2).unwrap();
         let p = pis(&inst);
         assert!(classify(&inst, &p, 2.0)
             .iter()

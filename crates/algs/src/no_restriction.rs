@@ -62,15 +62,16 @@ mod tests {
         let inst = Instance::from_estimates(&[2.0; 6], 2).unwrap();
         let unc = Uncertainty::of(2.0);
         // First dispatched task becomes slow (actual 4), rest fast (1).
-        let real =
-            Realization::from_factors(&inst, unc, &[2.0, 0.5, 0.5, 0.5, 0.5, 0.5]).unwrap();
+        let real = Realization::from_factors(&inst, unc, &[2.0, 0.5, 0.5, 0.5, 0.5, 0.5]).unwrap();
         let out = LptNoRestriction.run(&inst, unc, &real).unwrap();
         // t0→p0 (4), t1→p1 (1), t2→p1 (2), t3→p1 (3), t4→p1 (4),
         // t5→ tie 4=4 → p0 (5). Makespan 5.
         assert_eq!(out.makespan, Time::of(5.0));
         // Compare with the pinned (no-replication) LPT outcome, which
         // cannot react: LPT pins 3 tasks per machine → p0 gets t0 (slow).
-        let pinned = crate::no_choice::LptNoChoice.run(&inst, unc, &real).unwrap();
+        let pinned = crate::no_choice::LptNoChoice
+            .run(&inst, unc, &real)
+            .unwrap();
         assert!(out.makespan <= pinned.makespan);
     }
 

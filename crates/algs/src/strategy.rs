@@ -125,7 +125,10 @@ mod tests {
         let err = Broken.run(&inst, Uncertainty::CERTAIN, &real).unwrap_err();
         assert!(matches!(
             err,
-            rds_core::Error::InfeasibleAssignment { task: 0, machine: 1 }
+            rds_core::Error::InfeasibleAssignment {
+                task: 0,
+                machine: 1
+            }
         ));
     }
 

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rds_algs::memory::{abo::Abo, sabo::Sabo, MemoryStrategy};
-use rds_algs::{group_lpt::LptGroup, LptNoChoice, LptNoRestriction, LsGroup};
 use rds_algs::Strategy as _;
+use rds_algs::{group_lpt::LptGroup, LptNoChoice, LptNoRestriction, LsGroup};
 use rds_core::{Instance, Realization, Size, Time, Uncertainty};
 
 fn instances() -> impl Strategy<Value = (Instance, Uncertainty, Realization)> {

@@ -48,7 +48,11 @@ fn bench_grouped(c: &mut Criterion) {
     // Everywhere placement as the baseline shape.
     let everywhere = Placement::everywhere(&inst);
     group.bench_function("everywhere", |b| {
-        b.iter(|| simulate_grouped(&inst, &everywhere, &real).unwrap().makespan)
+        b.iter(|| {
+            simulate_grouped(&inst, &everywhere, &real)
+                .unwrap()
+                .makespan
+        })
     });
     group.finish();
 }

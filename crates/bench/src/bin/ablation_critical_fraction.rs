@@ -78,8 +78,12 @@ fn main() {
     }
     println!("{}", t.to_markdown());
 
-    let chart = Chart::new("mean ratio vs total replicas (critical-fraction sweep)", 72, 14)
-        .series(Series::new("critical-fraction policy", '*', curve.clone()));
+    let chart = Chart::new(
+        "mean ratio vs total replicas (critical-fraction sweep)",
+        72,
+        14,
+    )
+    .series(Series::new("critical-fraction policy", '*', curve.clone()));
     println!("{}", chart.render());
 
     // Endpoints must be ordered: full replication beats none.

@@ -40,11 +40,13 @@ fn main() {
                 (0..reps).collect::<Vec<_>>(),
                 sweep_threads(),
                 |rep| -> (f64, f64) {
-                    let seed =
-                        rng::child_seed(0xAB1 + k as u64 * 1000 + (alpha * 100.0) as u64, rep as u64);
+                    let seed = rng::child_seed(
+                        0xAB1 + k as u64 * 1000 + (alpha * 100.0) as u64,
+                        rep as u64,
+                    );
                     let mut r = rng::rng(seed);
-                    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }
-                        .sample_n(n, &mut r);
+                    let est =
+                        EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
                     let inst = Instance::from_estimates(&est, m).expect("instance");
                     let real = RealizationModel::TwoPoint { p_inflate: 0.3 }
                         .realize(&inst, unc, &mut r)

@@ -43,8 +43,7 @@ fn main() {
             sweep_threads(),
             |rep| -> (f64, f64, f64) {
                 let mut r = rng::rng(rng::child_seed(0xA4 + (alpha * 64.0) as u64, rep as u64));
-                let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }
-                    .sample_n(n, &mut r);
+                let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
                 let inst = Instance::from_estimates(&est, m).expect("instance");
                 let real = RealizationModel::LogUniformFactor
                     .realize(&inst, unc, &mut r)

@@ -64,9 +64,16 @@ fn main() {
     for &k in &[2usize, 3, 4, 6] {
         // LS-Group with m/groups = k replicas needs groups = m/k.
         let groups = m / k;
-        let (g_mean, g_max) = mean_ratio(&LsGroup::new(groups), m, n, alpha, reps, 0x1000 + k as u64);
-        let (c_mean, c_max) =
-            mean_ratio(&ChainedReplication::new(k), m, n, alpha, reps, 0x2000 + k as u64);
+        let (g_mean, g_max) =
+            mean_ratio(&LsGroup::new(groups), m, n, alpha, reps, 0x1000 + k as u64);
+        let (c_mean, c_max) = mean_ratio(
+            &ChainedReplication::new(k),
+            m,
+            n,
+            alpha,
+            reps,
+            0x2000 + k as u64,
+        );
         let (r_mean, r_max) = mean_ratio(
             &RandomKReplication::new(k, 0xDEAD + k as u64),
             m,

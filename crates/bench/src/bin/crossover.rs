@@ -39,7 +39,11 @@ fn main() {
     ])
     .align(vec![Align::Right; 7]);
     let mut csv = Csv::new(&[
-        "alpha", "th3", "graham", "measured_lpt_nr_worst", "measured_ls_worst",
+        "alpha",
+        "th3",
+        "graham",
+        "measured_lpt_nr_worst",
+        "measured_ls_worst",
     ]);
     let mut th3_pts = Vec::new();
     let mut graham_pts = Vec::new();
@@ -50,17 +54,12 @@ fn main() {
         let graham = rb::graham_list_scheduling(m);
         let unc = Uncertainty::of(alpha);
 
-        let worst: Vec<(f64, f64)> = parallel_map(
-            (0..reps).collect::<Vec<_>>(),
-            sweep_threads(),
-            |rep| {
-                let seed = rds_workloads::rng::child_seed(
-                    0xCAFE ^ ((alpha * 1000.0) as u64),
-                    rep as u64,
-                );
+        let worst: Vec<(f64, f64)> =
+            parallel_map((0..reps).collect::<Vec<_>>(), sweep_threads(), |rep| {
+                let seed =
+                    rds_workloads::rng::child_seed(0xCAFE ^ ((alpha * 1000.0) as u64), rep as u64);
                 let mut r = rng::rng(seed);
-                let est =
-                    EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+                let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
                 let inst = Instance::from_estimates(&est, m).expect("instance");
                 let real = RealizationModel::TwoPoint { p_inflate: 0.25 }
                     .realize(&inst, unc, &mut r)
@@ -73,8 +72,7 @@ fn main() {
                     lpt_nr.makespan(&real).ratio(opt.lo).unwrap_or(1.0),
                     ls.makespan(&real).ratio(opt.lo).unwrap_or(1.0),
                 )
-            },
-        );
+            });
         let mut lpt_worst = Summary::new();
         let mut ls_worst = Summary::new();
         for (a, b) in &worst {

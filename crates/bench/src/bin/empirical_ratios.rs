@@ -56,9 +56,10 @@ fn run_strategy_case<S: Strategy + Sync>(
             } else {
                 RealizationModel::UniformFactor
             };
-            let real = model.realize(&inst, unc, &mut r).expect("valid realization");
-            let mr = measure_ratio(strategy, &inst, unc, &real, &solver)
-                .expect("strategy runs");
+            let real = model
+                .realize(&inst, unc, &mut r)
+                .expect("valid realization");
+            let mr = measure_ratio(strategy, &inst, unc, &real, &solver).expect("strategy runs");
             (mr.lo, mr.hi)
         },
     );
@@ -165,12 +166,18 @@ fn main() {
         Align::Right,
     ]);
     let mut csv = Csv::new(&[
-        "strategy", "m", "alpha", "guarantee", "mean", "max", "adversarial",
+        "strategy",
+        "m",
+        "alpha",
+        "guarantee",
+        "mean",
+        "max",
+        "adversarial",
     ]);
     let mut violations = 0usize;
     for c in &cases {
-        let violated = c.max_ratio_hi > c.guarantee + 1e-6
-            || c.adversarial_ratio > c.guarantee + 1e-6;
+        let violated =
+            c.max_ratio_hi > c.guarantee + 1e-6 || c.adversarial_ratio > c.guarantee + 1e-6;
         if violated {
             violations += 1;
         }

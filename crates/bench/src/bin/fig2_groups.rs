@@ -14,13 +14,13 @@ use rds_workloads::{realize::RealizationModel, rng};
 
 fn main() -> rds_core::Result<()> {
     let (m, k) = (6usize, 2usize);
-    header(&format!("Figure 2 — replication in groups (m = {m}, k = {k})"));
+    header(&format!(
+        "Figure 2 — replication in groups (m = {m}, k = {k})"
+    ));
 
     // A small irregular instance like the figure's.
-    let inst = rds_core::Instance::from_estimates(
-        &[5.0, 4.0, 4.0, 3.0, 3.0, 2.0, 2.0, 2.0, 1.0, 1.0],
-        m,
-    )?;
+    let inst =
+        rds_core::Instance::from_estimates(&[5.0, 4.0, 4.0, 3.0, 3.0, 2.0, 2.0, 2.0, 1.0, 1.0], m)?;
     let unc = Uncertainty::of(1.5);
     let strat = LsGroup::new(k);
     let placement = strat.place(&inst, unc)?;

@@ -41,19 +41,15 @@ fn measure_cell(alpha: f64, k: usize, reps: usize, adv_samples: usize) -> Cell {
     let placement = strategy.place(&inst, unc).expect("placement");
 
     // Random two-point realizations.
-    let random: Vec<f64> = parallel_map(
-        (0..reps).collect::<Vec<_>>(),
-        sweep_threads(),
-        |rep| {
-            let mut r = rng::rng(rng::child_seed(0xF3E + k as u64, rep as u64));
-            let real = RealizationModel::TwoPoint { p_inflate: 0.3 }
-                .realize(&inst, unc, &mut r)
-                .expect("realization");
-            let a = strategy.execute(&inst, &placement, &real).expect("exec");
-            let opt = solver.solve_realization(&real, M);
-            a.makespan(&real).ratio(opt.lo).unwrap_or(1.0)
-        },
-    );
+    let random: Vec<f64> = parallel_map((0..reps).collect::<Vec<_>>(), sweep_threads(), |rep| {
+        let mut r = rng::rng(rng::child_seed(0xF3E + k as u64, rep as u64));
+        let real = RealizationModel::TwoPoint { p_inflate: 0.3 }
+            .realize(&inst, unc, &mut r)
+            .expect("realization");
+        let a = strategy.execute(&inst, &placement, &real).expect("exec");
+        let opt = solver.solve_realization(&real, M);
+        a.makespan(&real).ratio(opt.lo).unwrap_or(1.0)
+    });
 
     // Sampled adversary: inflate the tasks of `adv_samples` target
     // machines (spread across groups) in turn.
@@ -156,8 +152,7 @@ fn main() {
             adversarial_pts.push((c.replicas as f64, c.worst_adversarial));
             // Safety: measurement respects the theorem.
             assert!(
-                c.worst_adversarial <= c.guarantee + 1e-6
-                    && c.worst_random <= c.guarantee + 1e-6,
+                c.worst_adversarial <= c.guarantee + 1e-6 && c.worst_random <= c.guarantee + 1e-6,
                 "alpha={alpha} k={}: bound violated",
                 c.k
             );

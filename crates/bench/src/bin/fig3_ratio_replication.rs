@@ -17,8 +17,12 @@ fn print_panel(p: &RatioReplicationPanel) {
         "Figure 3 panel — m = {}, alpha = {}",
         p.m, p.alpha
     ));
-    let mut t = Table::new(vec!["series", "k", "replicas |M_j|", "guaranteed ratio"])
-        .align(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut t = Table::new(vec!["series", "k", "replicas |M_j|", "guaranteed ratio"]).align(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     t.row(vec![
         "Th.1 lower bound".to_string(),
         "-".into(),
@@ -112,7 +116,10 @@ fn main() {
             440.0,
         )
         .log_x()
-        .labels("replicas per task |M_j| (log)", "guaranteed competitive ratio")
+        .labels(
+            "replicas per task |M_j| (log)",
+            "guaranteed competitive ratio",
+        )
         .series(Series::new("LS-Group (Th.4)", '*', ls_pts))
         .series(Series::new(
             "Th.1 lower bound",
@@ -129,7 +136,11 @@ fn main() {
             'R',
             vec![(p.m as f64, p.lpt_no_restriction.ratio)],
         ))
-        .series(Series::new("Graham LS", 'G', vec![(p.m as f64, p.graham.ratio)]))
+        .series(Series::new(
+            "Graham LS",
+            'G',
+            vec![(p.m as f64, p.graham.ratio)],
+        ))
         .render();
         let path = format!("results/fig3_alpha{}.svg", p.alpha);
         if std::fs::write(&path, svg).is_ok() {
@@ -140,7 +151,11 @@ fn main() {
     header("Paper's qualitative observations, checked");
     // α = 1.1: little improvement from grouping over no-choice…
     let a11 = &panels[0];
-    let best_group = a11.ls_group.iter().map(|p| p.ratio).fold(f64::MAX, f64::min);
+    let best_group = a11
+        .ls_group
+        .iter()
+        .map(|p| p.ratio)
+        .fold(f64::MAX, f64::min);
     println!(
         "α=1.1: LPT-No Choice {:.3} vs best LS-Group {:.3} (small gap), \
          LPT-No Restriction {:.3} (clear winner)",

@@ -16,7 +16,12 @@ fn main() {
     let deltas = delta_sweep(0.05, 20.0, 33);
     let panels = figure6_panels(&deltas);
     let mut csv = Csv::new(&[
-        "alpha_sq", "rho", "delta", "sabo_makespan", "sabo_memory", "abo_makespan",
+        "alpha_sq",
+        "rho",
+        "delta",
+        "sabo_makespan",
+        "sabo_memory",
+        "abo_makespan",
         "abo_memory",
     ]);
 
@@ -44,12 +49,13 @@ fn main() {
         }
         println!("{}", t.to_markdown());
 
-        let sabo_pts: Vec<(f64, f64)> =
-            p.sabo.iter().map(|q| (q.makespan, q.memory)).collect();
+        let sabo_pts: Vec<(f64, f64)> = p.sabo.iter().map(|q| (q.makespan, q.memory)).collect();
         let abo_pts: Vec<(f64, f64)> = p.abo.iter().map(|q| (q.makespan, q.memory)).collect();
         // Clip extreme memory values so the plot stays readable.
         let clip = |pts: Vec<(f64, f64)>| -> Vec<(f64, f64)> {
-            pts.into_iter().filter(|&(x, y)| x <= 25.0 && y <= 25.0).collect()
+            pts.into_iter()
+                .filter(|&(x, y)| x <= 25.0 && y <= 25.0)
+                .collect()
         };
         let chart = Chart::new(
             format!(
@@ -84,7 +90,9 @@ fn main() {
         }
         std::fs::create_dir_all("results").ok();
         let clip = |pts: Vec<(f64, f64)>| -> Vec<(f64, f64)> {
-            pts.into_iter().filter(|&(x, y)| x <= 25.0 && y <= 25.0).collect()
+            pts.into_iter()
+                .filter(|&(x, y)| x <= 25.0 && y <= 25.0)
+                .collect()
         };
         let svg = rds_report::SvgChart::new(
             format!(
@@ -111,10 +119,7 @@ fn main() {
             clip(p.impossibility.clone()),
         ))
         .render();
-        let path = format!(
-            "results/fig6_alphasq{}_rho{:.2}.svg",
-            p.alpha_sq, p.rho
-        );
+        let path = format!("results/fig6_alphasq{}_rho{:.2}.svg", p.alpha_sq, p.rho);
         if std::fs::write(&path, svg).is_ok() {
             println!("wrote {path}");
         }

@@ -12,8 +12,16 @@ use rds_report::{table::fmt, Align, Table};
 
 fn main() {
     header("Table 2 — Summary of the memory-aware model (paper, §7.3)");
-    let mut t = Table::new(vec!["Algorithm", "Approx. on makespan", "Approx. on memory"]);
-    t.row(vec!["SABO_Δ", "(1 + Δ)·α²·ρ₁ (Th. 5)", "(1 + 1/Δ)·ρ₂ (Th. 6)"]);
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "Approx. on makespan",
+        "Approx. on memory",
+    ]);
+    t.row(vec![
+        "SABO_Δ",
+        "(1 + Δ)·α²·ρ₁ (Th. 5)",
+        "(1 + 1/Δ)·ρ₂ (Th. 6)",
+    ]);
     t.row(vec![
         "ABO_Δ",
         "2 − 1/m + Δ·α²·ρ₁ (Th. 7)",
@@ -59,8 +67,7 @@ fn main() {
             assert!(mb::sabo_memory(delta, rho) < mb::abo_memory(delta, rho, m));
             if mb::abo_beats_sabo_on_makespan(alpha, rho, m) {
                 assert!(
-                    mb::abo_makespan(delta, alpha, rho, m)
-                        < mb::sabo_makespan(delta, alpha, rho)
+                    mb::abo_makespan(delta, alpha, rho, m) < mb::sabo_makespan(delta, alpha, rho)
                 );
             }
         }

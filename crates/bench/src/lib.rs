@@ -53,8 +53,7 @@ pub fn measure_ratio<S: Strategy>(
 /// `true` when the binary was invoked with `--quick` (or `RDS_QUICK=1`):
 /// shrinks sweeps to smoke-test size.
 pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
-        || std::env::var("RDS_QUICK").is_ok_and(|v| v == "1")
+    std::env::args().any(|a| a == "--quick") || std::env::var("RDS_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// Worker-thread count for sweeps: all cores unless `--quick`.

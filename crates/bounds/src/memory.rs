@@ -162,9 +162,7 @@ mod tests {
         assert!((impossibility_memory_for_makespan(2.0) - 2.0).abs() < EPS);
         assert!((impossibility_memory_for_makespan(3.0) - 1.5).abs() < EPS);
         // Decreasing in x.
-        assert!(
-            impossibility_memory_for_makespan(1.5) > impossibility_memory_for_makespan(2.5)
-        );
+        assert!(impossibility_memory_for_makespan(1.5) > impossibility_memory_for_makespan(2.5));
     }
 
     #[test]

@@ -111,7 +111,10 @@ pub fn ls_group(alpha: f64, m: usize, k: usize) -> f64 {
 /// # Panics
 /// Panics unless `k` divides `m` and `1 <= k <= m`.
 pub fn ls_group_replicas(m: usize, k: usize) -> usize {
-    assert!(k >= 1 && k <= m && m.is_multiple_of(k), "k = {k} must divide m = {m}");
+    assert!(
+        k >= 1 && k <= m && m.is_multiple_of(k),
+        "k = {k} must divide m = {m}"
+    );
     m / k
 }
 
@@ -191,9 +194,7 @@ mod tests {
         assert!(below < graham);
         assert!(above > graham);
         assert!(lpt_no_restriction_best(2.0, m) <= graham + EPS);
-        assert!(
-            (lpt_no_restriction_best(1.1, m) - lpt_no_restriction(1.1, m)).abs() < EPS
-        );
+        assert!((lpt_no_restriction_best(1.1, m) - lpt_no_restriction(1.1, m)).abs() < EPS);
     }
 
     #[test]
@@ -204,7 +205,10 @@ mod tests {
         // (the paper notes they are almost equal for practical α).
         let at_m = ls_group(alpha, m, m);
         let no_choice = lpt_no_choice(alpha, m);
-        assert!((at_m - no_choice).abs() < 0.25, "at_m={at_m} nc={no_choice}");
+        assert!(
+            (at_m - no_choice).abs() < 0.25,
+            "at_m={at_m} nc={no_choice}"
+        );
         // Monotone non-decreasing in k for fixed alpha, m (more groups =
         // fewer replicas = weaker guarantee).
         let divisors = group_counts(m);

@@ -149,7 +149,10 @@ pub fn memory_makespan_panel(
     let impossibility = (0..deltas.len())
         .map(|i| {
             let x = mk_lo + (mk_hi - mk_lo) * i as f64 / (deltas.len() - 1) as f64;
-            (x, crate::memory::impossibility_memory_for_makespan(x.max(1.0 + 1e-9)))
+            (
+                x,
+                crate::memory::impossibility_memory_for_makespan(x.max(1.0 + 1e-9)),
+            )
         })
         .collect();
     MemoryMakespanPanel {
@@ -181,7 +184,7 @@ mod tests {
     fn panel_has_one_point_per_divisor() {
         let p = ratio_replication_panel(1.5, 210);
         assert_eq!(p.ls_group.len(), 16); // 210 has 16 divisors
-        // Ordered by increasing replica count, starting at 1 (k = m).
+                                          // Ordered by increasing replica count, starting at 1 (k = m).
         assert_eq!(p.ls_group.first().unwrap().replicas, 1);
         assert_eq!(p.ls_group.last().unwrap().replicas, 210);
         let mut prev = 0;
@@ -203,12 +206,7 @@ mod tests {
         // Paper §7, α = 2 discussion: ratio improves from > 7.5 at one
         // replica to < 6 at three replicas.
         assert!(first > 7.5, "first = {first}");
-        let at3 = p
-            .ls_group
-            .iter()
-            .find(|pt| pt.replicas == 3)
-            .unwrap()
-            .ratio;
+        let at3 = p.ls_group.iter().find(|pt| pt.replicas == 3).unwrap().ratio;
         assert!(at3 < 6.0, "at3 = {at3}");
     }
 
@@ -265,8 +263,7 @@ mod tests {
             // at comparable makespan (only a sanity spot check: curves
             // must lie above the frontier).
             for pt in p.sabo.iter().chain(&p.abo) {
-                let frontier =
-                    crate::memory::impossibility_memory_for_makespan(pt.makespan);
+                let frontier = crate::memory::impossibility_memory_for_makespan(pt.makespan);
                 assert!(
                     pt.memory >= frontier - 1e-9,
                     "guarantee below impossibility frontier"

@@ -181,6 +181,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ArgError::MissingOption("m".into()).to_string().contains("--m"));
+        assert!(ArgError::MissingOption("m".into())
+            .to_string()
+            .contains("--m"));
     }
 }

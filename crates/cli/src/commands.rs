@@ -34,6 +34,12 @@ COMMANDS:
             --estimates <a,b,c,...> --m <usize> --alpha <f64>
   memory    SABO/ABO bi-objective sweep over delta
             --m <usize> --alpha <f64> [--n <usize>] [--seed <u64>]
+  resilience
+            MTBF-driven fault campaign: survival rate, restarts, wasted
+            work, and makespan degradation per placement strategy
+            --m <usize> --mtbf <f64> (0 = fault-free)
+            [--n <usize>] [--alpha <f64>] [--beta <f64>] [--reps <usize>]
+            [--seed <u64>] [--stragglers <rate>] [--gantt]
   help      show this message
 ";
 
@@ -233,8 +239,165 @@ pub fn cmd_memory(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             fmt(abo.mem_max.get(), 2),
         ]);
     }
-    writeln!(out, "memory-aware sweep on n = {n}, m = {m}, alpha = {alpha}:")?;
+    writeln!(
+        out,
+        "memory-aware sweep on n = {n}, m = {m}, alpha = {alpha}:"
+    )?;
     writeln!(out, "{}", t.to_markdown())?;
+    Ok(())
+}
+
+/// Maps the fault-relevant events of a simulation trace onto Gantt
+/// [`rds_report::Mark`]s (slot occupancy is already in the schedule).
+fn fault_marks(trace: &rds_sim::Trace) -> Vec<rds_report::Mark> {
+    use rds_report::{Mark, MarkKind};
+    use rds_sim::TraceEvent;
+    trace
+        .events()
+        .iter()
+        .filter_map(|ev| match *ev {
+            TraceEvent::Failure { time, machine } => {
+                Some(Mark::new(time, machine, MarkKind::Failure))
+            }
+            TraceEvent::Recovery { time, machine } => {
+                Some(Mark::new(time, machine, MarkKind::Recovery))
+            }
+            TraceEvent::Degraded { time, machine, .. } => {
+                Some(Mark::new(time, machine, MarkKind::Degraded))
+            }
+            TraceEvent::SpeculativeStart { time, machine, .. } => {
+                Some(Mark::new(time, machine, MarkKind::SpeculativeStart))
+            }
+            TraceEvent::Cancelled { time, machine, .. } => {
+                Some(Mark::new(time, machine, MarkKind::Cancelled))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// `rds resilience`: MTBF-driven fault campaign over the standard
+/// policy suite, with speculative re-execution enabled.
+pub fn cmd_resilience(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use rds_sim::Speculation;
+    use rds_workloads::FaultModel;
+    let m: usize = args.require("m")?;
+    let mtbf: f64 = args.require("mtbf")?;
+    let alpha: f64 = args.get_or("alpha", 1.5)?;
+    let unc = Uncertainty::new(alpha)?;
+    let n: usize = args.get_or("n", 8 * m)?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let beta: f64 = args.get_or("beta", 1.5)?;
+    let reps: usize = args.get_or("reps", 10)?;
+    let stragglers: f64 = args.get_or("stragglers", 0.0)?;
+
+    let mut r = rng::rng(seed);
+    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    let inst = Instance::from_estimates(&est, m)?;
+    // Faults land inside roughly twice the load-balance lower bound, so
+    // they hit while work is actually in flight.
+    let horizon = inst.total_estimate().get() / m as f64 * alpha * 2.0;
+    let model = FaultModel::mtbf(mtbf, horizon).with_stragglers(stragglers, 3.0);
+
+    let suite = rds_policies::standard_suite(&inst, unc)?;
+    let trials = (0..reps)
+        .map(|i| {
+            let mut tr = rng::rng(rng::child_seed(seed, i as u64));
+            let real = RealizationModel::UniformFactor.realize(&inst, unc, &mut tr)?;
+            let script = model.generate(m, n, &mut tr);
+            Ok((real, script))
+        })
+        .collect::<CoreResult<Vec<_>>>()?;
+    let rows =
+        rds_policies::run_campaign(&inst, &suite, &trials, Some(Speculation::new(beta, unc)))?;
+
+    writeln!(
+        out,
+        "resilience campaign: n = {n}, m = {m}, mtbf = {mtbf}, alpha = {alpha}, \
+         beta = {beta}, stragglers = {stragglers}, reps = {reps}, seed = {seed}"
+    )?;
+    let mut t = Table::new(vec![
+        "policy",
+        "replicas",
+        "survival rate",
+        "completed runs",
+        "mean restarts",
+        "mean wasted work",
+        "spec wins",
+        "mean degradation",
+        "worst degradation",
+    ])
+    .align(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for row in &rows {
+        let degr = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                fmt(v, 3)
+            }
+        };
+        t.row(vec![
+            row.name.clone(),
+            row.replicas.to_string(),
+            fmt(row.mean_survival, 3),
+            format!("{}/{}", row.completed_runs, row.runs),
+            fmt(row.mean_restarts, 2),
+            fmt(row.mean_wasted, 2),
+            fmt(row.mean_spec_wins, 2),
+            degr(row.mean_degradation),
+            degr(row.worst_degradation),
+        ]);
+    }
+    writeln!(out, "{}", t.to_markdown())?;
+    if args.flag("gantt") {
+        if let (Some(policy), Some((real, script))) = (suite.last(), trials.first()) {
+            let mut d = policy.dispatcher(&inst);
+            let report = rds_sim::ResilienceEngine::new(&inst, &policy.placement, real, script)?
+                .with_speculation(Speculation::new(beta, unc))
+                .run(d.as_mut())?;
+            let marks = fault_marks(&report.trace);
+            writeln!(
+                out,
+                "\n{} under trial 0 ({} scripted fault events):",
+                policy.name,
+                script.len()
+            )?;
+            write!(
+                out,
+                "{}",
+                rds_report::gantt::render_with_marks(&report.schedule, 60, &marks)
+            )?;
+        }
+    }
+    if mtbf == 0.0 && stragglers == 0.0 {
+        let exact = rows.iter().all(|row| {
+            row.completed_runs == row.runs
+                && row.mean_degradation == 1.0
+                && row.worst_degradation == 1.0
+        });
+        if exact {
+            writeln!(
+                out,
+                "zero-fault campaign: every strategy reproduced its fault-free \
+                 makespan exactly (degradation = 1)"
+            )?;
+        } else {
+            writeln!(
+                out,
+                "warning: zero-fault campaign deviated from the fault-free baseline"
+            )?;
+        }
+    }
     Ok(())
 }
 
@@ -251,6 +414,7 @@ pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdErro
         "simulate" => cmd_simulate(&args, out),
         "envelope" => cmd_envelope(&args, out),
         "memory" => cmd_memory(&args, out),
+        "resilience" => cmd_resilience(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -350,6 +514,79 @@ mod tests {
     }
 
     #[test]
+    fn resilience_zero_mtbf_reproduces_baseline_exactly() {
+        let out = run_to_string(&[
+            "resilience",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--mtbf",
+            "0",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("survival rate"));
+        assert!(out.contains("reproduced its fault-free makespan exactly"));
+    }
+
+    #[test]
+    fn resilience_campaign_reports_all_policies() {
+        let out = run_to_string(&[
+            "resilience",
+            "--m",
+            "4",
+            "--n",
+            "16",
+            "--mtbf",
+            "15",
+            "--reps",
+            "2",
+            "--seed",
+            "3",
+            "--stragglers",
+            "0.2",
+        ])
+        .unwrap();
+        assert!(out.contains("No Choice"));
+        assert!(out.contains("No Restriction"));
+        assert!(out.contains("k=3"));
+        assert!(out.contains("mean restarts"));
+        assert!(out.contains("mean wasted work"));
+        assert!(out.contains("degradation"));
+    }
+
+    #[test]
+    fn resilience_gantt_overlays_fault_marks() {
+        let out = run_to_string(&[
+            "resilience",
+            "--m",
+            "4",
+            "--n",
+            "16",
+            "--mtbf",
+            "10",
+            "--reps",
+            "1",
+            "--seed",
+            "3",
+            "--gantt",
+        ])
+        .unwrap();
+        assert!(out.contains("under trial 0"));
+        assert!(out.contains("p0"), "machine rows rendered");
+        // An mtbf this small virtually guarantees at least one fault
+        // event, and any drawn mark brings its legend entry.
+        assert!(
+            out.contains("X failure") || out.contains("^ recovery") || out.contains("~ degraded"),
+            "legend missing:\n{out}"
+        );
+    }
+
+    #[test]
     fn unknown_command_and_help() {
         assert!(run_to_string(&["frobnicate"]).is_err());
         let help = run_to_string(&["help"]).unwrap();
@@ -366,16 +603,8 @@ mod tests {
 
     #[test]
     fn bad_strategy_is_an_error() {
-        let err = run_to_string(&[
-            "plan",
-            "--strategy",
-            "nope",
-            "--m",
-            "2",
-            "--alpha",
-            "1.5",
-        ])
-        .unwrap_err();
+        let err = run_to_string(&["plan", "--strategy", "nope", "--m", "2", "--alpha", "1.5"])
+            .unwrap_err();
         assert!(err.to_string().contains("unknown strategy"));
     }
 }

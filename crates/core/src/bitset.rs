@@ -143,7 +143,9 @@ impl MachineMask {
     pub fn first(&self) -> Option<MachineId> {
         for (bi, &b) in self.blocks.iter().enumerate() {
             if b != 0 {
-                return Some(MachineId::new(bi * BLOCK_BITS + b.trailing_zeros() as usize));
+                return Some(MachineId::new(
+                    bi * BLOCK_BITS + b.trailing_zeros() as usize,
+                ));
             }
         }
         None
@@ -237,7 +239,9 @@ impl<'a> IntoIterator for &'a MachineMask {
 
 impl fmt::Debug for MachineMask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter().map(|m| m.index())).finish()
+        f.debug_set()
+            .entries(self.iter().map(|m| m.index()))
+            .finish()
     }
 }
 

@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn iterators_are_dense_and_sized() {
         let ms: Vec<MachineId> = machines(4).collect();
-        assert_eq!(ms, vec![MachineId(0), MachineId(1), MachineId(2), MachineId(3)]);
+        assert_eq!(
+            ms,
+            vec![MachineId(0), MachineId(1), MachineId(2), MachineId(3)]
+        );
         assert_eq!(machines(4).len(), 4);
         assert_eq!(tasks(0).len(), 0);
         let rev: Vec<TaskId> = tasks(3).rev().collect();

@@ -1,7 +1,7 @@
 //! Problem instances: a set of tasks plus the machine count.
 
 use crate::error::{Error, Result};
-use crate::ids::{TaskId, MachineId};
+use crate::ids::{MachineId, TaskId};
 use crate::scalar::{Size, Time};
 use crate::task::Task;
 
@@ -63,9 +63,7 @@ impl Instance {
         let tasks = pairs
             .iter()
             .enumerate()
-            .map(|(i, &(p, s))| {
-                Ok(Task::sized(TaskId::new(i), Time::new(p)?, Size::new(s)?))
-            })
+            .map(|(i, &(p, s))| Ok(Task::sized(TaskId::new(i), Time::new(p)?, Size::new(s)?)))
             .collect::<Result<Vec<_>>>()?;
         Self::new(tasks, machines)
     }
@@ -140,18 +138,18 @@ impl Instance {
 
     /// Largest task size `max_j s_j`.
     pub fn max_size(&self) -> Size {
-        self.tasks.iter().map(|t| t.size).max().unwrap_or(Size::ZERO)
+        self.tasks
+            .iter()
+            .map(|t| t.size)
+            .max()
+            .unwrap_or(Size::ZERO)
     }
 
     /// Task ids sorted by non-increasing estimate (LPT order), ties broken
     /// by id for determinism.
     pub fn ids_by_estimate_desc(&self) -> Vec<TaskId> {
         let mut ids: Vec<TaskId> = self.task_ids().collect();
-        ids.sort_by(|&a, &b| {
-            self.estimate(b)
-                .cmp(&self.estimate(a))
-                .then(a.cmp(&b))
-        });
+        ids.sort_by(|&a, &b| self.estimate(b).cmp(&self.estimate(a)).then(a.cmp(&b)));
         ids
     }
 
@@ -201,8 +199,7 @@ mod tests {
 
     #[test]
     fn sizes() {
-        let inst =
-            Instance::from_estimates_and_sizes(&[(1.0, 5.0), (2.0, 3.0)], 2).unwrap();
+        let inst = Instance::from_estimates_and_sizes(&[(1.0, 5.0), (2.0, 3.0)], 2).unwrap();
         assert_eq!(inst.total_size(), Size::of(8.0));
         assert_eq!(inst.max_size(), Size::of(5.0));
         assert_eq!(inst.size(TaskId::new(0)), Size::of(5.0));
@@ -219,8 +216,7 @@ mod tests {
     #[test]
     fn size_order() {
         let inst =
-            Instance::from_estimates_and_sizes(&[(1.0, 2.0), (1.0, 9.0), (1.0, 2.0)], 2)
-                .unwrap();
+            Instance::from_estimates_and_sizes(&[(1.0, 2.0), (1.0, 9.0), (1.0, 2.0)], 2).unwrap();
         let idx: Vec<usize> = inst.ids_by_size_desc().iter().map(|t| t.index()).collect();
         assert_eq!(idx, vec![1, 0, 2]);
     }

@@ -58,11 +58,8 @@ mod tests {
     use crate::placement::MachineSet;
 
     fn setup() -> (Instance, Placement) {
-        let inst = Instance::from_estimates_and_sizes(
-            &[(1.0, 4.0), (1.0, 2.0), (1.0, 1.0)],
-            3,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_estimates_and_sizes(&[(1.0, 4.0), (1.0, 2.0), (1.0, 1.0)], 3).unwrap();
         let p = Placement::new(
             &inst,
             vec![

@@ -410,10 +410,8 @@ mod tests {
             MachineSet::from_mask(m, span),
             MachineSet::Span { start: 2, end: 6 }
         );
-        let scattered = MachineMask::from_iter_with_capacity(
-            m,
-            [0, 2, 5].into_iter().map(MachineId::new),
-        );
+        let scattered =
+            MachineMask::from_iter_with_capacity(m, [0, 2, 5].into_iter().map(MachineId::new));
         assert!(matches!(
             MachineSet::from_mask(m, scattered),
             MachineSet::Mask(_)
@@ -422,9 +420,7 @@ mod tests {
 
     #[test]
     fn iter_members() {
-        let collect = |s: &MachineSet| -> Vec<usize> {
-            s.iter(6).map(|id| id.index()).collect()
-        };
+        let collect = |s: &MachineSet| -> Vec<usize> { s.iter(6).map(|id| id.index()).collect() };
         assert_eq!(collect(&MachineSet::All), vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(collect(&MachineSet::One(MachineId::new(4))), vec![4]);
         assert_eq!(collect(&MachineSet::Span { start: 1, end: 3 }), vec![1, 2]);
@@ -440,8 +436,11 @@ mod tests {
         ));
         // Machine out of range.
         assert!(matches!(
-            Placement::new(&i, vec![MachineSet::One(MachineId::new(4)), MachineSet::All])
-                .unwrap_err(),
+            Placement::new(
+                &i,
+                vec![MachineSet::One(MachineId::new(4)), MachineSet::All]
+            )
+            .unwrap_err(),
             Error::MachineOutOfRange { machine: 4, .. }
         ));
         // Empty mask.

@@ -363,7 +363,10 @@ mod tests {
         let bad = Assignment::new(&i, vec![mid(1), mid(0), mid(1), mid(1)]).unwrap();
         assert!(matches!(
             bad.check_feasible(&p).unwrap_err(),
-            Error::InfeasibleAssignment { task: 0, machine: 1 }
+            Error::InfeasibleAssignment {
+                task: 0,
+                machine: 1
+            }
         ));
     }
 

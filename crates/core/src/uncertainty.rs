@@ -96,8 +96,7 @@ impl Uncertainty {
     /// `[1/α, α]` (up to tolerance).
     pub fn apply_factor(self, task: usize, estimate: Time, factor: f64) -> Result<Time> {
         let tol = INTERVAL_TOLERANCE * self.alpha;
-        if !(factor.is_finite() && factor >= 1.0 / self.alpha - tol && factor <= self.alpha + tol)
-        {
+        if !(factor.is_finite() && factor >= 1.0 / self.alpha - tol && factor <= self.alpha + tol) {
             return Err(Error::RealizationOutOfInterval {
                 task,
                 estimate: estimate.get(),

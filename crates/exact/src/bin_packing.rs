@@ -38,10 +38,7 @@ pub fn first_fit_decreasing(times: &[Time], m: usize, cap: Time) -> FfdResult {
     let mut overflow_bins = 0usize;
     for &j in &order {
         let p = times[j].get();
-        match loads
-            .iter()
-            .position(|&load| load + p <= cap.get() + tol)
-        {
+        match loads.iter().position(|&load| load + p <= cap.get() + tol) {
             Some(bin) => {
                 loads[bin] += p;
                 assignment[j] = MachineId::new(bin);

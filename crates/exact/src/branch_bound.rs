@@ -209,7 +209,9 @@ mod tests {
     fn node_budget_degrades_gracefully() {
         // Adversarial-ish instance with a tiny node budget: must still
         // return a feasible (MULTIFIT) incumbent.
-        let t = ts(&[17.0, 16.3, 15.1, 14.7, 13.2, 12.9, 11.4, 10.8, 9.3, 8.1, 7.7, 6.2]);
+        let t = ts(&[
+            17.0, 16.3, 15.1, 14.7, 13.2, 12.9, 11.4, 10.8, 9.3, 8.1, 7.7, 6.2,
+        ]);
         let r = solve(&t, 4, 10);
         verify(&t, &r, 4);
         let lb = lower_bounds::combined(&t, 4);

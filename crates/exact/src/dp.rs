@@ -100,7 +100,10 @@ mod tests {
             loads[id.index()] += times[j].get();
         }
         let mk = loads.into_iter().fold(0.0, f64::max);
-        assert!((mk - expect).abs() < 1e-9, "assignment makespan {mk} != {expect}");
+        assert!(
+            (mk - expect).abs() < 1e-9,
+            "assignment makespan {mk} != {expect}"
+        );
     }
 
     #[test]

@@ -60,11 +60,7 @@ fn feasible(times_desc: &[f64], m: usize, c: f64, eps: f64) -> Option<bool> {
         .copied()
         .filter(|&p| p > small_cut)
         .collect();
-    let small_sum: f64 = times_desc
-        .iter()
-        .copied()
-        .filter(|&p| p <= small_cut)
-        .sum();
+    let small_sum: f64 = times_desc.iter().copied().filter(|&p| p <= small_cut).sum();
     if big.iter().any(|&p| p > c) {
         return Some(false);
     }
@@ -150,10 +146,7 @@ fn enumerate_configs(
         .sum();
     let room = cap_units.saturating_sub(used);
     // p < ε²c rounds to 0 units and always fits.
-    let max_here = room
-        .checked_div(class_size)
-        .unwrap_or(avail)
-        .min(avail);
+    let max_here = room.checked_div(class_size).unwrap_or(avail).min(avail);
     for take in 0..=max_here {
         cur[idx] = take;
         enumerate_configs(classes, cap_units, idx + 1, cur, out, budget);

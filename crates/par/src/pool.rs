@@ -30,9 +30,7 @@ impl ThreadPool {
                         while let Ok(job) = rx.recv() {
                             // Isolate panics so one bad job doesn't kill
                             // the worker.
-                            let _ = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(job),
-                            );
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         }
                     })
                     .expect("failed to spawn worker thread")

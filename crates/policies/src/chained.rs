@@ -73,9 +73,7 @@ impl Strategy for ChainedReplication {
         }
         let primaries = lpt_estimates(instance)?;
         let sets = (0..instance.n())
-            .map(|j| {
-                self.chain_set(instance.m(), primaries.machine_of(rds_core::TaskId::new(j)))
-            })
+            .map(|j| self.chain_set(instance.m(), primaries.machine_of(rds_core::TaskId::new(j))))
             .collect();
         Placement::new(instance, sets)
     }
@@ -141,12 +139,8 @@ mod tests {
         let inst = Instance::from_estimates(&[2.0; 8], 4).unwrap();
         let unc = Uncertainty::of(2.0);
         // First-dispatched tasks get slow; chains let neighbours help.
-        let real = Realization::from_factors(
-            &inst,
-            unc,
-            &[2.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
-        )
-        .unwrap();
+        let real = Realization::from_factors(&inst, unc, &[2.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5])
+            .unwrap();
         let out = ChainedReplication::new(2).run(&inst, unc, &real).unwrap();
         out.assignment.check_feasible(&out.placement).unwrap();
         // Pinned LPT would put 2 tasks per machine; the slow machine pair

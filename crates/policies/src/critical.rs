@@ -111,7 +111,9 @@ mod tests {
         let idx: Vec<usize> = c.iter().map(|t| t.index()).collect();
         assert_eq!(idx, vec![0, 1]);
         // 0% → nothing, 100% → everything.
-        assert!(CriticalTaskReplication::new(0.0).critical_set(&i).is_empty());
+        assert!(CriticalTaskReplication::new(0.0)
+            .critical_set(&i)
+            .is_empty());
         assert_eq!(CriticalTaskReplication::new(1.0).critical_set(&i).len(), 8);
     }
 
@@ -135,7 +137,9 @@ mod tests {
         let i = inst();
         let unc = Uncertainty::of(1.5);
         let real = Realization::uniform_factor(&i, unc, 1.2).unwrap();
-        let crit = CriticalTaskReplication::new(0.0).run(&i, unc, &real).unwrap();
+        let crit = CriticalTaskReplication::new(0.0)
+            .run(&i, unc, &real)
+            .unwrap();
         let pinned = rds_algs::LptNoChoice.run(&i, unc, &real).unwrap();
         assert_eq!(crit.makespan, pinned.makespan);
         assert_eq!(crit.placement.max_replicas(), 1);
@@ -146,13 +150,11 @@ mod tests {
         let i = inst();
         let unc = Uncertainty::of(2.0);
         // The two big tasks blow up, everything else shrinks.
-        let real = Realization::from_factors(
-            &i,
-            unc,
-            &[2.0, 2.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
-        )
-        .unwrap();
-        let crit = CriticalTaskReplication::new(0.5).run(&i, unc, &real).unwrap();
+        let real =
+            Realization::from_factors(&i, unc, &[2.0, 2.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5]).unwrap();
+        let crit = CriticalTaskReplication::new(0.5)
+            .run(&i, unc, &real)
+            .unwrap();
         let pinned = rds_algs::LptNoChoice.run(&i, unc, &real).unwrap();
         assert!(
             crit.makespan <= pinned.makespan,

@@ -37,7 +37,9 @@ pub mod chained;
 pub mod critical;
 pub mod executor;
 pub mod random_k;
+pub mod resilience;
 
 pub use chained::ChainedReplication;
 pub use critical::CriticalTaskReplication;
 pub use random_k::RandomKReplication;
+pub use resilience::{run_campaign, standard_suite, CampaignRow, ResiliencePolicy};

@@ -113,7 +113,9 @@ mod tests {
         let inst = Instance::from_estimates(&[3.0, 2.0, 2.0, 1.0, 1.0, 1.0], 4).unwrap();
         let unc = Uncertainty::of(1.8);
         let real = Realization::uniform_factor(&inst, unc, 1.5).unwrap();
-        let out = RandomKReplication::new(2, 123).run(&inst, unc, &real).unwrap();
+        let out = RandomKReplication::new(2, 123)
+            .run(&inst, unc, &real)
+            .unwrap();
         out.assignment.check_feasible(&out.placement).unwrap();
         assert!(out.placement.max_replicas() == 2);
     }

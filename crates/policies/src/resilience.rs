@@ -1,0 +1,252 @@
+//! The standard resilience-evaluation suite and campaign runner.
+//!
+//! One place defines *which* placement strategies a fault campaign
+//! compares and *how* each is dispatched online, so the `rds resilience`
+//! CLI command and the `fault_tolerance` benchmark measure exactly the
+//! same thing:
+//!
+//! - LPT-No Choice, dispatched from pinned per-machine queues (the
+//!   no-replication baseline — stranded by any loaded-machine failure);
+//! - Chained declustering with `k = 2` and `k = 3`;
+//! - LS-Group with roughly three machines per group;
+//! - LPT-No Restriction (full replication), the fault-tolerance ideal.
+//!
+//! [`run_campaign`] executes every policy against a shared set of
+//! trials (realization + fault script pairs), establishes each trial's
+//! fault-free baseline through the same engine path, and aggregates
+//! [`rds_sim::ResilienceMetrics`] into one row per policy.
+
+use crate::ChainedReplication;
+use rds_algs::{LptNoChoice, LptNoRestriction, LsGroup, Strategy};
+use rds_core::{Instance, MachineId, Placement, Realization, Result, Uncertainty};
+use rds_sim::faults::{FaultScript, ResilienceEngine, Speculation};
+use rds_sim::{Dispatcher, OrderedDispatcher, PinnedDispatcher};
+
+/// One strategy under test: its placement plus how to dispatch it.
+pub struct ResiliencePolicy {
+    /// Display name (the strategy's own name).
+    pub name: String,
+    /// The phase-1 placement.
+    pub placement: Placement,
+    /// For single-replica strategies, the planned task→machine pinning
+    /// the dispatcher replays; replicated strategies dispatch online.
+    pinned: Option<Vec<MachineId>>,
+}
+
+impl ResiliencePolicy {
+    /// A fresh dispatcher for one run (dispatchers are stateful).
+    pub fn dispatcher(&self, instance: &Instance) -> Box<dyn Dispatcher> {
+        match &self.pinned {
+            Some(machines) => Box::new(PinnedDispatcher::new(machines, instance.m())),
+            None => Box::new(OrderedDispatcher::lpt_by_estimate(instance)),
+        }
+    }
+}
+
+/// Builds the standard five-policy suite for an instance.
+///
+/// # Errors
+/// Propagates placement/planning errors from the strategies.
+pub fn standard_suite(instance: &Instance, unc: Uncertainty) -> Result<Vec<ResiliencePolicy>> {
+    // `k` is the number of groups: aim for ~3 machines per group so an
+    // in-group failure leaves surviving holders.
+    let groups = (instance.m() / 3).max(1);
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(LptNoChoice),
+        Box::new(ChainedReplication::new(2)),
+        Box::new(ChainedReplication::new(3)),
+        Box::new(LsGroup::new_relaxed(groups)),
+        Box::new(LptNoRestriction),
+    ];
+    strategies
+        .into_iter()
+        .map(|s| {
+            let placement = s.place(instance, unc)?;
+            let pinned = if placement.max_replicas() == 1 {
+                let a = s.execute(instance, &placement, &Realization::exact(instance))?;
+                Some(a.machines().to_vec())
+            } else {
+                None
+            };
+            Ok(ResiliencePolicy {
+                name: s.name(),
+                placement,
+                pinned,
+            })
+        })
+        .collect()
+}
+
+/// Aggregated campaign results for one policy.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Policy name.
+    pub name: String,
+    /// Maximum replicas per task under this placement.
+    pub replicas: usize,
+    /// Number of trials executed.
+    pub runs: usize,
+    /// Trials in which every task completed.
+    pub completed_runs: usize,
+    /// Mean per-trial task survival rate.
+    pub mean_survival: f64,
+    /// Mean restarts per trial.
+    pub mean_restarts: f64,
+    /// Mean machine rejoins per trial.
+    pub mean_rejoins: f64,
+    /// Mean speculative backups launched per trial.
+    pub mean_spec_started: f64,
+    /// Mean speculative wins per trial.
+    pub mean_spec_wins: f64,
+    /// Mean wasted work (killed + cancelled attempts) per trial.
+    pub mean_wasted: f64,
+    /// Mean makespan degradation versus the trial's fault-free baseline,
+    /// over fully-completed trials (`NaN` when none completed).
+    pub mean_degradation: f64,
+    /// Worst observed degradation over fully-completed trials.
+    pub worst_degradation: f64,
+}
+
+/// Runs every policy against every trial and aggregates per policy.
+///
+/// Each trial supplies a realization and a fault script; the fault-free
+/// baseline is re-established per (policy, trial) through the identical
+/// engine path, so a zero-fault campaign reports degradation exactly 1.
+///
+/// # Errors
+/// Propagates engine errors (dispatcher misbehaviour, invalid scripts).
+pub fn run_campaign(
+    instance: &Instance,
+    suite: &[ResiliencePolicy],
+    trials: &[(Realization, FaultScript)],
+    speculation: Option<Speculation>,
+) -> Result<Vec<CampaignRow>> {
+    let empty = FaultScript::empty();
+    let mut rows = Vec::with_capacity(suite.len());
+    for policy in suite {
+        let mut row = CampaignRow {
+            name: policy.name.clone(),
+            replicas: policy.placement.max_replicas(),
+            runs: trials.len(),
+            completed_runs: 0,
+            mean_survival: 0.0,
+            mean_restarts: 0.0,
+            mean_rejoins: 0.0,
+            mean_spec_started: 0.0,
+            mean_spec_wins: 0.0,
+            mean_wasted: 0.0,
+            mean_degradation: 0.0,
+            worst_degradation: 0.0,
+        };
+        let mut degradations = Vec::new();
+        for (real, script) in trials {
+            let baseline = {
+                let mut d = policy.dispatcher(instance);
+                ResilienceEngine::new(instance, &policy.placement, real, &empty)?
+                    .run(d.as_mut())?
+                    .metrics
+                    .makespan
+            };
+            let mut engine = ResilienceEngine::new(instance, &policy.placement, real, script)?;
+            if let Some(spec) = speculation {
+                engine = engine.with_speculation(spec);
+            }
+            let mut d = policy.dispatcher(instance);
+            let mut report = engine.run(d.as_mut())?;
+            report.set_baseline(baseline);
+            let m = report.metrics;
+            row.mean_survival += m.survival_rate();
+            row.mean_restarts += m.restarts as f64;
+            row.mean_rejoins += m.rejoins as f64;
+            row.mean_spec_started += m.speculative_started as f64;
+            row.mean_spec_wins += m.speculative_wins as f64;
+            row.mean_wasted += m.wasted_work.get();
+            if report.outcome.is_completed() {
+                row.completed_runs += 1;
+                degradations.push(m.degradation().unwrap_or(1.0));
+            }
+        }
+        let runs = row.runs.max(1) as f64;
+        row.mean_survival /= runs;
+        row.mean_restarts /= runs;
+        row.mean_rejoins /= runs;
+        row.mean_spec_started /= runs;
+        row.mean_spec_wins /= runs;
+        row.mean_wasted /= runs;
+        row.mean_degradation = if degradations.is_empty() {
+            f64::NAN
+        } else {
+            degradations.iter().sum::<f64>() / degradations.len() as f64
+        };
+        row.worst_degradation = degradations.iter().copied().fold(f64::NAN, f64::max);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::Time;
+    use rds_sim::faults::FaultEvent;
+
+    fn setup() -> (Instance, Uncertainty) {
+        let est: Vec<f64> = (0..24).map(|i| 1.0 + (i % 7) as f64).collect();
+        (
+            Instance::from_estimates(&est, 6).unwrap(),
+            Uncertainty::of(1.5),
+        )
+    }
+
+    #[test]
+    fn suite_has_five_policies_with_expected_replication() {
+        let (inst, unc) = setup();
+        let suite = standard_suite(&inst, unc).unwrap();
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[0].placement.max_replicas(), 1);
+        assert_eq!(suite[1].placement.max_replicas(), 2);
+        assert_eq!(suite[2].placement.max_replicas(), 3);
+        assert_eq!(suite[4].placement.max_replicas(), inst.m());
+    }
+
+    #[test]
+    fn zero_fault_campaign_has_degradation_exactly_one() {
+        let (inst, unc) = setup();
+        let suite = standard_suite(&inst, unc).unwrap();
+        let trials = vec![(Realization::exact(&inst), FaultScript::empty())];
+        let rows = run_campaign(&inst, &suite, &trials, None).unwrap();
+        for row in &rows {
+            assert_eq!(row.completed_runs, row.runs, "{}", row.name);
+            assert_eq!(row.mean_survival, 1.0);
+            assert_eq!(row.mean_degradation, 1.0, "{}", row.name);
+            assert_eq!(row.worst_degradation, 1.0, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn crash_campaign_separates_pinned_from_replicated() {
+        let (inst, unc) = setup();
+        let suite = standard_suite(&inst, unc).unwrap();
+        // Crash the two most loaded machines early: pinning strands
+        // their tasks, full replication shrugs it off.
+        let script = FaultScript::new(vec![
+            FaultEvent::Crash {
+                machine: MachineId::new(0),
+                at: Time::of(0.5),
+            },
+            FaultEvent::Crash {
+                machine: MachineId::new(1),
+                at: Time::of(1.0),
+            },
+        ]);
+        let trials = vec![(Realization::exact(&inst), script)];
+        let rows = run_campaign(&inst, &suite, &trials, None).unwrap();
+        let pinned = &rows[0];
+        let full = &rows[4];
+        assert!(pinned.completed_runs < pinned.runs);
+        assert!(pinned.mean_survival < 1.0);
+        assert_eq!(full.completed_runs, full.runs);
+        assert_eq!(full.mean_survival, 1.0);
+        assert!(full.mean_degradation >= 1.0);
+    }
+}

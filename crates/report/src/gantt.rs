@@ -1,6 +1,7 @@
 //! ASCII Gantt charts of executed schedules (the paper's Figures 2, 4, 5
-//! are exactly such drawings).
+//! are exactly such drawings), with optional fault-timeline overlays.
 
+use crate::marks::{Mark, MarkKind};
 use rds_core::{MachineId, Schedule, Time};
 
 /// Renders a schedule as one row per machine, time flowing left to
@@ -12,6 +13,19 @@ use rds_core::{MachineId, Schedule, Time};
 /// # Panics
 /// Panics unless `width >= 10`.
 pub fn render(schedule: &Schedule, width: usize) -> String {
+    render_with_marks(schedule, width, &[])
+}
+
+/// Like [`render`], additionally overlaying fault-timeline [`Mark`]s on
+/// the affected machine rows (the mark's glyph overwrites the cell at
+/// its time), followed by a legend line for the kinds present.
+///
+/// Marks on machines outside the schedule are ignored; marks after the
+/// makespan clamp to the last cell.
+///
+/// # Panics
+/// Panics unless `width >= 10`.
+pub fn render_with_marks(schedule: &Schedule, width: usize, marks: &[Mark]) -> String {
     assert!(width >= 10, "gantt too narrow");
     let makespan = schedule.makespan();
     let mut out = String::new();
@@ -19,9 +33,11 @@ pub fn render(schedule: &Schedule, width: usize) -> String {
         out.push_str("(empty schedule)\n");
         return out;
     }
-    let scale = |t: Time| -> usize {
-        ((t.get() / makespan.get()) * width as f64).round() as usize
-    };
+    let scale = |t: Time| -> usize { ((t.get() / makespan.get()) * width as f64).round() as usize };
+    let marks: Vec<&Mark> = marks
+        .iter()
+        .filter(|mk| mk.machine.index() < schedule.m())
+        .collect();
     for (i, slots) in schedule.all_slots().iter().enumerate() {
         out.push_str(&format!("p{i:<3}|"));
         let mut row = vec!['\u{00B7}'; width];
@@ -33,6 +49,10 @@ pub fn render(schedule: &Schedule, width: usize) -> String {
                 *cell = glyph;
             }
         }
+        for mark in marks.iter().filter(|mk| mk.machine.index() == i) {
+            let cell = scale(mark.time).min(width - 1);
+            row[cell] = mark.kind.glyph();
+        }
         out.extend(row.iter());
         out.push_str("|\n");
     }
@@ -41,6 +61,16 @@ pub fn render(schedule: &Schedule, width: usize) -> String {
         " ".repeat(width.saturating_sub(makespan_label_len(makespan) + 1)),
         format_time(makespan),
     ));
+    if !marks.is_empty() {
+        let mut legend = String::from("    ");
+        for kind in MarkKind::all() {
+            if marks.iter().any(|mk| mk.kind == kind) {
+                legend.push_str(&format!(" {} {}", kind.glyph(), kind.label()));
+            }
+        }
+        legend.push('\n');
+        out.push_str(&legend);
+    }
     let _ = MachineId::new(0);
     out
 }
@@ -115,6 +145,59 @@ mod tests {
     fn empty_schedule() {
         let s = Schedule::from_slots(vec![vec![], vec![]]);
         assert!(render(&s, 20).contains("empty"));
+    }
+
+    #[test]
+    fn marks_overlay_the_affected_row_and_add_a_legend() {
+        let inst = Instance::from_estimates(&[2.0, 2.0, 4.0], 2).unwrap();
+        let real = Realization::exact(&inst);
+        let order = vec![vec![TaskId::new(0), TaskId::new(1)], vec![TaskId::new(2)]];
+        let s = Schedule::sequence(&order, &real);
+        let marks = vec![
+            crate::marks::Mark::new(
+                rds_core::Time::of(2.0),
+                MachineId::new(0),
+                crate::marks::MarkKind::Failure,
+            ),
+            crate::marks::Mark::new(
+                rds_core::Time::of(3.0),
+                MachineId::new(1),
+                crate::marks::MarkKind::SpeculativeStart,
+            ),
+            // Out-of-range machine: silently ignored.
+            crate::marks::Mark::new(
+                rds_core::Time::of(1.0),
+                MachineId::new(9),
+                crate::marks::MarkKind::Recovery,
+            ),
+        ];
+        let text = render_with_marks(&s, 40, &marks);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains('X'), "row0 = {}", lines[0]);
+        assert!(lines[1].contains('!'), "row1 = {}", lines[1]);
+        let legend = lines.last().unwrap();
+        assert!(legend.contains("X failure"));
+        assert!(legend.contains("! spec-start"));
+        // Recovery mark was dropped, so it must not reach the legend.
+        assert!(!legend.contains("recovery"));
+        // Plain render is unchanged by the mark machinery.
+        assert!(!render(&s, 40).contains('X'));
+    }
+
+    #[test]
+    fn marks_past_the_makespan_clamp_to_the_last_cell() {
+        let inst = Instance::from_estimates(&[2.0], 1).unwrap();
+        let real = Realization::exact(&inst);
+        let s = Schedule::sequence(&[vec![TaskId::new(0)]], &real);
+        let marks = vec![crate::marks::Mark::new(
+            rds_core::Time::of(99.0),
+            MachineId::new(0),
+            crate::marks::MarkKind::Cancelled,
+        )];
+        let text = render_with_marks(&s, 20, &marks);
+        let row = text.lines().next().unwrap();
+        // Last cell before the closing pipe carries the glyph.
+        assert!(row.ends_with("x|"), "row = {row}");
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! - [`csv`]: RFC-4180 CSV emission;
 //! - [`plot`]: ASCII line/scatter charts (terminal renderings of the
 //!   paper's figures);
-//! - [`gantt`]: ASCII Gantt charts of executed schedules (Figures 2/4/5);
+//! - [`gantt`]: ASCII Gantt charts of executed schedules (Figures 2/4/5),
+//!   with optional fault-timeline overlays;
+//! - [`marks`]: fault-timeline [`marks::Mark`]s (failures, recoveries,
+//!   degraded phases, speculation) the Gantt renderers draw on top;
 //! - [`svg`]: dependency-free SVG renderings of the same charts and
 //!   Gantts, for publication-style output.
 
@@ -16,6 +19,7 @@
 pub mod csv;
 pub mod gantt;
 pub mod histogram;
+pub mod marks;
 pub mod plot;
 pub mod stats;
 pub mod svg;
@@ -23,7 +27,8 @@ pub mod table;
 
 pub use csv::Csv;
 pub use histogram::Histogram;
+pub use marks::{Mark, MarkKind};
 pub use plot::{Chart, Series};
-pub use svg::{gantt_svg, SvgChart};
 pub use stats::{Samples, Summary};
+pub use svg::{gantt_svg, gantt_svg_with_marks, SvgChart};
 pub use table::{Align, Table};

@@ -1,0 +1,123 @@
+//! Fault-timeline marks overlaid on Gantt charts.
+//!
+//! The resilience engine's trace carries more than slot occupancy:
+//! machines fail and rejoin, phases run degraded, speculative backups
+//! start and get cancelled. A [`Mark`] pins one such event to a
+//! (machine, time) point so the ASCII and SVG Gantt renderers can draw
+//! the fault timeline on top of the executed schedule without the
+//! report crate depending on the simulator.
+
+use rds_core::{MachineId, Time};
+
+/// What kind of fault-timeline event a mark denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkKind {
+    /// The machine crashed or went down.
+    Failure,
+    /// The machine rejoined after an outage.
+    Recovery,
+    /// The machine entered (or left) a degraded-speed phase.
+    Degraded,
+    /// A speculative backup attempt started here.
+    SpeculativeStart,
+    /// An attempt was cancelled (lost the first-finisher race).
+    Cancelled,
+}
+
+impl MarkKind {
+    /// Single-character glyph for ASCII overlays.
+    #[must_use]
+    pub fn glyph(self) -> char {
+        match self {
+            MarkKind::Failure => 'X',
+            MarkKind::Recovery => '^',
+            MarkKind::Degraded => '~',
+            MarkKind::SpeculativeStart => '!',
+            MarkKind::Cancelled => 'x',
+        }
+    }
+
+    /// Stroke color for SVG overlays.
+    #[must_use]
+    pub fn color(self) -> &'static str {
+        match self {
+            MarkKind::Failure => "#e41a1c",
+            MarkKind::Recovery => "#4daf4a",
+            MarkKind::Degraded => "#ff7f00",
+            MarkKind::SpeculativeStart => "#377eb8",
+            MarkKind::Cancelled => "#999999",
+        }
+    }
+
+    /// Human-readable label for legends.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MarkKind::Failure => "failure",
+            MarkKind::Recovery => "recovery",
+            MarkKind::Degraded => "degraded",
+            MarkKind::SpeculativeStart => "spec-start",
+            MarkKind::Cancelled => "cancelled",
+        }
+    }
+
+    /// All kinds, in legend order.
+    #[must_use]
+    pub fn all() -> [MarkKind; 5] {
+        [
+            MarkKind::Failure,
+            MarkKind::Recovery,
+            MarkKind::Degraded,
+            MarkKind::SpeculativeStart,
+            MarkKind::Cancelled,
+        ]
+    }
+}
+
+/// One fault-timeline event pinned to a machine row at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mark {
+    /// When the event happened.
+    pub time: Time,
+    /// Which machine row it belongs on.
+    pub machine: MachineId,
+    /// What the event was.
+    pub kind: MarkKind,
+}
+
+impl Mark {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(time: Time, machine: MachineId, kind: MarkKind) -> Self {
+        Mark {
+            time,
+            machine,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_and_colors_are_distinct() {
+        let kinds = MarkKind::all();
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.glyph(), b.glyph());
+                assert_ne!(a.color(), b.color());
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+
+    #[test]
+    fn mark_constructor_round_trips() {
+        let m = Mark::new(Time::of(2.5), MachineId::new(3), MarkKind::Recovery);
+        assert_eq!(m.time, Time::of(2.5));
+        assert_eq!(m.machine.index(), 3);
+        assert_eq!(m.kind.glyph(), '^');
+    }
+}

@@ -108,8 +108,7 @@ impl Chart {
                     continue;
                 }
                 let tx = self.x_transform(x);
-                let col = ((tx - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round()
-                    as usize;
+                let col = ((tx - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round() as usize;
                 let row_f = (y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64;
                 let row = self.height - 1 - row_f.round() as usize;
                 grid[row][col.min(self.width - 1)] = s.glyph;
@@ -194,7 +193,9 @@ mod tests {
     fn log_x_spreads_divisors() {
         let points: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 128.0].iter().map(|&x| (x, x)).collect();
         let lin = Chart::new("lin", 64, 6).series(Series::new("s", '*', points.clone()));
-        let log = Chart::new("log", 64, 6).log_x().series(Series::new("s", '*', points));
+        let log = Chart::new("log", 64, 6)
+            .log_x()
+            .series(Series::new("s", '*', points));
         // In log space, 1→2 and 2→4 are the same distance; just assert it
         // renders and differs from the linear version.
         assert_ne!(lin.render(), log.render());

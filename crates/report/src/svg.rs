@@ -2,6 +2,7 @@
 //! paper's figures (line charts) and executed schedules (Gantt charts),
 //! with zero graphics dependencies.
 
+use crate::marks::{Mark, MarkKind};
 use crate::plot::Series;
 use rds_core::Schedule;
 use std::fmt::Write as _;
@@ -18,7 +19,9 @@ const COLORS: &[&str] = &[
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// An SVG line/scatter chart over named series.
@@ -231,6 +234,21 @@ impl SvgChart {
 /// # Panics
 /// Panics unless `width >= 160`.
 pub fn gantt_svg(schedule: &Schedule, width: f64) -> String {
+    gantt_svg_with_marks(schedule, width, &[])
+}
+
+/// Like [`gantt_svg`], additionally drawing fault-timeline [`Mark`]s as
+/// colored vertical ticks on the affected machine rows, with a legend
+/// for the kinds present.
+///
+/// Marks use only `<line>`/`<circle>`/`<text>` elements, so the slot
+/// rectangles of the base chart stay untouched. Marks on machines
+/// outside the schedule are ignored; marks past the makespan clamp to
+/// the right edge.
+///
+/// # Panics
+/// Panics unless `width >= 160`.
+pub fn gantt_svg_with_marks(schedule: &Schedule, width: f64, marks: &[Mark]) -> String {
     assert!(width >= 160.0, "svg canvas too small");
     let makespan = schedule.makespan().get().max(1e-12);
     let m = schedule.m();
@@ -265,6 +283,38 @@ pub fn gantt_svg(schedule: &Schedule, width: f64) -> String {
             );
         }
     }
+    let marks: Vec<&Mark> = marks.iter().filter(|mk| mk.machine.index() < m).collect();
+    for mark in &marks {
+        let y = MARGIN_T + mark.machine.index() as f64 * row_h;
+        let x = MARGIN_L + (mark.time.get() / makespan).min(1.0) * plot_w;
+        let color = mark.kind.color();
+        let _ = write!(
+            out,
+            r#"<line x1="{x:.2}" y1="{y1:.2}" x2="{x:.2}" y2="{y2:.2}" stroke="{color}" stroke-width="2"><title>{label}</title></line><circle cx="{x:.2}" cy="{y1:.2}" r="2.5" fill="{color}"/>"#,
+            y1 = y + 1.0,
+            y2 = y + row_h - 1.0,
+            label = mark.kind.label()
+        );
+    }
+    if !marks.is_empty() {
+        let mut lx = MARGIN_L;
+        let ly = MARGIN_T - 10.0;
+        for kind in MarkKind::all() {
+            if marks.iter().any(|mk| mk.kind == kind) {
+                let _ = write!(
+                    out,
+                    r#"<line x1="{lx:.2}" y1="{y1:.2}" x2="{lx:.2}" y2="{y2:.2}" stroke="{color}" stroke-width="2"/><text x="{tx:.2}" y="{ty:.2}" font-size="10">{label}</text>"#,
+                    y1 = ly - 8.0,
+                    y2 = ly + 2.0,
+                    color = kind.color(),
+                    tx = lx + 5.0,
+                    ty = ly,
+                    label = kind.label()
+                );
+                lx += 80.0;
+            }
+        }
+    }
     let _ = write!(
         out,
         r#"<text x="{l}" y="{y}" font-size="11">0</text><text x="{r}" y="{y}" text-anchor="end" font-size="11">{mk:.2}</text></svg>"#,
@@ -285,7 +335,11 @@ mod tests {
     fn chart_contains_all_series_and_axes() {
         let svg = SvgChart::new("test chart", 640.0, 400.0)
             .labels("replicas", "ratio")
-            .series(Series::new("bound", '#', vec![(1.0, 7.9), (3.0, 5.8), (210.0, 2.0)]))
+            .series(Series::new(
+                "bound",
+                '#',
+                vec![(1.0, 7.9), (3.0, 5.8), (210.0, 2.0)],
+            ))
             .series(Series::new("measured", '*', vec![(1.0, 3.9), (210.0, 1.5)]))
             .log_x()
             .render();
@@ -327,6 +381,32 @@ mod tests {
         // Three task rectangles.
         assert_eq!(svg.matches("<rect").count(), 1 + 3); // background + 3 slots
         assert!(svg.contains("4.00")); // makespan label
+    }
+
+    #[test]
+    fn gantt_marks_draw_ticks_without_touching_slot_rects() {
+        use rds_core::{MachineId, Time};
+        let inst = Instance::from_estimates(&[2.0, 2.0, 4.0], 2).unwrap();
+        let real = Realization::exact(&inst);
+        let order = vec![vec![TaskId::new(0), TaskId::new(1)], vec![TaskId::new(2)]];
+        let s = rds_core::Schedule::sequence(&order, &real);
+        let marks = vec![
+            Mark::new(Time::of(1.0), MachineId::new(0), MarkKind::Failure),
+            Mark::new(Time::of(2.0), MachineId::new(1), MarkKind::Recovery),
+            // Ignored: machine outside the schedule.
+            Mark::new(Time::of(1.0), MachineId::new(7), MarkKind::Cancelled),
+        ];
+        let svg = gantt_svg_with_marks(&s, 640.0, &marks);
+        // Same rect count as the unmarked chart: marks are lines/circles.
+        assert_eq!(svg.matches("<rect").count(), 1 + 3);
+        assert!(svg.contains(MarkKind::Failure.color()));
+        assert!(svg.contains(MarkKind::Recovery.color()));
+        assert!(svg.contains(">failure<"));
+        assert!(svg.contains("recovery"));
+        // The dropped mark's kind never renders.
+        assert!(!svg.contains("cancelled"));
+        // Legend + per-mark ticks.
+        assert!(svg.matches("<line").count() >= 4);
     }
 
     #[test]

@@ -124,7 +124,11 @@ mod tests {
         assert!(lines[0].contains("| name "));
         assert!(lines[1].contains("-:"), "right column marker: {}", lines[1]);
         assert!(lines[2].contains("| alpha |"));
-        assert!(lines[3].contains("|   210 |"), "right aligned: {}", lines[3]);
+        assert!(
+            lines[3].contains("|   210 |"),
+            "right aligned: {}",
+            lines[3]
+        );
     }
 
     #[test]

@@ -127,7 +127,11 @@ mod tests {
         assert!((env.relative_width() - 1.5).abs() < 1e-12); // α − 1/α
 
         // Sample realizations stay inside.
-        for factors in [[2.0, 2.0, 2.0, 2.0], [0.5, 0.5, 0.5, 0.5], [2.0, 0.5, 1.0, 1.3]] {
+        for factors in [
+            [2.0, 2.0, 2.0, 2.0],
+            [0.5, 0.5, 0.5, 0.5],
+            [2.0, 0.5, 1.0, 1.3],
+        ] {
             let real = Realization::from_factors(&inst, unc, &factors).unwrap();
             let mk = a.makespan(&real);
             assert!(mk >= env.best && mk <= env.worst, "{mk}");

@@ -11,9 +11,7 @@
 use crate::dispatcher::{Dispatcher, SimView};
 use crate::event::{EventQueue, IdleEvent};
 use crate::trace::{Trace, TraceEvent};
-use rds_core::{
-    Error, Instance, Placement, Realization, Result, Schedule, Slot, Time,
-};
+use rds_core::{Error, Instance, Placement, Realization, Result, Schedule, Slot, Time};
 
 /// Result of one simulated execution.
 #[derive(Debug, Clone)]
@@ -234,7 +232,13 @@ mod tests {
         let r = Realization::exact(&inst);
         let engine = Engine::new(&inst, &p, &r).unwrap();
         let err = engine.run(&mut Rogue).unwrap_err();
-        assert!(matches!(err, Error::InfeasibleAssignment { task: 0, machine: 0 }));
+        assert!(matches!(
+            err,
+            Error::InfeasibleAssignment {
+                task: 0,
+                machine: 0
+            }
+        ));
     }
 
     #[test]

@@ -99,13 +99,7 @@ mod tests {
         let inst = Instance::from_estimates(&[1.0, 5.0], 1).unwrap();
         let real = Realization::exact(&inst);
         let p = Placement::everywhere(&inst);
-        let res = simulate_ordered(
-            &inst,
-            &p,
-            vec![TaskId::new(1), TaskId::new(0)],
-            &real,
-        )
-        .unwrap();
+        let res = simulate_ordered(&inst, &p, vec![TaskId::new(1), TaskId::new(0)], &real).unwrap();
         let slots = res.schedule.slots(MachineId::new(0));
         assert_eq!(slots[0].task, TaskId::new(1));
     }

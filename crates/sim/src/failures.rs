@@ -6,14 +6,27 @@
 //! failed machine's in-flight task is lost and must restart *on another
 //! machine holding its data* — impossible without replication. The same
 //! [`Dispatcher`] policies drive the surviving machines.
+//!
+//! This is now the crash-only compatibility facade over the full
+//! resilience engine in [`crate::faults`], which additionally models
+//! transient outages, degraded-speed phases, stragglers, and speculative
+//! re-execution, and degrades gracefully instead of erroring on
+//! stranded tasks.
+//!
+//! # Tie-break: failure at a completion instant
+//!
+//! When a failure and a task completion land on the same instant, the
+//! failure wins and the in-flight attempt is killed (in the engine's
+//! event queue, fault events order strictly before idle/completion
+//! events — the `KIND_FAULT < KIND_IDLE` ordering in `faults.rs`). The
+//! machine is gone *at* `t`, so work needing the full interval `[start,
+//! t]` never commits. This is pinned by
+//! `failure_at_exact_completion_instant_kills_the_attempt` below.
 
-use crate::dispatcher::{Dispatcher, SimView};
-use crate::trace::{Trace, TraceEvent};
-use rds_core::{
-    Error, Instance, MachineId, Placement, Realization, Result, Schedule, Slot, TaskId, Time,
-};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::dispatcher::Dispatcher;
+use crate::faults::{FaultScript, Outcome, ResilienceEngine};
+use crate::trace::Trace;
+use rds_core::{Error, Instance, MachineId, Placement, Realization, Result, Schedule, Time};
 
 /// A scheduled machine failure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,12 +50,12 @@ pub struct FaultySimResult {
     pub restarts: usize,
 }
 
-/// Event kinds, ordered so failures at time `t` process before idle
-/// events at `t` (conservative: the machine is gone first).
-const KIND_FAILURE: u8 = 0;
-const KIND_IDLE: u8 = 1;
-
-/// Runs the execution with failure injection.
+/// Runs the execution with (permanent-crash) failure injection.
+///
+/// This wraps [`ResilienceEngine`] with a crash-only fault script and no
+/// speculation, and preserves the legacy abort-on-stranded contract: a
+/// partial outcome maps back to an error. Use the engine directly for
+/// graceful degradation, richer fault shapes, and metrics.
 ///
 /// # Errors
 /// - The base engine's dispatcher-misbehaviour errors;
@@ -56,190 +69,20 @@ pub fn run_with_failures(
     dispatcher: &mut dyn Dispatcher,
     failures: &[Failure],
 ) -> Result<FaultySimResult> {
-    let n = instance.n();
-    let m = instance.m();
-    if placement.n() != n || realization.n() != n {
-        return Err(Error::TaskCountMismatch {
-            expected: n,
-            got: placement.n().min(realization.n()),
-        });
-    }
-    let mut pending = vec![true; n];
-    let mut remaining = n;
-    let mut alive = vec![true; m];
-    let mut idle = vec![false; m];
-    // What each machine is currently running: (task, start, end).
-    let mut running: Vec<Option<(TaskId, Time, Time)>> = vec![None; m];
-    let mut slots: Vec<Vec<Slot>> = vec![Vec::new(); m];
-    let mut trace = Trace::new();
-    let mut restarts = 0usize;
-    let mut makespan = Time::ZERO;
-
-    let mut queue: BinaryHeap<Reverse<(Time, u8, MachineId)>> = BinaryHeap::new();
-    for i in 0..m {
-        queue.push(Reverse((Time::ZERO, KIND_IDLE, MachineId::new(i))));
-    }
-    for f in failures {
-        if f.machine.index() >= m {
-            return Err(Error::MachineOutOfRange {
-                machine: f.machine.index(),
-                m,
-            });
-        }
-        queue.push(Reverse((f.at, KIND_FAILURE, f.machine)));
-    }
-
-    while let Some(Reverse((time, kind, machine))) = queue.pop() {
-        let mi = machine.index();
-        if kind == KIND_FAILURE {
-            if !alive[mi] {
-                continue;
-            }
-            alive[mi] = false;
-            idle[mi] = false;
-            if let Some((task, start, end)) = running[mi].take() {
-                if end > time {
-                    // In-flight attempt is lost: requeue the task
-                    // (`remaining` counts completions, so no adjustment).
-                    pending[task.index()] = true;
-                    restarts += 1;
-                    dispatcher.on_requeue(task);
-                    // Wake every idle surviving machine to pick it up.
-                    for w in 0..m {
-                        if alive[w] && idle[w] {
-                            idle[w] = false;
-                            queue.push(Reverse((time, KIND_IDLE, MachineId::new(w))));
-                        }
-                    }
-                } else {
-                    // It finished exactly at the failure instant: count it.
-                    complete(
-                        &mut slots[mi],
-                        &mut trace,
-                        dispatcher,
-                        task,
-                        machine,
-                        start,
-                        end,
-                        realization,
-                        &mut makespan,
-                    );
-                    remaining_done(&mut remaining);
-                }
-            }
-            continue;
-        }
-
-        // Idle event.
-        if !alive[mi] {
-            continue;
-        }
-        // Completion bookkeeping for the attempt that just ended.
-        if let Some((task, start, end)) = running[mi] {
-            if end == time {
-                running[mi] = None;
-                complete(
-                    &mut slots[mi],
-                    &mut trace,
-                    dispatcher,
-                    task,
-                    machine,
-                    start,
-                    end,
-                    realization,
-                    &mut makespan,
-                );
-                remaining_done(&mut remaining);
-            } else {
-                // Stale wake-up while busy (e.g. a requeue broadcast).
-                continue;
-            }
-        }
-        if remaining == 0 {
-            continue;
-        }
-        let view = SimView {
-            instance,
-            placement,
-            pending: &pending,
-        };
-        match dispatcher.next_task(machine, time, &view) {
-            Some(task) => {
-                if task.index() >= n {
-                    return Err(Error::TaskOutOfRange {
-                        task: task.index(),
-                        n,
-                    });
-                }
-                if !pending[task.index()] {
-                    return Err(Error::InvalidParameter {
-                        what: "dispatcher returned an already-started task",
-                    });
-                }
-                if !placement.allows(task, machine) {
-                    return Err(Error::InfeasibleAssignment {
-                        task: task.index(),
-                        machine: mi,
-                    });
-                }
-                pending[task.index()] = false;
-                let end = time + realization.actual(task);
-                running[mi] = Some((task, time, end));
-                trace.push(TraceEvent::Start {
-                    time,
-                    task,
-                    machine,
-                });
-                queue.push(Reverse((end, KIND_IDLE, machine)));
-            }
-            None => {
-                idle[mi] = true;
-                trace.push(TraceEvent::Starved { time, machine });
-            }
-        }
-    }
-
-    if remaining > 0 {
-        // Some task is stranded: all its replicas are on dead machines
-        // (or the dispatcher refused it).
+    let script = FaultScript::from_failures(failures);
+    let report =
+        ResilienceEngine::new(instance, placement, realization, &script)?.run(dispatcher)?;
+    if let Outcome::Partial { .. } = report.outcome {
         return Err(Error::InvalidParameter {
             what: "task stranded: every machine holding its data failed",
         });
     }
     Ok(FaultySimResult {
-        schedule: Schedule::from_slots(slots),
-        makespan,
-        trace,
-        restarts,
+        schedule: report.schedule,
+        makespan: report.metrics.makespan,
+        trace: report.trace,
+        restarts: report.metrics.restarts,
     })
-}
-
-#[allow(clippy::too_many_arguments)]
-fn complete(
-    slots: &mut Vec<Slot>,
-    trace: &mut Trace,
-    dispatcher: &mut dyn Dispatcher,
-    task: TaskId,
-    machine: MachineId,
-    start: Time,
-    end: Time,
-    realization: &Realization,
-    makespan: &mut Time,
-) {
-    let actual = realization.actual(task);
-    slots.push(Slot { task, start, end });
-    trace.push(TraceEvent::Complete {
-        time: end,
-        task,
-        machine,
-        actual,
-    });
-    dispatcher.on_complete(task, machine, actual, end);
-    *makespan = (*makespan).max(end);
-}
-
-fn remaining_done(remaining: &mut usize) {
-    *remaining -= 1;
 }
 
 #[cfg(test)]
@@ -265,8 +108,7 @@ mod tests {
             .run(&mut OrderedDispatcher::fifo(&inst))
             .unwrap();
         let faulty =
-            run_with_failures(&inst, &p, &r, &mut OrderedDispatcher::fifo(&inst), &[])
-                .unwrap();
+            run_with_failures(&inst, &p, &r, &mut OrderedDispatcher::fifo(&inst), &[]).unwrap();
         assert_eq!(plain.makespan, faulty.makespan);
         assert_eq!(faulty.restarts, 0);
     }
@@ -295,16 +137,39 @@ mod tests {
     }
 
     #[test]
+    fn failure_at_exact_completion_instant_kills_the_attempt() {
+        // The tie-break: the task would complete at t=2.0, and machine 0
+        // fails at exactly t=2.0. The failure event orders before the
+        // completion event, so the attempt is lost and the task restarts
+        // on machine 1 at t=2.0, finishing at t=4.0.
+        let inst = Instance::from_estimates(&[2.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let res = run_with_failures(
+            &inst,
+            &p,
+            &r,
+            &mut OrderedDispatcher::fifo(&inst),
+            &[fail(0, 2.0)],
+        )
+        .unwrap();
+        assert_eq!(res.restarts, 1);
+        assert_eq!(res.makespan, Time::of(4.0));
+        assert!(res.schedule.slots(MachineId::new(0)).is_empty());
+        let slots1 = res.schedule.slots(MachineId::new(1));
+        assert_eq!(slots1.len(), 1);
+        assert_eq!(slots1[0].start, Time::of(2.0));
+    }
+
+    #[test]
     fn pinned_task_is_stranded_by_failure() {
         // The same scenario without replication: the task dies with its
         // only machine.
         let inst = Instance::from_estimates(&[4.0, 1.0], 2).unwrap();
         let p = Placement::pinned(&inst, &[MachineId::new(0), MachineId::new(1)]).unwrap();
         let r = Realization::exact(&inst);
-        let mut d = crate::dispatcher::PinnedDispatcher::new(
-            &[MachineId::new(0), MachineId::new(1)],
-            2,
-        );
+        let mut d =
+            crate::dispatcher::PinnedDispatcher::new(&[MachineId::new(0), MachineId::new(1)], 2);
         let err = run_with_failures(&inst, &p, &r, &mut d, &[fail(0, 2.0)]).unwrap_err();
         assert!(matches!(err, Error::InvalidParameter { what } if what.contains("stranded")));
     }

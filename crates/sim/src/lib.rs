@@ -11,6 +11,10 @@
 //! - [`dispatcher`]: pluggable online policies (FIFO/LPT priority orders,
 //!   pinned queues, the staged policy of `ABO_Δ`);
 //! - [`executors`]: one-call simulations of each paper strategy;
+//! - [`faults`]: the resilience engine — scripted crashes, outages with
+//!   recovery, degraded-speed phases, stragglers, speculative
+//!   re-execution, and graceful degradation with [`faults::Outcome`] and
+//!   [`faults::ResilienceMetrics`];
 //! - [`trace`]: chronological event traces for inspection and Gantt
 //!   rendering.
 //!
@@ -40,9 +44,14 @@ pub mod engine;
 pub mod event;
 pub mod executors;
 pub mod failures;
+pub mod faults;
 pub mod trace;
 
 pub use dispatcher::{Dispatcher, OrderedDispatcher, PinnedDispatcher, SimView, StagedDispatcher};
 pub use engine::{Engine, SimResult};
 pub use failures::{run_with_failures, Failure, FaultySimResult};
+pub use faults::{
+    FaultEvent, FaultScript, Outcome, ResilienceEngine, ResilienceMetrics, ResilienceReport,
+    Speculation,
+};
 pub use trace::{Trace, TraceEvent};

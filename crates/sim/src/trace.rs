@@ -32,6 +32,50 @@ pub enum TraceEvent {
         /// The starved machine.
         machine: MachineId,
     },
+    /// A machine went down (crash or outage start); its in-flight
+    /// attempt, if any, was lost.
+    Failure {
+        /// When the machine went down.
+        time: Time,
+        /// The failed machine.
+        machine: MachineId,
+    },
+    /// A machine rejoined after a transient outage.
+    Recovery {
+        /// When the machine came back.
+        time: Time,
+        /// The rejoining machine.
+        machine: MachineId,
+    },
+    /// A machine changed processing speed (`speed == 1.0` marks the end
+    /// of a degraded phase).
+    Degraded {
+        /// When the speed changed.
+        time: Time,
+        /// The affected machine.
+        machine: MachineId,
+        /// The new processing-speed fraction.
+        speed: f64,
+    },
+    /// A speculative backup attempt of a task was launched.
+    SpeculativeStart {
+        /// When the backup started.
+        time: Time,
+        /// The speculated task.
+        task: TaskId,
+        /// The machine hosting the backup attempt.
+        machine: MachineId,
+    },
+    /// A redundant attempt was cancelled because a sibling finished
+    /// first; its progress is wasted work.
+    Cancelled {
+        /// When the attempt was cancelled.
+        time: Time,
+        /// The task whose attempt was cancelled.
+        task: TaskId,
+        /// The machine whose attempt was cancelled.
+        machine: MachineId,
+    },
 }
 
 impl TraceEvent {
@@ -40,7 +84,12 @@ impl TraceEvent {
         match *self {
             TraceEvent::Start { time, .. }
             | TraceEvent::Complete { time, .. }
-            | TraceEvent::Starved { time, .. } => time,
+            | TraceEvent::Starved { time, .. }
+            | TraceEvent::Failure { time, .. }
+            | TraceEvent::Recovery { time, .. }
+            | TraceEvent::Degraded { time, .. }
+            | TraceEvent::SpeculativeStart { time, .. }
+            | TraceEvent::Cancelled { time, .. } => time,
         }
     }
 }
@@ -60,7 +109,9 @@ impl Trace {
     /// Appends an event (times must be non-decreasing; enforced in debug).
     pub fn push(&mut self, ev: TraceEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.time() <= ev.time()),
+            self.events
+                .last()
+                .is_none_or(|last| last.time() <= ev.time()),
             "trace out of order"
         );
         self.events.push(ev);
@@ -106,9 +157,7 @@ impl Trace {
                 makespan = makespan.max(time);
             }
         }
-        busy.into_iter()
-            .map(|b| makespan.saturating_sub(b))
-            .sum()
+        busy.into_iter().map(|b| makespan.saturating_sub(b)).sum()
     }
 }
 
@@ -119,10 +168,23 @@ impl Trace {
         let mut out = String::from("time,event,task,machine,actual\n");
         for e in &self.events {
             match *e {
-                TraceEvent::Start { time, task, machine } => {
-                    out.push_str(&format!("{time},start,{},{},\n", task.index(), machine.index()));
+                TraceEvent::Start {
+                    time,
+                    task,
+                    machine,
+                } => {
+                    out.push_str(&format!(
+                        "{time},start,{},{},\n",
+                        task.index(),
+                        machine.index()
+                    ));
                 }
-                TraceEvent::Complete { time, task, machine, actual } => {
+                TraceEvent::Complete {
+                    time,
+                    task,
+                    machine,
+                    actual,
+                } => {
                     out.push_str(&format!(
                         "{time},complete,{},{},{actual}\n",
                         task.index(),
@@ -131,6 +193,41 @@ impl Trace {
                 }
                 TraceEvent::Starved { time, machine } => {
                     out.push_str(&format!("{time},starved,,{},\n", machine.index()));
+                }
+                TraceEvent::Failure { time, machine } => {
+                    out.push_str(&format!("{time},failure,,{},\n", machine.index()));
+                }
+                TraceEvent::Recovery { time, machine } => {
+                    out.push_str(&format!("{time},recovery,,{},\n", machine.index()));
+                }
+                TraceEvent::Degraded {
+                    time,
+                    machine,
+                    speed,
+                } => {
+                    out.push_str(&format!("{time},degraded,,{},{speed}\n", machine.index()));
+                }
+                TraceEvent::SpeculativeStart {
+                    time,
+                    task,
+                    machine,
+                } => {
+                    out.push_str(&format!(
+                        "{time},spec_start,{},{},\n",
+                        task.index(),
+                        machine.index()
+                    ));
+                }
+                TraceEvent::Cancelled {
+                    time,
+                    task,
+                    machine,
+                } => {
+                    out.push_str(&format!(
+                        "{time},cancelled,{},{},\n",
+                        task.index(),
+                        machine.index()
+                    ));
                 }
             }
         }
@@ -189,6 +286,40 @@ mod tests {
         assert_eq!(lines[1], "0,start,3,1,");
         assert_eq!(lines[2], "2.5,complete,3,1,2.5");
         assert_eq!(lines[3], "2.5,starved,,0,");
+    }
+
+    #[test]
+    fn csv_covers_fault_events() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Failure {
+            time: Time::of(1.0),
+            machine: MachineId::new(2),
+        });
+        t.push(TraceEvent::Degraded {
+            time: Time::of(1.5),
+            machine: MachineId::new(0),
+            speed: 0.25,
+        });
+        t.push(TraceEvent::SpeculativeStart {
+            time: Time::of(2.0),
+            task: TaskId::new(7),
+            machine: MachineId::new(1),
+        });
+        t.push(TraceEvent::Cancelled {
+            time: Time::of(3.0),
+            task: TaskId::new(7),
+            machine: MachineId::new(1),
+        });
+        t.push(TraceEvent::Recovery {
+            time: Time::of(4.0),
+            machine: MachineId::new(2),
+        });
+        let lines: Vec<String> = t.to_csv().lines().map(str::to_owned).collect();
+        assert_eq!(lines[1], "1,failure,,2,");
+        assert_eq!(lines[2], "1.5,degraded,,0,0.25");
+        assert_eq!(lines[3], "2,spec_start,7,1,");
+        assert_eq!(lines[4], "3,cancelled,7,1,");
+        assert_eq!(lines[5], "4,recovery,,2,");
     }
 
     #[test]

@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use rds_core::{
-    Instance, MachineId, MachineMask, MachineSet, Placement, Realization, TaskId, Time,
-    Uncertainty,
+    Instance, MachineId, MachineMask, MachineSet, Placement, Realization, TaskId, Time, Uncertainty,
 };
 use rds_sim::{Engine, OrderedDispatcher, TraceEvent};
 

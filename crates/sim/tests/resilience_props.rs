@@ -1,0 +1,137 @@
+//! Property tests on the resilience engine: replication is the
+//! fault-tolerance mechanism.
+//!
+//! The invariant mirrors the Hadoop motivation: if every task's data
+//! lives on at least two distinct machines and fewer than two machines
+//! ever fail (crash or outage), no task can strand — the run always
+//! completes, with a finite makespan no better than the fault-free one.
+
+use proptest::prelude::*;
+use rds_core::{
+    Instance, MachineId, MachineMask, MachineSet, Placement, Realization, Time, Uncertainty,
+};
+use rds_sim::faults::{FaultEvent, FaultScript, ResilienceEngine, Speculation};
+use rds_sim::OrderedDispatcher;
+
+/// A placement giving task `j` replicas on at least two distinct
+/// machines, plus pseudo-random extras drawn from `seed`.
+fn two_replica_placement(inst: &Instance, m: usize, seed: u64) -> Placement {
+    let sets: Vec<MachineSet> = (0..inst.n())
+        .map(|j| {
+            let mut mask = MachineMask::empty(m);
+            mask.insert(MachineId::new(j % m));
+            mask.insert(MachineId::new((j + 1 + (seed as usize % (m - 1))) % m));
+            for i in 0..m {
+                if (seed >> ((j * 5 + i) % 59)) & 1 == 1 {
+                    mask.insert(MachineId::new(i));
+                }
+            }
+            MachineSet::from_mask(m, mask)
+        })
+        .collect();
+    Placement::new(inst, sets).unwrap()
+}
+
+/// A fault script whose crash/outage events all target one machine.
+/// Slowdowns on other machines are allowed: a degraded machine has not
+/// failed — its data stays reachable.
+fn single_machine_failures(m: usize, horizon: f64, seed: u64) -> FaultScript {
+    let victim = MachineId::new((seed % m as u64) as usize);
+    let at = Time::of(horizon * ((seed >> 8) % 1000) as f64 / 1000.0);
+    let mut events = Vec::new();
+    match (seed >> 20) % 3 {
+        0 => events.push(FaultEvent::Crash {
+            machine: victim,
+            at,
+        }),
+        1 => events.push(FaultEvent::Outage {
+            machine: victim,
+            at,
+            down_for: Time::of(0.1 + horizon * ((seed >> 28) % 500) as f64 / 1000.0),
+        }),
+        _ => {
+            // Crash preceded by an outage on the same machine: still
+            // only one machine ever fails.
+            events.push(FaultEvent::Outage {
+                machine: victim,
+                at,
+                down_for: Time::of(horizon),
+            });
+            events.push(FaultEvent::Crash {
+                machine: victim,
+                at: at + Time::of(horizon * 0.5),
+            });
+        }
+    }
+    if (seed >> 40) & 1 == 1 {
+        let other = MachineId::new(((seed % m as u64) as usize + 1) % m);
+        events.push(FaultEvent::Slowdown {
+            machine: other,
+            at: Time::of(horizon * 0.25),
+            lasting: Time::of(horizon * 0.5),
+            speed: 0.5,
+        });
+    }
+    FaultScript::new(events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn two_replicas_survive_any_single_machine_failure(
+        est in prop::collection::vec(0.5f64..10.0, 2..20),
+        m in 2usize..6,
+        seed in any::<u64>(),
+        alpha in 1.0f64..2.0,
+        speculate in any::<bool>(),
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        let placement = two_replica_placement(&inst, m, seed);
+        let factors: Vec<f64> = (0..inst.n())
+            .map(|j| if (seed >> (j % 61)) & 1 == 1 { alpha } else { 1.0 / alpha })
+            .collect();
+        let real = Realization::from_factors(&inst, unc, &factors).unwrap();
+        let horizon = real.total().get();
+        let script = single_machine_failures(m, horizon, seed);
+        script.validate(&inst).unwrap();
+
+        let run = |script: &FaultScript| {
+            let mut engine =
+                ResilienceEngine::new(&inst, &placement, &real, script).unwrap();
+            if speculate {
+                engine = engine.with_speculation(Speculation::new(1.5, unc));
+            }
+            engine.run(&mut OrderedDispatcher::lpt_by_estimate(&inst)).unwrap()
+        };
+        let baseline = run(&FaultScript::empty());
+        let faulty = run(&script);
+
+        // Never stranded: with two live replicas per task and at most
+        // one failed machine, every task completes.
+        prop_assert!(
+            faulty.outcome.is_completed(),
+            "stranded: {:?} under {:?}",
+            faulty.outcome,
+            script
+        );
+        prop_assert_eq!(faulty.metrics.completed, inst.n());
+        prop_assert!((faulty.metrics.survival_rate() - 1.0).abs() < 1e-12);
+
+        // Finite makespan, no better than the fault-free run.
+        prop_assert!(faulty.metrics.makespan.get().is_finite());
+        prop_assert!(
+            faulty.metrics.makespan + Time::of(1e-9) >= baseline.metrics.makespan,
+            "faulty {} < fault-free {} under {:?}",
+            faulty.metrics.makespan,
+            baseline.metrics.makespan,
+            script
+        );
+
+        // Sanity on the baseline itself: zero faults complete everything
+        // with no restarts.
+        prop_assert!(baseline.outcome.is_completed());
+        prop_assert_eq!(baseline.metrics.restarts, 0);
+    }
+}

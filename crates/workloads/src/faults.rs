@@ -1,0 +1,213 @@
+//! MTBF-driven fault-workload generation.
+//!
+//! Produces [`FaultScript`]s for the resilience engine from a cluster
+//! reliability model: each machine suffers failures as a Poisson process
+//! with the given mean time between failures, each failure drawn from a
+//! weighted mix of permanent crashes, transient outages, and
+//! degraded-speed phases. Independently, each task may be a straggler
+//! whose actual time violates the `α` envelope.
+//!
+//! Generation is fully deterministic in the RNG, so fault campaigns in
+//! EXPERIMENTS.md regenerate bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rds_core::{MachineId, TaskId, Time};
+use rds_sim::faults::{FaultEvent, FaultScript};
+
+/// A cluster reliability model: MTBF plus a fault-shape mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Mean time between failures per machine. `<= 0` disables machine
+    /// faults entirely.
+    pub mtbf: f64,
+    /// Faults are generated in `[0, horizon)`.
+    pub horizon: f64,
+    /// Relative weight of permanent crashes in the mix.
+    pub crash_weight: f64,
+    /// Relative weight of transient outages in the mix.
+    pub outage_weight: f64,
+    /// Relative weight of degraded-speed phases in the mix.
+    pub slowdown_weight: f64,
+    /// Mean outage length (exponentially distributed).
+    pub mean_downtime: f64,
+    /// Processing-speed fraction during a degraded phase.
+    pub slowdown_speed: f64,
+    /// Mean degraded-phase length (exponentially distributed).
+    pub mean_slowdown: f64,
+    /// Independent probability that a task is a straggler.
+    pub straggler_rate: f64,
+    /// Actual-time multiplier applied to straggling tasks.
+    pub straggler_factor: f64,
+}
+
+impl FaultModel {
+    /// The standard mix for a given MTBF and horizon: mostly transient
+    /// trouble (50% outages, 30% slowdowns at half speed) with 20%
+    /// permanent crashes; recovery times scale with the MTBF. Stragglers
+    /// are off — opt in with [`FaultModel::with_stragglers`].
+    pub fn mtbf(mtbf: f64, horizon: f64) -> Self {
+        FaultModel {
+            mtbf,
+            horizon,
+            crash_weight: 0.2,
+            outage_weight: 0.5,
+            slowdown_weight: 0.3,
+            mean_downtime: mtbf / 5.0,
+            slowdown_speed: 0.5,
+            mean_slowdown: mtbf / 5.0,
+            straggler_rate: 0.0,
+            straggler_factor: 3.0,
+        }
+    }
+
+    /// Enables envelope-violating stragglers.
+    pub fn with_stragglers(mut self, rate: f64, factor: f64) -> Self {
+        self.straggler_rate = rate;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Samples a fault script for `m` machines and `n` tasks.
+    ///
+    /// Each machine's failure times are a Poisson process (exponential
+    /// inter-arrival with mean `mtbf`) truncated at `horizon`; a crash
+    /// ends the machine's stream (nothing fails twice permanently).
+    pub fn generate(&self, m: usize, n: usize, rng: &mut StdRng) -> FaultScript {
+        let mut events = Vec::new();
+        let total = self.crash_weight + self.outage_weight + self.slowdown_weight;
+        if self.mtbf > 0.0 && self.horizon > 0.0 && total > 0.0 {
+            for i in 0..m {
+                let machine = MachineId::new(i);
+                let mut t = 0.0;
+                loop {
+                    t += exponential(self.mtbf, rng);
+                    if t >= self.horizon {
+                        break;
+                    }
+                    let pick = rng.gen::<f64>() * total;
+                    if pick < self.crash_weight {
+                        events.push(FaultEvent::Crash {
+                            machine,
+                            at: Time::of(t),
+                        });
+                        break; // permanent: the stream ends here
+                    } else if pick < self.crash_weight + self.outage_weight {
+                        events.push(FaultEvent::Outage {
+                            machine,
+                            at: Time::of(t),
+                            down_for: Time::of(exponential(self.mean_downtime, rng)),
+                        });
+                    } else {
+                        events.push(FaultEvent::Slowdown {
+                            machine,
+                            at: Time::of(t),
+                            lasting: Time::of(exponential(self.mean_slowdown, rng)),
+                            speed: self.slowdown_speed,
+                        });
+                    }
+                }
+            }
+        }
+        if self.straggler_rate > 0.0 {
+            for j in 0..n {
+                if rng.gen_bool(self.straggler_rate.min(1.0)) {
+                    events.push(FaultEvent::Straggler {
+                        task: TaskId::new(j),
+                        factor: self.straggler_factor,
+                    });
+                }
+            }
+        }
+        FaultScript::new(events)
+    }
+}
+
+/// Exponential sample with the given mean (0 when the mean is not
+/// positive).
+fn exponential(mean: f64, rng: &mut StdRng) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng;
+
+    #[test]
+    fn zero_mtbf_generates_nothing() {
+        let model = FaultModel::mtbf(0.0, 100.0);
+        let script = model.generate(8, 64, &mut rng(1));
+        assert!(script.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let model = FaultModel::mtbf(10.0, 100.0).with_stragglers(0.2, 3.0);
+        let a = model.generate(8, 64, &mut rng(7));
+        let b = model.generate(8, 64, &mut rng(7));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn machine_faults_stay_inside_the_horizon() {
+        let model = FaultModel::mtbf(5.0, 50.0);
+        let script = model.generate(16, 0, &mut rng(3));
+        for ev in script.events() {
+            let at = match *ev {
+                FaultEvent::Crash { at, .. }
+                | FaultEvent::Outage { at, .. }
+                | FaultEvent::Slowdown { at, .. } => at,
+                FaultEvent::Straggler { .. } => continue,
+            };
+            assert!(at < Time::of(50.0));
+        }
+    }
+
+    #[test]
+    fn a_crash_ends_a_machines_fault_stream() {
+        let model = FaultModel::mtbf(2.0, 200.0);
+        let script = model.generate(12, 0, &mut rng(11));
+        for i in 0..12 {
+            let machine = MachineId::new(i);
+            let mut crashed_at: Option<Time> = None;
+            for ev in script.events() {
+                match *ev {
+                    FaultEvent::Crash { machine: mc, at } if mc == machine => {
+                        assert!(crashed_at.is_none(), "double crash on {machine}");
+                        crashed_at = Some(at);
+                    }
+                    FaultEvent::Outage {
+                        machine: mc, at, ..
+                    }
+                    | FaultEvent::Slowdown {
+                        machine: mc, at, ..
+                    } if mc == machine => {
+                        assert!(
+                            crashed_at.is_none_or(|c| at < c),
+                            "fault after permanent crash on {machine}"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_rate_one_marks_every_task() {
+        let model = FaultModel::mtbf(0.0, 0.0).with_stragglers(1.0, 2.5);
+        let script = model.generate(4, 10, &mut rng(5));
+        let stragglers = script
+            .events()
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::Straggler { .. }))
+            .count();
+        assert_eq!(stragglers, 10);
+    }
+}

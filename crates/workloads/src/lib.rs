@@ -2,6 +2,8 @@
 //! experiments.
 //!
 //! - [`estimates`]: distributions over the estimated times `p̃_j`;
+//! - [`faults`]: MTBF-driven fault scripts (crashes, outages, slowdowns,
+//!   stragglers) for the resilience engine;
 //! - [`realize`]: models of how actual times deviate within `[p̃/α, α·p̃]`;
 //! - [`scenarios`]: named end-to-end workloads mirroring the paper's
 //!   motivating applications (out-of-core sparse linear algebra,
@@ -24,10 +26,12 @@
 #![forbid(unsafe_code)]
 
 pub mod estimates;
+pub mod faults;
 pub mod realize;
 pub mod rng;
 pub mod scenarios;
 
 pub use estimates::EstimateDistribution;
+pub use faults::FaultModel;
 pub use realize::RealizationModel;
 pub use scenarios::Scenario;

@@ -123,7 +123,9 @@ mod tests {
         let u = Uncertainty::of(3.0);
         let mut r = rng(2);
         for _ in 0..50 {
-            let real = RealizationModel::UniformFactor.realize(&i, u, &mut r).unwrap();
+            let real = RealizationModel::UniformFactor
+                .realize(&i, u, &mut r)
+                .unwrap();
             for t in i.task_ids() {
                 assert!(u.contains(i.estimate(t), real.actual(t)));
             }
@@ -149,13 +151,10 @@ mod tests {
         let i = Instance::from_estimates(&vec![1.0; 20_000], 2).unwrap();
         let u = Uncertainty::of(4.0);
         let mut r = rng(4);
-        let real = RealizationModel::LogUniformFactor.realize(&i, u, &mut r).unwrap();
-        let mean_log: f64 = real
-            .times()
-            .iter()
-            .map(|t| t.get().ln())
-            .sum::<f64>()
-            / 20_000.0;
+        let real = RealizationModel::LogUniformFactor
+            .realize(&i, u, &mut r)
+            .unwrap();
+        let mean_log: f64 = real.times().iter().map(|t| t.get().ln()).sum::<f64>() / 20_000.0;
         assert!(mean_log.abs() < 0.05, "mean log factor = {mean_log}");
     }
 
@@ -164,17 +163,23 @@ mod tests {
         let i = inst();
         let u = Uncertainty::of(2.0);
         let mut r = rng(6);
-        let real = RealizationModel::SystematicBias { bias: 1.5, jitter: 0.02 }
-            .realize(&i, u, &mut r)
-            .unwrap();
+        let real = RealizationModel::SystematicBias {
+            bias: 1.5,
+            jitter: 0.02,
+        }
+        .realize(&i, u, &mut r)
+        .unwrap();
         for t in i.task_ids() {
             let f = real.actual(t).get() / i.estimate(t).get();
             assert!((1.4..1.6).contains(&f), "factor {f} not near the bias");
         }
         // A bias beyond α clamps at the interval edge.
-        let real = RealizationModel::SystematicBias { bias: 10.0, jitter: 0.0 }
-            .realize(&i, u, &mut r)
-            .unwrap();
+        let real = RealizationModel::SystematicBias {
+            bias: 10.0,
+            jitter: 0.0,
+        }
+        .realize(&i, u, &mut r)
+        .unwrap();
         for t in i.task_ids() {
             assert!(u.contains(i.estimate(t), real.actual(t)));
             assert!((real.actual(t).get() / i.estimate(t).get() - 2.0).abs() < 1e-9);

@@ -18,11 +18,8 @@ use replicated_placement::workloads::{realize::RealizationModel, rng};
 fn main() -> Result<()> {
     let (n, m) = (18usize, 6usize);
     let mut r = rng::rng(11);
-    let est = replicated_placement::workloads::EstimateDistribution::Uniform {
-        lo: 2.0,
-        hi: 8.0,
-    }
-    .sample_n(n, &mut r);
+    let est = replicated_placement::workloads::EstimateDistribution::Uniform { lo: 2.0, hi: 8.0 }
+        .sample_n(n, &mut r);
     let inst = Instance::from_estimates(&est, m)?;
     let unc = Uncertainty::of(1.5);
     let real = RealizationModel::UniformFactor.realize(&inst, unc, &mut r)?;

@@ -37,8 +37,13 @@ fn main() -> Result<()> {
         (Box::new(LptNoRestriction), "replicate everywhere"),
     ];
 
-    let mut table = Table::new(vec!["placement", "replicas/task", "mean C_max", "worst C_max"])
-        .align(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut table = Table::new(vec![
+        "placement",
+        "replicas/task",
+        "mean C_max",
+        "worst C_max",
+    ])
+    .align(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
     let mut baseline_mean = None;
     for (strategy, label) in &strategies {
         let placement = strategy.place(inst, unc)?;
@@ -46,8 +51,7 @@ fn main() -> Result<()> {
         for rep in 0..reps {
             // Stragglers appear at run time: two-point realization.
             let mut r = rng::rng(rng::child_seed(2025, rep));
-            let real =
-                RealizationModel::TwoPoint { p_inflate: 0.15 }.realize(inst, unc, &mut r)?;
+            let real = RealizationModel::TwoPoint { p_inflate: 0.15 }.realize(inst, unc, &mut r)?;
             let assignment = strategy.execute(inst, &placement, &real)?;
             s.push(assignment.makespan(&real).get());
         }

@@ -46,7 +46,11 @@ fn main() -> Result<()> {
             fmt(abo.makespan.get(), 2),
             fmt(abo.mem_max.get(), 2),
         ]);
-        frontier.push((format!("SABO Δ={d}"), sabo.makespan.get(), sabo.mem_max.get()));
+        frontier.push((
+            format!("SABO Δ={d}"),
+            sabo.makespan.get(),
+            sabo.mem_max.get(),
+        ));
         frontier.push((format!("ABO Δ={d}"), abo.makespan.get(), abo.mem_max.get()));
     }
     println!("\n{}", table.to_markdown());

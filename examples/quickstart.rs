@@ -12,11 +12,7 @@ fn main() -> Result<()> {
 
     // Reality disagrees with the estimates (inside the allowed interval):
     // the big task runs long, two medium tasks run short.
-    let real = Realization::from_factors(
-        &inst,
-        unc,
-        &[1.5, 1.0, 0.67, 1.0, 1.2, 0.8, 1.0, 1.0],
-    )?;
+    let real = Realization::from_factors(&inst, unc, &[1.5, 1.0, 0.67, 1.0, 1.2, 0.8, 1.0, 1.0])?;
 
     // The clairvoyant optimum for the *actual* times, for reference.
     let opt = OptimalSolver::default().solve_realization(&real, inst.m());
@@ -61,6 +57,9 @@ fn main() -> Result<()> {
     // Watch the online execution as a Gantt chart.
     let simulated = executors::simulate_no_restriction(&inst, &real)?;
     println!("\nonline execution (LPT-No Restriction):");
-    println!("{}", replicated_placement::report::gantt::render(&simulated.schedule, 60));
+    println!(
+        "{}",
+        replicated_placement::report::gantt::render(&simulated.schedule, 60)
+    );
     Ok(())
 }

@@ -1,9 +1,9 @@
 //! Integration: the Theorem-1 adversary behaves exactly as the proof
 //! says, across strategies and parameters.
 
+use rds_bounds::replication as rb;
 use replicated_placement::adversary::{theorem1, worst_case};
 use replicated_placement::prelude::*;
-use rds_bounds::replication as rb;
 
 fn balanced_assignment(inst: &Instance, unc: Uncertainty) -> Assignment {
     let placement = LptNoChoice.place(inst, unc).unwrap();
@@ -84,19 +84,11 @@ fn adversary_is_less_effective_against_replication() {
     let a = balanced_assignment(&inst, unc);
     let sets = a.tasks_per_machine();
 
-    let pinned =
-        worst_case::worst_per_machine_inflation(&inst, unc, &a, &solver).unwrap();
+    let pinned = worst_case::worst_per_machine_inflation(&inst, unc, &a, &solver).unwrap();
     let grouped =
-        worst_case::worst_over_inflate_sets(&inst, unc, &LsGroup::new(2), &sets, &solver)
-            .unwrap();
-    let full = worst_case::worst_over_inflate_sets(
-        &inst,
-        unc,
-        &LptNoRestriction,
-        &sets,
-        &solver,
-    )
-    .unwrap();
+        worst_case::worst_over_inflate_sets(&inst, unc, &LsGroup::new(2), &sets, &solver).unwrap();
+    let full =
+        worst_case::worst_over_inflate_sets(&inst, unc, &LptNoRestriction, &sets, &solver).unwrap();
 
     assert!(full.ratio_lo <= grouped.ratio_lo + 1e-9);
     assert!(grouped.ratio_lo <= pinned.ratio_lo + 1e-9);
@@ -117,8 +109,7 @@ fn pathological_instances_under_uncertainty() {
         for &alpha in &[1.3, 2.0] {
             let unc = Uncertainty::of(alpha);
             let a = balanced_assignment(&inst, unc);
-            let worst =
-                worst_case::worst_per_machine_inflation(&inst, unc, &a, &solver).unwrap();
+            let worst = worst_case::worst_per_machine_inflation(&inst, unc, &a, &solver).unwrap();
             assert!(
                 worst.ratio_hi <= rb::lpt_no_choice(alpha, m) + 1e-6,
                 "m={m} α={alpha}: {}",

@@ -25,11 +25,9 @@ fn assert_close(a: Time, b: Time, context: &str) {
 fn no_restriction_engine_equivalence() {
     for seed in 0..10u64 {
         let mut r = rng::rng(seed);
-        let est = replicated_placement::workloads::EstimateDistribution::Uniform {
-            lo: 1.0,
-            hi: 10.0,
-        }
-        .sample_n(40, &mut r);
+        let est =
+            replicated_placement::workloads::EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }
+                .sample_n(40, &mut r);
         let inst = Instance::from_estimates(&est, 5).unwrap();
         let unc = Uncertainty::of(2.0);
         let real = RealizationModel::LogUniformFactor
@@ -48,11 +46,9 @@ fn no_restriction_engine_equivalence() {
 fn ls_group_engine_equivalence() {
     for seed in 0..10u64 {
         let mut r = rng::rng(100 + seed);
-        let est = replicated_placement::workloads::EstimateDistribution::Uniform {
-            lo: 1.0,
-            hi: 10.0,
-        }
-        .sample_n(30, &mut r);
+        let est =
+            replicated_placement::workloads::EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }
+                .sample_n(30, &mut r);
         let inst = Instance::from_estimates(&est, 6).unwrap();
         let unc = Uncertainty::of(1.7);
         let real = RealizationModel::TwoPoint { p_inflate: 0.4 }
@@ -77,10 +73,8 @@ fn ls_group_engine_equivalence() {
 fn pinned_engine_equivalence() {
     for seed in 0..10u64 {
         let mut r = rng::rng(200 + seed);
-        let est = replicated_placement::workloads::EstimateDistribution::Exponential {
-            mean: 5.0,
-        }
-        .sample_n(25, &mut r);
+        let est = replicated_placement::workloads::EstimateDistribution::Exponential { mean: 5.0 }
+            .sample_n(25, &mut r);
         let inst = Instance::from_estimates(&est, 4).unwrap();
         let unc = Uncertainty::of(1.5);
         let real = RealizationModel::UniformFactor
@@ -89,7 +83,11 @@ fn pinned_engine_equivalence() {
         let placement = LptNoChoice.place(&inst, unc).unwrap();
         let closed = LptNoChoice.execute(&inst, &placement, &real).unwrap();
         let sim = executors::simulate_pinned(&inst, closed.machines(), &real).unwrap();
-        assert_close(closed.makespan(&real), sim.makespan, &format!("seed {seed}"));
+        assert_close(
+            closed.makespan(&real),
+            sim.makespan,
+            &format!("seed {seed}"),
+        );
         assert_same_assignment(&closed, &sim.schedule, &inst);
     }
 }
@@ -133,8 +131,12 @@ fn memory_strategies_run_on_scenarios() {
         .realize(&s.instance, s.uncertainty, &mut r)
         .unwrap();
     for delta in [0.3, 1.0, 3.0] {
-        let sabo = Sabo::new(delta).run(&s.instance, s.uncertainty, &real).unwrap();
-        let abo = Abo::new(delta).run(&s.instance, s.uncertainty, &real).unwrap();
+        let sabo = Sabo::new(delta)
+            .run(&s.instance, s.uncertainty, &real)
+            .unwrap();
+        let abo = Abo::new(delta)
+            .run(&s.instance, s.uncertainty, &real)
+            .unwrap();
         // Structural invariants.
         assert_eq!(sabo.placement.max_replicas(), 1);
         assert!(abo.placement.max_replicas() <= s.instance.m());
@@ -186,10 +188,13 @@ fn abo_equals_staged_dispatcher_simulation() {
             .into_iter()
             .filter(|t| classes[t.index()] == TaskClass::TimeIntensive)
             .collect();
-        let mut dispatcher =
-            rds_sim::StagedDispatcher::new(&pinned_of, inst.m(), order);
+        let mut dispatcher = rds_sim::StagedDispatcher::new(&pinned_of, inst.m(), order);
         let engine = rds_sim::Engine::new(&inst, &placement, &real).unwrap();
         let sim = engine.run(&mut dispatcher).unwrap();
-        assert_close(closed.makespan(&real), sim.makespan, &format!("seed {seed}"));
+        assert_close(
+            closed.makespan(&real),
+            sim.makespan,
+            &format!("seed {seed}"),
+        );
     }
 }

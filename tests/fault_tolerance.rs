@@ -1,11 +1,11 @@
 //! Integration: failure injection across the replication spectrum.
 
 use proptest::prelude::*;
+use rds_algs::Strategy as _;
 use replicated_placement::prelude::*;
 use replicated_placement::sim::failures::{run_with_failures, Failure};
 use replicated_placement::sim::{OrderedDispatcher, PinnedDispatcher};
 use replicated_placement::workloads::{realize::RealizationModel, rng, EstimateDistribution};
-use rds_algs::Strategy as _;
 
 fn failure(machine: usize, at: f64) -> Failure {
     Failure {
@@ -20,7 +20,9 @@ fn everywhere_placement_survives_any_single_failure() {
     let est = EstimateDistribution::Uniform { lo: 1.0, hi: 8.0 }.sample_n(30, &mut r);
     let inst = Instance::from_estimates(&est, 5).unwrap();
     let unc = Uncertainty::of(1.5);
-    let real = RealizationModel::UniformFactor.realize(&inst, unc, &mut r).unwrap();
+    let real = RealizationModel::UniformFactor
+        .realize(&inst, unc, &mut r)
+        .unwrap();
     let placement = Placement::everywhere(&inst);
     for target in 0..5usize {
         for &at in &[0.0, 5.0, 20.0] {

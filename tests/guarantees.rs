@@ -6,9 +6,9 @@
 //! (instances kept small enough for the exact solvers). The proven
 //! bounds of Theorems 2–4 must hold on every single run.
 
+use rds_bounds::replication as rb;
 use replicated_placement::prelude::*;
 use replicated_placement::workloads::{realize::RealizationModel, rng, EstimateDistribution};
-use rds_bounds::replication as rb;
 
 fn check_ratio_bound<S: Strategy>(
     strategy: &S,
@@ -51,8 +51,7 @@ fn theorem_bounds_hold_across_workloads_and_realizations() {
             for &n in &[m, 2 * m + 1, 12] {
                 let mut r = rng::rng(rng::child_seed(0xA11CE, trial));
                 trial += 1;
-                let est =
-                    EstimateDistribution::Uniform { lo: 1.0, hi: 9.0 }.sample_n(n, &mut r);
+                let est = EstimateDistribution::Uniform { lo: 1.0, hi: 9.0 }.sample_n(n, &mut r);
                 let inst = Instance::from_estimates(&est, m).unwrap();
                 for model in &models {
                     let real = model.realize(&inst, unc, &mut r).unwrap();
@@ -100,13 +99,11 @@ fn certain_alpha_recovers_classical_ratios() {
     for &m in &[2usize, 3, 5] {
         for seed in 0..5u64 {
             let mut r = rng::rng(seed);
-            let est = EstimateDistribution::Uniform { lo: 1.0, hi: 20.0 }
-                .sample_n(2 * m + 3, &mut r);
+            let est =
+                EstimateDistribution::Uniform { lo: 1.0, hi: 20.0 }.sample_n(2 * m + 3, &mut r);
             let inst = Instance::from_estimates(&est, m).unwrap();
             let real = Realization::exact(&inst);
-            let out = LptNoChoice
-                .run(&inst, Uncertainty::CERTAIN, &real)
-                .unwrap();
+            let out = LptNoChoice.run(&inst, Uncertainty::CERTAIN, &real).unwrap();
             let opt = solver.solve_realization(&real, m);
             let ratio = out.makespan.ratio(opt.lo).unwrap();
             assert!(
@@ -161,5 +158,8 @@ fn replication_never_hurts_worst_case_on_uniform_adversary() {
         "expected full ({full:.3}) ≤ grouped ({grouped:.3}) ≤ none ({none:.3})"
     );
     // And the gap must be material for α = 2.
-    assert!(none - full > 0.3, "replication gain too small: {none} vs {full}");
+    assert!(
+        none - full > 0.3,
+        "replication gain too small: {none} vs {full}"
+    );
 }

@@ -7,11 +7,11 @@
 //! and plug optimal π-schedules (`ρ₁ = ρ₂ = 1`) into SABO/ABO, so the
 //! theorem inequalities can be checked without slack from heuristic ρ's.
 
-use replicated_placement::prelude::*;
-use replicated_placement::workloads::{realize::RealizationModel, rng};
 use rds_algs::memory::pi::PiSchedules;
 use rds_algs::memory::{abo::Abo, sabo::Sabo};
 use rds_core::Time;
+use replicated_placement::prelude::*;
+use replicated_placement::workloads::{realize::RealizationModel, rng};
 
 /// Builds optimal π₁ (makespan on estimates) and π₂ (memory on sizes)
 /// with the exact solver, wrapped as ρ = 1 schedules.
@@ -98,8 +98,7 @@ fn abo_respects_theorems_7_and_8_with_exact_references() {
             let cmax = assignment.makespan(&real);
             let opt = solver.solve_realization(&real, inst.m());
             // Theorem 7: C_max ≤ (2 − 1/m + Δ·α²·ρ₁)·C*.
-            let bound =
-                rds_bounds::memory::abo_makespan(delta, unc.alpha(), 1.0, inst.m());
+            let bound = rds_bounds::memory::abo_makespan(delta, unc.alpha(), 1.0, inst.m());
             assert!(
                 cmax.get() <= bound * opt.hi.get() + 1e-6,
                 "seed {seed} Δ={delta}: Th.7 violated"
@@ -153,11 +152,9 @@ fn delta_sweep_moves_the_split_monotonically() {
 fn abo_memory_accounts_replication_cost() {
     // The achieved Mem_max of ABO must equal Σ_{S1} s_j + max-machine S2
     // contribution — i.e. replicas are really charged everywhere.
-    let inst = Instance::from_estimates_and_sizes(
-        &[(9.0, 2.0), (8.0, 1.0), (0.5, 5.0), (0.4, 4.0)],
-        2,
-    )
-    .unwrap();
+    let inst =
+        Instance::from_estimates_and_sizes(&[(9.0, 2.0), (8.0, 1.0), (0.5, 5.0), (0.4, 4.0)], 2)
+            .unwrap();
     let unc = Uncertainty::of(1.2);
     let real = Realization::exact(&inst);
     let out = Abo::new(1.0).run(&inst, unc, &real).unwrap();

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset it uses: an unbounded MPMC [`channel`] (mutex + condvar —
+//! correct, not lock-free) and [`thread::scope`] built on
+//! `std::thread::scope`.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,63 @@
+//! Scoped threads with the crossbeam 0.8 calling convention, built on
+//! `std::thread::scope`.
+
+/// A scope handle; the closure passed to [`Scope::spawn`] receives a
+/// reference to it (crossbeam convention) and may spawn further threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The child closure receives the scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope; all spawned threads are joined before this
+/// returns.
+///
+/// # Errors
+/// Upstream crossbeam returns `Err` with the panic payload when a child
+/// thread panicked. `std::thread::scope` instead resumes the panic during
+/// the implicit join, so this stand-in never actually returns `Err` — a
+/// child panic propagates as a panic, which satisfies callers that
+/// `.expect(...)` the result.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_can_borrow_locals() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn child_panics_propagate() {
+        let _ = super::scope(|scope| {
+            scope.spawn(|_| panic!("child"));
+        });
+    }
+}
