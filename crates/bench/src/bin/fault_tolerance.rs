@@ -9,10 +9,14 @@
 //! wasted work, and makespan degradation among fully-completed runs.
 //!
 //! Run: `cargo run --release -p rds-bench --bin fault_tolerance [--quick]`
+//!
+//! Crash safety: `--journal <path>` checkpoints every finished trial to
+//! an fsync'd JSONL journal; `--resume` skips journaled trials and
+//! reproduces the aggregate table bit-for-bit.
 
-use rds_bench::{header, quick_mode};
+use rds_bench::{arg_flag, arg_value, header, quick_mode};
 use rds_core::{Instance, MachineId, Time, Uncertainty};
-use rds_policies::{run_campaign, standard_suite};
+use rds_policies::{run_campaign_resumable, standard_suite, CampaignConfig, Trial};
 use rds_report::{table::fmt, Align, Table};
 use rds_sim::failures::Failure;
 use rds_sim::faults::FaultScript;
@@ -49,9 +53,10 @@ fn main() -> rds_core::Result<()> {
     // Crashes land inside 80% of the load-balance lower bound, so they
     // reliably hit machines with work still in flight.
     let horizon = inst.total_estimate().get() / m as f64 * 0.8;
-    let trials: Vec<_> = (0..reps)
+    let trials: Vec<Trial> = (0..reps)
         .map(|rep| {
-            let mut rr = rng::rng(rng::child_seed(777, rep as u64));
+            let trial_seed = rng::child_seed(777, rep as u64);
+            let mut rr = rng::rng(trial_seed);
             let real = RealizationModel::UniformFactor.realize(&inst, unc, &mut rr)?;
             let failures = draw_failures(
                 m,
@@ -59,12 +64,41 @@ fn main() -> rds_core::Result<()> {
                 horizon,
                 rng::child_seed(888, rep as u64),
             );
-            Ok((real, FaultScript::from_failures(&failures)))
+            Ok(Trial {
+                seed: trial_seed,
+                realization: real,
+                script: FaultScript::from_failures(&failures),
+            })
         })
         .collect::<rds_core::Result<_>>()?;
 
     let suite = standard_suite(&inst, unc)?;
-    let rows = run_campaign(&inst, &suite, &trials, None)?;
+    let mut config = CampaignConfig::new(
+        "fault_tolerance",
+        404,
+        format!("n={n} m={m} reps={reps} failures={failures_per_run}"),
+    );
+    config.journal = arg_value("journal").map(std::path::PathBuf::from);
+    config.resume = arg_flag("resume");
+    let report = run_campaign_resumable(&inst, &suite, &trials, &config)?;
+    let rows = &report.rows;
+    if let Some(path) = &config.journal {
+        println!(
+            "journal: {} ({} trial(s) executed, {} resumed)",
+            path.display(),
+            report.executed,
+            report.skipped
+        );
+    }
+    if !report.quarantined.is_empty() {
+        println!("quarantined trials (excluded from aggregates):");
+        for q in &report.quarantined {
+            println!(
+                "  {} trial {} (seed {}): {} after {} attempt(s)",
+                q.policy, q.trial, q.seed, q.error, q.attempts
+            );
+        }
+    }
 
     let mut t = Table::new(vec![
         "policy",
@@ -86,7 +120,7 @@ fn main() -> rds_core::Result<()> {
         Align::Right,
         Align::Right,
     ]);
-    for row in &rows {
+    for row in rows {
         let degr = |v: f64| if v.is_nan() { "-".into() } else { fmt(v, 3) };
         t.row(vec![
             row.name.clone(),
@@ -107,10 +141,16 @@ fn main() -> rds_core::Result<()> {
     // never covers a whole replica set — chained k=2 can still lose a
     // task if both chain members die. k ≥ 3 and everywhere must always
     // fully complete under 2 failures.
-    let by_name = |needle: &str| rows.iter().find(|r| r.name.contains(needle)).unwrap();
-    let pinned = by_name("No Choice");
-    let full = by_name("No Restriction");
-    let chain3 = by_name("Chained(k=3)");
+    let by_name = |needle: &str| -> rds_core::Result<&rds_policies::CampaignRow> {
+        rows.iter()
+            .find(|r| r.name.contains(needle))
+            .ok_or(rds_core::Error::InvalidParameter {
+                what: "expected policy missing from campaign rows",
+            })
+    };
+    let pinned = by_name("No Choice")?;
+    let full = by_name("No Restriction")?;
+    let chain3 = by_name("Chained(k=3)")?;
     assert!(
         pinned.completed_runs < pinned.runs,
         "pinned should strand sometimes"

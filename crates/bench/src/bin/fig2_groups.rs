@@ -52,13 +52,12 @@ fn main() -> rds_core::Result<()> {
     let schedule = Schedule::sequence(&out.assignment.tasks_per_machine(), &real);
     println!("{}", rds_report::gantt::render(&schedule, 60));
     std::fs::create_dir_all("results").ok();
-    if std::fs::write(
+    match rds_report::write_atomic_str(
         "results/fig2_gantt.svg",
-        rds_report::gantt_svg(&schedule, 720.0),
-    )
-    .is_ok()
-    {
-        println!("wrote results/fig2_gantt.svg");
+        &rds_report::gantt_svg(&schedule, 720.0),
+    ) {
+        Ok(()) => println!("wrote results/fig2_gantt.svg"),
+        Err(e) => eprintln!("skipping results/fig2_gantt.svg: {e}"),
     }
 
     // Cross-check with the event-driven engine.

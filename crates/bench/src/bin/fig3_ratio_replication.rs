@@ -93,7 +93,14 @@ fn print_panel(p: &RatioReplicationPanel) {
 }
 
 fn main() {
-    let panels = figure3_panels();
+    if let Err(e) = run() {
+        eprintln!("fig3_ratio_replication: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> rds_core::Result<()> {
+    let panels = figure3_panels()?;
     let mut csv = Csv::new(&["alpha", "k", "replicas", "ls_group_ratio"]);
     std::fs::create_dir_all("results").ok();
     for p in &panels {
@@ -143,8 +150,9 @@ fn main() {
         ))
         .render();
         let path = format!("results/fig3_alpha{}.svg", p.alpha);
-        if std::fs::write(&path, svg).is_ok() {
-            println!("wrote {path}");
+        match rds_report::write_atomic_str(&path, &svg) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("skipping {path}: {e}"),
         }
     }
 
@@ -190,4 +198,5 @@ fn main() {
     assert!(at1 > 7.5 && at3 < 6.0 && winning.replicas < 50);
 
     println!("\nCSV:\n{}", csv.finish());
+    Ok(())
 }

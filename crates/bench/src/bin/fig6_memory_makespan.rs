@@ -13,8 +13,15 @@ use rds_bounds::series::{delta_sweep, figure6_panels};
 use rds_report::{table::fmt, Align, Chart, Csv, Series, Table};
 
 fn main() {
-    let deltas = delta_sweep(0.05, 20.0, 33);
-    let panels = figure6_panels(&deltas);
+    if let Err(e) = run() {
+        eprintln!("fig6_memory_makespan: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> rds_core::Result<()> {
+    let deltas = delta_sweep(0.05, 20.0, 33)?;
+    let panels = figure6_panels(&deltas)?;
     let mut csv = Csv::new(&[
         "alpha_sq",
         "rho",
@@ -120,8 +127,9 @@ fn main() {
         ))
         .render();
         let path = format!("results/fig6_alphasq{}_rho{:.2}.svg", p.alpha_sq, p.rho);
-        if std::fs::write(&path, svg).is_ok() {
-            println!("wrote {path}");
+        match rds_report::write_atomic_str(&path, &svg) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("skipping {path}: {e}"),
         }
     }
 
@@ -146,4 +154,5 @@ fn main() {
     assert!(abo_best_mk < 3.0 && sabo_best_mk > 3.0);
 
     println!("\nCSV:\n{}", csv.finish());
+    Ok(())
 }

@@ -56,6 +56,29 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var("RDS_QUICK").is_ok_and(|v| v == "1")
 }
 
+/// Returns the value following `--<name>` on the command line, if any
+/// (`--journal out/campaign.journal` style). Bench binaries keep their
+/// flag handling this small on purpose.
+pub fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// `true` when the bare flag `--<name>` was passed.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
 /// Worker-thread count for sweeps: all cores unless `--quick`.
 pub fn sweep_threads() -> usize {
     if quick_mode() {

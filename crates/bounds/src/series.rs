@@ -5,6 +5,7 @@
 
 use crate::memory::{abo_point, sabo_point, TradeoffPoint};
 use crate::replication;
+use rds_core::{Error, Result};
 
 /// One point of the Figure 3 ratio–replication plot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,9 +40,19 @@ pub struct RatioReplicationPanel {
 
 /// Builds one panel of Figure 3.
 ///
-/// # Panics
-/// Panics unless `alpha >= 1` and `m >= 1`.
-pub fn ratio_replication_panel(alpha: f64, m: usize) -> RatioReplicationPanel {
+/// # Errors
+/// [`Error::InvalidParameter`] unless `alpha >= 1` (finite) and `m >= 1`.
+pub fn ratio_replication_panel(alpha: f64, m: usize) -> Result<RatioReplicationPanel> {
+    if !alpha.is_finite() || alpha < 1.0 {
+        return Err(Error::InvalidParameter {
+            what: "panel alpha must be finite and >= 1",
+        });
+    }
+    if m < 1 {
+        return Err(Error::InvalidParameter {
+            what: "panel m must be >= 1",
+        });
+    }
     let ls_group = replication::group_counts(m)
         .into_iter()
         .rev() // k = m first → replicas = 1 first
@@ -51,7 +62,7 @@ pub fn ratio_replication_panel(alpha: f64, m: usize) -> RatioReplicationPanel {
             ratio: replication::ls_group(alpha, m, k),
         })
         .collect();
-    RatioReplicationPanel {
+    Ok(RatioReplicationPanel {
         m,
         alpha,
         lower_bound: RatioReplicationPoint {
@@ -75,12 +86,16 @@ pub fn ratio_replication_panel(alpha: f64, m: usize) -> RatioReplicationPanel {
             ratio: replication::graham_list_scheduling(m),
         },
         ls_group,
-    }
+    })
 }
 
 /// The three panels of Figure 3 exactly as in the paper:
 /// `m = 210`, `α ∈ {1.1, 1.5, 2}`.
-pub fn figure3_panels() -> Vec<RatioReplicationPanel> {
+///
+/// # Errors
+/// Propagates [`ratio_replication_panel`] errors (none for the paper's
+/// fixed parameters).
+pub fn figure3_panels() -> Result<Vec<RatioReplicationPanel>> {
     [1.1, 1.5, 2.0]
         .into_iter()
         .map(|alpha| ratio_replication_panel(alpha, 210))
@@ -107,26 +122,53 @@ pub struct MemoryMakespanPanel {
 
 /// Logarithmic Δ sweep in `[lo, hi]` with `steps` points.
 ///
-/// # Panics
-/// Panics unless `0 < lo <= hi` and `steps >= 2`.
-pub fn delta_sweep(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
-    assert!(lo > 0.0 && lo <= hi && steps >= 2, "bad sweep parameters");
+/// # Errors
+/// [`Error::InvalidParameter`] unless `0 < lo <= hi` (finite) and
+/// `steps >= 2`.
+pub fn delta_sweep(lo: f64, hi: f64, steps: usize) -> Result<Vec<f64>> {
+    if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi && steps >= 2) {
+        return Err(Error::InvalidParameter {
+            what: "delta sweep needs 0 < lo <= hi and steps >= 2",
+        });
+    }
     let (llo, lhi) = (lo.ln(), hi.ln());
-    (0..steps)
+    Ok((0..steps)
         .map(|i| (llo + (lhi - llo) * i as f64 / (steps - 1) as f64).exp())
-        .collect()
+        .collect())
 }
 
 /// Builds one Figure 6 panel.
 ///
-/// # Panics
-/// Panics on out-of-domain parameters (see the theorem functions).
+/// # Errors
+/// [`Error::InvalidParameter`] on out-of-domain parameters:
+/// `m >= 1`, `alpha_sq >= 1` (finite), `rho > 0` (finite), and at least
+/// two positive finite Δ values.
 pub fn memory_makespan_panel(
     m: usize,
     alpha_sq: f64,
     rho: f64,
     deltas: &[f64],
-) -> MemoryMakespanPanel {
+) -> Result<MemoryMakespanPanel> {
+    if m < 1 {
+        return Err(Error::InvalidParameter {
+            what: "panel m must be >= 1",
+        });
+    }
+    if !alpha_sq.is_finite() || alpha_sq < 1.0 {
+        return Err(Error::InvalidParameter {
+            what: "panel alpha_sq must be finite and >= 1",
+        });
+    }
+    if !rho.is_finite() || rho <= 0.0 {
+        return Err(Error::InvalidParameter {
+            what: "panel rho must be finite and > 0",
+        });
+    }
+    if deltas.len() < 2 || deltas.iter().any(|d| !d.is_finite() || *d <= 0.0) {
+        return Err(Error::InvalidParameter {
+            what: "panel needs at least two positive finite deltas",
+        });
+    }
     let alpha = alpha_sq.sqrt();
     let sabo: Vec<TradeoffPoint> = deltas
         .iter()
@@ -155,25 +197,28 @@ pub fn memory_makespan_panel(
             )
         })
         .collect();
-    MemoryMakespanPanel {
+    Ok(MemoryMakespanPanel {
         m,
         alpha_sq,
         rho,
         sabo,
         abo,
         impossibility,
-    }
+    })
 }
 
 /// The three panels of Figure 6 exactly as in the paper:
 /// `(m = 5, α² = 2, ρ = 4/3)`, `(m = 5, α² = 3, ρ = 1)`,
 /// `(m = 5, α² = 3, ρ = 4/3)`.
-pub fn figure6_panels(deltas: &[f64]) -> Vec<MemoryMakespanPanel> {
-    vec![
-        memory_makespan_panel(5, 2.0, 4.0 / 3.0, deltas),
-        memory_makespan_panel(5, 3.0, 1.0, deltas),
-        memory_makespan_panel(5, 3.0, 4.0 / 3.0, deltas),
-    ]
+///
+/// # Errors
+/// Propagates [`memory_makespan_panel`] errors (malformed `deltas`).
+pub fn figure6_panels(deltas: &[f64]) -> Result<Vec<MemoryMakespanPanel>> {
+    Ok(vec![
+        memory_makespan_panel(5, 2.0, 4.0 / 3.0, deltas)?,
+        memory_makespan_panel(5, 3.0, 1.0, deltas)?,
+        memory_makespan_panel(5, 3.0, 4.0 / 3.0, deltas)?,
+    ])
 }
 
 #[cfg(test)]
@@ -182,7 +227,7 @@ mod tests {
 
     #[test]
     fn panel_has_one_point_per_divisor() {
-        let p = ratio_replication_panel(1.5, 210);
+        let p = ratio_replication_panel(1.5, 210).unwrap();
         assert_eq!(p.ls_group.len(), 16); // 210 has 16 divisors
                                           // Ordered by increasing replica count, starting at 1 (k = m).
         assert_eq!(p.ls_group.first().unwrap().replicas, 1);
@@ -196,7 +241,7 @@ mod tests {
 
     #[test]
     fn panel_series_consistency() {
-        let p = ratio_replication_panel(2.0, 210);
+        let p = ratio_replication_panel(2.0, 210).unwrap();
         // LB below LPT-No Choice.
         assert!(p.lower_bound.ratio < p.lpt_no_choice.ratio);
         // LS-Group guarantee decreases with more replication.
@@ -212,7 +257,7 @@ mod tests {
 
     #[test]
     fn figure3_has_three_panels() {
-        let panels = figure3_panels();
+        let panels = figure3_panels().unwrap();
         assert_eq!(panels.len(), 3);
         assert_eq!(panels[0].alpha, 1.1);
         assert_eq!(panels[2].alpha, 2.0);
@@ -223,7 +268,7 @@ mod tests {
     fn alpha_2_few_replicas_beat_no_replication_guarantee() {
         // §7: with α = 2, LS-Group gets a better guarantee with < 50
         // replicas than anything achievable without replication.
-        let p = ratio_replication_panel(2.0, 210);
+        let p = ratio_replication_panel(2.0, 210).unwrap();
         let lb = p.lower_bound.ratio;
         let winning = p
             .ls_group
@@ -235,7 +280,7 @@ mod tests {
 
     #[test]
     fn delta_sweep_is_log_spaced() {
-        let s = delta_sweep(0.1, 10.0, 5);
+        let s = delta_sweep(0.1, 10.0, 5).unwrap();
         assert_eq!(s.len(), 5);
         assert!((s[0] - 0.1).abs() < 1e-12);
         assert!((s[4] - 10.0).abs() < 1e-9);
@@ -243,15 +288,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad sweep")]
-    fn delta_sweep_rejects_bad_range() {
-        delta_sweep(1.0, 0.5, 4);
+    fn series_builders_reject_bad_parameters() {
+        assert!(delta_sweep(1.0, 0.5, 4).is_err());
+        assert!(delta_sweep(0.0, 1.0, 4).is_err());
+        assert!(delta_sweep(0.1, 1.0, 1).is_err());
+        assert!(ratio_replication_panel(0.5, 210).is_err());
+        assert!(ratio_replication_panel(f64::NAN, 210).is_err());
+        assert!(ratio_replication_panel(1.5, 0).is_err());
+        assert!(memory_makespan_panel(0, 2.0, 1.0, &[0.1, 1.0]).is_err());
+        assert!(memory_makespan_panel(5, 0.5, 1.0, &[0.1, 1.0]).is_err());
+        assert!(memory_makespan_panel(5, 2.0, 0.0, &[0.1, 1.0]).is_err());
+        assert!(memory_makespan_panel(5, 2.0, 1.0, &[0.1]).is_err());
+        assert!(memory_makespan_panel(5, 2.0, 1.0, &[0.1, -1.0]).is_err());
     }
 
     #[test]
     fn figure6_panels_match_paper_parameters() {
-        let deltas = delta_sweep(0.05, 20.0, 30);
-        let panels = figure6_panels(&deltas);
+        let deltas = delta_sweep(0.05, 20.0, 30).unwrap();
+        let panels = figure6_panels(&deltas).unwrap();
         assert_eq!(panels.len(), 3);
         assert_eq!(panels[0].alpha_sq, 2.0);
         assert_eq!(panels[1].rho, 1.0);

@@ -45,7 +45,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are flags (no value).
-const FLAGS: &[&str] = &["help", "quick", "gantt", "csv"];
+const FLAGS: &[&str] = &["help", "quick", "gantt", "csv", "resume", "validate"];
 
 impl Args {
     /// Parses a raw argument list (without the program/subcommand name).
@@ -59,12 +59,15 @@ impl Args {
                 } else if FLAGS.contains(&stripped) {
                     args.flags.push(stripped.to_string());
                 } else {
-                    match it.peek() {
-                        Some(next) if !next.starts_with("--") => {
-                            let v = it.next().expect("peeked");
+                    let value = match it.peek() {
+                        Some(next) if !next.starts_with("--") => it.next(),
+                        _ => None,
+                    };
+                    match value {
+                        Some(v) => {
                             args.options.insert(stripped.to_string(), v);
                         }
-                        _ => return Err(ArgError::MissingValue(stripped.to_string())),
+                        None => return Err(ArgError::MissingValue(stripped.to_string())),
                     }
                 }
             } else {

@@ -40,7 +40,27 @@ COMMANDS:
             --m <usize> --mtbf <f64> (0 = fault-free)
             [--n <usize>] [--alpha <f64>] [--beta <f64>] [--reps <usize>]
             [--seed <u64>] [--stragglers <rate>] [--gantt]
+            crash safety: [--journal <path>] [--resume] [--validate]
+            [--budget-ms <u64>] [--retries <u32>]
+            [--stall-ms <u64>] [--stall-trial <u64>]
+  sweep     empirical competitive-ratio sweep: the standard suite over
+            sampled realizations versus the exact-solver bracket
+            --m <usize> [--n <usize>] [--alpha <f64>] [--reps <usize>]
+            [--seed <u64>] [--model <exact|uniform|two-point|inflate>]
+            crash safety: [--journal <path>] [--resume] [--validate]
+            [--budget-ms <u64>] [--retries <u32>]
   help      show this message
+
+Crash safety options (resilience, sweep):
+  --journal <path>  append each finished trial to an fsync'd JSONL
+                    journal; a killed campaign can pick up where it left
+                    off with --resume (aggregates are bit-identical to an
+                    uninterrupted run)
+  --validate        run the schedule invariant validator on every trial
+                    (always on in debug builds)
+  --budget-ms <ms>  per-trial wall-clock budget enforced by a watchdog;
+                    a hung trial is cancelled, retried with backoff, and
+                    quarantined after --retries attempts
 ";
 
 fn build_strategy(args: &Args) -> Result<Box<dyn Strategy>, CmdError> {
@@ -276,8 +296,73 @@ fn fault_marks(trace: &rds_sim::Trace) -> Vec<rds_report::Mark> {
         .collect()
 }
 
+/// Builds the crash-safety configuration shared by the journaled
+/// commands (`resilience`, `sweep`) from their common options.
+fn campaign_config(
+    args: &Args,
+    campaign: &str,
+    seed: u64,
+    params: String,
+) -> Result<rds_policies::CampaignConfig, CmdError> {
+    use std::time::Duration;
+    if args.flag("validate") {
+        // Same switch the validator reads in release builds.
+        std::env::set_var("RDS_VALIDATE", "1");
+    }
+    let mut config = rds_policies::CampaignConfig::new(campaign, seed, params);
+    config.journal = args.get::<String>("journal")?.map(std::path::PathBuf::from);
+    config.resume = args.flag("resume");
+    if let Some(ms) = args.get::<u64>("budget-ms")? {
+        config.watchdog.budget = Some(Duration::from_millis(ms));
+    }
+    config.watchdog.max_attempts = args.get_or("retries", 3u32)?.max(1);
+    let stall_ms: u64 = args.get_or("stall-ms", 0u64)?;
+    if stall_ms > 0 {
+        config.stall = Some(rds_policies::StallInjection {
+            delay: Duration::from_millis(stall_ms),
+            only_trial: args.get::<u64>("stall-trial")?,
+        });
+    }
+    Ok(config)
+}
+
+/// Writes the poison list and journal summary shared by the journaled
+/// commands.
+fn report_campaign_health(
+    report: &rds_policies::CampaignReport,
+    journal: Option<&std::path::Path>,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
+    if !report.quarantined.is_empty() {
+        writeln!(out, "\nquarantined trials (excluded from aggregates):")?;
+        let mut t = Table::new(vec!["policy", "trial", "seed", "attempts", "last error"]);
+        for q in &report.quarantined {
+            t.row(vec![
+                q.policy.clone(),
+                q.trial.to_string(),
+                q.seed.to_string(),
+                q.attempts.to_string(),
+                q.error.clone(),
+            ]);
+        }
+        writeln!(out, "{}", t.to_markdown())?;
+    }
+    if let Some(path) = journal {
+        writeln!(
+            out,
+            "journal: {} ({} trial(s) executed, {} resumed)",
+            path.display(),
+            report.executed,
+            report.skipped
+        )?;
+    }
+    Ok(())
+}
+
 /// `rds resilience`: MTBF-driven fault campaign over the standard
-/// policy suite, with speculative re-execution enabled.
+/// policy suite, with speculative re-execution enabled. Runs on the
+/// crash-safe campaign runtime: journaled and resumable via
+/// `--journal`/`--resume`, with per-trial watchdog budgets.
 pub fn cmd_resilience(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     use rds_sim::Speculation;
     use rds_workloads::FaultModel;
@@ -302,14 +387,24 @@ pub fn cmd_resilience(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> 
     let suite = rds_policies::standard_suite(&inst, unc)?;
     let trials = (0..reps)
         .map(|i| {
-            let mut tr = rng::rng(rng::child_seed(seed, i as u64));
+            let trial_seed = rng::child_seed(seed, i as u64);
+            let mut tr = rng::rng(trial_seed);
             let real = RealizationModel::UniformFactor.realize(&inst, unc, &mut tr)?;
             let script = model.generate(m, n, &mut tr);
-            Ok((real, script))
+            Ok(rds_policies::Trial {
+                seed: trial_seed,
+                realization: real,
+                script,
+            })
         })
         .collect::<CoreResult<Vec<_>>>()?;
-    let rows =
-        rds_policies::run_campaign(&inst, &suite, &trials, Some(Speculation::new(beta, unc)))?;
+    let params = format!(
+        "n={n} m={m} mtbf={mtbf} alpha={alpha} beta={beta} stragglers={stragglers} reps={reps}"
+    );
+    let mut config = campaign_config(args, "resilience", seed, params)?;
+    config.speculation = Some(Speculation::new(beta, unc));
+    let report = rds_policies::run_campaign_resumable(&inst, &suite, &trials, &config)?;
+    let rows = &report.rows;
 
     writeln!(
         out,
@@ -338,7 +433,7 @@ pub fn cmd_resilience(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> 
         Align::Right,
         Align::Right,
     ]);
-    for row in &rows {
+    for row in rows {
         let degr = |v: f64| {
             if v.is_nan() {
                 "-".to_string()
@@ -360,22 +455,27 @@ pub fn cmd_resilience(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> 
     }
     writeln!(out, "{}", t.to_markdown())?;
     if args.flag("gantt") {
-        if let (Some(policy), Some((real, script))) = (suite.last(), trials.first()) {
+        if let (Some(policy), Some(trial)) = (suite.last(), trials.first()) {
             let mut d = policy.dispatcher(&inst);
-            let report = rds_sim::ResilienceEngine::new(&inst, &policy.placement, real, script)?
-                .with_speculation(Speculation::new(beta, unc))
-                .run(d.as_mut())?;
-            let marks = fault_marks(&report.trace);
+            let sim_report = rds_sim::ResilienceEngine::new(
+                &inst,
+                &policy.placement,
+                &trial.realization,
+                &trial.script,
+            )?
+            .with_speculation(Speculation::new(beta, unc))
+            .run(d.as_mut())?;
+            let marks = fault_marks(&sim_report.trace);
             writeln!(
                 out,
                 "\n{} under trial 0 ({} scripted fault events):",
                 policy.name,
-                script.len()
+                trial.script.len()
             )?;
             write!(
                 out,
                 "{}",
-                rds_report::gantt::render_with_marks(&report.schedule, 60, &marks)
+                rds_report::gantt::render_with_marks(&sim_report.schedule, 60, &marks)
             )?;
         }
     }
@@ -398,6 +498,219 @@ pub fn cmd_resilience(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> 
             )?;
         }
     }
+    report_campaign_health(&report, config.journal.as_deref(), out)?;
+    Ok(())
+}
+
+/// `rds sweep`: empirical competitive-ratio sweep of the standard suite
+/// over sampled realizations, measured against the exact solver's lower
+/// bound on each realization. Journaled and resumable like
+/// `rds resilience`; per-trial ratios are stored as
+/// makespan/baseline pairs, so aggregates survive a crash bit-for-bit.
+pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use rds_par::{supervise, CampaignMeta, Journal, Supervised, TrialRecord, TrialStatus};
+    use std::collections::HashSet;
+
+    let m: usize = args.require("m")?;
+    let alpha: f64 = args.get_or("alpha", 1.5)?;
+    let unc = Uncertainty::new(alpha)?;
+    let n: usize = args.get_or("n", 8 * m)?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let reps: usize = args.get_or("reps", 20)?;
+    let model_name: String = args.get_or("model", "uniform".to_string())?;
+    let model = match model_name.as_str() {
+        "exact" => RealizationModel::Exact,
+        "uniform" => RealizationModel::UniformFactor,
+        "two-point" => RealizationModel::TwoPoint { p_inflate: 0.3 },
+        "inflate" => RealizationModel::AllInflate,
+        other => return Err(format!("unknown realization model {other:?}").into()),
+    };
+
+    let mut r = rng::rng(seed);
+    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    let inst = Instance::from_estimates(&est, m)?;
+    let suite = rds_policies::standard_suite(&inst, unc)?;
+    let params = format!("n={n} m={m} alpha={alpha} reps={reps} model={model_name}");
+    let config = campaign_config(args, "sweep", seed, params)?;
+
+    let meta = CampaignMeta {
+        campaign: config.campaign.clone(),
+        digest: inst.digest(),
+        seed,
+        params: config.params.clone(),
+    };
+    let (mut journal, mut records) = match &config.journal {
+        None => (None, Vec::new()),
+        Some(path) if config.resume => {
+            let (j, recs) = Journal::resume(path, &meta)?;
+            (Some(j), recs)
+        }
+        Some(path) => (Some(Journal::create(path, &meta)?), Vec::new()),
+    };
+    let skipped = records.len();
+    let have: HashSet<(String, u64)> = records.iter().map(TrialRecord::key).collect();
+
+    let mut executed = 0usize;
+    for rep in 0..reps {
+        let rep_idx = rep as u64;
+        let pending: Vec<&rds_policies::ResiliencePolicy> = suite
+            .iter()
+            .filter(|p| !have.contains(&(p.name.clone(), rep_idx)))
+            .collect();
+        if pending.is_empty() {
+            continue;
+        }
+        let trial_seed = rng::child_seed(seed, rep_idx);
+        let mut tr = rng::rng(trial_seed);
+        let real = model.realize(&inst, unc, &mut tr)?;
+        // The exact solver brackets the offline optimum on this
+        // realization; its lower bound is the ratio denominator.
+        let opt_lo = OptimalSolver::default()
+            .solve_realization(&real, inst.m())
+            .lo
+            .get();
+        for policy in pending {
+            let body_inst = inst.clone();
+            let body_policy = policy.clone();
+            let body_real = real.clone();
+            let outcome = supervise(&config.watchdog, trial_seed, move |_token| {
+                let mut d = body_policy.dispatcher(&body_inst);
+                let report = rds_sim::ResilienceEngine::new(
+                    &body_inst,
+                    &body_policy.placement,
+                    &body_real,
+                    &rds_sim::faults::FaultScript::empty(),
+                )?
+                .run(d.as_mut())?;
+                Ok(report.metrics.makespan.get())
+            });
+            let record = match outcome {
+                Supervised::Done { value, attempts } => TrialRecord {
+                    policy: policy.name.clone(),
+                    trial: rep_idx,
+                    seed: trial_seed,
+                    attempts,
+                    status: TrialStatus::Completed,
+                    survival: 1.0,
+                    restarts: 0.0,
+                    rejoins: 0.0,
+                    spec_started: 0.0,
+                    spec_wins: 0.0,
+                    cancelled: 0.0,
+                    wasted: 0.0,
+                    makespan: value,
+                    baseline: Some(opt_lo),
+                    error: None,
+                },
+                Supervised::Quarantined { attempts, error } => TrialRecord {
+                    policy: policy.name.clone(),
+                    trial: rep_idx,
+                    seed: trial_seed,
+                    attempts,
+                    status: TrialStatus::Quarantined,
+                    survival: 0.0,
+                    restarts: 0.0,
+                    rejoins: 0.0,
+                    spec_started: 0.0,
+                    spec_wins: 0.0,
+                    cancelled: 0.0,
+                    wasted: 0.0,
+                    makespan: 0.0,
+                    baseline: None,
+                    error: Some(error.to_string()),
+                },
+            };
+            if let Some(j) = journal.as_mut() {
+                j.append(&record)?;
+            }
+            records.push(record);
+            executed += 1;
+        }
+    }
+
+    // Aggregate per policy in (suite order, rep order); the journaled
+    // makespan/baseline pairs reproduce the ratios bit-for-bit.
+    writeln!(
+        out,
+        "competitive-ratio sweep: n = {n}, m = {m}, alpha = {alpha}, \
+         model = {model_name}, reps = {reps}, seed = {seed}"
+    )?;
+    let mut t = Table::new(vec![
+        "policy",
+        "replicas",
+        "runs",
+        "mean ratio",
+        "worst ratio",
+    ])
+    .align(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    let mut quarantined = Vec::new();
+    for policy in &suite {
+        let mut mine: Vec<&TrialRecord> = records
+            .iter()
+            .filter(|rec| rec.policy == policy.name)
+            .collect();
+        mine.sort_by_key(|rec| rec.trial);
+        let measurements: Vec<rds_policies::TrialMeasurement> = mine
+            .iter()
+            .filter(|rec| rec.status.usable())
+            .map(|rec| rds_policies::TrialMeasurement {
+                completed: true,
+                survival: rec.survival,
+                restarts: rec.restarts,
+                rejoins: rec.rejoins,
+                spec_started: rec.spec_started,
+                spec_wins: rec.spec_wins,
+                cancelled: rec.cancelled,
+                wasted: rec.wasted,
+                makespan: rec.makespan,
+                baseline: rec.baseline.unwrap_or(0.0),
+            })
+            .collect();
+        quarantined.extend(
+            mine.iter()
+                .filter(|rec| rec.status == TrialStatus::Quarantined)
+                .map(|rec| rds_policies::QuarantinedTrial {
+                    policy: rec.policy.clone(),
+                    trial: rec.trial,
+                    seed: rec.seed,
+                    attempts: rec.attempts,
+                    error: rec.error.clone().unwrap_or_default(),
+                }),
+        );
+        let row = rds_policies::aggregate_row(
+            &policy.name,
+            policy.placement.max_replicas(),
+            &measurements,
+        );
+        let degr = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                fmt(v, 4)
+            }
+        };
+        t.row(vec![
+            row.name.clone(),
+            row.replicas.to_string(),
+            row.runs.to_string(),
+            degr(row.mean_degradation),
+            degr(row.worst_degradation),
+        ]);
+    }
+    writeln!(out, "{}", t.to_markdown())?;
+    let report = rds_policies::CampaignReport {
+        rows: Vec::new(),
+        quarantined,
+        executed,
+        skipped,
+    };
+    report_campaign_health(&report, config.journal.as_deref(), out)?;
     Ok(())
 }
 
@@ -415,6 +728,7 @@ pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdErro
         "envelope" => cmd_envelope(&args, out),
         "memory" => cmd_memory(&args, out),
         "resilience" => cmd_resilience(&args, out),
+        "sweep" => cmd_sweep(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -584,6 +898,148 @@ mod tests {
             out.contains("X failure") || out.contains("^ recovery") || out.contains("~ degraded"),
             "legend missing:\n{out}"
         );
+    }
+
+    #[test]
+    fn sweep_reports_ratios_at_least_one() {
+        let out = run_to_string(&[
+            "sweep", "--m", "3", "--n", "9", "--reps", "2", "--seed", "5",
+        ])
+        .unwrap();
+        assert!(out.contains("mean ratio"));
+        assert!(out.contains("No Choice"));
+        assert!(out.contains("No Restriction"));
+        // Every achieved makespan is at least the exact lower bound.
+        for line in out.lines().filter(|l| l.contains("LPT")) {
+            assert!(!line.contains("-inf") && !line.contains("NaN"));
+        }
+    }
+
+    #[test]
+    fn sweep_resume_reproduces_identical_table() {
+        let path = std::env::temp_dir().join(format!("rds-cli-sweep-{}", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let argv = [
+            "sweep",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+            "--journal",
+            &path_str,
+        ];
+        let full = run_to_string(&argv).unwrap();
+        assert!(!full.contains("2 resumed"));
+        // Journal now holds every trial: resuming executes nothing and
+        // reproduces the table verbatim.
+        let resume_argv = [
+            "sweep",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+            "--journal",
+            &path_str,
+            "--resume",
+        ];
+        let resumed = run_to_string(&resume_argv).unwrap();
+        let table = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with('|'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&full), table(&resumed));
+        assert!(resumed.contains("0 trial(s) executed"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resilience_journal_resume_reproduces_identical_table() {
+        let path = std::env::temp_dir().join(format!("rds-cli-res-{}", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let argv = [
+            "resilience",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--mtbf",
+            "12",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+            "--journal",
+            &path_str,
+        ];
+        let full = run_to_string(&argv).unwrap();
+        // Truncate to meta + first 4 trial lines: a simulated crash.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let prefix: String = text.lines().take(5).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, prefix).unwrap();
+        let resume_argv = [
+            "resilience",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--mtbf",
+            "12",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+            "--journal",
+            &path_str,
+            "--resume",
+        ];
+        let resumed = run_to_string(&resume_argv).unwrap();
+        let table = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with('|'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&full), table(&resumed));
+        assert!(resumed.contains("4 resumed"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resilience_hung_trial_is_quarantined_via_flags() {
+        let out = run_to_string(&[
+            "resilience",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--mtbf",
+            "0",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+            "--stall-ms",
+            "300",
+            "--stall-trial",
+            "1",
+            "--budget-ms",
+            "30",
+            "--retries",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("quarantined trials"), "{out}");
+        assert!(out.contains("wall-clock budget"), "{out}");
     }
 
     #[test]

@@ -4,6 +4,13 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout();
     if let Err(e) = rds_cli::run(&argv, &mut stdout) {
+        // Usage mistakes get a friendly pointer and their own exit code;
+        // everything else is a runtime failure.
+        if let Some(arg_err) = e.downcast_ref::<rds_cli::ArgError>() {
+            eprintln!("error: {arg_err}");
+            eprintln!("try `rds help` for the full option list");
+            std::process::exit(2);
+        }
         eprintln!("error: {e}");
         std::process::exit(1);
     }

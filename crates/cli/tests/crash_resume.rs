@@ -1,0 +1,150 @@
+//! End-to-end kill-and-resume: SIGKILL the `rds resilience` process
+//! mid-campaign, resume from its journal, and require the aggregate
+//! table to match an uninterrupted run byte-for-byte.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const RDS: &str = env!("CARGO_BIN_EXE_rds");
+
+fn work_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rds-crash-resume-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Base arguments of the campaign under test; small enough to finish in
+/// seconds, large enough that a kill lands mid-flight.
+fn base_args() -> Vec<String> {
+    [
+        "resilience",
+        "--m",
+        "4",
+        "--mtbf",
+        "30",
+        "--n",
+        "20",
+        "--reps",
+        "8",
+        "--seed",
+        "7",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn run_to_table(extra: &[String]) -> (String, Vec<String>) {
+    let mut args = base_args();
+    args.extend_from_slice(extra);
+    let out = Command::new(RDS).args(&args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "rds failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let table = stdout
+        .lines()
+        .filter(|l| l.starts_with('|'))
+        .map(str::to_string)
+        .collect();
+    (stdout, table)
+}
+
+fn journal_lines(path: &Path) -> usize {
+    std::fs::read_to_string(path).map_or(0, |t| t.lines().count())
+}
+
+#[test]
+fn sigkill_mid_campaign_then_resume_reproduces_the_table() {
+    let dir = work_dir("kill");
+    let reference_journal = dir.join("reference.journal");
+    let killed_journal = dir.join("killed.journal");
+
+    // Uninterrupted reference run (journaled, to exercise the same code
+    // path the resumed run takes).
+    let (_, reference_table) =
+        run_to_table(&["--journal".into(), reference_journal.display().to_string()]);
+    assert!(!reference_table.is_empty(), "no aggregate table in output");
+
+    // Same campaign, but every trial body stalls 40ms: 40 trials give a
+    // multi-second window. Kill as soon as a couple of trials are
+    // journaled — a real mid-flight SIGKILL, no cooperative shutdown.
+    let mut child = Command::new(RDS)
+        .args(base_args())
+        .args([
+            "--journal",
+            &killed_journal.display().to_string(),
+            "--stall-ms",
+            "40",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while journal_lines(&killed_journal) < 3 {
+        assert!(Instant::now() < deadline, "journal never grew");
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("campaign finished before it could be killed: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let lines_after_kill = journal_lines(&killed_journal);
+    assert!(lines_after_kill >= 3, "kill lost journaled trials");
+
+    // Resume from the survivor journal; the table must be bit-identical
+    // to the uninterrupted run, with the journaled prefix skipped.
+    let (stdout, resumed_table) = run_to_table(&[
+        "--journal".into(),
+        killed_journal.display().to_string(),
+        "--resume".into(),
+    ]);
+    assert_eq!(reference_table, resumed_table);
+    assert!(
+        stdout.contains("resumed"),
+        "resume summary missing: {stdout}"
+    );
+
+    // The completed journal holds the whole campaign: meta + one line
+    // per (policy, trial) pair (5 policies × 8 reps), torn tail healed.
+    assert_eq!(journal_lines(&killed_journal), 1 + 5 * 8);
+
+    // Atomic-write discipline: no temp files left behind anywhere in
+    // the work directory.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_on_a_finished_journal_executes_nothing() {
+    let dir = work_dir("finished");
+    let journal = dir.join("done.journal");
+    let (_, table) = run_to_table(&["--journal".into(), journal.display().to_string()]);
+    let (stdout, resumed) = run_to_table(&[
+        "--journal".into(),
+        journal.display().to_string(),
+        "--resume".into(),
+    ]);
+    assert_eq!(table, resumed);
+    assert!(
+        stdout.contains("0 trial(s) executed"),
+        "expected a no-op resume: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -95,6 +95,45 @@ pub enum Error {
         /// Which limit was hit.
         what: &'static str,
     },
+    /// An instance (or a journal recorded against one) failed a semantic
+    /// check that the per-field constructors cannot express.
+    InvalidInstance {
+        /// Human-readable description of the inconsistency.
+        why: String,
+    },
+    /// A supervised trial exceeded its wall-clock budget and was cancelled
+    /// by the watchdog.
+    TrialTimeout {
+        /// The budget that was exceeded, in milliseconds.
+        millis: u64,
+    },
+    /// A campaign journal contained an unparsable or inconsistent line
+    /// (other than a torn final line, which is tolerated as a crash
+    /// artifact).
+    JournalCorrupt {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// What was wrong with it.
+        why: String,
+    },
+    /// A produced schedule violated a structural invariant; emitted by the
+    /// `rds-sim` validator instead of panicking.
+    InvariantViolation {
+        /// Which invariant class was violated (stable machine-readable tag).
+        invariant: &'static str,
+        /// Human-readable details (task/machine/time context).
+        detail: String,
+    },
+    /// An I/O operation failed. Stores the rendered OS error (not the
+    /// `std::io::Error` itself) so the type stays `Clone + PartialEq`.
+    Io {
+        /// The operation that failed (`"create"`, `"append"`, `"rename"`, ...).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The rendered underlying error.
+        why: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -149,6 +188,17 @@ impl fmt::Display for Error {
             ),
             Error::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
             Error::ResourceLimit { what } => write!(f, "resource limit reached: {what}"),
+            Error::InvalidInstance { why } => write!(f, "invalid instance: {why}"),
+            Error::TrialTimeout { millis } => {
+                write!(f, "trial exceeded its wall-clock budget of {millis} ms")
+            }
+            Error::JournalCorrupt { line, why } => {
+                write!(f, "journal corrupt at line {line}: {why}")
+            }
+            Error::InvariantViolation { invariant, detail } => {
+                write!(f, "schedule invariant violated [{invariant}]: {detail}")
+            }
+            Error::Io { op, path, why } => write!(f, "io error during {op} of {path}: {why}"),
         }
     }
 }
@@ -183,5 +233,38 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Error::EmptyInstance);
+    }
+
+    #[test]
+    fn robustness_variants_render_context() {
+        let e = Error::TrialTimeout { millis: 250 };
+        assert!(e.to_string().contains("250 ms"));
+
+        let e = Error::JournalCorrupt {
+            line: 7,
+            why: "unterminated string".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+
+        let e = Error::InvariantViolation {
+            invariant: "overlap",
+            detail: "machine 2: slots [0,3) and [2,5)".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("[overlap]"));
+        assert!(msg.contains("machine 2"));
+
+        let e = Error::Io {
+            op: "rename",
+            path: "results/out.svg".into(),
+            why: "permission denied".into(),
+        };
+        assert!(e.to_string().contains("rename"));
+
+        // The taxonomy must stay cheaply comparable for test assertions.
+        assert_eq!(
+            Error::TrialTimeout { millis: 1 }.clone(),
+            Error::TrialTimeout { millis: 1 }
+        );
     }
 }

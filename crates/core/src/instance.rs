@@ -145,6 +145,32 @@ impl Instance {
             .unwrap_or(Size::ZERO)
     }
 
+    /// A stable 64-bit fingerprint of the instance (FNV-1a over `m`, `n`,
+    /// and every task's estimate and size bits).
+    ///
+    /// Campaign journals record this digest so a `--resume` against a
+    /// *different* instance is detected instead of silently mixing
+    /// results from two experiments.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, v: u64) -> u64 {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        h = eat(h, self.machines as u64);
+        h = eat(h, self.tasks.len() as u64);
+        for t in &self.tasks {
+            h = eat(h, t.estimate.get().to_bits());
+            h = eat(h, t.size.get().to_bits());
+        }
+        h
+    }
+
     /// Task ids sorted by non-increasing estimate (LPT order), ties broken
     /// by id for determinism.
     pub fn ids_by_estimate_desc(&self) -> Vec<TaskId> {
@@ -211,6 +237,21 @@ mod tests {
         let order = inst.ids_by_estimate_desc();
         let idx: Vec<usize> = order.iter().map(|t| t.index()).collect();
         assert_eq!(idx, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn digest_separates_instances_and_is_stable() {
+        let a = Instance::from_estimates(&[3.0, 1.0, 2.0], 2).unwrap();
+        let same = Instance::from_estimates(&[3.0, 1.0, 2.0], 2).unwrap();
+        assert_eq!(a.digest(), same.digest());
+        // Any field change moves the digest: estimates, m, or sizes.
+        let other_est = Instance::from_estimates(&[3.0, 1.0, 2.5], 2).unwrap();
+        assert_ne!(a.digest(), other_est.digest());
+        let other_m = Instance::from_estimates(&[3.0, 1.0, 2.0], 3).unwrap();
+        assert_ne!(a.digest(), other_m.digest());
+        let sized =
+            Instance::from_estimates_and_sizes(&[(3.0, 1.0), (1.0, 0.0), (2.0, 0.0)], 2).unwrap();
+        assert_ne!(a.digest(), sized.digest());
     }
 
     #[test]

@@ -1,0 +1,769 @@
+//! Append-only, fsync'd campaign journal (JSONL).
+//!
+//! A campaign writes one `meta` line identifying the experiment (name,
+//! instance digest, master seed, parameter string) followed by one
+//! `trial` line per finished trial. Every append is flushed and synced
+//! before the campaign moves on, so a SIGKILL loses at most the trial in
+//! flight. On `--resume` the journal is re-read, already-journaled
+//! trials are skipped, and aggregates are recomputed from the union of
+//! journaled and freshly-run records — byte-identical to an
+//! uninterrupted run because every number round-trips exactly (integers
+//! verbatim, floats via Rust's shortest-round-trip formatting).
+//!
+//! Robustness contract:
+//! - a **torn final line** (the crash artifact) is tolerated and
+//!   truncated away on resume;
+//! - any **earlier** unparsable line is real corruption and surfaces as
+//!   [`Error::JournalCorrupt`];
+//! - a journal whose meta line disagrees with the live campaign (other
+//!   instance digest, seed, or parameters) is rejected with
+//!   [`Error::InvalidInstance`] instead of silently mixing experiments.
+//!
+//! No serde: the format is flat, the parser below handles exactly the
+//! subset the writer emits (one-level objects of strings, numbers,
+//! booleans, and nulls).
+
+use rds_core::{Error, Result};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> Error {
+    Error::Io {
+        op,
+        path: path.display().to_string(),
+        why: e.to_string(),
+    }
+}
+
+/// Identity of a campaign; journals can only be resumed by the campaign
+/// that wrote them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignMeta {
+    /// Campaign kind (`"resilience"`, `"sweep"`, ...).
+    pub campaign: String,
+    /// [`rds_core::Instance::digest`] of the instance under test.
+    pub digest: u64,
+    /// The master seed every trial seed derives from.
+    pub seed: u64,
+    /// Free-form parameter string; must match exactly on resume.
+    pub params: String,
+}
+
+/// Terminal status of one journaled trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialStatus {
+    /// Every task completed.
+    Completed,
+    /// The run degraded gracefully; some tasks never finished.
+    Partial,
+    /// The trial errored (counted, excluded from aggregates).
+    Failed,
+    /// The watchdog gave up on the trial after repeated failures.
+    Quarantined,
+}
+
+impl TrialStatus {
+    /// Stable wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrialStatus::Completed => "completed",
+            TrialStatus::Partial => "partial",
+            TrialStatus::Failed => "failed",
+            TrialStatus::Quarantined => "quarantined",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "completed" => TrialStatus::Completed,
+            "partial" => TrialStatus::Partial,
+            "failed" => TrialStatus::Failed,
+            "quarantined" => TrialStatus::Quarantined,
+            _ => return None,
+        })
+    }
+
+    /// `true` when the trial produced usable metrics (completed or
+    /// gracefully partial).
+    pub fn usable(self) -> bool {
+        matches!(self, TrialStatus::Completed | TrialStatus::Partial)
+    }
+}
+
+/// One finished trial, as journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Policy name the trial ran under.
+    pub policy: String,
+    /// Trial index within the campaign (0-based).
+    pub trial: u64,
+    /// The trial's derived seed.
+    pub seed: u64,
+    /// Watchdog attempts consumed.
+    pub attempts: u32,
+    /// Terminal status.
+    pub status: TrialStatus,
+    /// Fraction of tasks completed.
+    pub survival: f64,
+    /// Attempts killed by faults and restarted.
+    pub restarts: f64,
+    /// Machines that rejoined after outages.
+    pub rejoins: f64,
+    /// Speculative backups launched.
+    pub spec_started: f64,
+    /// Speculative backups that won.
+    pub spec_wins: f64,
+    /// Attempts cancelled (speculation losers).
+    pub cancelled: f64,
+    /// Wall-clock work thrown away (killed + cancelled attempts).
+    pub wasted: f64,
+    /// Achieved makespan (of completed work).
+    pub makespan: f64,
+    /// Fault-free baseline makespan of the same trial, when measured.
+    pub baseline: Option<f64>,
+    /// Rendered error, for failed/quarantined trials.
+    pub error: Option<String>,
+}
+
+impl TrialRecord {
+    /// The resume identity: one journaled record per (policy, trial).
+    pub fn key(&self) -> (String, u64) {
+        (self.policy.clone(), self.trial)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flat-JSON encoding
+// ---------------------------------------------------------------------
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's Display for f64 is shortest-round-trip: parsing the
+        // emitted token recovers the exact bits, which is what makes
+        // resumed aggregates byte-identical.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A parsed flat-JSON value, numbers kept as raw tokens for exact
+/// round-tripping of both `u64` and `f64`.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (the only shape the writer emits).
+/// Returns `None` on any syntax error — the caller decides whether that
+/// is a torn tail or corruption.
+fn parse_flat_object(line: &str) -> Option<BTreeMap<String, Value>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut map = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(s),
+                '\\' => match chars.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + chars.next()?.to_digit(16)?;
+                        }
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next()? != ':' {
+                return None;
+            }
+            skip_ws(&mut chars);
+            let value = match *chars.peek()? {
+                '"' => Value::Str(parse_string(&mut chars)?),
+                't' => {
+                    for expect in "true".chars() {
+                        if chars.next()? != expect {
+                            return None;
+                        }
+                    }
+                    Value::Bool(true)
+                }
+                'f' => {
+                    for expect in "false".chars() {
+                        if chars.next()? != expect {
+                            return None;
+                        }
+                    }
+                    Value::Bool(false)
+                }
+                'n' => {
+                    for expect in "null".chars() {
+                        if chars.next()? != expect {
+                            return None;
+                        }
+                    }
+                    Value::Null
+                }
+                _ => {
+                    let mut raw = String::new();
+                    while chars
+                        .peek()
+                        .is_some_and(|&c| c.is_ascii_digit() || "+-.eE".contains(c))
+                    {
+                        raw.push(chars.next()?);
+                    }
+                    if raw.is_empty() || raw.parse::<f64>().is_err() {
+                        return None;
+                    }
+                    Value::Num(raw)
+                }
+            };
+            map.insert(key, value);
+            skip_ws(&mut chars);
+            match chars.next()? {
+                ',' => continue,
+                '}' => break,
+                _ => return None,
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None; // trailing garbage on the line
+    }
+    Some(map)
+}
+
+fn meta_line(meta: &CampaignMeta) -> String {
+    let mut s = String::from("{\"v\":1,\"kind\":\"meta\",\"campaign\":");
+    push_json_string(&mut s, &meta.campaign);
+    s.push_str(",\"digest\":");
+    push_json_string(&mut s, &format!("{:016x}", meta.digest));
+    s.push_str(&format!(",\"seed\":{}", meta.seed));
+    s.push_str(",\"params\":");
+    push_json_string(&mut s, &meta.params);
+    s.push_str("}\n");
+    s
+}
+
+fn trial_line(rec: &TrialRecord) -> String {
+    let mut s = String::from("{\"kind\":\"trial\",\"policy\":");
+    push_json_string(&mut s, &rec.policy);
+    s.push_str(&format!(
+        ",\"trial\":{},\"seed\":{},\"attempts\":{},\"status\":\"{}\"",
+        rec.trial,
+        rec.seed,
+        rec.attempts,
+        rec.status.as_str()
+    ));
+    for (name, v) in [
+        ("survival", rec.survival),
+        ("restarts", rec.restarts),
+        ("rejoins", rec.rejoins),
+        ("spec_started", rec.spec_started),
+        ("spec_wins", rec.spec_wins),
+        ("cancelled", rec.cancelled),
+        ("wasted", rec.wasted),
+        ("makespan", rec.makespan),
+    ] {
+        s.push_str(&format!(",\"{name}\":"));
+        push_f64(&mut s, v);
+    }
+    s.push_str(",\"baseline\":");
+    match rec.baseline {
+        Some(b) => push_f64(&mut s, b),
+        None => s.push_str("null"),
+    }
+    s.push_str(",\"error\":");
+    match &rec.error {
+        Some(e) => push_json_string(&mut s, e),
+        None => s.push_str("null"),
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn meta_from_map(map: &BTreeMap<String, Value>) -> Option<CampaignMeta> {
+    if map.get("kind")?.as_str()? != "meta" {
+        return None;
+    }
+    Some(CampaignMeta {
+        campaign: map.get("campaign")?.as_str()?.to_string(),
+        digest: u64::from_str_radix(map.get("digest")?.as_str()?, 16).ok()?,
+        seed: map.get("seed")?.as_u64()?,
+        params: map.get("params")?.as_str()?.to_string(),
+    })
+}
+
+fn trial_from_map(map: &BTreeMap<String, Value>) -> Option<TrialRecord> {
+    if map.get("kind")?.as_str()? != "trial" {
+        return None;
+    }
+    let opt_f64 = |key: &str| -> Option<Option<f64>> {
+        match map.get(key)? {
+            Value::Null => Some(None),
+            v => Some(Some(v.as_f64()?)),
+        }
+    };
+    Some(TrialRecord {
+        policy: map.get("policy")?.as_str()?.to_string(),
+        trial: map.get("trial")?.as_u64()?,
+        seed: map.get("seed")?.as_u64()?,
+        attempts: map.get("attempts")?.as_u64()? as u32,
+        status: TrialStatus::parse(map.get("status")?.as_str()?)?,
+        survival: map.get("survival")?.as_f64()?,
+        restarts: map.get("restarts")?.as_f64()?,
+        rejoins: map.get("rejoins")?.as_f64()?,
+        spec_started: map.get("spec_started")?.as_f64()?,
+        spec_wins: map.get("spec_wins")?.as_f64()?,
+        cancelled: map.get("cancelled")?.as_f64()?,
+        wasted: map.get("wasted")?.as_f64()?,
+        makespan: map.get("makespan")?.as_f64()?,
+        baseline: opt_f64("baseline")?,
+        error: match map.get("error")? {
+            Value::Null => None,
+            v => Some(v.as_str()?.to_string()),
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// The journal itself
+// ---------------------------------------------------------------------
+
+/// An open, append-only campaign journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+/// Result of reading a journal from disk.
+#[derive(Debug)]
+struct Scan {
+    meta: CampaignMeta,
+    records: Vec<TrialRecord>,
+    /// Byte offset just past the last *parsable* line.
+    good_bytes: u64,
+    /// `true` when a torn (unparsable) final line was dropped.
+    torn: bool,
+}
+
+fn scan(path: &Path) -> Result<Scan> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("read", path, &e))?;
+    // A SIGKILL can cut a multibyte character: invalid UTF-8 at the very
+    // end is a torn tail, invalid UTF-8 followed by more lines is real
+    // corruption.
+    let text = match std::str::from_utf8(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            let cut = e.valid_up_to();
+            if bytes[cut..].contains(&b'\n') {
+                return Err(Error::JournalCorrupt {
+                    line: bytes[..cut].iter().filter(|&&b| b == b'\n').count() + 1,
+                    why: "invalid utf-8 before the final line".to_string(),
+                });
+            }
+            std::str::from_utf8(&bytes[..cut]).expect("validated prefix")
+        }
+    };
+    let text = text.to_string();
+
+    let mut meta = None;
+    let mut records = Vec::new();
+    let mut good_bytes = 0u64;
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+
+    // Split manually so byte offsets stay exact (lines() drops \r too).
+    let mut rest = text.as_str();
+    while !rest.is_empty() {
+        line_no += 1;
+        let (line, consumed, terminated) = match rest.find('\n') {
+            Some(i) => (&rest[..i], i + 1, true),
+            None => (rest, rest.len(), false),
+        };
+        let is_last = consumed == rest.len();
+        let parsed = parse_flat_object(line).and_then(|map| {
+            if line_no == 1 {
+                meta_from_map(&map).map(|m| {
+                    meta = Some(m);
+                })
+            } else {
+                trial_from_map(&map).map(|r| {
+                    records.push(r);
+                })
+            }
+        });
+        match parsed {
+            Some(()) if terminated => {
+                good_bytes = (offset + consumed) as u64;
+            }
+            Some(()) => {
+                // Parsable but missing its newline: the write was cut
+                // between the payload and the terminator. Treat as torn
+                // — the record is about to be re-run anyway.
+                if line_no == 1 {
+                    meta = None;
+                } else {
+                    records.pop();
+                }
+            }
+            None if is_last => {}
+            None => {
+                return Err(Error::JournalCorrupt {
+                    line: line_no,
+                    why: if line_no == 1 {
+                        "first line is not a valid meta record".to_string()
+                    } else {
+                        "unparsable trial record before the final line".to_string()
+                    },
+                });
+            }
+        }
+        offset += consumed;
+        rest = &text[offset..];
+    }
+
+    let meta = meta.ok_or(Error::JournalCorrupt {
+        line: 1,
+        why: "journal has no meta line".to_string(),
+    })?;
+    // Anything past the last committed line — a torn write, a cut
+    // multibyte char, stray bytes — gets truncated away on resume.
+    let torn = good_bytes < bytes.len() as u64;
+    Ok(Scan {
+        meta,
+        records,
+        good_bytes,
+        torn,
+    })
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal and writes the meta line.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on any filesystem failure.
+    pub fn create(path: impl Into<PathBuf>, meta: &CampaignMeta) -> Result<Journal> {
+        let path = path.into();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| io_err("create-dir", &path, &e))?;
+        }
+        let mut file = File::create(&path).map_err(|e| io_err("create", &path, &e))?;
+        file.write_all(meta_line(meta).as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| io_err("append", &path, &e))?;
+        Ok(Journal { file, path })
+    }
+
+    /// Opens an existing journal for resumption, returning the records
+    /// already on disk; creates a fresh journal when none exists. A torn
+    /// final line is truncated away before appending continues.
+    ///
+    /// # Errors
+    /// - [`Error::JournalCorrupt`] for unparsable non-final lines;
+    /// - [`Error::InvalidInstance`] when the on-disk meta disagrees with
+    ///   `meta` (different instance, seed, or parameters);
+    /// - [`Error::Io`] on filesystem failures.
+    pub fn resume(
+        path: impl Into<PathBuf>,
+        meta: &CampaignMeta,
+    ) -> Result<(Journal, Vec<TrialRecord>)> {
+        let path = path.into();
+        if !path.exists() {
+            return Ok((Journal::create(path, meta)?, Vec::new()));
+        }
+        let scanned = scan(&path)?;
+        if scanned.meta != *meta {
+            return Err(Error::InvalidInstance {
+                why: format!(
+                    "journal {} was written by a different campaign \
+                     (digest {:016x} seed {} params \"{}\"; expected \
+                     digest {:016x} seed {} params \"{}\")",
+                    path.display(),
+                    scanned.meta.digest,
+                    scanned.meta.seed,
+                    scanned.meta.params,
+                    meta.digest,
+                    meta.seed,
+                    meta.params,
+                ),
+            });
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("open", &path, &e))?;
+        if scanned.torn {
+            file.set_len(scanned.good_bytes)
+                .map_err(|e| io_err("truncate", &path, &e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek", &path, &e))?;
+        Ok((Journal { file, path }, scanned.records))
+    }
+
+    /// Appends one trial record, flushed and synced before returning.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on any filesystem failure.
+    pub fn append(&mut self, rec: &TrialRecord) -> Result<()> {
+        self.file
+            .write_all(trial_line(rec).as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err("append", &self.path, &e))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads a journal without opening it for writing.
+    ///
+    /// # Errors
+    /// Same corruption/io errors as [`Journal::resume`].
+    pub fn read(path: impl AsRef<Path>) -> Result<(CampaignMeta, Vec<TrialRecord>)> {
+        let scanned = scan(path.as_ref())?;
+        Ok((scanned.meta, scanned.records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rds-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn meta() -> CampaignMeta {
+        CampaignMeta {
+            campaign: "resilience".into(),
+            digest: 0xdead_beef_cafe_f00d,
+            seed: 42,
+            params: "m=4;n=12;mtbf=25".into(),
+        }
+    }
+
+    fn rec(policy: &str, trial: u64) -> TrialRecord {
+        TrialRecord {
+            policy: policy.into(),
+            trial,
+            seed: 0x1234_5678_9abc_def0 ^ trial,
+            attempts: 1,
+            status: TrialStatus::Completed,
+            survival: 1.0,
+            restarts: 2.0,
+            rejoins: 0.0,
+            spec_started: 1.0,
+            spec_wins: 1.0,
+            cancelled: 0.0,
+            wasted: 0.1 + trial as f64 * 0.3, // awkward floats on purpose
+            makespan: 17.299_999_999_999_997,
+            baseline: Some(12.100_000_000_000_001),
+            error: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let path = tmp("roundtrip.journal");
+        let mut j = Journal::create(&path, &meta()).unwrap();
+        let records = vec![rec("lpt", 0), rec("chained-2", 1), rec("ls-group", 2)];
+        for r in &records {
+            j.append(r).unwrap();
+        }
+        drop(j);
+        let (m, got) = Journal::read(&path).unwrap();
+        assert_eq!(m, meta());
+        assert_eq!(got, records); // bit-exact floats and u64 seeds
+    }
+
+    #[test]
+    fn special_fields_round_trip() {
+        let path = tmp("special.journal");
+        let mut j = Journal::create(&path, &meta()).unwrap();
+        let mut r = rec("quo\"ted\\policy\n", 7);
+        r.status = TrialStatus::Quarantined;
+        r.attempts = 3;
+        r.baseline = None;
+        r.error = Some("trial exceeded its wall-clock budget of 30 ms".into());
+        j.append(&r).unwrap();
+        drop(j);
+        let (_, got) = Journal::read(&path).unwrap();
+        assert_eq!(got, vec![r]);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_truncated() {
+        let path = tmp("torn.journal");
+        let mut j = Journal::create(&path, &meta()).unwrap();
+        j.append(&rec("lpt", 0)).unwrap();
+        j.append(&rec("lpt", 1)).unwrap();
+        drop(j);
+        // Simulate a SIGKILL mid-append: half a JSON object, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"kind\":\"trial\",\"poli").unwrap();
+        drop(f);
+
+        let (mut j, records) = Journal::resume(&path, &meta()).unwrap();
+        assert_eq!(records.len(), 2);
+        // Appending after resume lands on a clean line boundary.
+        j.append(&rec("lpt", 2)).unwrap();
+        drop(j);
+        let (_, all) = Journal::read(&path).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].trial, 2);
+    }
+
+    #[test]
+    fn unterminated_but_parsable_tail_is_retried() {
+        let path = tmp("unterminated.journal");
+        let mut j = Journal::create(&path, &meta()).unwrap();
+        j.append(&rec("lpt", 0)).unwrap();
+        drop(j);
+        // Strip the final newline: the line parses but was not committed.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        let (_, records) = Journal::resume(&path, &meta()).unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_an_error() {
+        let path = tmp("corrupt.journal");
+        let mut j = Journal::create(&path, &meta()).unwrap();
+        j.append(&rec("lpt", 0)).unwrap();
+        drop(j);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json at all\n");
+        text.push_str(&super::trial_line(&rec("lpt", 1)));
+        std::fs::write(&path, text).unwrap();
+        let err = Journal::read(&path).unwrap_err();
+        assert!(matches!(err, Error::JournalCorrupt { line: 3, .. }));
+        // Resume refuses too — corruption is not silently skipped.
+        assert!(Journal::resume(&path, &meta()).is_err());
+    }
+
+    #[test]
+    fn meta_mismatch_is_rejected() {
+        let path = tmp("mismatch.journal");
+        drop(Journal::create(&path, &meta()).unwrap());
+        let mut other = meta();
+        other.digest ^= 1;
+        let err = Journal::resume(&path, &other).unwrap_err();
+        assert!(matches!(err, Error::InvalidInstance { .. }));
+        let mut other = meta();
+        other.params = "m=8".into();
+        assert!(Journal::resume(&path, &other).is_err());
+    }
+
+    #[test]
+    fn missing_file_resumes_as_fresh() {
+        let path = tmp("fresh.journal");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, records) = Journal::resume(&path, &meta()).unwrap();
+        assert!(records.is_empty());
+        j.append(&rec("lpt", 0)).unwrap();
+        drop(j);
+        assert_eq!(Journal::read(&path).unwrap().1.len(), 1);
+    }
+
+    #[test]
+    fn empty_or_headerless_file_is_corrupt() {
+        let path = tmp("empty.journal");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            Journal::read(&path).unwrap_err(),
+            Error::JournalCorrupt { line: 1, .. }
+        ));
+        std::fs::write(&path, "{\"kind\":\"trial\"}\nmore\n").unwrap();
+        assert!(Journal::read(&path).is_err());
+    }
+}

@@ -7,7 +7,14 @@
 //! - [`pool::ThreadPool`]: a fixed-size crossbeam-channel worker pool
 //!   with per-job panic isolation;
 //! - [`sweep::parallel_map`]: order-preserving scoped parallel map with
-//!   dynamic work claiming.
+//!   dynamic work claiming ([`sweep::try_parallel_map`] for the
+//!   fallible, panic-isolating variant);
+//! - [`pool::supervise`]: the trial watchdog — per-trial wall-clock
+//!   budgets with cooperative cancellation, bounded retry with
+//!   exponential backoff and deterministic jitter, and quarantine of
+//!   repeatedly-failing trials;
+//! - [`journal::Journal`]: the append-only fsync'd campaign journal
+//!   (JSONL) that checkpoint/resume is built on.
 //!
 //! # Example
 //! ```
@@ -18,8 +25,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod journal;
 pub mod pool;
 pub mod sweep;
 
-pub use pool::ThreadPool;
-pub use sweep::{parallel_map, parallel_reps};
+pub use journal::{CampaignMeta, Journal, TrialRecord, TrialStatus};
+pub use pool::{supervise, CancelToken, Supervised, ThreadPool, WatchdogPolicy};
+pub use sweep::{parallel_map, parallel_reps, try_parallel_map};

@@ -1,6 +1,7 @@
 //! Order-preserving parallel map for experiment sweeps.
 
 use parking_lot::Mutex;
+use rds_core::Error;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Applies `f` to every item on `threads` worker threads (scoped — no
@@ -47,6 +48,75 @@ where
     results
         .into_iter()
         .map(|m| m.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+/// Fallible, panic-isolating variant of [`parallel_map`]: applies `f` to
+/// every item and returns all results in input order, or the
+/// first-by-index error.
+///
+/// Unlike [`parallel_map`], a worker panic does not propagate: it is
+/// caught per item and surfaces as an [`Error`], so one malformed item
+/// degrades that item's slot, never the process. Remaining items still
+/// run (work claiming continues); only the reduction short-circuits.
+///
+/// # Errors
+/// The error of the lowest-indexed failing item — either `f`'s own
+/// error or [`Error::InvalidParameter`] for a caught panic.
+pub fn try_parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Result<Vec<R>, Error>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Result<R, Error> + Sync,
+{
+    let threads = threads.max(1);
+    let n = items.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let run = |item: T| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).unwrap_or(Err(
+            Error::InvalidParameter {
+                what: "parallel worker panicked",
+            },
+        ))
+    };
+    if threads == 1 || n == 1 {
+        return items.into_iter().map(run).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<Result<R, Error>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let scoped = crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let Some(item) = slots[i].lock().take() else {
+                    continue;
+                };
+                let r = run(item);
+                *results[i].lock() = Some(r);
+            });
+        }
+    });
+    if scoped.is_err() {
+        // Unreachable in practice: every panic is caught per item.
+        return Err(Error::InvalidParameter {
+            what: "parallel worker panicked",
+        });
+    }
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner().unwrap_or(Err(Error::InvalidParameter {
+                what: "parallel map slot never filled",
+            }))
+        })
         .collect()
 }
 
@@ -115,5 +185,49 @@ mod tests {
     fn single_thread_path() {
         let out = parallel_map(vec![1, 2, 3], 1, |x: i32| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn try_map_preserves_order_on_success() {
+        let out = try_parallel_map((0..100).collect(), 4, |x: i32| Ok(x * 3)).unwrap();
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_returns_first_error_by_index() {
+        let err = try_parallel_map((0..50).collect(), 4, |x: i32| {
+            if x % 10 == 7 {
+                Err(Error::ResourceLimit { what: "x hit 7" })
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        // Items 7, 17, 27... fail; the lowest index wins deterministically.
+        assert_eq!(err, Error::ResourceLimit { what: "x hit 7" });
+    }
+
+    #[test]
+    fn try_map_catches_panics_as_errors() {
+        let err = try_parallel_map(vec![1, 2, 3], 2, |x: i32| {
+            if x == 2 {
+                panic!("inner");
+            }
+            Ok(x)
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+        // Single-threaded path catches too.
+        let err = try_parallel_map(vec![1], 1, |_x: i32| -> Result<i32, Error> {
+            panic!("inner");
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn try_map_empty_is_ok() {
+        let out: Vec<i32> = try_parallel_map(Vec::<i32>::new(), 4, Ok).unwrap();
+        assert!(out.is_empty());
     }
 }

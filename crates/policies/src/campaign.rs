@@ -1,0 +1,502 @@
+//! The crash-safe campaign runtime: journaled, resumable, supervised.
+//!
+//! [`run_campaign_resumable`] wraps the same [`run_trial`] execution
+//! path as the fail-fast [`crate::resilience::run_campaign`] with the
+//! robustness layers a multi-hour Monte-Carlo sweep needs:
+//!
+//! - every finished trial is appended to an fsync'd
+//!   [`rds_par::Journal`], so a SIGKILL loses at most the trial in
+//!   flight;
+//! - `resume: true` re-reads the journal, skips already-recorded
+//!   (policy, trial) pairs, and recomputes aggregates from the union —
+//!   bit-identical to an uninterrupted run because aggregation always
+//!   happens in (suite order, trial order) from exactly round-tripped
+//!   numbers;
+//! - each trial runs under the [`rds_par::supervise`] watchdog:
+//!   wall-clock budget with cancellation, bounded retry with backoff and
+//!   jitter, and quarantine after repeated failures — a poisoned trial
+//!   becomes a report entry, never an abort;
+//! - an optional [`StallInjection`] deliberately hangs trial bodies, the
+//!   harness-level fault-injection knob the kill-and-resume and
+//!   watchdog end-to-end tests drive.
+
+use crate::resilience::{
+    aggregate_row, run_trial, CampaignRow, ResiliencePolicy, TrialMeasurement,
+};
+use rds_core::{Error, Instance, Realization, Result};
+use rds_par::journal::{CampaignMeta, Journal, TrialRecord, TrialStatus};
+use rds_par::pool::{supervise, CancelToken, Supervised, WatchdogPolicy};
+use rds_sim::faults::{FaultScript, Speculation};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One campaign trial: a derived seed plus the shared execution context.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The trial's derived seed (journaled; also feeds backoff jitter).
+    pub seed: u64,
+    /// Actual processing times for this trial.
+    pub realization: Realization,
+    /// Scripted faults for this trial.
+    pub script: FaultScript,
+}
+
+/// Deliberate stall injected into trial bodies — the knob that lets the
+/// test suite exercise the watchdog and the kill-and-resume path with a
+/// real hung process. `only_trial` restricts the stall to one trial
+/// index (per policy); `None` stalls every trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallInjection {
+    /// How long the trial body sleeps before doing any work.
+    pub delay: Duration,
+    /// Restrict the stall to this trial index, if set.
+    pub only_trial: Option<u64>,
+}
+
+impl StallInjection {
+    fn applies_to(&self, trial: u64) -> bool {
+        self.only_trial.is_none_or(|only| only == trial)
+    }
+}
+
+/// Configuration of the crash-safe campaign runtime.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign kind recorded in the journal meta (`"resilience"`, ...).
+    pub campaign: String,
+    /// Master seed recorded in the journal meta.
+    pub seed: u64,
+    /// Parameter string recorded in the journal meta; a resume with
+    /// different parameters is rejected.
+    pub params: String,
+    /// Journal path; `None` runs without checkpointing.
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal instead of truncating it.
+    pub resume: bool,
+    /// Watchdog policy every trial runs under.
+    pub watchdog: WatchdogPolicy,
+    /// Optional speculative re-execution for the simulated cluster.
+    pub speculation: Option<Speculation>,
+    /// Harness fault injection: deliberately stall trial bodies.
+    pub stall: Option<StallInjection>,
+}
+
+impl CampaignConfig {
+    /// A plain configuration: no journal, default watchdog, no stall.
+    pub fn new(campaign: impl Into<String>, seed: u64, params: impl Into<String>) -> Self {
+        CampaignConfig {
+            campaign: campaign.into(),
+            seed,
+            params: params.into(),
+            journal: None,
+            resume: false,
+            watchdog: WatchdogPolicy::default(),
+            speculation: None,
+            stall: None,
+        }
+    }
+}
+
+/// A trial the watchdog gave up on; reported, not fatal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedTrial {
+    /// Policy the trial ran under.
+    pub policy: String,
+    /// Trial index.
+    pub trial: u64,
+    /// The trial's derived seed.
+    pub seed: u64,
+    /// Watchdog attempts consumed.
+    pub attempts: u32,
+    /// The last attempt's rendered error.
+    pub error: String,
+}
+
+/// Everything a resumable campaign produces.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// One aggregated row per policy, in suite order. Quarantined trials
+    /// are excluded from the aggregates.
+    pub rows: Vec<CampaignRow>,
+    /// The poison list: trials the watchdog gave up on.
+    pub quarantined: Vec<QuarantinedTrial>,
+    /// Trials executed in this invocation.
+    pub executed: usize,
+    /// Trials skipped because the journal already had them.
+    pub skipped: usize,
+}
+
+fn record_from_measurement(
+    policy: &str,
+    trial: u64,
+    seed: u64,
+    attempts: u32,
+    m: &TrialMeasurement,
+) -> TrialRecord {
+    TrialRecord {
+        policy: policy.to_string(),
+        trial,
+        seed,
+        attempts,
+        status: if m.completed {
+            TrialStatus::Completed
+        } else {
+            TrialStatus::Partial
+        },
+        survival: m.survival,
+        restarts: m.restarts,
+        rejoins: m.rejoins,
+        spec_started: m.spec_started,
+        spec_wins: m.spec_wins,
+        cancelled: m.cancelled,
+        wasted: m.wasted,
+        makespan: m.makespan,
+        baseline: Some(m.baseline),
+        error: None,
+    }
+}
+
+fn measurement_from_record(r: &TrialRecord) -> TrialMeasurement {
+    TrialMeasurement {
+        completed: r.status == TrialStatus::Completed,
+        survival: r.survival,
+        restarts: r.restarts,
+        rejoins: r.rejoins,
+        spec_started: r.spec_started,
+        spec_wins: r.spec_wins,
+        cancelled: r.cancelled,
+        wasted: r.wasted,
+        makespan: r.makespan,
+        baseline: r.baseline.unwrap_or(0.0),
+    }
+}
+
+fn quarantine_record(
+    policy: &str,
+    trial: u64,
+    seed: u64,
+    attempts: u32,
+    error: &Error,
+) -> TrialRecord {
+    TrialRecord {
+        policy: policy.to_string(),
+        trial,
+        seed,
+        attempts,
+        status: TrialStatus::Quarantined,
+        survival: 0.0,
+        restarts: 0.0,
+        rejoins: 0.0,
+        spec_started: 0.0,
+        spec_wins: 0.0,
+        cancelled: 0.0,
+        wasted: 0.0,
+        makespan: 0.0,
+        baseline: None,
+        error: Some(error.to_string()),
+    }
+}
+
+/// Sleeps in small cancellable increments; returns `false` when the
+/// watchdog cancelled the attempt mid-stall.
+fn cancellable_stall(delay: Duration, token: &CancelToken) -> bool {
+    let step = Duration::from_millis(2);
+    let mut slept = Duration::ZERO;
+    while slept < delay {
+        if token.is_cancelled() {
+            return false;
+        }
+        let chunk = step.min(delay - slept);
+        std::thread::sleep(chunk);
+        slept += chunk;
+    }
+    !token.is_cancelled()
+}
+
+/// Runs the campaign crash-safely: journaled, resumable, supervised.
+///
+/// Trials execute in (suite order, trial order); each finished trial is
+/// journaled before the next starts. Quarantined trials are journaled
+/// too (so a resume does not retry a poisoned pair forever) and reported
+/// in [`CampaignReport::quarantined`] while being excluded from the
+/// aggregate rows.
+///
+/// # Errors
+/// - Journal I/O, corruption, and meta-mismatch errors
+///   ([`Error::Io`] / [`Error::JournalCorrupt`] /
+///   [`Error::InvalidInstance`]);
+/// - engine errors never surface here: a failing trial is retried and
+///   ultimately quarantined by the watchdog.
+pub fn run_campaign_resumable(
+    instance: &Instance,
+    suite: &[ResiliencePolicy],
+    trials: &[Trial],
+    config: &CampaignConfig,
+) -> Result<CampaignReport> {
+    let meta = CampaignMeta {
+        campaign: config.campaign.clone(),
+        digest: instance.digest(),
+        seed: config.seed,
+        params: config.params.clone(),
+    };
+    let (mut journal, mut records) = match &config.journal {
+        None => (None, Vec::new()),
+        Some(path) if config.resume => {
+            let (j, recs) = Journal::resume(path, &meta)?;
+            (Some(j), recs)
+        }
+        Some(path) => (Some(Journal::create(path, &meta)?), Vec::new()),
+    };
+    let skipped = records.len();
+    let have: HashSet<(String, u64)> = records.iter().map(TrialRecord::key).collect();
+
+    let mut executed = 0usize;
+    for policy in suite {
+        for (index, trial) in trials.iter().enumerate() {
+            let trial_idx = index as u64;
+            if have.contains(&(policy.name.clone(), trial_idx)) {
+                continue;
+            }
+            // The supervised body owns everything it touches: a budgeted
+            // attempt runs on a dedicated thread the watchdog may abandon.
+            let body_instance = instance.clone();
+            let body_policy = policy.clone();
+            let body_trial = trial.clone();
+            let speculation = config.speculation;
+            let stall = config.stall.filter(|s| s.applies_to(trial_idx));
+            let outcome = supervise(&config.watchdog, trial.seed, move |token| {
+                if let Some(stall) = stall {
+                    if !cancellable_stall(stall.delay, token) {
+                        return Err(Error::TrialTimeout {
+                            millis: stall.delay.as_millis() as u64,
+                        });
+                    }
+                }
+                run_trial(
+                    &body_instance,
+                    &body_policy,
+                    &body_trial.realization,
+                    &body_trial.script,
+                    speculation,
+                )
+            });
+            let record = match outcome {
+                Supervised::Done { value, attempts } => {
+                    record_from_measurement(&policy.name, trial_idx, trial.seed, attempts, &value)
+                }
+                Supervised::Quarantined { attempts, error } => {
+                    quarantine_record(&policy.name, trial_idx, trial.seed, attempts, &error)
+                }
+            };
+            if let Some(j) = journal.as_mut() {
+                j.append(&record)?;
+            }
+            records.push(record);
+            executed += 1;
+        }
+    }
+
+    // Aggregate in (suite order, trial order) regardless of which
+    // invocation produced each record — the resume-identity invariant.
+    let mut rows = Vec::with_capacity(suite.len());
+    let mut quarantined = Vec::new();
+    for policy in suite {
+        let mut mine: Vec<&TrialRecord> =
+            records.iter().filter(|r| r.policy == policy.name).collect();
+        mine.sort_by_key(|r| r.trial);
+        let measurements: Vec<TrialMeasurement> = mine
+            .iter()
+            .filter(|r| r.status.usable())
+            .map(|r| measurement_from_record(r))
+            .collect();
+        quarantined.extend(
+            mine.iter()
+                .filter(|r| r.status == TrialStatus::Quarantined)
+                .map(|r| QuarantinedTrial {
+                    policy: r.policy.clone(),
+                    trial: r.trial,
+                    seed: r.seed,
+                    attempts: r.attempts,
+                    error: r.error.clone().unwrap_or_default(),
+                }),
+        );
+        rows.push(aggregate_row(
+            &policy.name,
+            policy.placement.max_replicas(),
+            &measurements,
+        ));
+    }
+    Ok(CampaignReport {
+        rows,
+        quarantined,
+        executed,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::{run_campaign, standard_suite};
+    use rds_core::{MachineId, Time, Uncertainty};
+    use rds_sim::faults::FaultEvent;
+
+    fn setup() -> (Instance, Vec<ResiliencePolicy>, Vec<Trial>) {
+        let est: Vec<f64> = (0..18).map(|i| 1.0 + (i % 5) as f64).collect();
+        let inst = Instance::from_estimates(&est, 6).unwrap();
+        let suite = standard_suite(&inst, Uncertainty::of(1.5)).unwrap();
+        let crash = FaultScript::new(vec![FaultEvent::Crash {
+            machine: MachineId::new(0),
+            at: Time::of(0.5),
+        }]);
+        let trials = vec![
+            Trial {
+                seed: 11,
+                realization: Realization::exact(&inst),
+                script: FaultScript::empty(),
+            },
+            Trial {
+                seed: 12,
+                realization: Realization::exact(&inst),
+                script: crash,
+            },
+        ];
+        (inst, suite, trials)
+    }
+
+    fn rows_bitwise_equal(a: &[CampaignRow], b: &[CampaignRow]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.replicas, y.replicas);
+            assert_eq!(x.runs, y.runs);
+            assert_eq!(x.completed_runs, y.completed_runs);
+            for (u, v) in [
+                (x.mean_survival, y.mean_survival),
+                (x.mean_restarts, y.mean_restarts),
+                (x.mean_rejoins, y.mean_rejoins),
+                (x.mean_spec_started, y.mean_spec_started),
+                (x.mean_spec_wins, y.mean_spec_wins),
+                (x.mean_wasted, y.mean_wasted),
+                (x.mean_degradation, y.mean_degradation),
+                (x.worst_degradation, y.worst_degradation),
+            ] {
+                assert_eq!(u.to_bits(), v.to_bits(), "{}", x.name);
+            }
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rds-campaign-{}-{}", tag, std::process::id()))
+    }
+
+    #[test]
+    fn matches_fail_fast_runner_without_journal() {
+        let (inst, suite, trials) = setup();
+        let pairs: Vec<(Realization, FaultScript)> = trials
+            .iter()
+            .map(|t| (t.realization.clone(), t.script.clone()))
+            .collect();
+        let expected = run_campaign(&inst, &suite, &pairs, None).unwrap();
+        let config = CampaignConfig::new("resilience", 42, "m=6 n=18");
+        let report = run_campaign_resumable(&inst, &suite, &trials, &config).unwrap();
+        rows_bitwise_equal(&expected, &report.rows);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.executed, suite.len() * trials.len());
+        assert_eq!(report.skipped, 0);
+    }
+
+    #[test]
+    fn journal_prefix_resume_is_bit_identical() {
+        let (inst, suite, trials) = setup();
+        let full_path = temp_path("full");
+        let mut config = CampaignConfig::new("resilience", 42, "m=6 n=18");
+        config.journal = Some(full_path.clone());
+        let full = run_campaign_resumable(&inst, &suite, &trials, &config).unwrap();
+
+        // Replay from every possible crash point: meta + first K trial
+        // lines, then resume and compare aggregates bit-for-bit.
+        let text = std::fs::read_to_string(&full_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + suite.len() * trials.len());
+        for keep in 0..lines.len() {
+            let prefix_path = temp_path(&format!("prefix-{keep}"));
+            let mut prefix: String = lines[..=keep].join("\n");
+            prefix.push('\n');
+            std::fs::write(&prefix_path, prefix).unwrap();
+            let mut resume_config = config.clone();
+            resume_config.journal = Some(prefix_path.clone());
+            resume_config.resume = true;
+            let resumed = run_campaign_resumable(&inst, &suite, &trials, &resume_config).unwrap();
+            assert_eq!(resumed.skipped, keep);
+            assert_eq!(resumed.executed, suite.len() * trials.len() - keep);
+            rows_bitwise_equal(&full.rows, &resumed.rows);
+            std::fs::remove_file(&prefix_path).ok();
+        }
+        std::fs::remove_file(&full_path).ok();
+    }
+
+    #[test]
+    fn hung_trial_is_quarantined_and_campaign_completes() {
+        let (inst, suite, trials) = setup();
+        let mut config = CampaignConfig::new("resilience", 42, "m=6 n=18");
+        config.watchdog = WatchdogPolicy {
+            budget: Some(Duration::from_millis(25)),
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.0,
+        };
+        config.stall = Some(StallInjection {
+            delay: Duration::from_millis(400),
+            only_trial: Some(1),
+        });
+        let report = run_campaign_resumable(&inst, &suite, &trials, &config).unwrap();
+        // Trial 1 hangs for every policy; the watchdog cancels, retries,
+        // then quarantines. The fault-free trial 0 still completes.
+        assert_eq!(report.quarantined.len(), suite.len());
+        for q in &report.quarantined {
+            assert_eq!(q.trial, 1);
+            assert_eq!(q.attempts, 2);
+            assert!(q.error.contains("wall-clock budget"), "{}", q.error);
+        }
+        assert_eq!(report.rows.len(), suite.len());
+        for row in &report.rows {
+            assert_eq!(row.runs, 1);
+            assert_eq!(row.completed_runs, 1);
+        }
+    }
+
+    #[test]
+    fn quarantined_trials_are_not_retried_on_resume() {
+        let (inst, suite, trials) = setup();
+        let path = temp_path("poison");
+        let mut config = CampaignConfig::new("resilience", 42, "m=6 n=18");
+        config.journal = Some(path.clone());
+        config.watchdog = WatchdogPolicy {
+            budget: Some(Duration::from_millis(25)),
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.0,
+        };
+        config.stall = Some(StallInjection {
+            delay: Duration::from_millis(400),
+            only_trial: Some(1),
+        });
+        let first = run_campaign_resumable(&inst, &suite, &trials, &config).unwrap();
+        assert_eq!(first.quarantined.len(), suite.len());
+
+        // Resume with the stall removed: poisoned pairs stay journaled
+        // and are skipped, not silently retried.
+        let mut resume_config = config.clone();
+        resume_config.resume = true;
+        resume_config.stall = None;
+        let resumed = run_campaign_resumable(&inst, &suite, &trials, &resume_config).unwrap();
+        assert_eq!(resumed.executed, 0);
+        assert_eq!(resumed.skipped, suite.len() * trials.len());
+        assert_eq!(resumed.quarantined.len(), suite.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

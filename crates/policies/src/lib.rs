@@ -33,13 +33,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod chained;
 pub mod critical;
 pub mod executor;
 pub mod random_k;
 pub mod resilience;
 
+pub use campaign::{
+    run_campaign_resumable, CampaignConfig, CampaignReport, QuarantinedTrial, StallInjection, Trial,
+};
 pub use chained::ChainedReplication;
 pub use critical::CriticalTaskReplication;
 pub use random_k::RandomKReplication;
-pub use resilience::{run_campaign, standard_suite, CampaignRow, ResiliencePolicy};
+pub use resilience::{
+    aggregate_row, run_campaign, run_trial, standard_suite, CampaignRow, ResiliencePolicy,
+    TrialMeasurement,
+};

@@ -23,6 +23,7 @@ use rds_sim::faults::{FaultScript, ResilienceEngine, Speculation};
 use rds_sim::{Dispatcher, OrderedDispatcher, PinnedDispatcher};
 
 /// One strategy under test: its placement plus how to dispatch it.
+#[derive(Debug, Clone)]
 pub struct ResiliencePolicy {
     /// Display name (the strategy's own name).
     pub name: String,
@@ -107,11 +108,155 @@ pub struct CampaignRow {
     pub worst_degradation: f64,
 }
 
+/// Per-trial measurements of one policy under one (realization, fault
+/// script) pair — the unit the campaign journal stores and aggregates
+/// are recomputed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialMeasurement {
+    /// `true` when every task completed.
+    pub completed: bool,
+    /// Fraction of tasks completed.
+    pub survival: f64,
+    /// Attempts killed by faults and restarted.
+    pub restarts: f64,
+    /// Machines that rejoined after outages.
+    pub rejoins: f64,
+    /// Speculative backups launched.
+    pub spec_started: f64,
+    /// Speculative backups that won.
+    pub spec_wins: f64,
+    /// Attempts cancelled (speculation losers).
+    pub cancelled: f64,
+    /// Wall-clock work thrown away.
+    pub wasted: f64,
+    /// Achieved makespan of completed work.
+    pub makespan: f64,
+    /// Fault-free baseline makespan of the same trial.
+    pub baseline: f64,
+}
+
+impl TrialMeasurement {
+    /// Makespan degradation versus the fault-free baseline, mirroring
+    /// [`rds_sim::ResilienceMetrics::degradation`]'s zero-baseline
+    /// convention.
+    pub fn degradation(&self) -> f64 {
+        if self.baseline == 0.0 {
+            1.0
+        } else {
+            self.makespan / self.baseline
+        }
+    }
+}
+
+/// Runs one (policy, trial) pair: the fault-free baseline through the
+/// identical engine path, then the faulty run.
+///
+/// This is the single execution path both [`run_campaign`] and the
+/// resumable campaign runtime go through, so journaled replays aggregate
+/// bit-identically to live runs.
+///
+/// # Errors
+/// Propagates engine errors (dispatcher misbehaviour, invalid scripts,
+/// invariant violations when validation is on).
+pub fn run_trial(
+    instance: &Instance,
+    policy: &ResiliencePolicy,
+    realization: &Realization,
+    script: &FaultScript,
+    speculation: Option<Speculation>,
+) -> Result<TrialMeasurement> {
+    let empty = FaultScript::empty();
+    let baseline = {
+        let mut d = policy.dispatcher(instance);
+        ResilienceEngine::new(instance, &policy.placement, realization, &empty)?
+            .run(d.as_mut())?
+            .metrics
+            .makespan
+    };
+    let mut engine = ResilienceEngine::new(instance, &policy.placement, realization, script)?;
+    if let Some(spec) = speculation {
+        engine = engine.with_speculation(spec);
+    }
+    let mut d = policy.dispatcher(instance);
+    let mut report = engine.run(d.as_mut())?;
+    report.set_baseline(baseline);
+    let m = report.metrics;
+    Ok(TrialMeasurement {
+        completed: report.outcome.is_completed(),
+        survival: m.survival_rate(),
+        restarts: m.restarts as f64,
+        rejoins: m.rejoins as f64,
+        spec_started: m.speculative_started as f64,
+        spec_wins: m.speculative_wins as f64,
+        cancelled: m.cancelled as f64,
+        wasted: m.wasted_work.get(),
+        makespan: m.makespan.get(),
+        baseline: baseline.get(),
+    })
+}
+
+/// Aggregates per-trial measurements (in trial order) into one row.
+///
+/// The summation order is the trial order, so aggregating a mix of
+/// journaled and freshly-run trials reproduces an uninterrupted run
+/// bit-for-bit.
+pub fn aggregate_row(
+    name: &str,
+    replicas: usize,
+    measurements: &[TrialMeasurement],
+) -> CampaignRow {
+    let mut row = CampaignRow {
+        name: name.to_string(),
+        replicas,
+        runs: measurements.len(),
+        completed_runs: 0,
+        mean_survival: 0.0,
+        mean_restarts: 0.0,
+        mean_rejoins: 0.0,
+        mean_spec_started: 0.0,
+        mean_spec_wins: 0.0,
+        mean_wasted: 0.0,
+        mean_degradation: 0.0,
+        worst_degradation: 0.0,
+    };
+    let mut degradations = Vec::new();
+    for m in measurements {
+        row.mean_survival += m.survival;
+        row.mean_restarts += m.restarts;
+        row.mean_rejoins += m.rejoins;
+        row.mean_spec_started += m.spec_started;
+        row.mean_spec_wins += m.spec_wins;
+        row.mean_wasted += m.wasted;
+        if m.completed {
+            row.completed_runs += 1;
+            degradations.push(m.degradation());
+        }
+    }
+    let runs = row.runs.max(1) as f64;
+    row.mean_survival /= runs;
+    row.mean_restarts /= runs;
+    row.mean_rejoins /= runs;
+    row.mean_spec_started /= runs;
+    row.mean_spec_wins /= runs;
+    row.mean_wasted /= runs;
+    row.mean_degradation = if degradations.is_empty() {
+        f64::NAN
+    } else {
+        degradations.iter().sum::<f64>() / degradations.len() as f64
+    };
+    row.worst_degradation = degradations.iter().copied().fold(f64::NAN, f64::max);
+    row
+}
+
 /// Runs every policy against every trial and aggregates per policy.
 ///
 /// Each trial supplies a realization and a fault script; the fault-free
 /// baseline is re-established per (policy, trial) through the identical
 /// engine path, so a zero-fault campaign reports degradation exactly 1.
+///
+/// This is the fail-fast path: the first engine error aborts the whole
+/// campaign. The crash-safe runtime in [`crate::campaign`] wraps the same
+/// [`run_trial`] with journaling, watchdogs, and quarantine.
 ///
 /// # Errors
 /// Propagates engine errors (dispatcher misbehaviour, invalid scripts).
@@ -121,65 +266,17 @@ pub fn run_campaign(
     trials: &[(Realization, FaultScript)],
     speculation: Option<Speculation>,
 ) -> Result<Vec<CampaignRow>> {
-    let empty = FaultScript::empty();
     let mut rows = Vec::with_capacity(suite.len());
     for policy in suite {
-        let mut row = CampaignRow {
-            name: policy.name.clone(),
-            replicas: policy.placement.max_replicas(),
-            runs: trials.len(),
-            completed_runs: 0,
-            mean_survival: 0.0,
-            mean_restarts: 0.0,
-            mean_rejoins: 0.0,
-            mean_spec_started: 0.0,
-            mean_spec_wins: 0.0,
-            mean_wasted: 0.0,
-            mean_degradation: 0.0,
-            worst_degradation: 0.0,
-        };
-        let mut degradations = Vec::new();
-        for (real, script) in trials {
-            let baseline = {
-                let mut d = policy.dispatcher(instance);
-                ResilienceEngine::new(instance, &policy.placement, real, &empty)?
-                    .run(d.as_mut())?
-                    .metrics
-                    .makespan
-            };
-            let mut engine = ResilienceEngine::new(instance, &policy.placement, real, script)?;
-            if let Some(spec) = speculation {
-                engine = engine.with_speculation(spec);
-            }
-            let mut d = policy.dispatcher(instance);
-            let mut report = engine.run(d.as_mut())?;
-            report.set_baseline(baseline);
-            let m = report.metrics;
-            row.mean_survival += m.survival_rate();
-            row.mean_restarts += m.restarts as f64;
-            row.mean_rejoins += m.rejoins as f64;
-            row.mean_spec_started += m.speculative_started as f64;
-            row.mean_spec_wins += m.speculative_wins as f64;
-            row.mean_wasted += m.wasted_work.get();
-            if report.outcome.is_completed() {
-                row.completed_runs += 1;
-                degradations.push(m.degradation().unwrap_or(1.0));
-            }
-        }
-        let runs = row.runs.max(1) as f64;
-        row.mean_survival /= runs;
-        row.mean_restarts /= runs;
-        row.mean_rejoins /= runs;
-        row.mean_spec_started /= runs;
-        row.mean_spec_wins /= runs;
-        row.mean_wasted /= runs;
-        row.mean_degradation = if degradations.is_empty() {
-            f64::NAN
-        } else {
-            degradations.iter().sum::<f64>() / degradations.len() as f64
-        };
-        row.worst_degradation = degradations.iter().copied().fold(f64::NAN, f64::max);
-        rows.push(row);
+        let measurements = trials
+            .iter()
+            .map(|(real, script)| run_trial(instance, policy, real, script, speculation))
+            .collect::<Result<Vec<_>>>()?;
+        rows.push(aggregate_row(
+            &policy.name,
+            policy.placement.max_replicas(),
+            &measurements,
+        ));
     }
     Ok(rows)
 }

@@ -1,0 +1,163 @@
+//! Property tests on the crash-safe campaign journal: resuming from
+//! *any* journal prefix — including one ending in a torn partial line —
+//! reproduces the uninterrupted aggregates bit-for-bit, and leaves the
+//! journal itself complete and parseable afterwards.
+
+use proptest::prelude::*;
+use rds_core::{Instance, MachineId, Time, Uncertainty};
+use rds_par::journal::{CampaignMeta, Journal};
+use rds_policies::standard_suite;
+use rds_policies::{run_campaign_resumable, CampaignConfig, CampaignRow, Trial};
+use rds_sim::faults::{FaultEvent, FaultScript};
+use rds_workloads::{realize::RealizationModel, rng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique temp path per proptest case (cases run in one process).
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_path(tag: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "rds-journal-props-{}-{tag}-{case}.journal",
+        std::process::id()
+    ))
+}
+
+fn rows_bitwise_equal(a: &[CampaignRow], b: &[CampaignRow]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.runs, y.runs);
+        assert_eq!(x.completed_runs, y.completed_runs);
+        for (u, v) in [
+            (x.mean_survival, y.mean_survival),
+            (x.mean_restarts, y.mean_restarts),
+            (x.mean_rejoins, y.mean_rejoins),
+            (x.mean_spec_started, y.mean_spec_started),
+            (x.mean_spec_wins, y.mean_spec_wins),
+            (x.mean_wasted, y.mean_wasted),
+            (x.mean_degradation, y.mean_degradation),
+            (x.worst_degradation, y.worst_degradation),
+        ] {
+            assert_eq!(u.to_bits(), v.to_bits(), "{} diverged on resume", x.name);
+        }
+    }
+}
+
+/// Builds a small random campaign: instance, five-policy suite, and two
+/// trials (one fault-free, one with a seed-derived crash).
+fn build_campaign(
+    est: &[f64],
+    m: usize,
+    alpha: f64,
+    seed: u64,
+) -> (Instance, Vec<rds_policies::ResiliencePolicy>, Vec<Trial>) {
+    let inst = Instance::from_estimates(est, m).unwrap();
+    let unc = Uncertainty::of(alpha);
+    let suite = standard_suite(&inst, unc).unwrap();
+    let horizon = inst.total_estimate().get() / m as f64;
+    let trials = (0..2u64)
+        .map(|t| {
+            let trial_seed = rng::child_seed(seed, t);
+            let mut r = rng::rng(trial_seed);
+            let real = RealizationModel::UniformFactor
+                .realize(&inst, unc, &mut r)
+                .unwrap();
+            let script = if t == 0 {
+                FaultScript::empty()
+            } else {
+                FaultScript::new(vec![FaultEvent::Crash {
+                    machine: MachineId::new((seed % m as u64) as usize),
+                    at: Time::of(0.1 + horizon * 0.4),
+                }])
+            };
+            Trial {
+                seed: trial_seed,
+                realization: real,
+                script,
+            }
+        })
+        .collect();
+    (inst, suite, trials)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_prefix_resume_is_bit_identical(
+        est in prop::collection::vec(0.5f64..10.0, 6..16),
+        m in 3usize..6,
+        alpha in 1.1f64..2.0,
+        seed in any::<u64>(),
+        keep_sel in any::<u64>(),
+        garbage in prop::collection::vec(33u8..126, 0..24),
+    ) {
+        let (inst, suite, trials) = build_campaign(&est, m, alpha, seed);
+        let total = suite.len() * trials.len();
+
+        let full_path = temp_path("full");
+        let mut config = CampaignConfig::new("props", seed, format!("m={m} n={}", est.len()));
+        config.journal = Some(full_path.clone());
+        let full = run_campaign_resumable(&inst, &suite, &trials, &config).unwrap();
+
+        // Simulate a crash at a random point: keep the meta line plus a
+        // random number of trial lines, then a torn partial write (no
+        // trailing newline) of printable garbage.
+        let text = std::fs::read_to_string(&full_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), 1 + total);
+        let keep = 1 + (keep_sel as usize % lines.len());
+        let mut prefix: String = lines[..keep].join("\n");
+        prefix.push('\n');
+        let mut bytes = prefix.into_bytes();
+        bytes.extend_from_slice(&garbage);
+
+        let torn_path = temp_path("torn");
+        std::fs::write(&torn_path, &bytes).unwrap();
+        let mut resume_config = config.clone();
+        resume_config.journal = Some(torn_path.clone());
+        resume_config.resume = true;
+        let resumed = run_campaign_resumable(&inst, &suite, &trials, &resume_config).unwrap();
+
+        prop_assert_eq!(resumed.skipped, keep - 1);
+        prop_assert_eq!(resumed.executed, total - (keep - 1));
+        rows_bitwise_equal(&full.rows, &resumed.rows);
+
+        // The resumed journal healed the torn tail: a second resume
+        // parses every record and finds the campaign complete.
+        let meta = CampaignMeta {
+            campaign: config.campaign.clone(),
+            digest: inst.digest(),
+            seed,
+            params: config.params.clone(),
+        };
+        let (_, records) = Journal::resume(&torn_path, &meta).unwrap();
+        prop_assert_eq!(records.len(), total);
+
+        std::fs::remove_file(&full_path).ok();
+        std::fs::remove_file(&torn_path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_different_campaign(
+        est in prop::collection::vec(0.5f64..10.0, 6..12),
+        m in 3usize..5,
+        seed in any::<u64>(),
+    ) {
+        let (inst, suite, trials) = build_campaign(&est, m, 1.5, seed);
+        let path = temp_path("mismatch");
+        let mut config = CampaignConfig::new("props", seed, "a=1".to_string());
+        config.journal = Some(path.clone());
+        run_campaign_resumable(&inst, &suite, &trials, &config).unwrap();
+
+        // Same journal, different declared parameters: the runtime must
+        // refuse rather than silently mix incompatible campaigns.
+        let mut other = config.clone();
+        other.params = "a=2".to_string();
+        other.resume = true;
+        prop_assert!(run_campaign_resumable(&inst, &suite, &trials, &other).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests on the schedule invariant validator: every schedule
+//! the five standard policies produce passes the full check set on
+//! random instances, and deliberately corrupted schedules trip the
+//! matching invariant class.
+
+use proptest::prelude::*;
+use rds_core::{Instance, Realization, Schedule, Time, Uncertainty};
+use rds_policies::standard_suite;
+use rds_sim::faults::{FaultScript, ResilienceEngine};
+use rds_sim::{validate_schedule, Checks, Violation};
+use rds_workloads::{realize::RealizationModel, rng};
+
+/// Runs one policy fault-free and returns its executed schedule.
+fn run_policy(
+    inst: &Instance,
+    policy: &rds_policies::ResiliencePolicy,
+    real: &Realization,
+) -> Schedule {
+    let empty = FaultScript::empty();
+    let mut d = policy.dispatcher(inst);
+    ResilienceEngine::new(inst, &policy.placement, real, &empty)
+        .unwrap()
+        .run(d.as_mut())
+        .unwrap()
+        .schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn standard_policies_satisfy_every_invariant(
+        est in prop::collection::vec(0.5f64..10.0, 4..20),
+        m in 3usize..6,
+        alpha in 1.05f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        let mut r = rng::rng(seed);
+        let real = RealizationModel::UniformFactor.realize(&inst, unc, &mut r).unwrap();
+        for policy in standard_suite(&inst, unc).unwrap() {
+            let schedule = run_policy(&inst, &policy, &real);
+            let checks = Checks::full(unc, policy.placement.max_replicas());
+            let violations =
+                validate_schedule(&inst, &policy.placement, &real, &schedule, &checks);
+            prop_assert!(
+                violations.is_empty(),
+                "{}: {:?}",
+                policy.name,
+                violations
+            );
+        }
+    }
+
+    #[test]
+    fn mutated_schedules_trip_the_matching_invariant(
+        est in prop::collection::vec(0.5f64..10.0, 8..20),
+        m in 3usize..5,
+        seed in any::<u64>(),
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let unc = Uncertainty::of(1.5);
+        let mut r = rng::rng(seed);
+        let real = RealizationModel::UniformFactor.realize(&inst, unc, &mut r).unwrap();
+        // The pinned single-replica policy: every slot sits on the one
+        // machine its task is placed on, so any machine move is illegal.
+        let suite = standard_suite(&inst, unc).unwrap();
+        let policy = &suite[0];
+        prop_assert_eq!(policy.placement.max_replicas(), 1);
+        let schedule = run_policy(&inst, policy, &real);
+        prop_assert!(validate_schedule(
+            &inst, &policy.placement, &real, &schedule, &Checks::engine()
+        )
+        .is_empty());
+
+        // n > m guarantees some machine runs at least two slots.
+        let slots = schedule.all_slots().to_vec();
+        let busy = (0..m).find(|&mi| slots[mi].len() >= 2).unwrap();
+
+        // Mutation 1 — overlap: slide a slot's start onto its
+        // predecessor's span (keeping the end, so only ordering breaks
+        // under structural checks).
+        let mut overlapping = slots.clone();
+        overlapping[busy][1].start = overlapping[busy][0].start;
+        let bad = Schedule::from_slots(overlapping);
+        let vs = validate_schedule(&inst, &policy.placement, &real, &bad, &Checks::structural());
+        prop_assert!(
+            vs.iter().any(|v| v.invariant() == "overlap"),
+            "expected overlap, got {:?}",
+            vs
+        );
+
+        // Mutation 2 — off-placement: teleport one slot to a machine
+        // outside its task's replica set M_j.
+        let mut moved = slots.clone();
+        let slot = moved[busy].remove(0);
+        moved[(busy + 1) % m].push(slot);
+        let bad = Schedule::from_slots(moved);
+        let vs = validate_schedule(&inst, &policy.placement, &real, &bad, &Checks::structural());
+        prop_assert!(
+            vs.iter().any(|v| matches!(
+                v,
+                Violation::OffPlacement { task, .. } if *task == slot.task.index()
+            )),
+            "expected off-placement, got {:?}",
+            vs
+        );
+
+        // Mutation 3 — duration dishonesty: stretch one slot beyond the
+        // task's realized time.
+        let mut stretched = slots.clone();
+        stretched[busy][0].end += Time::ONE;
+        let bad = Schedule::from_slots(stretched);
+        let vs = validate_schedule(&inst, &policy.placement, &real, &bad, &Checks::engine());
+        prop_assert!(
+            vs.iter().any(|v| v.invariant() == "duration"),
+            "expected duration mismatch, got {:?}",
+            vs
+        );
+
+        // Mutation 4 — budget: the same clean schedule fails once the
+        // declared replication budget drops below the placement's.
+        let mut checks = Checks::structural();
+        checks.budget = Some(0);
+        let vs = validate_schedule(&inst, &policy.placement, &real, &schedule, &checks);
+        prop_assert!(vs.iter().any(|v| v.invariant() == "replication-budget"));
+    }
+}

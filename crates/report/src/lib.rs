@@ -11,7 +11,9 @@
 //! - [`marks`]: fault-timeline [`marks::Mark`]s (failures, recoveries,
 //!   degraded phases, speculation) the Gantt renderers draw on top;
 //! - [`svg`]: dependency-free SVG renderings of the same charts and
-//!   Gantts, for publication-style output.
+//!   Gantts, for publication-style output;
+//! - [`output`]: atomic (tempfile + fsync + rename) file emission so a
+//!   crash never leaves a torn figure or table on disk.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,6 +22,7 @@ pub mod csv;
 pub mod gantt;
 pub mod histogram;
 pub mod marks;
+pub mod output;
 pub mod plot;
 pub mod stats;
 pub mod svg;
@@ -28,6 +31,7 @@ pub mod table;
 pub use csv::Csv;
 pub use histogram::Histogram;
 pub use marks::{Mark, MarkKind};
+pub use output::{write_atomic, write_atomic_str};
 pub use plot::{Chart, Series};
 pub use stats::{Samples, Summary};
 pub use svg::{gantt_svg, gantt_svg_with_marks, SvgChart};

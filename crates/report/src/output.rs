@@ -1,0 +1,106 @@
+//! Crash-safe report emission.
+//!
+//! Figure and table emitters never leave a torn file behind: content is
+//! written to a same-directory temporary file, fsync'd, then renamed
+//! over the destination. A SIGKILL at any point leaves either the old
+//! file or the new one, never a half-written mix — which is what lets a
+//! resumed campaign trust whatever outputs it finds on disk.
+
+use rds_core::{Error, Result};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> Error {
+    Error::Io {
+        op,
+        path: path.display().to_string(),
+        why: e.to_string(),
+    }
+}
+
+/// Writes `bytes` to `path` atomically: same-directory tempfile, fsync,
+/// rename. The destination is either untouched or fully written.
+///
+/// # Errors
+/// [`Error::Io`] naming the failing operation and path.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| Error::InvalidInstance {
+            why: format!("output path has no file name: {}", path.display()),
+        })?
+        .to_string_lossy()
+        .into_owned();
+    // Same directory as the destination so the rename cannot cross a
+    // filesystem boundary (rename is only atomic within one).
+    let tmp_name = format!(".{}.tmp.{}", file_name, std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+    let result = (|| {
+        let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, &e))?;
+        f.write_all(bytes).map_err(|e| io_err("write", &tmp, &e))?;
+        f.sync_all().map_err(|e| io_err("fsync", &tmp, &e))?;
+        fs::rename(&tmp, path).map_err(|e| io_err("rename", path, &e))
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// String convenience wrapper over [`write_atomic`].
+///
+/// # Errors
+/// [`Error::Io`] naming the failing operation and path.
+pub fn write_atomic_str(path: impl AsRef<Path>, text: &str) -> Result<()> {
+    write_atomic(path, text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rds-output-{}-{}", tag, std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_replaces_whole_files() {
+        let path = temp_file("basic");
+        write_atomic_str(&path, "first version\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first version\n");
+        write_atomic_str(&path, "second version\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second version\n");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn leaves_no_tempfile_behind() {
+        let path = temp_file("clean");
+        write_atomic_str(&path, "content").unwrap();
+        let dir = path.parent().unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&name) && n.ends_with(&format!("tmp.{}", std::process::id())))
+            .collect();
+        assert!(leftovers.is_empty(), "stray tempfiles: {leftovers:?}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_a_typed_error() {
+        let path = std::env::temp_dir()
+            .join(format!("rds-no-such-dir-{}", std::process::id()))
+            .join("out.svg");
+        let err = write_atomic_str(&path, "x").unwrap_err();
+        assert!(matches!(err, Error::Io { op: "create", .. }), "{err}");
+    }
+}

@@ -141,18 +141,16 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
 
-    /// Linear-interpolation quantile, `q ∈ [0, 1]`. Returns `0` when
-    /// empty.
-    ///
-    /// # Panics
-    /// Panics unless `0 ≤ q ≤ 1`.
+    /// Linear-interpolation quantile; `q` is clamped into `[0, 1]` (a
+    /// NaN `q` reads as the minimum). Returns `0` when empty.
     pub fn quantile(&mut self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "q = {q} out of [0, 1]");
+        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q };
         if self.values.is_empty() {
             return 0.0;
         }
@@ -276,8 +274,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of [0, 1]")]
-    fn quantile_domain() {
-        Samples::new().quantile(1.5);
+    fn quantile_domain_is_clamped() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 3.0] {
+            s.push(v);
+        }
+        assert_eq!(s.quantile(1.5), 3.0);
+        assert_eq!(s.quantile(-0.5), 1.0);
+        assert_eq!(s.quantile(f64::NAN), 1.0);
     }
 }

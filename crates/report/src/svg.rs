@@ -37,16 +37,15 @@ pub struct SvgChart {
 }
 
 impl SvgChart {
-    /// Creates a chart canvas of the given pixel dimensions.
-    ///
-    /// # Panics
-    /// Panics unless both dimensions are at least 160 px.
+    /// Creates a chart canvas of the given pixel dimensions. Dimensions
+    /// below the 160 px layout minimum (or non-finite) are clamped up to
+    /// it rather than aborting a long campaign over a typo'd flag.
     pub fn new(title: impl Into<String>, width: f64, height: f64) -> Self {
-        assert!(width >= 160.0 && height >= 160.0, "svg canvas too small");
+        let clamp = |d: f64| if d.is_finite() { d.max(160.0) } else { 160.0 };
         SvgChart {
             title: title.into(),
-            width,
-            height,
+            width: clamp(width),
+            height: clamp(height),
             series: Vec::new(),
             log_x: false,
             x_label: String::new(),
@@ -193,7 +192,7 @@ impl SvgChart {
                 .copied()
                 .filter(|(x, y)| x.is_finite() && y.is_finite())
                 .collect();
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
             let path: Vec<String> = sorted
                 .iter()
                 .map(|&(x, y)| format!("{:.2},{:.2}", px(x), py(y)))
@@ -246,10 +245,14 @@ pub fn gantt_svg(schedule: &Schedule, width: f64) -> String {
 /// outside the schedule are ignored; marks past the makespan clamp to
 /// the right edge.
 ///
-/// # Panics
-/// Panics unless `width >= 160`.
+/// A `width` below the 160 px layout minimum (or non-finite) is clamped
+/// up to it.
 pub fn gantt_svg_with_marks(schedule: &Schedule, width: f64, marks: &[Mark]) -> String {
-    assert!(width >= 160.0, "svg canvas too small");
+    let width = if width.is_finite() {
+        width.max(160.0)
+    } else {
+        160.0
+    };
     let makespan = schedule.makespan().get().max(1e-12);
     let m = schedule.m();
     let row_h = 26.0;
@@ -410,8 +413,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "svg canvas too small")]
-    fn minimum_canvas() {
-        SvgChart::new("tiny", 10.0, 10.0);
+    fn undersized_canvas_is_clamped_to_layout_minimum() {
+        let svg = SvgChart::new("tiny", 10.0, f64::NAN).render();
+        assert!(svg.contains(r#"width="160""#), "{svg}");
+        assert!(svg.contains(r#"height="160""#), "{svg}");
     }
 }

@@ -34,4 +34,6 @@ pub mod envelope;
 pub mod montecarlo;
 
 pub use envelope::{envelope, inflation_slack, machine_criticality, task_criticality, Envelope};
-pub use montecarlo::{expected_value_of_adaptivity, sample_makespans, Distribution};
+pub use montecarlo::{
+    expected_value_of_adaptivity, sample_makespans, sample_makespans_resilient, Distribution,
+};

@@ -60,6 +60,53 @@ pub fn sample_makespans<S: Strategy>(
     Ok(Distribution { summary, samples })
 }
 
+/// Error-isolating variant of [`sample_makespans`] for long campaigns:
+/// a failing repetition (strategy error or panic inside `execute`) is
+/// recorded and skipped instead of aborting the whole distribution.
+///
+/// Surviving samples are pushed in repetition order, so a run with zero
+/// failures is bit-identical to [`sample_makespans`]. The returned pairs
+/// are `(rep_index, rendered error)` for every skipped repetition.
+///
+/// # Errors
+/// Only setup errors (phase-1 placement) abort; per-rep failures are
+/// returned in the skip list.
+pub fn sample_makespans_resilient<S: Strategy>(
+    strategy: &S,
+    instance: &Instance,
+    unc: Uncertainty,
+    model: RealizationModel,
+    reps: usize,
+    seed: u64,
+) -> Result<(Distribution, Vec<(usize, String)>)> {
+    let placement = strategy.place(instance, unc)?;
+    let mut summary = Summary::new();
+    let mut samples = Samples::new();
+    let mut skipped = Vec::new();
+    for rep in 0..reps {
+        let one = || -> Result<f64> {
+            let mut r = rng::rng(rng::child_seed(seed, rep as u64));
+            let real = model.realize(instance, unc, &mut r)?;
+            let assignment = strategy.execute(instance, &placement, &real)?;
+            assignment.check_feasible(&placement)?;
+            Ok(assignment.makespan(&real).get())
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(one)).unwrap_or(Err(
+            rds_core::Error::InvalidParameter {
+                what: "sampling repetition panicked",
+            },
+        ));
+        match outcome {
+            Ok(mk) => {
+                summary.push(mk);
+                samples.push(mk);
+            }
+            Err(e) => skipped.push((rep, e.to_string())),
+        }
+    }
+    Ok((Distribution { summary, samples }, skipped))
+}
+
 /// Expected value of adaptivity: mean over paired samples of
 /// `(static makespan − adaptive makespan) / static makespan`.
 /// Positive values quantify how much runtime flexibility (replication)
@@ -187,6 +234,40 @@ mod tests {
         // With exact estimates both run LPT on the truth: nearly no gap
         // (tie-breaking can still differ slightly, but not in sign).
         assert!(eva.mean().abs() < 0.05, "EVA = {}", eva.mean());
+    }
+
+    #[test]
+    fn resilient_sampling_matches_fail_fast_when_nothing_fails() {
+        let i = inst();
+        let unc = Uncertainty::of(2.0);
+        let strict = sample_makespans(
+            &LptNoChoice,
+            &i,
+            unc,
+            RealizationModel::UniformFactor,
+            30,
+            42,
+        )
+        .unwrap();
+        let (resilient, skipped) = sample_makespans_resilient(
+            &LptNoChoice,
+            &i,
+            unc,
+            RealizationModel::UniformFactor,
+            30,
+            42,
+        )
+        .unwrap();
+        assert!(skipped.is_empty());
+        assert_eq!(strict.summary.count(), resilient.summary.count());
+        assert_eq!(
+            strict.summary.mean().to_bits(),
+            resilient.summary.mean().to_bits()
+        );
+        assert_eq!(
+            strict.summary.max().to_bits(),
+            resilient.summary.max().to_bits()
+        );
     }
 
     #[test]

@@ -150,7 +150,15 @@ impl<'a> Engine<'a> {
             });
         }
         let schedule = Schedule::from_slots(slots);
-        debug_assert!(schedule.validate(self.instance, self.realization).is_ok());
+        if crate::validate::enabled() {
+            crate::validate::check_schedule(
+                self.instance,
+                self.placement,
+                self.realization,
+                &schedule,
+                &crate::validate::Checks::engine(),
+            )?;
+        }
         Ok(SimResult {
             schedule,
             makespan,

@@ -77,6 +77,16 @@ pub fn run_with_failures(
             what: "task stranded: every machine holding its data failed",
         });
     }
+    // Legacy callers get invariant checking unconditionally: crash-only
+    // scripts never stretch time, and the outcome is complete here, so the
+    // full engine contract applies.
+    crate::validate::check_schedule(
+        instance,
+        placement,
+        realization,
+        &report.schedule,
+        &crate::validate::Checks::engine(),
+    )?;
     Ok(FaultySimResult {
         schedule: report.schedule,
         makespan: report.metrics.makespan,

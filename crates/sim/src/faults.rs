@@ -143,6 +143,19 @@ impl FaultScript {
         self.events.len()
     }
 
+    /// `true` when the script can legitimately stretch slot durations
+    /// beyond the realized times (slowdowns run work at reduced speed,
+    /// stragglers multiply actual times), so duration-honesty checks do
+    /// not apply to the resulting schedule.
+    pub fn stretches_time(&self) -> bool {
+        self.events.iter().any(|ev| {
+            matches!(
+                ev,
+                FaultEvent::Slowdown { .. } | FaultEvent::Straggler { .. }
+            )
+        })
+    }
+
     /// Checks machine/task indices and parameter domains against an
     /// instance.
     ///
@@ -553,9 +566,28 @@ impl<'a, 'b> Run<'a, 'b> {
         } else {
             Outcome::Partial { unfinished }
         };
+        let schedule = Schedule::from_slots(self.slots);
+        if crate::validate::enabled() {
+            // Even faulty runs must satisfy the structural invariants;
+            // completeness only when the run claims it, duration honesty
+            // only when the script cannot stretch time. Crashed attempts
+            // are not slots, so overlap/placement checks always hold.
+            let checks = crate::validate::Checks {
+                completeness: matches!(outcome, Outcome::Completed),
+                durations: !self.engine.script.stretches_time(),
+                ..crate::validate::Checks::structural()
+            };
+            crate::validate::check_schedule(
+                self.engine.instance,
+                self.engine.placement,
+                self.engine.realization,
+                &schedule,
+                &checks,
+            )?;
+        }
         Ok(ResilienceReport {
             outcome,
-            schedule: Schedule::from_slots(self.slots),
+            schedule,
             trace: self.trace,
             metrics: self.metrics,
         })

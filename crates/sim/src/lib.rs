@@ -16,7 +16,11 @@
 //!   re-execution, and graceful degradation with [`faults::Outcome`] and
 //!   [`faults::ResilienceMetrics`];
 //! - [`trace`]: chronological event traces for inspection and Gantt
-//!   rendering.
+//!   rendering;
+//! - [`validate`]: the always-on schedule invariant validator (placement
+//!   feasibility, no overlap, replication budget, duration honesty, the
+//!   α-envelope, memory accounting) — on in debug builds, opt-in via
+//!   `RDS_VALIDATE=1` in release.
 //!
 //! The closed-form greedy implementations in `rds-algs` and this engine
 //! must produce identical schedules; the workspace integration tests
@@ -46,6 +50,7 @@ pub mod executors;
 pub mod failures;
 pub mod faults;
 pub mod trace;
+pub mod validate;
 
 pub use dispatcher::{Dispatcher, OrderedDispatcher, PinnedDispatcher, SimView, StagedDispatcher};
 pub use engine::{Engine, SimResult};
@@ -55,3 +60,4 @@ pub use faults::{
     Speculation,
 };
 pub use trace::{Trace, TraceEvent};
+pub use validate::{check_schedule, validate_schedule, Checks, Violation};

@@ -17,6 +17,28 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message available.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 /// Error returned by [`Sender::send`] when every receiver is gone.
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
@@ -129,6 +151,39 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Blocks until a message arrives, the channel disconnects, or
+    /// `timeout` elapses.
+    ///
+    /// # Errors
+    /// [`RecvTimeoutError::Timeout`] when the deadline passes with the
+    /// channel still empty; [`RecvTimeoutError::Disconnected`] when it is
+    /// empty and every sender has been dropped.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _res) = self
+                .shared
+                .ready
+                .wait_timeout(queue, left)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = guard;
+        }
+    }
+
     /// Non-blocking receive (`None` when currently empty).
     pub fn try_recv(&self) -> Option<T> {
         self.shared
@@ -174,6 +229,23 @@ mod tests {
         let h = std::thread::spawn(move || rx.recv());
         drop(tx);
         assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
