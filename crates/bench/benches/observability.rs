@@ -1,0 +1,60 @@
+//! Criterion benches for the observability layer: the cost of a guard
+//! check when instrumentation is disabled (the price every engine event
+//! pays in production), the cost of live spans and metric updates when
+//! it is enabled, and the end-to-end engine loop under both settings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rds_core::Instance;
+use rds_sim::executors::simulate_no_restriction;
+use rds_workloads::{realize::RealizationModel, rng, EstimateDistribution};
+
+fn bench_guards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_guards");
+    rds_obs::set_enabled(false);
+    group.bench_function("disabled_span", |b| {
+        b.iter(|| rds_obs::span(black_box("bench.span")))
+    });
+    group.bench_function("enabled_flag_load", |b| {
+        b.iter(|| black_box(rds_obs::enabled()))
+    });
+    rds_obs::set_enabled(true);
+    group.bench_function("enabled_span", |b| {
+        b.iter(|| rds_obs::span(black_box("bench.span")))
+    });
+    let counter = rds_obs::global().counter("bench.counter");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = rds_obs::global().histogram("bench.hist");
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| hist.record_nanos(black_box(1234)))
+    });
+    rds_obs::set_enabled(false);
+    // Drain whatever the enabled_span bench collected.
+    let _ = rds_obs::take_spans();
+    group.finish();
+}
+
+fn bench_engine_instrumented(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_engine");
+    let (n, m) = (1_000usize, 16usize);
+    let mut r = rng::rng(11);
+    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    let inst = Instance::from_estimates(&est, m).unwrap();
+    let unc = rds_core::Uncertainty::of(1.5);
+    let real = RealizationModel::UniformFactor
+        .realize(&inst, unc, &mut r)
+        .unwrap();
+    rds_obs::set_enabled(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| simulate_no_restriction(&inst, &real).unwrap().makespan)
+    });
+    rds_obs::set_enabled(true);
+    group.bench_function("enabled", |b| {
+        b.iter(|| simulate_no_restriction(&inst, &real).unwrap().makespan)
+    });
+    rds_obs::set_enabled(false);
+    let _ = rds_obs::take_spans();
+    group.finish();
+}
+
+criterion_group!(benches, bench_guards, bench_engine_instrumented);
+criterion_main!(benches);

@@ -51,6 +51,14 @@ COMMANDS:
             [--budget-ms <u64>] [--retries <u32>]
   help      show this message
 
+Observability options (any command):
+  --metrics <path>    enable instrumentation and write a JSON metrics
+                      summary (counters + latency histograms) to <path>;
+                      a human-readable table is printed as well
+  --trace-out <path>  enable instrumentation and write the collected
+                      tracing spans as JSONL (one span per line) to
+                      <path>
+
 Crash safety options (resilience, sweep):
   --journal <path>  append each finished trial to an fsync'd JSONL
                     journal; a killed campaign can pick up where it left
@@ -62,6 +70,69 @@ Crash safety options (resilience, sweep):
                     a hung trial is cancelled, retried with backoff, and
                     quarantined after --retries attempts
 ";
+
+/// The metric series every instrumented run is expected to expose.
+/// Pre-registered when observability is switched on, so a `--metrics`
+/// report always names the interesting series even when a run never
+/// touched one — a zero there is a finding, not a gap in the report.
+const STANDARD_COUNTERS: &[&str] = &[
+    "engine.events",
+    "engine.dispatch",
+    "engine.starved",
+    "journal.appends",
+    "watchdog.retries",
+    "watchdog.quarantines",
+    "validator.checks",
+    "validator.violations",
+    "campaign.trials",
+    "campaign.skipped",
+    "sweep.items",
+];
+
+/// Histogram companions to [`STANDARD_COUNTERS`].
+const STANDARD_HISTOGRAMS: &[&str] = &["trial.latency", "journal.fsync"];
+
+/// Switches global instrumentation on when `--metrics` or `--trace-out`
+/// was given, and seeds the registry with the standard series.
+fn obs_setup(args: &Args) -> Result<(), CmdError> {
+    let wanted =
+        args.get::<String>("metrics")?.is_some() || args.get::<String>("trace-out")?.is_some();
+    if !wanted {
+        return Ok(());
+    }
+    rds_obs::set_enabled(true);
+    let g = rds_obs::global();
+    for name in STANDARD_COUNTERS {
+        g.counter(name);
+    }
+    for name in STANDARD_HISTOGRAMS {
+        g.histogram(name);
+    }
+    Ok(())
+}
+
+/// Exports whatever instrumentation collected: the metrics JSON (plus a
+/// human-readable table) for `--metrics`, the span JSONL for
+/// `--trace-out`. Both files are written atomically.
+fn obs_finish(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    if let Some(path) = args.get::<String>("metrics")? {
+        let snapshot = rds_obs::global().snapshot();
+        rds_report::write_atomic_str(&path, &snapshot.to_json())?;
+        writeln!(out, "\nobservability metrics ({} series):", snapshot.len())?;
+        write!(out, "{}", rds_report::metrics::render(&snapshot))?;
+        writeln!(out, "metrics written to {path}")?;
+    }
+    if let Some(path) = args.get::<String>("trace-out")? {
+        let spans = rds_obs::take_spans();
+        rds_report::write_atomic_str(&path, &rds_obs::spans_to_jsonl(&spans))?;
+        let dropped = rds_obs::dropped_spans();
+        if dropped > 0 {
+            writeln!(out, "trace: {dropped} span(s) dropped at the shard cap")?;
+        }
+        writeln!(out, "trace: {} span(s) written to {path}", spans.len())?;
+    }
+    Ok(())
+}
 
 fn build_strategy(args: &Args) -> Result<Box<dyn Strategy>, CmdError> {
     let name: String = args.get_or("strategy", "no-restriction".to_string())?;
@@ -627,6 +698,11 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             executed += 1;
         }
     }
+    if rds_obs::enabled() {
+        let g = rds_obs::global();
+        g.counter("sweep.items").add(executed as u64);
+        g.counter("campaign.skipped").add(skipped as u64);
+    }
 
     // Aggregate per policy in (suite order, rep order); the journaled
     // makespan/baseline pairs reproduce the ratios bit-for-bit.
@@ -721,6 +797,7 @@ pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdErro
         return Ok(());
     };
     let args = Args::parse(rest)?;
+    obs_setup(&args)?;
     match cmd.as_ref() {
         "bounds" => cmd_bounds(&args, out),
         "plan" => cmd_plan(&args, out),
@@ -731,10 +808,11 @@ pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdErro
         "sweep" => cmd_sweep(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
-            Ok(())
+            return Ok(());
         }
-        other => Err(format!("unknown command {other:?}; try `rds help`").into()),
-    }
+        other => return Err(format!("unknown command {other:?}; try `rds help`").into()),
+    }?;
+    obs_finish(&args, out)
 }
 
 #[cfg(test)]
@@ -1040,6 +1118,88 @@ mod tests {
         .unwrap();
         assert!(out.contains("quarantined trials"), "{out}");
         assert!(out.contains("wall-clock budget"), "{out}");
+    }
+
+    #[test]
+    fn sweep_metrics_flag_exports_json_and_table() {
+        let path =
+            std::env::temp_dir().join(format!("rds-cli-metrics-{}.json", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let out = run_to_string(&[
+            "sweep",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--reps",
+            "1",
+            "--seed",
+            "5",
+            "--metrics",
+            &path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("observability metrics"), "{out}");
+        assert!(out.contains("engine.dispatch"));
+        assert!(out.contains("trial.latency"));
+        assert!(out.contains(&format!("metrics written to {path_str}")));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"counters\":{"), "{json}");
+        assert!(json.ends_with("}}"), "{json}");
+        assert!(json.contains("\"trial.latency\":{\"count\":"));
+        // Every standard series is present even if this run never
+        // touched it — the issue's floor is six, we guarantee all.
+        for name in STANDARD_COUNTERS.iter().chain(STANDARD_HISTOGRAMS) {
+            assert!(
+                json.contains(&format!("\"{name}\"")),
+                "{name} missing:\n{json}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resilience_trace_out_writes_span_jsonl() {
+        let path = std::env::temp_dir().join(format!("rds-cli-trace-{}.jsonl", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let out = run_to_string(&[
+            "resilience",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--mtbf",
+            "0",
+            "--reps",
+            "1",
+            "--seed",
+            "5",
+            "--trace-out",
+            &path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("span(s) written"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty(), "no spans collected");
+        for line in text.lines() {
+            assert!(line.starts_with("{\"name\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert!(line.contains("\"dur_ns\":"), "{line}");
+        }
+        // The campaign itself must have left its marks (other tests
+        // running in-process may contribute extra spans — that's fine).
+        assert!(
+            text.contains("\"resilience.run\"") || text.contains("\"resilience.trial\""),
+            "campaign spans missing:\n{text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn help_documents_observability_flags() {
+        let help = run_to_string(&["help"]).unwrap();
+        assert!(help.contains("--metrics"));
+        assert!(help.contains("--trace-out"));
     }
 
     #[test]

@@ -26,9 +26,12 @@ pub enum Error {
     NoMachines,
     /// A vector indexed by task had the wrong length.
     TaskCountMismatch {
+        /// Which per-task component disagreed (e.g. `"placement"`,
+        /// `"realization"`) — names the culprit, not just the counts.
+        what: &'static str,
         /// Number of tasks in the instance.
         expected: usize,
-        /// Length actually provided.
+        /// Length actually provided by that component.
         got: usize,
     },
     /// A realized processing time fell outside `[p̃/α, α·p̃]`.
@@ -147,8 +150,12 @@ impl fmt::Display for Error {
             }
             Error::EmptyInstance => write!(f, "instance has no tasks"),
             Error::NoMachines => write!(f, "no machines"),
-            Error::TaskCountMismatch { expected, got } => {
-                write!(f, "expected {expected} per-task entries, got {got}")
+            Error::TaskCountMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(f, "{what}: expected {expected} per-task entries, got {got}")
             }
             Error::RealizationOutOfInterval {
                 task,
@@ -227,6 +234,18 @@ mod tests {
             budget: 2,
         };
         assert!(e.to_string().contains("budget k = 2"));
+
+        // The mismatch message must name the disagreeing component so a
+        // one-sided mismatch cannot masquerade as the matching one.
+        let e = Error::TaskCountMismatch {
+            what: "realization",
+            expected: 4,
+            got: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("realization"));
+        assert!(msg.contains("expected 4"));
+        assert!(msg.contains("got 3"));
     }
 
     #[test]

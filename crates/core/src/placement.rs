@@ -149,6 +149,7 @@ impl Placement {
     pub fn new(instance: &Instance, sets: Vec<MachineSet>) -> Result<Self> {
         if sets.len() != instance.n() {
             return Err(Error::TaskCountMismatch {
+                what: "placement sets",
                 expected: instance.n(),
                 got: sets.len(),
             });
@@ -178,6 +179,7 @@ impl Placement {
     pub fn pinned(instance: &Instance, assignment: &[MachineId]) -> Result<Self> {
         if assignment.len() != instance.n() {
             return Err(Error::TaskCountMismatch {
+                what: "pinned assignment",
                 expected: instance.n(),
                 got: assignment.len(),
             });

@@ -26,6 +26,7 @@ impl Realization {
     pub fn new(instance: &Instance, uncertainty: Uncertainty, actual: Vec<Time>) -> Result<Self> {
         if actual.len() != instance.n() {
             return Err(Error::TaskCountMismatch {
+                what: "realization times",
                 expected: instance.n(),
                 got: actual.len(),
             });
@@ -55,6 +56,7 @@ impl Realization {
     ) -> Result<Self> {
         if factors.len() != instance.n() {
             return Err(Error::TaskCountMismatch {
+                what: "realization factors",
                 expected: instance.n(),
                 got: factors.len(),
             });

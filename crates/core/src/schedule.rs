@@ -29,6 +29,7 @@ impl Assignment {
     pub fn new(instance: &Instance, machine_of: Vec<MachineId>) -> Result<Self> {
         if machine_of.len() != instance.n() {
             return Err(Error::TaskCountMismatch {
+                what: "assignment",
                 expected: instance.n(),
                 got: machine_of.len(),
             });

@@ -1,0 +1,322 @@
+//! Counters and log-scale latency histograms.
+//!
+//! Both primitives are plain atomics: incrementing a [`Counter`] or
+//! recording into a [`LatencyHistogram`] never takes a lock, so hot
+//! paths (the engine event loop, journal appends, pool workers) can
+//! share one instance across threads without contention beyond cache
+//! traffic. Reads produce consistent-enough snapshots for reporting —
+//! per-field atomicity, not cross-field — which is the usual contract
+//! for monitoring counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples with
+/// `floor(log2(nanos)) == i`, so 64 buckets cover every `u64` value.
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-scale (power-of-two bucket) latency histogram in nanoseconds.
+///
+/// Log-scale buckets keep the memory footprint constant while spanning
+/// nanosecond guard checks to multi-second trials; quantiles are
+/// estimated at each bucket's geometric midpoint, so relative error is
+/// bounded by the bucket width (≤ √2).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bucket index for a nanosecond sample: `floor(log2(nanos))`, with
+/// zero mapped to bucket 0.
+#[inline]
+fn bucket_of(nanos: u64) -> usize {
+    (63 - nanos.max(1).leading_zeros()) as usize
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_nanos(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one raw nanosecond sample.
+    #[inline]
+    pub fn record_nanos(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Times `f` and records its wall-clock duration.
+    #[inline]
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(t0.elapsed());
+        out
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An owned point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Power-of-two bucket counts (`buckets[i]` counts samples with
+    /// `floor(log2(nanos)) == i`).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self` — the per-worker aggregation primitive.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]` in nanoseconds, at the geometric
+    /// midpoint of the bucket containing the rank (0 when empty). The
+    /// extremes are exact: `q = 0` returns `min`, `q = 1` returns `max`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min as f64;
+        }
+        if q == 1.0 {
+            return self.max as f64;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)), clamped into the
+                // observed range so tiny histograms stay sensible.
+                let mid = 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+                return mid.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Serializes as a flat JSON object (counts, ns stats, and the
+    /// non-empty buckets as `"lo_ns:count"` pairs).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+             \"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p90_ns\":{:.1},\"p99_ns\":{:.1},\"buckets\":{{",
+            self.count,
+            self.sum,
+            if self.count == 0 { 0 } else { self.min },
+            self.max,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+        );
+        let mut first = true;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\"{}\":{}", 1u64 << i, c));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_records_stats() {
+        let h = LatencyHistogram::new();
+        for nanos in [100, 200, 400, 800] {
+            h.record_nanos(nanos);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1500);
+        assert_eq!(s.min, 100);
+        assert_eq!(s.max, 800);
+        assert_eq!(s.mean(), 375.0);
+        // p0/p1 extremes are exact.
+        assert_eq!(s.quantile(0.0), 100.0);
+        assert_eq!(s.quantile(1.0), 800.0);
+        // Mid quantiles land in the right bucket (within √2 of truth).
+        let p50 = s.quantile(0.5);
+        assert!((128.0..=400.0).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_nanos(10);
+        b.record_nanos(1000);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        let json = s.to_json();
+        assert!(json.contains("\"count\":0"));
+        assert!(json.contains("\"min_ns\":0"), "{json}");
+    }
+
+    #[test]
+    fn time_records_once() {
+        let h = LatencyHistogram::new();
+        let out = h.time(|| 7);
+        assert_eq!(out, 7);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn json_has_nonempty_buckets_only() {
+        let h = LatencyHistogram::new();
+        h.record_nanos(5); // bucket 2 (lower bound 4)
+        let json = h.snapshot().to_json();
+        assert!(json.contains("\"4\":1"), "{json}");
+        assert!(!json.contains("\"8\":"), "{json}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Scoped tracing spans with monotonic timestamps and JSONL export.
+//!
+//! A span is opened with [`crate::span`] and closed when its guard
+//! drops; nesting depth is tracked per thread. Timestamps are
+//! nanoseconds since a process-wide monotonic epoch, so spans from
+//! different threads order consistently.
+//!
+//! Completed spans land in a per-thread shard (an uncontended mutex —
+//! only the owning thread pushes; the exporter locks it briefly on
+//! drain), so the hot path never touches a shared lock. Shards are
+//! bounded: past [`MAX_SHARD_SPANS`] records new spans are counted as
+//! dropped rather than growing memory without limit.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Per-thread retained-span bound; beyond it spans are dropped (and
+/// counted) instead of exhausting memory on multi-million-event sweeps.
+pub const MAX_SHARD_SPANS: usize = 1 << 20;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (e.g. `"engine.run"`).
+    pub name: &'static str,
+    /// Start, nanoseconds since the process epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the process epoch.
+    pub end_ns: u64,
+    /// Nesting depth on the opening thread (0 = top level).
+    pub depth: u32,
+    /// Opening thread's registration id.
+    pub thread: u64,
+}
+
+impl SpanRecord {
+    /// The span's duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+type Shard = Arc<Mutex<Vec<SpanRecord>>>;
+
+static SHARDS: Mutex<Vec<Shard>> = Mutex::new(Vec::new());
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide monotonic epoch.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+struct Local {
+    depth: u32,
+    thread: u64,
+    shard: Shard,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let local = slot.get_or_insert_with(|| {
+                let shard: Shard = Arc::new(Mutex::new(Vec::new()));
+                SHARDS.lock().expect("shards poisoned").push(shard.clone());
+                Local {
+                    depth: 0,
+                    thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+                    shard,
+                }
+            });
+            f(local)
+        })
+        .ok()
+}
+
+/// An open span; records itself into the thread's shard on drop.
+///
+/// A disabled-at-open guard holds nothing and its drop is a no-op —
+/// that is the entire cost of compiled-in-but-disabled tracing.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard(Option<OpenSpan>);
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    start_ns: u64,
+    depth: u32,
+    thread: u64,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (the disabled path).
+    #[inline]
+    pub fn disabled() -> Self {
+        SpanGuard(None)
+    }
+
+    pub(crate) fn open(name: &'static str) -> Self {
+        let open = with_local(|local| {
+            let depth = local.depth;
+            local.depth += 1;
+            OpenSpan {
+                name,
+                start_ns: now_ns(),
+                depth,
+                thread: local.thread,
+            }
+        });
+        SpanGuard(open)
+    }
+}
+
+impl Drop for SpanGuard {
+    // `#[inline]` matters: without it a *disabled* guard's drop is a
+    // cross-crate function call per span site, which is exactly the
+    // overhead the disabled path promises not to have.
+    #[inline]
+    fn drop(&mut self) {
+        let Some(open) = self.0.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        with_local(|local| {
+            local.depth = local.depth.saturating_sub(1);
+            let mut shard = local.shard.lock().expect("shard poisoned");
+            if shard.len() < MAX_SHARD_SPANS {
+                shard.push(SpanRecord {
+                    name: open.name,
+                    start_ns: open.start_ns,
+                    end_ns,
+                    depth: open.depth,
+                    thread: open.thread,
+                });
+            } else {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+/// Drains every thread's completed spans, ordered by start time.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let shards = SHARDS.lock().expect("shards poisoned").clone();
+    let mut out = Vec::new();
+    for shard in shards {
+        out.append(&mut shard.lock().expect("shard poisoned"));
+    }
+    out.sort_by_key(|s| (s.start_ns, s.end_ns, s.thread));
+    out
+}
+
+/// Spans dropped because a shard hit [`MAX_SHARD_SPANS`] (cumulative).
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Serializes spans as JSONL, one object per line:
+/// `{"name":...,"start_ns":...,"end_ns":...,"dur_ns":...,"depth":...,"thread":...}`.
+pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96);
+    for s in spans {
+        out.push_str(&format!(
+            "{{\"name\":{},\"start_ns\":{},\"end_ns\":{},\"dur_ns\":{},\
+             \"depth\":{},\"thread\":{}}}\n",
+            crate::registry::json_string(s.name),
+            s.start_ns,
+            s.end_ns,
+            s.duration_ns(),
+            s.depth,
+            s.thread,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_guard_records_nothing() {
+        let before = take_spans().len();
+        {
+            let _g = SpanGuard::disabled();
+        }
+        // Drain only what this test's thread could have added.
+        assert!(take_spans().len() <= before);
+    }
+
+    #[test]
+    fn nested_spans_track_depth_and_order() {
+        // This test owns its thread's shard; drain it first.
+        let _ = take_spans();
+        {
+            let _outer = SpanGuard::open("outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _inner = SpanGuard::open("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let spans = take_spans();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+        assert!(inner.duration_ns() > 0);
+    }
+
+    #[test]
+    fn spans_export_as_jsonl() {
+        let rec = SpanRecord {
+            name: "engine.run",
+            start_ns: 10,
+            end_ns: 30,
+            depth: 0,
+            thread: 2,
+        };
+        let line = spans_to_jsonl(&[rec]);
+        assert_eq!(
+            line,
+            "{\"name\":\"engine.run\",\"start_ns\":10,\"end_ns\":30,\
+             \"dur_ns\":20,\"depth\":0,\"thread\":2}\n"
+        );
+    }
+
+    #[test]
+    fn cross_thread_spans_are_collected() {
+        let _ = take_spans();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _g = SpanGuard::open("worker");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let spans = take_spans();
+        assert!(spans.iter().filter(|s| s.name == "worker").count() >= 3);
+        // Distinct threads got distinct ids.
+        let mut threads: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.name == "worker")
+            .map(|s| s.thread)
+            .collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert!(threads.len() >= 3);
+    }
+}

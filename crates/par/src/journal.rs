@@ -591,10 +591,22 @@ impl Journal {
     /// # Errors
     /// [`Error::Io`] on any filesystem failure.
     pub fn append(&mut self, rec: &TrialRecord) -> Result<()> {
-        self.file
+        let obs = rds_obs::enabled().then(|| {
+            let g = rds_obs::global();
+            (g.histogram("journal.fsync"), g.counter("journal.appends"))
+        });
+        let started = std::time::Instant::now();
+        let result = self
+            .file
             .write_all(trial_line(rec).as_bytes())
             .and_then(|()| self.file.sync_data())
-            .map_err(|e| io_err("append", &self.path, &e))
+            .map_err(|e| io_err("append", &self.path, &e));
+        if let Some((fsync, appends)) = &obs {
+            // Write + sync together: the durability cost per trial.
+            fsync.record(started.elapsed());
+            appends.inc();
+        }
+        result
     }
 
     /// The journal's path.

@@ -227,33 +227,61 @@ where
     T: Send + 'static,
     F: Fn(&CancelToken) -> Result<T> + Send + Sync + 'static,
 {
+    let obs = rds_obs::enabled().then(|| {
+        let g = rds_obs::global();
+        (
+            g.histogram("trial.latency"),
+            g.counter("watchdog.retries"),
+            g.counter("watchdog.quarantines"),
+        )
+    });
+    let _span = rds_obs::span("watchdog.trial");
+    let started = std::time::Instant::now();
+
     let job = Arc::new(job);
     let max_attempts = policy.max_attempts.max(1);
-    let mut last = Error::InvalidParameter {
-        what: "trial never ran",
-    };
-    for attempt in 1..=max_attempts {
-        let token = CancelToken::new();
-        let result = run_attempt(policy.budget, &job, &token);
-        match result {
-            Ok(value) => {
-                return Supervised::Done {
-                    value,
-                    attempts: attempt,
+    let result = (|| {
+        let mut last = Error::InvalidParameter {
+            what: "trial never ran",
+        };
+        for attempt in 1..=max_attempts {
+            let token = CancelToken::new();
+            match run_attempt(policy.budget, &job, &token) {
+                Ok(value) => {
+                    return Supervised::Done {
+                        value,
+                        attempts: attempt,
+                    }
                 }
-            }
-            Err(e) => {
-                last = e;
-                if attempt < max_attempts {
-                    std::thread::sleep(policy.backoff_delay(attempt, seed));
+                Err(e) => {
+                    last = e;
+                    if attempt < max_attempts {
+                        std::thread::sleep(policy.backoff_delay(attempt, seed));
+                    }
                 }
             }
         }
+        Supervised::Quarantined {
+            attempts: max_attempts,
+            error: last,
+        }
+    })();
+
+    if let Some((latency, retries, quarantines)) = &obs {
+        // Trial wall-clock includes backoff sleeps: it is the latency the
+        // campaign actually pays per (policy, trial) cell.
+        latency.record(started.elapsed());
+        let attempts = match &result {
+            Supervised::Done { attempts, .. } | Supervised::Quarantined { attempts, .. } => {
+                *attempts
+            }
+        };
+        retries.add(u64::from(attempts.saturating_sub(1)));
+        if matches!(result, Supervised::Quarantined { .. }) {
+            quarantines.inc();
+        }
     }
-    Supervised::Quarantined {
-        attempts: max_attempts,
-        error: last,
-    }
+    result
 }
 
 fn run_attempt<T, F>(budget: Option<Duration>, job: &Arc<F>, token: &CancelToken) -> Result<T>

@@ -23,6 +23,10 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let _span = rds_obs::span("sweep.parallel_map");
+    if rds_obs::enabled() {
+        rds_obs::global().counter("sweep.items").add(n as u64);
+    }
     if threads == 1 || n == 1 {
         return items.into_iter().map(f).collect();
     }
@@ -73,6 +77,10 @@ where
     let n = items.len();
     if n == 0 {
         return Ok(Vec::new());
+    }
+    let _span = rds_obs::span("sweep.parallel_map");
+    if rds_obs::enabled() {
+        rds_obs::global().counter("sweep.items").add(n as u64);
     }
     let run = |item: T| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).unwrap_or(Err(

@@ -251,6 +251,14 @@ pub fn run_campaign_resumable(
     let skipped = records.len();
     let have: HashSet<(String, u64)> = records.iter().map(TrialRecord::key).collect();
 
+    let _span = rds_obs::span("campaign.run");
+    let obs_trials = rds_obs::enabled().then(|| rds_obs::global().counter("campaign.trials"));
+    if skipped > 0 && rds_obs::enabled() {
+        rds_obs::global()
+            .counter("campaign.skipped")
+            .add(skipped as u64);
+    }
+
     let mut executed = 0usize;
     for policy in suite {
         for (index, trial) in trials.iter().enumerate() {
@@ -294,6 +302,9 @@ pub fn run_campaign_resumable(
             }
             records.push(record);
             executed += 1;
+            if let Some(trials_counter) = &obs_trials {
+                trials_counter.inc();
+            }
         }
     }
 

@@ -165,6 +165,7 @@ pub fn run_trial(
     script: &FaultScript,
     speculation: Option<Speculation>,
 ) -> Result<TrialMeasurement> {
+    let _span = rds_obs::span("resilience.trial");
     let empty = FaultScript::empty();
     let baseline = {
         let mut d = policy.dispatcher(instance);

@@ -12,6 +12,8 @@
 //!   degraded phases, speculation) the Gantt renderers draw on top;
 //! - [`svg`]: dependency-free SVG renderings of the same charts and
 //!   Gantts, for publication-style output;
+//! - [`metrics`]: human-readable tables for [`rds_obs`] metric
+//!   snapshots (the `--metrics` report);
 //! - [`output`]: atomic (tempfile + fsync + rename) file emission so a
 //!   crash never leaves a torn figure or table on disk.
 
@@ -22,6 +24,7 @@ pub mod csv;
 pub mod gantt;
 pub mod histogram;
 pub mod marks;
+pub mod metrics;
 pub mod output;
 pub mod plot;
 pub mod stats;

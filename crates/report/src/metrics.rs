@@ -1,0 +1,136 @@
+//! Human-readable rendering of observability metrics.
+//!
+//! Turns an [`rds_obs::MetricsSnapshot`] into the markdown tables the
+//! CLI prints when `--metrics` is given: one table of counters, one of
+//! latency histograms with their estimated quantiles. Durations are
+//! scaled to the largest unit that keeps the number readable, so a
+//! 3 ns guard check and a 3 s trial share one column.
+
+use crate::table::{Align, Table};
+use rds_obs::MetricsSnapshot;
+
+/// Formats a nanosecond quantity with an auto-selected unit.
+///
+/// The breakpoints follow the usual monitoring convention: values render
+/// in the largest unit that keeps at least one integer digit.
+pub fn fmt_ns(nanos: f64) -> String {
+    let abs = nanos.abs();
+    if abs >= 1e9 {
+        format!("{:.2} s", nanos / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.2} us", nanos / 1e3)
+    } else {
+        format!("{nanos:.0} ns")
+    }
+}
+
+/// Renders the snapshot as markdown tables (counters, then histograms).
+///
+/// Metrics with zero observations still get a row — a zero is evidence
+/// the instrumented path never ran, which is exactly what a metrics
+/// report is for. Returns an explicit placeholder when the snapshot has
+/// no metrics at all, so callers can always print the result.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    if snapshot.is_empty() {
+        return "no metrics recorded\n".to_string();
+    }
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        let mut t = Table::new(vec!["counter", "value"]).align(vec![Align::Left, Align::Right]);
+        for (name, v) in &snapshot.counters {
+            t.row(vec![name.clone(), v.to_string()]);
+        }
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    if !snapshot.histograms.is_empty() {
+        let mut t = Table::new(vec![
+            "histogram",
+            "count",
+            "mean",
+            "p50",
+            "p90",
+            "p99",
+            "max",
+        ])
+        .align(vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+        for (name, h) in &snapshot.histograms {
+            if h.count == 0 {
+                t.row(vec![
+                    name.clone(),
+                    "0".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+            } else {
+                t.row(vec![
+                    name.clone(),
+                    h.count.to_string(),
+                    fmt_ns(h.mean()),
+                    fmt_ns(h.quantile(0.5)),
+                    fmt_ns(h.quantile(0.9)),
+                    fmt_ns(h.quantile(0.99)),
+                    fmt_ns(h.max as f64),
+                ]);
+            }
+        }
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_obs::Registry;
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(3.0), "3 ns");
+        assert_eq!(fmt_ns(4_500.0), "4.50 us");
+        assert_eq!(fmt_ns(6_250_000.0), "6.25 ms");
+        assert_eq!(fmt_ns(2_000_000_000.0), "2.00 s");
+    }
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let r = Registry::new();
+        r.counter("engine.dispatch").add(12);
+        r.histogram("trial.latency").record_nanos(1_000_000);
+        let text = render(&r.snapshot());
+        assert!(text.contains("engine.dispatch"));
+        assert!(text.contains("12"));
+        assert!(text.contains("trial.latency"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("ms"), "{text}");
+    }
+
+    #[test]
+    fn zero_count_histogram_gets_dashes() {
+        let r = Registry::new();
+        r.histogram("journal.fsync");
+        let text = render(&r.snapshot());
+        assert!(text.contains("journal.fsync"));
+        assert!(text.contains('-'), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_has_placeholder() {
+        let text = render(&MetricsSnapshot::default());
+        assert!(text.contains("no metrics"));
+    }
+}

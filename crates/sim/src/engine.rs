@@ -43,10 +43,20 @@ impl<'a> Engine<'a> {
         placement: &'a Placement,
         realization: &'a Realization,
     ) -> Result<Self> {
-        if placement.n() != instance.n() || realization.n() != instance.n() {
+        // Name the component that actually disagreed: `min()` of the two
+        // counts could report the *matching* one on a one-sided mismatch.
+        if placement.n() != instance.n() {
             return Err(Error::TaskCountMismatch {
+                what: "placement",
                 expected: instance.n(),
-                got: placement.n().min(realization.n()),
+                got: placement.n(),
+            });
+        }
+        if realization.n() != instance.n() {
+            return Err(Error::TaskCountMismatch {
+                what: "realization",
+                expected: instance.n(),
+                got: realization.n(),
             });
         }
         Ok(Engine {
@@ -65,6 +75,18 @@ impl<'a> Engine<'a> {
     /// - [`Error::InvalidParameter`] if it picks an already-started task
     ///   or leaves tasks unscheduled although machines could run them.
     pub fn run(&self, dispatcher: &mut dyn Dispatcher) -> Result<SimResult> {
+        // Monomorphize the loop on the instrumentation flag: the
+        // `OBS = false` instantiation contains no guard code at all, so
+        // disabled instrumentation costs one atomic load per *run*
+        // (the `obs_overhead` bench in rds-bench certifies < 2%).
+        if rds_obs::enabled() {
+            self.run_inner::<true>(dispatcher)
+        } else {
+            self.run_inner::<false>(dispatcher)
+        }
+    }
+
+    fn run_inner<const OBS: bool>(&self, dispatcher: &mut dyn Dispatcher) -> Result<SimResult> {
         let n = self.instance.n();
         let m = self.instance.m();
         let mut pending = vec![true; n];
@@ -74,23 +96,40 @@ impl<'a> Engine<'a> {
         let mut queue = EventQueue::all_idle(m);
         let mut makespan = Time::ZERO;
 
-        while let Some(IdleEvent { time, machine }) = queue.pop() {
-            // Report the completion that made this machine idle.
-            if let Some(last) = slots[machine.index()].last() {
-                if last.end == time {
-                    trace.push(TraceEvent::Complete {
-                        time,
-                        task: last.task,
-                        machine,
-                        actual: self.realization.actual(last.task),
-                    });
-                    dispatcher.on_complete(
-                        last.task,
-                        machine,
-                        self.realization.actual(last.task),
-                        time,
-                    );
-                }
+        // Metric handles are resolved once per run. `OBS` is a const:
+        // in the disabled instantiation every guard below folds away.
+        let obs = OBS.then(|| {
+            let g = rds_obs::global();
+            (
+                g.counter("engine.events"),
+                g.counter("engine.dispatch"),
+                g.counter("engine.starved"),
+            )
+        });
+        let _run_span = rds_obs::span_if(OBS, "engine.run");
+
+        while let Some(IdleEvent {
+            time,
+            machine,
+            finished,
+        }) = queue.pop()
+        {
+            let _event_span = rds_obs::span_if(OBS, "engine.event");
+            if let Some((events, _, _)) = &obs {
+                events.inc();
+            }
+            // Report the completion that made this machine idle. The
+            // finishing task's identity travels in the event itself, so
+            // no float comparison can silently drop a `Complete`.
+            if let Some(task) = finished {
+                let actual = self.realization.actual(task);
+                trace.push(TraceEvent::Complete {
+                    time,
+                    task,
+                    machine,
+                    actual,
+                });
+                dispatcher.on_complete(task, machine, actual, time);
             }
             if remaining == 0 {
                 continue;
@@ -100,7 +139,14 @@ impl<'a> Engine<'a> {
                 placement: self.placement,
                 pending: &pending,
             };
-            match dispatcher.next_task(machine, time, &view) {
+            if let Some((_, dispatch, _)) = &obs {
+                dispatch.inc();
+            }
+            let choice = {
+                let _dispatch_span = rds_obs::span_if(OBS, "engine.dispatch");
+                dispatcher.next_task(machine, time, &view)
+            };
+            match choice {
                 Some(task) => {
                     if task.index() >= n {
                         return Err(Error::TaskOutOfRange {
@@ -134,10 +180,17 @@ impl<'a> Engine<'a> {
                         machine,
                     });
                     makespan = makespan.max(end);
-                    queue.push(IdleEvent { time: end, machine });
+                    queue.push(IdleEvent {
+                        time: end,
+                        machine,
+                        finished: Some(task),
+                    });
                 }
                 None => {
                     trace.push(TraceEvent::Starved { time, machine });
+                    if let Some((_, _, starved)) = &obs {
+                        starved.inc();
+                    }
                 }
             }
         }
@@ -290,11 +343,39 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_pieces_rejected() {
+    fn mismatched_placement_is_named_with_its_count() {
         let inst = Instance::from_estimates(&[1.0, 2.0], 2).unwrap();
         let other = Instance::from_estimates(&[1.0], 2).unwrap();
-        let p = Placement::everywhere(&other);
-        let r = Realization::exact(&inst);
-        assert!(Engine::new(&inst, &p, &r).is_err());
+        let p = Placement::everywhere(&other); // 1 task — the culprit
+        let r = Realization::exact(&inst); // 2 tasks — matches
+        let err = Engine::new(&inst, &p, &r).unwrap_err();
+        assert_eq!(
+            err,
+            Error::TaskCountMismatch {
+                what: "placement",
+                expected: 2,
+                got: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn mismatched_realization_is_named_with_its_count() {
+        // An over-long realization: the old `min(placement.n(),
+        // realization.n())` reported 2 here — the count of the component
+        // that *matched* — hiding the culprit entirely.
+        let inst = Instance::from_estimates(&[1.0, 2.0], 2).unwrap();
+        let bigger = Instance::from_estimates(&[1.0, 2.0, 3.0], 2).unwrap();
+        let p = Placement::everywhere(&inst); // 2 tasks — matches
+        let r = Realization::exact(&bigger); // 3 tasks — the culprit
+        let err = Engine::new(&inst, &p, &r).unwrap_err();
+        assert_eq!(
+            err,
+            Error::TaskCountMismatch {
+                what: "realization",
+                expected: 2,
+                got: 3,
+            }
+        );
     }
 }

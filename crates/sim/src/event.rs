@@ -1,7 +1,7 @@
 //! The event queue driving the phase-2 execution engine.
 
-use rds_core::{MachineId, Time};
-use std::cmp::Reverse;
+use rds_core::{MachineId, TaskId, Time};
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 /// A machine-becomes-idle event.
@@ -9,18 +9,51 @@ use std::collections::BinaryHeap;
 /// Ordering: earliest time first; ties broken by smallest machine id,
 /// which matches the deterministic tie-break of the closed-form greedy
 /// implementations in `rds-algs`.
+///
+/// `finished` carries the identity of the task whose completion produced
+/// this event (`None` for the initial idle-at-zero seeds). The engine
+/// reports completions from this field rather than re-deriving "the slot
+/// that just ended" from a floating-point time comparison, which could
+/// silently drop a `Complete` trace event whenever derived times drift.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IdleEvent {
     /// When the machine becomes idle.
     pub time: Time,
     /// Which machine.
     pub machine: MachineId,
+    /// The task whose completion freed the machine, if any.
+    pub finished: Option<TaskId>,
+}
+
+/// Heap entry ordering [`IdleEvent`]s by `(time, machine)` only — the
+/// `finished` payload rides along without affecting queue order.
+#[derive(Debug)]
+struct Entry(IdleEvent);
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.time, self.0.machine) == (other.0.time, other.0.machine)
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.0.time, self.0.machine).cmp(&(other.0.time, other.0.machine))
+    }
 }
 
 /// Min-priority queue of [`IdleEvent`]s.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(Time, MachineId)>>,
+    heap: BinaryHeap<Reverse<Entry>>,
 }
 
 impl EventQueue {
@@ -29,13 +62,14 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Queue with every machine idle at time zero.
+    /// Queue with every machine idle at time zero (no finished task).
     pub fn all_idle(m: usize) -> Self {
         let mut q = Self::new();
         for i in 0..m {
             q.push(IdleEvent {
                 time: Time::ZERO,
                 machine: MachineId::new(i),
+                finished: None,
             });
         }
         q
@@ -43,14 +77,12 @@ impl EventQueue {
 
     /// Inserts an event.
     pub fn push(&mut self, ev: IdleEvent) {
-        self.heap.push(Reverse((ev.time, ev.machine)));
+        self.heap.push(Reverse(Entry(ev)));
     }
 
     /// Removes and returns the earliest event (ties → smallest machine).
     pub fn pop(&mut self) -> Option<IdleEvent> {
-        self.heap
-            .pop()
-            .map(|Reverse((time, machine))| IdleEvent { time, machine })
+        self.heap.pop().map(|Reverse(Entry(ev))| ev)
     }
 
     /// Number of queued events.
@@ -74,19 +106,34 @@ mod tests {
         q.push(IdleEvent {
             time: Time::of(2.0),
             machine: MachineId::new(0),
+            finished: Some(TaskId::new(7)),
         });
         q.push(IdleEvent {
             time: Time::of(1.0),
             machine: MachineId::new(5),
+            finished: None,
         });
         q.push(IdleEvent {
             time: Time::of(1.0),
             machine: MachineId::new(3),
+            finished: Some(TaskId::new(1)),
         });
         let order: Vec<(f64, usize)> = std::iter::from_fn(|| q.pop())
             .map(|e| (e.time.get(), e.machine.index()))
             .collect();
         assert_eq!(order, vec![(1.0, 3), (1.0, 5), (2.0, 0)]);
+    }
+
+    #[test]
+    fn finished_task_rides_through_the_queue() {
+        let mut q = EventQueue::new();
+        q.push(IdleEvent {
+            time: Time::of(3.0),
+            machine: MachineId::new(1),
+            finished: Some(TaskId::new(4)),
+        });
+        let e = q.pop().unwrap();
+        assert_eq!(e.finished, Some(TaskId::new(4)));
     }
 
     #[test]
@@ -97,6 +144,7 @@ mod tests {
             let e = q.pop().unwrap();
             assert_eq!(e.time, Time::ZERO);
             assert_eq!(e.machine.index(), expected);
+            assert_eq!(e.finished, None);
         }
         assert!(q.is_empty());
     }

@@ -428,10 +428,20 @@ impl<'a> ResilienceEngine<'a> {
         realization: &'a Realization,
         script: &'a FaultScript,
     ) -> Result<Self> {
-        if placement.n() != instance.n() || realization.n() != instance.n() {
+        // Name the component that actually disagreed: `min()` of the two
+        // counts could report the *matching* one on a one-sided mismatch.
+        if placement.n() != instance.n() {
             return Err(Error::TaskCountMismatch {
+                what: "placement",
                 expected: instance.n(),
-                got: placement.n().min(realization.n()),
+                got: placement.n(),
+            });
+        }
+        if realization.n() != instance.n() {
+            return Err(Error::TaskCountMismatch {
+                what: "realization",
+                expected: instance.n(),
+                got: realization.n(),
             });
         }
         script.validate(instance)?;
@@ -484,6 +494,10 @@ struct Run<'a, 'b> {
     metrics: ResilienceMetrics,
     remaining: usize,
     next_attempt_id: u64,
+    /// Metric handles resolved once at run start (`None` while
+    /// instrumentation is disabled, so the hot path pays one branch).
+    obs_events: Option<std::sync::Arc<rds_obs::Counter>>,
+    obs_dispatch: Option<std::sync::Arc<rds_obs::Counter>>,
 }
 
 impl<'a, 'b> Run<'a, 'b> {
@@ -542,11 +556,17 @@ impl<'a, 'b> Run<'a, 'b> {
             },
             remaining: n,
             next_attempt_id: 0,
+            obs_events: rds_obs::enabled().then(|| rds_obs::global().counter("engine.events")),
+            obs_dispatch: rds_obs::enabled().then(|| rds_obs::global().counter("engine.dispatch")),
         }
     }
 
     fn execute(mut self) -> Result<ResilienceReport> {
+        let _run_span = rds_obs::span("resilience.run");
         while let Some(Reverse((time, kind, index, data))) = self.queue.pop() {
+            if let Some(events) = &self.obs_events {
+                events.inc();
+            }
             match kind {
                 KIND_FAULT => self.on_fault(time, index),
                 KIND_RECOVERY => self.on_recovery(time, index, data),
@@ -807,7 +827,14 @@ impl<'a, 'b> Run<'a, 'b> {
             placement: self.engine.placement,
             pending: &pending,
         };
-        match self.dispatcher.next_task(machine, time, &view) {
+        if let Some(dispatch) = &self.obs_dispatch {
+            dispatch.inc();
+        }
+        let choice = {
+            let _dispatch_span = rds_obs::span("engine.dispatch");
+            self.dispatcher.next_task(machine, time, &view)
+        };
+        match choice {
             Some(task) => {
                 if task.index() >= n {
                     return Err(Error::TaskOutOfRange {
@@ -962,6 +989,37 @@ mod tests {
             engine = engine.with_speculation(s);
         }
         engine.run(&mut OrderedDispatcher::fifo(inst)).unwrap()
+    }
+
+    #[test]
+    fn one_sided_mismatch_names_the_culprit_component() {
+        let inst = Instance::from_estimates(&[1.0, 2.0], 2).unwrap();
+        let shorter = Instance::from_estimates(&[1.0], 2).unwrap();
+        let script = FaultScript::new(vec![]);
+
+        // Placement disagrees, realization matches.
+        let p = Placement::everywhere(&shorter);
+        let r = Realization::exact(&inst);
+        assert_eq!(
+            ResilienceEngine::new(&inst, &p, &r, &script).unwrap_err(),
+            Error::TaskCountMismatch {
+                what: "placement",
+                expected: 2,
+                got: 1,
+            }
+        );
+
+        // Realization disagrees, placement matches.
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&shorter);
+        assert_eq!(
+            ResilienceEngine::new(&inst, &p, &r, &script).unwrap_err(),
+            Error::TaskCountMismatch {
+                what: "realization",
+                expected: 2,
+                got: 1,
+            }
+        );
     }
 
     #[test]

@@ -282,6 +282,7 @@ pub fn validate_schedule(
     schedule: &Schedule,
     checks: &Checks,
 ) -> Vec<Violation> {
+    let _span = rds_obs::span("validator.check");
     let n = instance.n();
     let m = instance.m();
     let mut out = Vec::new();
@@ -391,6 +392,16 @@ pub fn validate_schedule(
                 claimed: claimed.get(),
                 actual,
             });
+        }
+    }
+
+    // One registry lookup per validation (not per slot), so the lock in
+    // `Registry::counter` stays off the per-event path.
+    if rds_obs::enabled() {
+        let g = rds_obs::global();
+        g.counter("validator.checks").inc();
+        if !out.is_empty() {
+            g.counter("validator.violations").add(out.len() as u64);
         }
     }
 
