@@ -1,0 +1,298 @@
+//! **PERF-1** — engine hot-path throughput and allocation regression.
+//!
+//! Benchmarks the Monte-Carlo trial loop two ways on the paper's main
+//! workload shape (k-replica group placement):
+//!
+//! - **naive**: the pre-arena path — a fresh [`rds_sim::Engine::run`]
+//!   with a fresh scan-path dispatcher per trial (every trial allocates
+//!   its pending set, slot lists, trace, and event heap);
+//! - **arena**: the hot path — one reused [`rds_sim::SimArena`] and one
+//!   reused indexed [`rds_sim::OrderedDispatcher`] driven through
+//!   [`rds_sim::Engine::run_in`], which in steady state performs **zero**
+//!   heap allocations per trial (counted by this binary's own global
+//!   allocator and asserted here and in CI).
+//!
+//! A third section drives the arena path through
+//! [`rds_par::parallel_map_with`] — one long-lived arena per worker
+//! thread — to show the campaign-shaped scaling.
+//!
+//! Emits machine-readable JSON (default `BENCH_4.json`, override with
+//! `--out <path>`); CI runs `--quick` and regresses on
+//! `arena.steady_allocs_per_trial == 0` and nonzero throughput.
+//!
+//! Run: `cargo run --release -p rds-bench --bin engine_throughput [--quick]`
+
+use rds_bench::{arg_value, header, quick_mode, sweep_threads};
+use rds_core::{Instance, MachineSet, Placement, Realization, TaskId, Uncertainty};
+use rds_par::parallel_map_with;
+use rds_sim::{Engine, OrderedDispatcher, SimArena};
+use rds_workloads::realize::RealizationModel;
+use rds_workloads::{rng, EstimateDistribution};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Global allocation counter: every `alloc`/`realloc`/`alloc_zeroed`
+/// bumps it. Only this binary installs it — the workspace libraries stay
+/// `forbid(unsafe_code)`.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+struct Workload {
+    instance: Instance,
+    placement: Placement,
+    realizations: Vec<Realization>,
+    order: Vec<TaskId>,
+}
+
+/// The paper's k=2 group shape: `groups` spans of 2 machines each, task
+/// `j` replicated on group `j % groups`, dispatched in LPT order.
+fn build_workload(n: usize, m: usize, groups: usize, trials: usize, seed: u64) -> Workload {
+    let mut r = rng::rng(seed);
+    let estimates = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    let instance = Instance::from_estimates(&estimates, m).expect("valid instance");
+    let span = m / groups;
+    let sets: Vec<MachineSet> = (0..n)
+        .map(|j| {
+            let g = (j % groups) as u32;
+            MachineSet::Span {
+                start: g * span as u32,
+                end: (g + 1) * span as u32,
+            }
+        })
+        .collect();
+    let placement = Placement::new(&instance, sets).expect("valid placement");
+    let unc = Uncertainty::of(2.0);
+    let realizations = (0..trials)
+        .map(|t| {
+            let mut tr = rng::rng(rng::child_seed(seed, t as u64));
+            RealizationModel::UniformFactor
+                .realize(&instance, unc, &mut tr)
+                .expect("valid realization")
+        })
+        .collect();
+    let order = instance.ids_by_estimate_desc();
+    Workload {
+        instance,
+        placement,
+        realizations,
+        order,
+    }
+}
+
+struct Measured {
+    seconds: f64,
+    trials_per_sec: f64,
+    events_per_sec: f64,
+    allocs_per_trial: f64,
+    makespan_sum: f64,
+}
+
+/// The pre-arena trial loop: everything rebuilt per trial.
+fn run_naive(w: &Workload) -> Measured {
+    let t0 = Instant::now();
+    let a0 = allocs();
+    let mut events = 0u64;
+    let mut makespan_sum = 0.0f64;
+    for real in &w.realizations {
+        let engine = Engine::new(&w.instance, &w.placement, real).expect("engine");
+        let mut d = OrderedDispatcher::new(w.order.clone());
+        let res = engine.run(&mut d).expect("run");
+        events += res.trace.len() as u64;
+        makespan_sum += res.makespan.get();
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    let trials = w.realizations.len() as f64;
+    Measured {
+        seconds,
+        trials_per_sec: trials / seconds,
+        events_per_sec: events as f64 / seconds,
+        allocs_per_trial: (allocs() - a0) as f64 / trials,
+        makespan_sum,
+    }
+}
+
+/// The hot path: one arena + one indexed dispatcher, reused. A full
+/// warmup pass over the same realizations first grows every buffer to
+/// its high-water mark, so the measured pass is genuinely steady-state.
+fn run_arena(w: &Workload) -> Measured {
+    let n = w.instance.n();
+    let m = w.instance.m();
+    let mut arena = SimArena::with_capacity(n, m);
+    let mut d = OrderedDispatcher::auto(w.order.clone(), &w.placement);
+    assert!(d.is_indexed(), "group placement must take the indexed path");
+    for real in &w.realizations {
+        let engine = Engine::new(&w.instance, &w.placement, real).expect("engine");
+        d.reset();
+        engine.run_in(&mut arena, &mut d).expect("warmup run");
+    }
+
+    let t0 = Instant::now();
+    let a0 = allocs();
+    let mut events = 0u64;
+    let mut makespan_sum = 0.0f64;
+    for real in &w.realizations {
+        let engine = Engine::new(&w.instance, &w.placement, real).expect("engine");
+        d.reset();
+        let makespan = engine.run_in(&mut arena, &mut d).expect("run");
+        events += arena.trace().len() as u64;
+        makespan_sum += makespan.get();
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    let trials = w.realizations.len() as f64;
+    Measured {
+        seconds,
+        trials_per_sec: trials / seconds,
+        events_per_sec: events as f64 / seconds,
+        allocs_per_trial: (allocs() - a0) as f64 / trials,
+        makespan_sum,
+    }
+}
+
+/// Campaign-shaped scaling: the same arena path fanned out with one
+/// long-lived `(SimArena, OrderedDispatcher)` per worker thread.
+fn run_parallel(w: &Workload, threads: usize) -> (f64, f64) {
+    let n = w.instance.n();
+    let m = w.instance.m();
+    let proto = OrderedDispatcher::auto(w.order.clone(), &w.placement);
+    let t0 = Instant::now();
+    let makespans = parallel_map_with(
+        (0..w.realizations.len()).collect(),
+        threads,
+        || (SimArena::with_capacity(n, m), proto.clone()),
+        |(arena, d), i: usize| {
+            let engine =
+                Engine::new(&w.instance, &w.placement, &w.realizations[i]).expect("engine");
+            d.reset();
+            engine.run_in(arena, d).expect("run").get()
+        },
+    );
+    let seconds = t0.elapsed().as_secs_f64();
+    (seconds, makespans.len() as f64 / seconds)
+}
+
+fn main() {
+    header("PERF-1 — engine hot-path throughput");
+    let quick = quick_mode();
+    let (n, m, groups, trials) = if quick {
+        (200, 8, 4, 40)
+    } else {
+        (1000, 32, 16, 400)
+    };
+    let w = build_workload(n, m, groups, trials, 0x5EED_CAFE);
+
+    let naive = run_naive(&w);
+    let arena = run_arena(&w);
+    let threads = sweep_threads();
+    let (par_seconds, par_tps) = run_parallel(&w, threads);
+
+    // Both paths must execute the very same schedules: the differential
+    // property test proves it per-event; this cross-checks end to end.
+    assert!(
+        (naive.makespan_sum - arena.makespan_sum).abs() < 1e-9,
+        "naive and arena paths diverged: {} vs {}",
+        naive.makespan_sum,
+        arena.makespan_sum
+    );
+
+    let speedup = arena.trials_per_sec / naive.trials_per_sec;
+    println!(
+        "workload: n={n} m={m} groups={groups} trials={trials} (k={} replicas/task)",
+        m / groups
+    );
+    println!(
+        "naive:  {:>9.0} trials/s  {:>11.0} events/s  {:>7.1} allocs/trial",
+        naive.trials_per_sec, naive.events_per_sec, naive.allocs_per_trial
+    );
+    println!(
+        "arena:  {:>9.0} trials/s  {:>11.0} events/s  {:>7.1} allocs/trial (steady)",
+        arena.trials_per_sec, arena.events_per_sec, arena.allocs_per_trial
+    );
+    println!("parallel ({threads} threads): {par_tps:.0} trials/s");
+    println!("speedup (arena vs naive): {speedup:.2}x");
+
+    assert_eq!(
+        arena.allocs_per_trial, 0.0,
+        "arena path must be allocation-free in steady state"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"engine_throughput\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"n\": {n},\n",
+            "  \"m\": {m},\n",
+            "  \"groups\": {groups},\n",
+            "  \"trials\": {trials},\n",
+            "  \"naive\": {{\n",
+            "    \"seconds\": {n_sec:.6},\n",
+            "    \"trials_per_sec\": {n_tps:.2},\n",
+            "    \"events_per_sec\": {n_eps:.2},\n",
+            "    \"allocs_per_trial\": {n_apt:.2}\n",
+            "  }},\n",
+            "  \"arena\": {{\n",
+            "    \"seconds\": {a_sec:.6},\n",
+            "    \"trials_per_sec\": {a_tps:.2},\n",
+            "    \"events_per_sec\": {a_eps:.2},\n",
+            "    \"steady_allocs_per_trial\": {a_apt:.2}\n",
+            "  }},\n",
+            "  \"parallel\": {{\n",
+            "    \"threads\": {threads},\n",
+            "    \"seconds\": {p_sec:.6},\n",
+            "    \"trials_per_sec\": {p_tps:.2}\n",
+            "  }},\n",
+            "  \"speedup\": {speedup:.4}\n",
+            "}}\n"
+        ),
+        quick = quick,
+        n = n,
+        m = m,
+        groups = groups,
+        trials = trials,
+        n_sec = naive.seconds,
+        n_tps = naive.trials_per_sec,
+        n_eps = naive.events_per_sec,
+        n_apt = naive.allocs_per_trial,
+        a_sec = arena.seconds,
+        a_tps = arena.trials_per_sec,
+        a_eps = arena.events_per_sec,
+        a_apt = arena.allocs_per_trial,
+        threads = threads,
+        p_sec = par_seconds,
+        p_tps = par_tps,
+        speedup = speedup,
+    );
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_4.json".to_string());
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("\nwrote {out}");
+}

@@ -10,6 +10,8 @@
 //! - [`Realization`]: actual processing times, validated against the model;
 //! - [`Placement`]/[`MachineSet`]/[`GroupPartition`]: the phase-1 output —
 //!   where data is replicated;
+//! - [`PlacementIndex`]: the CSR-inverted per-machine eligibility lists
+//!   the dispatch hot path runs on;
 //! - [`Assignment`]/[`Schedule`]: the phase-2 output — who ran what, when;
 //! - [`metrics`], [`memory`]: makespan, competitive ratios, and memory
 //!   occupation.
@@ -44,6 +46,7 @@ pub mod instance;
 pub mod memory;
 pub mod metrics;
 pub mod placement;
+pub mod placement_index;
 pub mod realization;
 pub mod scalar;
 pub mod schedule;
@@ -55,6 +58,7 @@ pub use error::{Error, Result};
 pub use ids::{MachineId, TaskId};
 pub use instance::Instance;
 pub use placement::{GroupPartition, MachineSet, Placement};
+pub use placement_index::PlacementIndex;
 pub use realization::Realization;
 pub use scalar::{Size, Time};
 pub use schedule::{Assignment, Schedule, Slot};
@@ -70,6 +74,7 @@ pub mod prelude {
     pub use crate::memory;
     pub use crate::metrics;
     pub use crate::placement::{GroupPartition, MachineSet, Placement};
+    pub use crate::placement_index::PlacementIndex;
     pub use crate::realization::Realization;
     pub use crate::scalar::{Size, Time};
     pub use crate::schedule::{Assignment, Schedule, Slot};

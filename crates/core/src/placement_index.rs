@@ -1,0 +1,242 @@
+//! CSR-style per-machine eligibility index over a [`Placement`].
+//!
+//! A [`Placement`] answers "may task `j` run on machine `i`?" in O(1),
+//! but the phase-2 dispatch hot path asks the *inverse* question — "which
+//! tasks may machine `i` run?" — once per idle event. Answering that by
+//! scanning all `n` tasks makes restricted placements (the paper's
+//! k-replica and grouped strategies) the slowest path in a Monte-Carlo
+//! campaign. [`PlacementIndex`] inverts the placement once into a
+//! compressed-sparse-row layout: one contiguous `tasks` array plus `m+1`
+//! offsets, so machine `i`'s eligible tasks are the slice
+//! `tasks[offsets[i]..offsets[i+1]]`, in ascending task-id order.
+//!
+//! The index is immutable — eligibility is static for the whole phase-2
+//! execution — and is shared by however many dispatchers or trials need
+//! it.
+
+use crate::ids::{MachineId, TaskId};
+use crate::placement::Placement;
+
+/// Inverted per-machine eligibility lists in CSR layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementIndex {
+    /// `offsets[i]..offsets[i+1]` bounds machine `i`'s slice of `tasks`;
+    /// length `m + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated eligible task indices, ascending within each machine.
+    tasks: Vec<u32>,
+    /// Task count the index was built for.
+    n: usize,
+}
+
+impl PlacementIndex {
+    /// Inverts `placement` into per-machine eligible-task lists.
+    ///
+    /// Two counting passes over `Σ_j |M_j|` set memberships: one to size
+    /// the CSR rows, one to fill them. Within each machine the tasks come
+    /// out in ascending id order because tasks are visited in id order.
+    pub fn build(placement: &Placement) -> Self {
+        let m = placement.m();
+        let n = placement.n();
+        let mut offsets = vec![0u32; m + 1];
+        for j in 0..n {
+            for machine in placement.set(TaskId::new(j)).iter(m) {
+                offsets[machine.index() + 1] += 1;
+            }
+        }
+        for i in 0..m {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut write: Vec<u32> = offsets[..m].to_vec();
+        let mut tasks = vec![0u32; offsets[m] as usize];
+        for j in 0..n {
+            for machine in placement.set(TaskId::new(j)).iter(m) {
+                let w = &mut write[machine.index()];
+                tasks[*w as usize] = j as u32;
+                *w += 1;
+            }
+        }
+        PlacementIndex { offsets, tasks, n }
+    }
+
+    /// Number of machines the index ranges over.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of tasks the index was built for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of tasks eligible on `machine`.
+    ///
+    /// # Panics
+    /// Panics if `machine` is out of range.
+    #[inline]
+    pub fn degree(&self, machine: MachineId) -> usize {
+        let i = machine.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Total number of (task, machine) eligibility pairs, `Σ_j |M_j|`.
+    #[inline]
+    pub fn total_replicas(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Raw CSR row of `machine`: eligible task indices, ascending.
+    ///
+    /// # Panics
+    /// Panics if `machine` is out of range.
+    #[inline]
+    pub fn row(&self, machine: MachineId) -> &[u32] {
+        let i = machine.index();
+        &self.tasks[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Tasks eligible on `machine`, in ascending id order.
+    ///
+    /// # Panics
+    /// Panics if `machine` is out of range.
+    pub fn tasks_on(&self, machine: MachineId) -> impl ExactSizeIterator<Item = TaskId> + '_ {
+        self.row(machine).iter().map(|&j| TaskId::new(j as usize))
+    }
+
+    /// Heuristic: is inverting worth it for this placement?
+    ///
+    /// Indexing pays off when eligibility is restricted — the per-machine
+    /// rows are substantially shorter than the full task list. Dense
+    /// placements (everywhere, or near it) dispatch in amortized O(1)
+    /// through the plain priority-order scan already, and the index would
+    /// only add cache pressure.
+    pub fn worth_indexing(placement: &Placement) -> bool {
+        let n = placement.n();
+        let m = placement.m();
+        m > 1 && n > 0 && placement.total_replicas() * 2 <= n * m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::MachineMask;
+    use crate::instance::Instance;
+    use crate::placement::MachineSet;
+
+    fn inst(n: usize, m: usize) -> Instance {
+        Instance::from_estimates(&vec![1.0; n], m).unwrap()
+    }
+
+    /// Reference inversion by direct membership tests.
+    fn naive_rows(p: &Placement) -> Vec<Vec<usize>> {
+        (0..p.m())
+            .map(|i| {
+                (0..p.n())
+                    .filter(|&j| p.allows(TaskId::new(j), MachineId::new(i)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn assert_matches_naive(p: &Placement) {
+        let idx = PlacementIndex::build(p);
+        assert_eq!(idx.m(), p.m());
+        assert_eq!(idx.n(), p.n());
+        assert_eq!(idx.total_replicas(), p.total_replicas());
+        let naive = naive_rows(p);
+        for (i, want) in naive.iter().enumerate() {
+            let id = MachineId::new(i);
+            assert_eq!(idx.degree(id), want.len(), "machine {i} degree");
+            let got: Vec<usize> = idx.tasks_on(id).map(|t| t.index()).collect();
+            assert_eq!(&got, want, "machine {i} row");
+        }
+    }
+
+    #[test]
+    fn inverts_every_set_shape() {
+        let i = inst(5, 4);
+        let p = Placement::new(
+            &i,
+            vec![
+                MachineSet::One(MachineId::new(2)),
+                MachineSet::All,
+                MachineSet::Span { start: 1, end: 3 },
+                MachineSet::Mask(MachineMask::from_iter_with_capacity(
+                    4,
+                    [0, 3].into_iter().map(MachineId::new),
+                )),
+                MachineSet::One(MachineId::new(0)),
+            ],
+        )
+        .unwrap();
+        assert_matches_naive(&p);
+    }
+
+    #[test]
+    fn inverts_everywhere_and_pinned() {
+        let i = inst(7, 3);
+        assert_matches_naive(&Placement::everywhere(&i));
+        let pins: Vec<MachineId> = (0..7).map(|j| MachineId::new(j % 3)).collect();
+        assert_matches_naive(&Placement::pinned(&i, &pins).unwrap());
+    }
+
+    #[test]
+    fn rows_are_ascending() {
+        let i = inst(12, 4);
+        let sets: Vec<MachineSet> = (0..12)
+            .map(|j| MachineSet::Span {
+                start: (j % 3) as u32,
+                end: (j % 3) as u32 + 2,
+            })
+            .collect();
+        let p = Placement::new(&i, sets).unwrap();
+        let idx = PlacementIndex::build(&p);
+        for i in 0..4 {
+            let row = idx.row(MachineId::new(i));
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "machine {i} not sorted"
+            );
+        }
+        assert_matches_naive(&p);
+    }
+
+    #[test]
+    fn empty_instance_has_empty_rows() {
+        let i = inst(1, 2);
+        let p = Placement::new(&i, vec![MachineSet::One(MachineId::new(1))]).unwrap();
+        let idx = PlacementIndex::build(&p);
+        assert_eq!(idx.degree(MachineId::new(0)), 0);
+        assert_eq!(idx.degree(MachineId::new(1)), 1);
+    }
+
+    #[test]
+    fn worth_indexing_tracks_density() {
+        let i = inst(10, 6);
+        // Everywhere: dense, never worth it.
+        assert!(!PlacementIndex::worth_indexing(&Placement::everywhere(&i)));
+        // Pinned (1 replica on 6 machines): sparse.
+        let pins: Vec<MachineId> = (0..10).map(|j| MachineId::new(j % 6)).collect();
+        assert!(PlacementIndex::worth_indexing(
+            &Placement::pinned(&i, &pins).unwrap()
+        ));
+        // k=3 groups on m=6: exactly at the threshold — indexed.
+        let sets: Vec<MachineSet> = (0..10)
+            .map(|j| MachineSet::Span {
+                start: if j % 2 == 0 { 0 } else { 3 },
+                end: if j % 2 == 0 { 3 } else { 6 },
+            })
+            .collect();
+        assert!(PlacementIndex::worth_indexing(
+            &Placement::new(&i, sets).unwrap()
+        ));
+        // Single machine: nothing to restrict.
+        let one = inst(4, 1);
+        assert!(!PlacementIndex::worth_indexing(&Placement::everywhere(
+            &one
+        )));
+    }
+}

@@ -8,7 +8,9 @@
 //!   with per-job panic isolation;
 //! - [`sweep::parallel_map`]: order-preserving scoped parallel map with
 //!   dynamic work claiming ([`sweep::try_parallel_map`] for the
-//!   fallible, panic-isolating variant);
+//!   fallible, panic-isolating variant; [`sweep::parallel_map_with`]
+//!   adds per-worker scratch state — e.g. one reusable `SimArena` per
+//!   thread — so Monte-Carlo trial bodies stay allocation-free);
 //! - [`pool::supervise`]: the trial watchdog — per-trial wall-clock
 //!   budgets with cooperative cancellation, bounded retry with
 //!   exponential backoff and deterministic jitter, and quarantine of
@@ -31,4 +33,4 @@ pub mod sweep;
 
 pub use journal::{CampaignMeta, Journal, TrialRecord, TrialStatus};
 pub use pool::{supervise, CancelToken, Supervised, ThreadPool, WatchdogPolicy};
-pub use sweep::{parallel_map, parallel_reps, try_parallel_map};
+pub use sweep::{parallel_map, parallel_map_with, parallel_reps, try_parallel_map};

@@ -128,6 +128,66 @@ where
         .collect()
 }
 
+/// [`parallel_map`] with per-worker scratch state: each worker thread
+/// calls `init` exactly once and threads the resulting state through
+/// every item it claims, so expensive reusable resources (a
+/// `rds_sim::SimArena`, a dispatcher, an RNG) are built per *worker*,
+/// not per *item*. This is the hook Monte-Carlo campaigns use to keep
+/// trial bodies allocation-free.
+///
+/// Results come back in input order, work is claimed dynamically, and
+/// the single-threaded path builds one state and iterates in place.
+///
+/// # Panics
+/// Propagates the first panic raised inside `init` or `f`.
+pub fn parallel_map_with<T, R, S, I, F>(items: Vec<T>, threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let _span = rds_obs::span("sweep.parallel_map");
+    if rds_obs::enabled() {
+        rds_obs::global().counter("sweep.items").add(n as u64);
+    }
+    if threads == 1 || n == 1 {
+        let mut state = init();
+        return items.into_iter().map(|t| f(&mut state, t)).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| {
+                let mut state = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().take().expect("each slot claimed once");
+                    let r = f(&mut state, item);
+                    *results[i].lock() = Some(r);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all slots filled"))
+        .collect()
+}
+
 /// Runs `reps` seeded repetitions of `f` in parallel, preserving the
 /// repetition order: `f(rep_index)` for `rep_index ∈ 0..reps`.
 pub fn parallel_reps<R, F>(reps: usize, threads: usize, f: F) -> Vec<R>
@@ -231,6 +291,50 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, Error::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn map_with_builds_state_per_worker_not_per_item() {
+        // Count `init` calls: with 3 workers and 100 items there must be
+        // at most 3 (and at least 1), never 100.
+        let inits = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            (0..100).collect(),
+            3,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize // per-worker tally of items seen
+            },
+            |seen, x: i32| {
+                *seen += 1;
+                (x * 2, *seen)
+            },
+        );
+        let init_count = inits.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&init_count), "init ran {init_count} times");
+        // Order preserved, and every item was processed by some worker
+        // whose running tally is consistent (1-based, ≤ items so far).
+        for (i, (doubled, seen)) in out.iter().enumerate() {
+            assert_eq!(*doubled, (i as i32) * 2);
+            assert!((1..=100).contains(seen));
+        }
+        let total: usize = out.iter().map(|(_, _s)| 1).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn map_with_single_thread_reuses_one_state() {
+        let out = parallel_map_with(
+            vec![5, 6, 7],
+            1,
+            || 0usize,
+            |seen, x: i32| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        // One state threads through all items in order.
+        assert_eq!(out, vec![(5, 1), (6, 2), (7, 3)]);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use rds_par::pool::{supervise, CancelToken, Supervised, WatchdogPolicy};
 use rds_sim::faults::{FaultScript, Speculation};
 use std::collections::HashSet;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One campaign trial: a derived seed plus the shared execution context.
@@ -259,18 +260,25 @@ pub fn run_campaign_resumable(
             .add(skipped as u64);
     }
 
+    // The supervised body must own everything it touches (a budgeted
+    // attempt runs on a dedicated thread the watchdog may abandon), but
+    // ownership only needs refcounts: one deep clone per campaign /
+    // policy / trial up front, then per-trial `Arc::clone` bumps. The
+    // aggregates stay bit-identical — only the sharing changed.
+    let shared_instance = Arc::new(instance.clone());
+    let shared_trials: Vec<Arc<Trial>> = trials.iter().map(|t| Arc::new(t.clone())).collect();
+
     let mut executed = 0usize;
     for policy in suite {
+        let shared_policy = Arc::new(policy.clone());
         for (index, trial) in trials.iter().enumerate() {
             let trial_idx = index as u64;
             if have.contains(&(policy.name.clone(), trial_idx)) {
                 continue;
             }
-            // The supervised body owns everything it touches: a budgeted
-            // attempt runs on a dedicated thread the watchdog may abandon.
-            let body_instance = instance.clone();
-            let body_policy = policy.clone();
-            let body_trial = trial.clone();
+            let body_instance = Arc::clone(&shared_instance);
+            let body_policy = Arc::clone(&shared_policy);
+            let body_trial = Arc::clone(&shared_trials[index]);
             let speculation = config.speculation;
             let stall = config.stall.filter(|s| s.applies_to(trial_idx));
             let outcome = supervise(&config.watchdog, trial.seed, move |token| {

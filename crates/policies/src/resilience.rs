@@ -39,7 +39,10 @@ impl ResiliencePolicy {
     pub fn dispatcher(&self, instance: &Instance) -> Box<dyn Dispatcher> {
         match &self.pinned {
             Some(machines) => Box::new(PinnedDispatcher::new(machines, instance.m())),
-            None => Box::new(OrderedDispatcher::lpt_by_estimate(instance)),
+            None => Box::new(OrderedDispatcher::auto(
+                instance.ids_by_estimate_desc(),
+                &self.placement,
+            )),
         }
     }
 }

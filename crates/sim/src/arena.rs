@@ -1,0 +1,186 @@
+//! Reusable scratch storage for the engine hot path.
+//!
+//! Every empirical result in the paper is a Monte-Carlo campaign:
+//! thousands of engine runs per (instance, placement) pair where only
+//! the realization changes. Allocating `pending`, the per-machine slot
+//! lists, the trace, and the event heap from scratch each run puts the
+//! allocator on the hottest path in the repo. A [`SimArena`] owns that
+//! storage once; [`crate::Engine::run_in`] resets and refills it, so in
+//! steady state (same instance shape run after run) a trial performs
+//! **zero** heap allocations — the `engine_throughput` bench in
+//! `rds-bench` counts them to prove it, and CI regresses on the count.
+//!
+//! Typical use: one arena per worker thread, reused across trials
+//! (`rds_par::parallel_map_with` hands each worker a long-lived arena):
+//!
+//! ```
+//! use rds_core::prelude::*;
+//! use rds_sim::{Engine, OrderedDispatcher, SimArena};
+//!
+//! let inst = Instance::from_estimates(&[3.0, 2.0, 2.0, 1.0], 2)?;
+//! let placement = Placement::everywhere(&inst);
+//! let mut arena = SimArena::with_capacity(inst.n(), inst.m());
+//! let mut dispatcher = OrderedDispatcher::fifo(&inst);
+//! for _trial in 0..3 {
+//!     let real = Realization::exact(&inst); // varies per trial in practice
+//!     let engine = Engine::new(&inst, &placement, &real)?;
+//!     dispatcher.reset();
+//!     let makespan = engine.run_in(&mut arena, &mut dispatcher)?;
+//!     assert_eq!(makespan.get(), 4.0);
+//!     assert_eq!(arena.trace().starts(), 4);
+//! }
+//! # Ok::<(), rds_core::Error>(())
+//! ```
+
+use crate::engine::SimResult;
+use crate::event::EventQueue;
+use crate::trace::Trace;
+use rds_core::{Schedule, Slot, Time};
+
+/// Scratch storage for one engine run, reusable across runs.
+///
+/// After a successful [`crate::Engine::run_in`], the arena holds that
+/// run's outputs until the next run overwrites them: [`Self::slots`],
+/// [`Self::trace`], and [`Self::makespan`] read them in place (no
+/// copies); [`Self::to_sim_result`] clones them into an owned
+/// [`SimResult`] for callers that need one.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    /// `pending[j]` is `true` while task `j` has not been started.
+    pub(crate) pending: Vec<bool>,
+    /// Executed slots per machine, in execution order.
+    pub(crate) slots: Vec<Vec<Slot>>,
+    /// Chronological event trace of the last run.
+    pub(crate) trace: Trace,
+    /// The idle-event heap.
+    pub(crate) queue: EventQueue,
+    /// Makespan of the last completed run.
+    pub(crate) makespan: Time,
+}
+
+impl SimArena {
+    /// An empty arena; storage grows on first use and is kept thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An arena pre-sized for instances of `n` tasks on `m` machines:
+    /// `pending` holds `n` flags, the trace holds the engine's `2n + m`
+    /// event bound, and the heap holds the `m` events the engine needs
+    /// at most (one outstanding idle event per machine).
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        SimArena {
+            pending: Vec::with_capacity(n),
+            slots: std::iter::repeat_with(Vec::new).take(m).collect(),
+            trace: Trace::with_capacity(2 * n + m),
+            queue: EventQueue::with_capacity(m),
+            makespan: Time::ZERO,
+        }
+    }
+
+    /// Resets every buffer for a fresh `(n, m)` run, keeping storage.
+    /// Steady state (same shape as the previous run) allocates nothing;
+    /// a larger shape grows the buffers once and keeps the new capacity.
+    pub(crate) fn prepare(&mut self, n: usize, m: usize) {
+        self.pending.clear();
+        self.pending.resize(n, true);
+        self.slots.truncate(m);
+        for q in &mut self.slots {
+            q.clear();
+        }
+        while self.slots.len() < m {
+            self.slots.push(Vec::new());
+        }
+        self.trace.clear();
+        self.trace.reserve(2 * n + m);
+        self.queue.reset_all_idle(m);
+        self.makespan = Time::ZERO;
+    }
+
+    /// Makespan of the last completed run.
+    #[inline]
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Event trace of the last run, read in place.
+    #[inline]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Executed slots per machine from the last run, read in place.
+    #[inline]
+    pub fn slots(&self) -> &[Vec<Slot>] {
+        &self.slots
+    }
+
+    /// Clones the last run's outputs into an owned [`SimResult`] —
+    /// identical to what [`crate::Engine::run`] would have returned.
+    /// This allocates; hot paths should read the arena in place instead.
+    pub fn to_sim_result(&self) -> SimResult {
+        SimResult {
+            schedule: Schedule::from_slots(self.slots.clone()),
+            makespan: self.makespan,
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// Moves the last run's outputs out as a [`SimResult`], leaving the
+    /// arena empty (its next run re-grows the moved buffers).
+    pub(crate) fn take_result(&mut self) -> SimResult {
+        SimResult {
+            schedule: Schedule::from_slots(std::mem::take(&mut self.slots)),
+            makespan: self.makespan,
+            trace: std::mem::take(&mut self.trace),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::{MachineId, TaskId};
+
+    #[test]
+    fn prepare_resets_dirty_state_and_resizes() {
+        let mut arena = SimArena::with_capacity(4, 2);
+        arena.prepare(4, 2);
+        arena.pending[1] = false;
+        arena.slots[0].push(Slot {
+            task: TaskId::new(1),
+            start: Time::ZERO,
+            end: Time::of(1.0),
+        });
+        arena.trace.push(crate::trace::TraceEvent::Starved {
+            time: Time::ZERO,
+            machine: MachineId::new(0),
+        });
+        arena.makespan = Time::of(9.0);
+        arena.queue.pop();
+
+        // Shrink to a smaller shape: everything must come back pristine.
+        arena.prepare(2, 1);
+        assert_eq!(arena.pending, vec![true, true]);
+        assert_eq!(arena.slots.len(), 1);
+        assert!(arena.slots[0].is_empty());
+        assert!(arena.trace.is_empty());
+        assert_eq!(arena.makespan, Time::ZERO);
+        assert_eq!(arena.queue.len(), 1);
+
+        // Grow again: shape follows, state still pristine.
+        arena.prepare(6, 3);
+        assert_eq!(arena.pending.len(), 6);
+        assert_eq!(arena.slots.len(), 3);
+        assert_eq!(arena.queue.len(), 3);
+    }
+
+    #[test]
+    fn steady_state_prepare_keeps_capacity() {
+        let mut arena = SimArena::with_capacity(8, 4);
+        arena.prepare(8, 4);
+        let pending_cap = arena.pending.capacity();
+        arena.prepare(8, 4);
+        assert_eq!(arena.pending.capacity(), pending_cap);
+    }
+}

@@ -6,7 +6,7 @@
 //! has completed so far) — never the actual time of an unfinished task,
 //! which is how the engine enforces the semi-clairvoyant model.
 
-use rds_core::{Instance, MachineId, Placement, TaskId, Time};
+use rds_core::{Instance, MachineId, Placement, PlacementIndex, TaskId, Time};
 
 /// Read-only scheduler-visible state handed to the dispatcher.
 pub struct SimView<'a> {
@@ -54,18 +54,92 @@ pub trait Dispatcher {
 /// - order = task-id order → Graham's online List Scheduling;
 /// - order = estimate-descending → online LPT (`LPT-No Restriction`'s
 ///   phase 2, and the within-group policy of `LS-Group` if so configured).
+///
+/// Two internal execution paths produce identical dispatch decisions
+/// (the `indexed_dispatch_matches_scan` property test proves it):
+///
+/// - **scan** (the default): one global fast-forward cursor plus a
+///   linear scan, amortized O(1) under the everywhere placement but O(n)
+///   per idle event under restricted placements;
+/// - **indexed** ([`OrderedDispatcher::indexed`] /
+///   [`OrderedDispatcher::auto`]): the priority order pre-restricted per
+///   machine from a [`PlacementIndex`], with one fast-forward cursor per
+///   machine — amortized O(1) for k-replica and grouped placements too,
+///   the paper's main workloads.
 #[derive(Debug, Clone)]
 pub struct OrderedDispatcher {
     order: Vec<TaskId>,
     /// Index of the first possibly-pending entry (fast-forward cursor
     /// valid for the everywhere-placement case; general placements scan).
     cursor: usize,
+    /// `pos_in_order[j]` = position of task `j` in `order`
+    /// (`ABSENT` when the order does not contain `j`), so a requeue
+    /// rewinds the cursor in O(1) instead of rescanning from zero.
+    pos_in_order: Vec<u32>,
+    /// Per-machine restriction of `order`, when built.
+    index: Option<IndexedOrder>,
+}
+
+/// Sentinel for "task not present in this priority order".
+const ABSENT: u32 = u32::MAX;
+
+/// The priority order restricted per machine (CSR layout over order
+/// positions), plus one fast-forward cursor per machine.
+#[derive(Debug, Clone)]
+struct IndexedOrder {
+    /// `offsets[i]..offsets[i+1]` bounds machine `i`'s slice of `ranks`;
+    /// length `m + 1`.
+    offsets: Vec<u32>,
+    /// Positions into `order`, ascending within each machine — machine
+    /// `i`'s eligible tasks in priority order.
+    ranks: Vec<u32>,
+    /// Absolute per-machine cursors into `ranks`; entries left of a
+    /// cursor are known-started (unless a requeue rewound it).
+    cursors: Vec<u32>,
+}
+
+impl IndexedOrder {
+    fn build(pos_in_order: &[u32], index: &PlacementIndex) -> Self {
+        let m = index.m();
+        let mut offsets = Vec::with_capacity(m + 1);
+        offsets.push(0u32);
+        let mut ranks = Vec::with_capacity(index.total_replicas());
+        for i in 0..m {
+            let start = ranks.len();
+            ranks.extend(
+                index
+                    .tasks_on(MachineId::new(i))
+                    .map(|t| pos_in_order.get(t.index()).copied().unwrap_or(ABSENT))
+                    .filter(|&r| r != ABSENT),
+            );
+            // The CSR row is ascending by task id; re-sort by priority
+            // rank so each row replays `order` restricted to the machine.
+            ranks[start..].sort_unstable();
+            offsets.push(ranks.len() as u32);
+        }
+        let cursors = offsets[..m].to_vec();
+        IndexedOrder {
+            offsets,
+            ranks,
+            cursors,
+        }
+    }
 }
 
 impl OrderedDispatcher {
-    /// Dispatcher following the given priority order.
+    /// Dispatcher following the given priority order (scan path).
     pub fn new(order: Vec<TaskId>) -> Self {
-        OrderedDispatcher { order, cursor: 0 }
+        let max_task = order.iter().map(|t| t.index() + 1).max().unwrap_or(0);
+        let mut pos_in_order = vec![ABSENT; max_task];
+        for (pos, t) in order.iter().enumerate() {
+            pos_in_order[t.index()] = pos as u32;
+        }
+        OrderedDispatcher {
+            order,
+            cursor: 0,
+            pos_in_order,
+            index: None,
+        }
     }
 
     /// Task-id (FIFO) order — Graham's List Scheduling.
@@ -77,12 +151,69 @@ impl OrderedDispatcher {
     pub fn lpt_by_estimate(instance: &Instance) -> Self {
         Self::new(instance.ids_by_estimate_desc())
     }
+
+    /// Dispatcher on the indexed path: `order` restricted per machine
+    /// from the placement's eligibility index. Must be driven against
+    /// the same placement the index was built from — the engine's
+    /// feasibility check rejects anything else.
+    pub fn indexed(order: Vec<TaskId>, index: &PlacementIndex) -> Self {
+        let mut d = Self::new(order);
+        d.index = Some(IndexedOrder::build(&d.pos_in_order, index));
+        d
+    }
+
+    /// Picks the execution path for `placement`: indexed when the
+    /// placement is restricted enough that per-machine lists pay for
+    /// themselves ([`PlacementIndex::worth_indexing`]), the plain scan
+    /// otherwise (dense placements are already amortized O(1)).
+    pub fn auto(order: Vec<TaskId>, placement: &Placement) -> Self {
+        if PlacementIndex::worth_indexing(placement) {
+            Self::indexed(order, &PlacementIndex::build(placement))
+        } else {
+            Self::new(order)
+        }
+    }
+
+    /// `true` when dispatching through per-machine indexed lists.
+    pub fn is_indexed(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Rewinds every cursor so the dispatcher can serve a fresh run,
+    /// without reallocating any internal storage — the reuse hook for
+    /// Monte-Carlo campaigns that re-run one (instance, placement) pair
+    /// across many realizations.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        if let Some(idx) = &mut self.index {
+            let m = idx.cursors.len();
+            idx.cursors.copy_from_slice(&idx.offsets[..m]);
+        }
+    }
 }
 
 impl Dispatcher for OrderedDispatcher {
     fn next_task(&mut self, machine: MachineId, _now: Time, view: &SimView<'_>) -> Option<TaskId> {
-        // Advance the cursor past started tasks to keep the common case
-        // (everywhere placement) O(1) amortized.
+        if let Some(idx) = &mut self.index {
+            // Indexed path: every entry in the machine's row is eligible
+            // by construction, so pending is the only filter, and the
+            // per-machine cursor makes the advance amortized O(1).
+            let i = machine.index();
+            let hi = idx.offsets[i + 1];
+            let mut c = idx.cursors[i];
+            while c < hi {
+                let t = self.order[idx.ranks[c as usize] as usize];
+                if view.pending[t.index()] {
+                    idx.cursors[i] = c;
+                    return Some(t);
+                }
+                c += 1;
+            }
+            idx.cursors[i] = c;
+            return None;
+        }
+        // Scan path: advance the global cursor past started tasks to keep
+        // the common case (everywhere placement) O(1) amortized.
         while self.cursor < self.order.len() && !view.pending[self.order[self.cursor].index()] {
             self.cursor += 1;
         }
@@ -92,11 +223,29 @@ impl Dispatcher for OrderedDispatcher {
             .find(|&t| view.eligible(t, machine))
     }
 
-    fn on_requeue(&mut self, _task: TaskId) {
-        // A started task became pending again: the fast-forward cursor
-        // may have passed it. Requeues are rare (machine failures), so
-        // simply rescan from the beginning.
-        self.cursor = 0;
+    fn on_requeue(&mut self, task: TaskId) {
+        // A started task became pending again: any cursor that passed its
+        // order position must rewind — but only to that position, not to
+        // zero, so a long fault campaign doesn't pay a full rescan per
+        // machine failure.
+        let Some(&pos) = self.pos_in_order.get(task.index()) else {
+            return;
+        };
+        if pos == ABSENT {
+            return;
+        }
+        self.cursor = self.cursor.min(pos as usize);
+        if let Some(idx) = &mut self.index {
+            for i in 0..idx.cursors.len() {
+                let lo = idx.offsets[i] as usize;
+                let hi = idx.offsets[i + 1] as usize;
+                // The row holds `pos` iff the machine hosts the task;
+                // rows are rank-sorted, so a binary search finds it.
+                if let Ok(k) = idx.ranks[lo..hi].binary_search(&pos) {
+                    idx.cursors[i] = idx.cursors[i].min((lo + k) as u32);
+                }
+            }
+        }
     }
 }
 
@@ -110,14 +259,18 @@ pub struct PinnedDispatcher {
 
 impl PinnedDispatcher {
     /// Builds per-machine queues from a per-task machine vector, running
-    /// each machine's tasks in task-id order.
+    /// each machine's tasks in task-id order. A counting pass sizes each
+    /// queue exactly, so no queue ever reallocates while filling.
     pub fn new(machine_of: &[MachineId], m: usize) -> Self {
-        let mut queues = vec![Vec::new(); m];
-        for (j, id) in machine_of.iter().enumerate() {
-            queues[id.index()].push(TaskId::new(j));
+        let mut counts = vec![0usize; m];
+        for id in machine_of {
+            counts[id.index()] += 1;
         }
-        for q in &mut queues {
-            q.reverse(); // pop from the back = task-id order
+        let mut queues: Vec<Vec<TaskId>> = counts.into_iter().map(Vec::with_capacity).collect();
+        // Filling in reverse task-id order means popping from the back
+        // yields task-id order, with no post-hoc reverse pass.
+        for (j, id) in machine_of.iter().enumerate().rev() {
+            queues[id.index()].push(TaskId::new(j));
         }
         PinnedDispatcher { queues }
     }
@@ -153,14 +306,15 @@ impl StagedDispatcher {
     /// `pinned_of[j] = Some(machine)` for stage-1 tasks; stage-2 tasks
     /// (the `None`s) are served in `order` afterwards.
     pub fn new(pinned_of: &[Option<MachineId>], m: usize, order: Vec<TaskId>) -> Self {
-        let mut queues = vec![Vec::new(); m];
-        for (j, id) in pinned_of.iter().enumerate() {
+        let mut counts = vec![0usize; m];
+        for id in pinned_of.iter().flatten() {
+            counts[id.index()] += 1;
+        }
+        let mut queues: Vec<Vec<TaskId>> = counts.into_iter().map(Vec::with_capacity).collect();
+        for (j, id) in pinned_of.iter().enumerate().rev() {
             if let Some(id) = id {
                 queues[id.index()].push(TaskId::new(j));
             }
-        }
-        for q in &mut queues {
-            q.reverse();
         }
         StagedDispatcher {
             pinned: PinnedDispatcher { queues },
@@ -260,6 +414,185 @@ mod tests {
             d.next_task(MachineId::new(1), Time::ZERO, &view),
             Some(TaskId::new(1))
         );
+    }
+
+    #[test]
+    fn requeue_rewinds_cursor_to_task_position_only() {
+        // Start tasks 0..4 so the fast-forward cursor sits at 3 (it
+        // advances lazily, at the start of the *next* call), then requeue
+        // task 2: the cursor must rewind to exactly 2, so the next
+        // dispatch returns task 2 without rescanning 0 and 1.
+        let (inst, p) = setup(5, 1);
+        let mut d = OrderedDispatcher::fifo(&inst);
+        let mut pending = vec![true; 5];
+        for j in 0..4 {
+            let view = SimView {
+                instance: &inst,
+                placement: &p,
+                pending: &pending,
+            };
+            assert_eq!(
+                d.next_task(MachineId::new(0), Time::ZERO, &view),
+                Some(TaskId::new(j))
+            );
+            pending[j] = false;
+        }
+        assert_eq!(d.cursor, 3);
+        pending[2] = true; // the machine running task 2 failed
+        d.on_requeue(TaskId::new(2));
+        assert_eq!(d.cursor, 2, "rewind to the task's position, not zero");
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            pending: &pending,
+        };
+        assert_eq!(
+            d.next_task(MachineId::new(0), Time::ZERO, &view),
+            Some(TaskId::new(2))
+        );
+        // Requeue of an earlier task still rewinds further back…
+        d.on_requeue(TaskId::new(0));
+        assert_eq!(d.cursor, 0);
+        // …and a later position never moves the cursor forward.
+        d.on_requeue(TaskId::new(4));
+        assert_eq!(d.cursor, 0);
+    }
+
+    #[test]
+    fn requeue_of_task_outside_order_is_a_noop() {
+        let mut d = OrderedDispatcher::new(vec![TaskId::new(1), TaskId::new(0)]);
+        d.cursor = 1;
+        d.on_requeue(TaskId::new(7)); // never in the order
+        assert_eq!(d.cursor, 1);
+    }
+
+    #[test]
+    fn indexed_dispatch_matches_scan_decisions() {
+        // Tasks 0,2 on machines {0,1}; tasks 1,3 on machines {2,3};
+        // replay identical dispatch sequences through both paths.
+        let inst = Instance::from_estimates(&[1.0; 4], 4).unwrap();
+        let sets = vec![
+            rds_core::MachineSet::Span { start: 0, end: 2 },
+            rds_core::MachineSet::Span { start: 2, end: 4 },
+            rds_core::MachineSet::Span { start: 0, end: 2 },
+            rds_core::MachineSet::Span { start: 2, end: 4 },
+        ];
+        let p = Placement::new(&inst, sets).unwrap();
+        let order: Vec<TaskId> = inst.task_ids().collect();
+        let mut scan = OrderedDispatcher::new(order.clone());
+        let mut indexed = OrderedDispatcher::auto(order, &p);
+        assert!(indexed.is_indexed());
+        let mut pending = vec![true; 4];
+        for machine in [0usize, 2, 1, 3, 0] {
+            let view = SimView {
+                instance: &inst,
+                placement: &p,
+                pending: &pending,
+            };
+            let a = scan.next_task(MachineId::new(machine), Time::ZERO, &view);
+            let view = SimView {
+                instance: &inst,
+                placement: &p,
+                pending: &pending,
+            };
+            let b = indexed.next_task(MachineId::new(machine), Time::ZERO, &view);
+            assert_eq!(a, b, "machine {machine}");
+            if let Some(t) = a {
+                pending[t.index()] = false;
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_requeue_rewinds_only_hosting_machines() {
+        let inst = Instance::from_estimates(&[1.0; 4], 2).unwrap();
+        // Tasks 0,1 on machine 0; tasks 2,3 on machine 1.
+        let pins = [
+            MachineId::new(0),
+            MachineId::new(0),
+            MachineId::new(1),
+            MachineId::new(1),
+        ];
+        let p = Placement::pinned(&inst, &pins).unwrap();
+        let order: Vec<TaskId> = inst.task_ids().collect();
+        let mut d = OrderedDispatcher::auto(order, &p);
+        assert!(d.is_indexed());
+        let mut pending = vec![true; 4];
+        // Drain machine 0 fully and machine 1 once.
+        for (machine, expect) in [(0, 0), (0, 1), (1, 2)] {
+            let view = SimView {
+                instance: &inst,
+                placement: &p,
+                pending: &pending,
+            };
+            let got = d
+                .next_task(MachineId::new(machine), Time::ZERO, &view)
+                .unwrap();
+            assert_eq!(got.index(), expect);
+            pending[expect] = false;
+        }
+        // Requeue task 1 (hosted only on machine 0): machine 0 sees it
+        // again, machine 1's cursor is untouched and yields task 3.
+        pending[1] = true;
+        d.on_requeue(TaskId::new(1));
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            pending: &pending,
+        };
+        assert_eq!(
+            d.next_task(MachineId::new(0), Time::ZERO, &view),
+            Some(TaskId::new(1))
+        );
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            pending: &pending,
+        };
+        assert_eq!(
+            d.next_task(MachineId::new(1), Time::ZERO, &view),
+            Some(TaskId::new(3))
+        );
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_dispatcher_without_rebuilding() {
+        let inst = Instance::from_estimates(&[1.0; 3], 2).unwrap();
+        let pins = [MachineId::new(0), MachineId::new(1), MachineId::new(0)];
+        let p = Placement::pinned(&inst, &pins).unwrap();
+        for mut d in [
+            OrderedDispatcher::fifo(&inst),
+            OrderedDispatcher::auto(inst.task_ids().collect(), &p),
+        ] {
+            let mut pending = vec![true; 3];
+            let view = SimView {
+                instance: &inst,
+                placement: &p,
+                pending: &pending,
+            };
+            let first = d.next_task(MachineId::new(0), Time::ZERO, &view);
+            assert_eq!(first, Some(TaskId::new(0)));
+            pending[0] = false;
+            pending[2] = false;
+            let view = SimView {
+                instance: &inst,
+                placement: &p,
+                pending: &pending,
+            };
+            assert_eq!(d.next_task(MachineId::new(0), Time::ZERO, &view), None);
+            // A reset must serve the next trial exactly like a rebuild.
+            d.reset();
+            let pending = vec![true; 3];
+            let view = SimView {
+                instance: &inst,
+                placement: &p,
+                pending: &pending,
+            };
+            assert_eq!(
+                d.next_task(MachineId::new(0), Time::ZERO, &view),
+                Some(TaskId::new(0))
+            );
+        }
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! itself never sees them earlier, enforcing semi-clairvoyance
 //! structurally.
 
+use crate::arena::SimArena;
 use crate::dispatcher::{Dispatcher, SimView};
-use crate::event::{EventQueue, IdleEvent};
+use crate::event::IdleEvent;
 use crate::trace::{Trace, TraceEvent};
 use rds_core::{Error, Instance, Placement, Realization, Result, Schedule, Slot, Time};
 
@@ -75,25 +76,57 @@ impl<'a> Engine<'a> {
     /// - [`Error::InvalidParameter`] if it picks an already-started task
     ///   or leaves tasks unscheduled although machines could run them.
     pub fn run(&self, dispatcher: &mut dyn Dispatcher) -> Result<SimResult> {
+        let mut arena = SimArena::with_capacity(self.instance.n(), self.instance.m());
+        self.run_in(&mut arena, dispatcher)?;
+        Ok(arena.take_result())
+    }
+
+    /// Runs the simulation to completion under `dispatcher`, using
+    /// `arena` as scratch and output storage. This is the allocation-free
+    /// entry point for Monte-Carlo campaigns: reusing one arena across
+    /// runs of the same instance shape performs zero heap allocations per
+    /// run. Returns the makespan; the executed slots and the trace stay
+    /// readable in the arena until the next run ([`SimArena::slots`],
+    /// [`SimArena::trace`], [`SimArena::to_sim_result`]).
+    ///
+    /// Generic over the dispatcher type so concrete dispatchers get a
+    /// devirtualized, inlinable dispatch call in the event loop (`&mut
+    /// dyn Dispatcher` still works through the `?Sized` bound).
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::run`].
+    pub fn run_in<D: Dispatcher + ?Sized>(
+        &self,
+        arena: &mut SimArena,
+        dispatcher: &mut D,
+    ) -> Result<Time> {
         // Monomorphize the loop on the instrumentation flag: the
         // `OBS = false` instantiation contains no guard code at all, so
         // disabled instrumentation costs one atomic load per *run*
         // (the `obs_overhead` bench in rds-bench certifies < 2%).
         if rds_obs::enabled() {
-            self.run_inner::<true>(dispatcher)
+            self.run_inner::<true, D>(arena, dispatcher)
         } else {
-            self.run_inner::<false>(dispatcher)
+            self.run_inner::<false, D>(arena, dispatcher)
         }
     }
 
-    fn run_inner<const OBS: bool>(&self, dispatcher: &mut dyn Dispatcher) -> Result<SimResult> {
+    fn run_inner<const OBS: bool, D: Dispatcher + ?Sized>(
+        &self,
+        arena: &mut SimArena,
+        dispatcher: &mut D,
+    ) -> Result<Time> {
         let n = self.instance.n();
         let m = self.instance.m();
-        let mut pending = vec![true; n];
+        arena.prepare(n, m);
+        let SimArena {
+            pending,
+            slots,
+            trace,
+            queue,
+            ..
+        } = arena;
         let mut remaining = n;
-        let mut slots: Vec<Vec<Slot>> = vec![Vec::new(); m];
-        let mut trace = Trace::new();
-        let mut queue = EventQueue::all_idle(m);
         let mut makespan = Time::ZERO;
 
         // Metric handles are resolved once per run. `OBS` is a const:
@@ -137,7 +170,7 @@ impl<'a> Engine<'a> {
             let view = SimView {
                 instance: self.instance,
                 placement: self.placement,
-                pending: &pending,
+                pending,
             };
             if let Some((_, dispatch, _)) = &obs {
                 dispatch.inc();
@@ -202,8 +235,11 @@ impl<'a> Engine<'a> {
                 what: "simulation ended with unscheduled tasks",
             });
         }
-        let schedule = Schedule::from_slots(slots);
+        arena.makespan = makespan;
         if crate::validate::enabled() {
+            // Validation is debug-/opt-in-only, so cloning the slots into
+            // a Schedule here never touches the production hot path.
+            let schedule = Schedule::from_slots(arena.slots.clone());
             crate::validate::check_schedule(
                 self.instance,
                 self.placement,
@@ -212,11 +248,7 @@ impl<'a> Engine<'a> {
                 &crate::validate::Checks::engine(),
             )?;
         }
-        Ok(SimResult {
-            schedule,
-            makespan,
-            trace,
-        })
+        Ok(makespan)
     }
 }
 

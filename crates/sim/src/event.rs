@@ -62,17 +62,35 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Queue with every machine idle at time zero (no finished task).
+    /// An empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+        }
+    }
+
+    /// Queue with every machine idle at time zero (no finished task),
+    /// sized for `m` events up front — each machine has at most one
+    /// outstanding idle event, so the engine never grows the heap.
     pub fn all_idle(m: usize) -> Self {
-        let mut q = Self::new();
+        let mut q = Self::with_capacity(m);
+        q.reset_all_idle(m);
+        q
+    }
+
+    /// Clears the queue (keeping its storage) and reseeds every machine
+    /// idle at time zero, exactly like a fresh [`EventQueue::all_idle`].
+    /// Once the heap has capacity for `m` events this never allocates.
+    pub fn reset_all_idle(&mut self, m: usize) {
+        self.heap.clear();
+        self.heap.reserve(m);
         for i in 0..m {
-            q.push(IdleEvent {
+            self.push(IdleEvent {
                 time: Time::ZERO,
                 machine: MachineId::new(i),
                 finished: None,
             });
         }
-        q
     }
 
     /// Inserts an event.

@@ -41,7 +41,8 @@ pub fn simulate_pinned(
 
 /// Simulates `LS-Group` phase 2 on a group-shaped placement: tasks are
 /// dispatched in task-id order, each to the first idle machine of its
-/// group (the engine's eligibility check confines them automatically).
+/// group. Group placements are sparse, so this takes the indexed
+/// dispatch path (per-machine restricted orders) automatically.
 ///
 /// # Errors
 /// Propagates engine errors.
@@ -51,7 +52,8 @@ pub fn simulate_grouped(
     realization: &Realization,
 ) -> Result<SimResult> {
     let engine = Engine::new(instance, placement, realization)?;
-    engine.run(&mut OrderedDispatcher::fifo(instance))
+    let order = instance.task_ids().collect();
+    engine.run(&mut OrderedDispatcher::auto(order, placement))
 }
 
 /// Simulates an arbitrary placement with a custom priority order.
@@ -65,7 +67,7 @@ pub fn simulate_ordered(
     realization: &Realization,
 ) -> Result<SimResult> {
     let engine = Engine::new(instance, placement, realization)?;
-    engine.run(&mut OrderedDispatcher::new(order))
+    engine.run(&mut OrderedDispatcher::auto(order, placement))
 }
 
 #[cfg(test)]

@@ -7,7 +7,10 @@
 //! only at completion. This crate is that runtime:
 //!
 //! - [`engine::Engine`]: the event loop (machines, clock, pending set,
-//!   feasibility enforcement);
+//!   feasibility enforcement) — [`engine::Engine::run_in`] reuses a
+//!   caller-owned [`arena::SimArena`] so steady-state Monte-Carlo trials
+//!   allocate nothing;
+//! - [`arena`]: the reusable scratch storage behind that hot path;
 //! - [`dispatcher`]: pluggable online policies (FIFO/LPT priority orders,
 //!   pinned queues, the staged policy of `ABO_Δ`);
 //! - [`executors`]: one-call simulations of each paper strategy;
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod dispatcher;
 pub mod engine;
 pub mod event;
@@ -52,6 +56,7 @@ pub mod faults;
 pub mod trace;
 pub mod validate;
 
+pub use arena::SimArena;
 pub use dispatcher::{Dispatcher, OrderedDispatcher, PinnedDispatcher, SimView, StagedDispatcher};
 pub use engine::{Engine, SimResult};
 pub use failures::{run_with_failures, Failure, FaultySimResult};

@@ -106,6 +106,26 @@ impl Trace {
         Self::default()
     }
 
+    /// An empty trace with room for `cap` events before reallocating.
+    /// The engine records at most `2n + m` events per run (one `Start`
+    /// and one `Complete` per task, at most one `Starved` per machine),
+    /// so sizing to that bound makes recording allocation-free.
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace {
+            events: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Removes every event, keeping the allocated storage for reuse.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Reserves room for at least `additional` further events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.events.reserve(additional);
+    }
+
     /// Appends an event (times must be non-decreasing; enforced in debug).
     pub fn push(&mut self, ev: TraceEvent) {
         debug_assert!(
