@@ -163,7 +163,7 @@ mod tests {
             let (slow_idx, _) = naive
                 .iter()
                 .enumerate()
-                .min_by(|(i, a), (j, c)| a.partial_cmp(c).unwrap().then(i.cmp(j)))
+                .min_by(|(i, a), (j, c)| a.total_cmp(c).then(i.cmp(j)))
                 .unwrap();
             assert_eq!(fast.index(), slow_idx);
             naive[slow_idx] += w;

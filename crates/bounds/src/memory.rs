@@ -96,7 +96,7 @@ pub fn abo_point(delta: f64, alpha: f64, rho1: f64, rho2: f64, m: usize) -> Trad
 ///
 /// Returns `f64::INFINITY` for `x <= 1`.
 pub fn impossibility_memory_for_makespan(x: f64) -> f64 {
-    assert!(x.is_finite() && x >= 1.0, "x = {x} must be >= 1");
+    assert!(x.is_finite(), "x = {x} must be finite");
     if x <= 1.0 {
         f64::INFINITY
     } else {
@@ -158,7 +158,11 @@ mod tests {
 
     #[test]
     fn impossibility_frontier_shape() {
+        // At and below the boundary the frontier is unbounded: no finite
+        // memory guarantee is compatible with makespan <= 1.
         assert_eq!(impossibility_memory_for_makespan(1.0), f64::INFINITY);
+        assert_eq!(impossibility_memory_for_makespan(0.5), f64::INFINITY);
+        assert_eq!(impossibility_memory_for_makespan(0.0), f64::INFINITY);
         assert!((impossibility_memory_for_makespan(2.0) - 2.0).abs() < EPS);
         assert!((impossibility_memory_for_makespan(3.0) - 1.5).abs() < EPS);
         // Decreasing in x.

@@ -141,8 +141,9 @@ pub fn delta_sweep(lo: f64, hi: f64, steps: usize) -> Result<Vec<f64>> {
 ///
 /// # Errors
 /// [`Error::InvalidParameter`] on out-of-domain parameters:
-/// `m >= 1`, `alpha_sq >= 1` (finite), `rho > 0` (finite), and at least
-/// two positive finite Δ values.
+/// `m >= 1`, `alpha_sq >= 1` (finite), `rho > 0` (finite), at least
+/// two positive finite Δ values, and every Δ small enough that the
+/// SABO/ABO guarantee points stay finite.
 pub fn memory_makespan_panel(
     m: usize,
     alpha_sq: f64,
@@ -178,6 +179,18 @@ pub fn memory_makespan_panel(
         .iter()
         .map(|&d| abo_point(d, alpha, rho, rho, m))
         .collect();
+    // The guarantees are finite for in-domain parameters, but an extreme
+    // Δ can overflow `(1 + Δ)·α²·ρ` to infinity. Surface that as a typed
+    // domain error rather than letting ±∞/NaN poison the folds below.
+    if sabo
+        .iter()
+        .chain(&abo)
+        .any(|p| !(p.makespan.is_finite() && p.memory.is_finite()))
+    {
+        return Err(Error::InvalidParameter {
+            what: "panel deltas produce non-finite guarantee points (delta too extreme)",
+        });
+    }
     let mk_lo = sabo
         .iter()
         .chain(&abo)
@@ -187,14 +200,15 @@ pub fn memory_makespan_panel(
         .iter()
         .chain(&abo)
         .map(|p| p.makespan)
-        .fold(1.0, f64::max);
+        .fold(f64::NEG_INFINITY, f64::max);
+    // Every SABO point has makespan (1 + Δ)·α²·ρ₁ > 1 and every ABO
+    // point 2 − 1/m + Δ·α²·ρ₁ > 1, so `mk_lo > 1` and the frontier is
+    // sampled strictly inside its domain — no clamping needed.
+    debug_assert!(mk_lo > 1.0 && mk_hi >= mk_lo);
     let impossibility = (0..deltas.len())
         .map(|i| {
             let x = mk_lo + (mk_hi - mk_lo) * i as f64 / (deltas.len() - 1) as f64;
-            (
-                x,
-                crate::memory::impossibility_memory_for_makespan(x.max(1.0 + 1e-9)),
-            )
+            (x, crate::memory::impossibility_memory_for_makespan(x))
         })
         .collect();
     Ok(MemoryMakespanPanel {
@@ -300,6 +314,27 @@ mod tests {
         assert!(memory_makespan_panel(5, 2.0, 0.0, &[0.1, 1.0]).is_err());
         assert!(memory_makespan_panel(5, 2.0, 1.0, &[0.1]).is_err());
         assert!(memory_makespan_panel(5, 2.0, 1.0, &[0.1, -1.0]).is_err());
+    }
+
+    #[test]
+    fn panel_rejects_overflowing_deltas() {
+        // (1 + Δ)·α²·ρ overflows to +∞ at Δ ≈ 1e308 with α² = 4, ρ = 2:
+        // the panel must return a typed error, not NaN-bearing curves.
+        let r = memory_makespan_panel(5, 4.0, 2.0, &[0.1, 1e308]);
+        assert!(matches!(r, Err(rds_core::Error::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn panel_frontier_sampled_inside_domain() {
+        // Smallest admissible parameters: all sampled frontier x values
+        // must exceed 1 (the domain boundary) without clamping, and map
+        // to finite memory.
+        let deltas = delta_sweep(1e-9, 1e-6, 8).unwrap();
+        let p = memory_makespan_panel(1, 1.0, 1.0, &deltas).unwrap();
+        for &(x, y) in &p.impossibility {
+            assert!(x > 1.0, "sampled frontier x = {x} outside domain");
+            assert!(y.is_finite(), "frontier memory not finite at x = {x}");
+        }
     }
 
     #[test]

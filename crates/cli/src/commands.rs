@@ -49,6 +49,18 @@ COMMANDS:
             [--seed <u64>] [--model <exact|uniform|two-point|inflate>]
             crash safety: [--journal <path>] [--resume] [--validate]
             [--budget-ms <u64>] [--retries <u32>]
+  conformance
+            differential/metamorphic oracle: run every strategy through
+            the closed forms AND the event engine on a seeded case
+            stream, checking exact-solver brackets, proven guarantees,
+            and metamorphic invariants; failures shrink to minimal
+            replayable counterexamples
+            [--cases <u64>] [--seconds <f64>] [--seed <u64>]
+            [--max-n <usize>] [--max-m <usize>]
+            [--mutate <none|drop-replica>] [--artifacts <dir>]
+            [--max-counterexamples <usize>]
+            crash safety: [--journal <path>] [--resume]
+            replay: --replay <counterexample.json>
   help      show this message
 
 Observability options (any command):
@@ -87,6 +99,10 @@ const STANDARD_COUNTERS: &[&str] = &[
     "campaign.trials",
     "campaign.skipped",
     "sweep.items",
+    "conformance.cases",
+    "conformance.checks",
+    "conformance.violations",
+    "conformance.shrink_steps",
 ];
 
 /// Histogram companions to [`STANDARD_COUNTERS`].
@@ -790,6 +806,122 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     Ok(())
 }
 
+/// `rds conformance`: budgeted differential/metamorphic oracle sweep, or
+/// replay of a saved counterexample artifact. A run that finds (or
+/// reproduces) a violation returns an error so the process exits
+/// non-zero — conformance is a pass/fail gate, not a report.
+pub fn cmd_conformance(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use rds_conformance::{Counterexample, Mutation};
+    use std::path::{Path, PathBuf};
+
+    if let Some(path) = args.get::<String>("replay")? {
+        let ce = Counterexample::read(Path::new(&path))?;
+        writeln!(
+            out,
+            "replaying {path}: strategy {}, mutation {}, check {} \
+             (n = {}, m = {}, alpha = {})",
+            ce.strategy.name(),
+            ce.mutation.as_str(),
+            ce.check.as_str(),
+            ce.spec.n(),
+            ce.spec.m,
+            ce.spec.alpha
+        )?;
+        let outcome = rds_conformance::replay(&ce, &OptimalSolver::default())?;
+        if outcome.reproduced {
+            writeln!(out, "REPRODUCED: the archived violation still fires")?;
+            for v in &outcome.report.violations {
+                writeln!(
+                    out,
+                    "  [{}] {} — {}",
+                    v.check.as_str(),
+                    v.strategy.name(),
+                    v.detail
+                )?;
+            }
+            return Err(format!(
+                "counterexample reproduced: {} breaks {} (observed {}, limit {})",
+                ce.strategy.name(),
+                ce.check.as_str(),
+                ce.observed,
+                ce.limit
+            )
+            .into());
+        }
+        writeln!(
+            out,
+            "not reproduced: {} check(s) ran clean on the archived case",
+            outcome.report.checks_run
+        )?;
+        return Ok(());
+    }
+
+    let mutation_name: String = args.get_or("mutate", "none".to_string())?;
+    let mutation = Mutation::parse(&mutation_name)
+        .ok_or_else(|| format!("unknown mutation {mutation_name:?}; try none|drop-replica"))?;
+    let config = rds_conformance::ConformanceConfig {
+        seed: args.get_or("seed", 42u64)?,
+        cases: args.get_or("cases", 200u64)?,
+        seconds: args.get::<f64>("seconds")?,
+        max_n: args.get_or("max-n", 12usize)?,
+        max_m: args.get_or("max-m", 8usize)?,
+        mutation,
+        artifact_dir: args.get::<String>("artifacts")?.map(PathBuf::from),
+        journal: args.get::<String>("journal")?.map(PathBuf::from),
+        resume: args.flag("resume"),
+        max_counterexamples: args.get_or("max-counterexamples", 8usize)?,
+    };
+    let report = rds_conformance::run(&config)?;
+    writeln!(
+        out,
+        "conformance: seed = {}, cases = {}, max n = {}, max m = {}, mutation = {}",
+        config.seed,
+        config.cases,
+        config.max_n,
+        config.max_m,
+        config.mutation.as_str()
+    )?;
+    writeln!(
+        out,
+        "cases: {} run, {} resumed from journal; {} checks in {:.2?}",
+        report.cases_run, report.cases_skipped, report.checks_run, report.elapsed
+    )?;
+    if report.violations == 0 {
+        writeln!(out, "no violations: every check passed")?;
+        return Ok(());
+    }
+    writeln!(out, "VIOLATIONS: {}", report.violations)?;
+    let mut t =
+        Table::new(vec!["case", "strategy", "check", "n", "m", "shrink steps"]).align(vec![
+            Align::Right,
+            Align::Left,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    for ce in &report.counterexamples {
+        t.row(vec![
+            ce.case_index.to_string(),
+            ce.strategy.name(),
+            ce.check.as_str().to_string(),
+            ce.spec.n().to_string(),
+            ce.spec.m.to_string(),
+            ce.shrink_steps.to_string(),
+        ]);
+    }
+    writeln!(out, "{}", t.to_markdown())?;
+    for path in &report.artifacts {
+        writeln!(out, "counterexample written to {}", path.display())?;
+    }
+    Err(format!(
+        "conformance failed: {} violation(s), {} minimized counterexample(s)",
+        report.violations,
+        report.counterexamples.len()
+    )
+    .into())
+}
+
 /// Dispatches a full command line (without the program name).
 pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdError> {
     let Some((cmd, rest)) = argv.split_first() else {
@@ -806,6 +938,7 @@ pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdErro
         "memory" => cmd_memory(&args, out),
         "resilience" => cmd_resilience(&args, out),
         "sweep" => cmd_sweep(&args, out),
+        "conformance" => cmd_conformance(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             return Ok(());
@@ -1222,5 +1355,62 @@ mod tests {
         let err = run_to_string(&["plan", "--strategy", "nope", "--m", "2", "--alpha", "1.5"])
             .unwrap_err();
         assert!(err.to_string().contains("unknown strategy"));
+    }
+
+    #[test]
+    fn conformance_clean_run_passes() {
+        let out = run_to_string(&["conformance", "--cases", "24", "--seed", "42"]).unwrap();
+        assert!(out.contains("no violations"), "unexpected output:\n{out}");
+        assert!(out.contains("cases: 24 run"));
+    }
+
+    #[test]
+    fn conformance_mutant_fails_and_replays() {
+        let dir = std::env::temp_dir().join(format!("rds-cli-conformance-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut buf = Vec::new();
+        let err = run(
+            &[
+                "conformance",
+                "--cases",
+                "12",
+                "--mutate",
+                "drop-replica",
+                "--max-counterexamples",
+                "1",
+                "--artifacts",
+                dir.to_str().unwrap(),
+            ],
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("conformance failed"));
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("VIOLATIONS"));
+        assert!(out.contains("counterexample written to"));
+
+        // The artifact replays and reproduces (non-zero exit again).
+        let artifact = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut buf = Vec::new();
+        let err = run(
+            &["conformance", "--replay", artifact.to_str().unwrap()],
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("counterexample reproduced"));
+        assert!(String::from_utf8(buf).unwrap().contains("REPRODUCED"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conformance_bad_mutation_is_an_error() {
+        let err = run_to_string(&["conformance", "--mutate", "nope"]).unwrap_err();
+        assert!(err.to_string().contains("unknown mutation"));
     }
 }

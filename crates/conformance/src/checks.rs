@@ -1,0 +1,490 @@
+//! The oracle's check battery: differential, bound, and metamorphic
+//! verdicts for one case.
+
+use crate::case::CaseSpec;
+use crate::registry::{engine_run, Dispatch, Mutation, StrategyId};
+use rand::Rng;
+use rds_core::{Instance, MachineId, MachineMask, MachineSet, Placement, Realization, Result};
+use rds_exact::{lower_bounds, OptimalSolver};
+use rds_sim::validate::{check_schedule, Checks};
+use rds_workloads::rng::rng;
+
+/// Relative tolerance for every makespan comparison. Violations must
+/// exceed it, so floating-point noise never produces a false positive.
+pub const REL_TOL: f64 = 1e-9;
+
+/// Which invariant a violation breaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// The strategy returned an error on a valid case.
+    StrategyError,
+    /// Closed-form and event-engine makespans disagree.
+    EngineParity,
+    /// The engine schedule failed an `rds-sim::validate` invariant.
+    ScheduleInvariants,
+    /// Makespan below an analytic lower bound on the optimum.
+    LowerBound,
+    /// Makespan below the optimal solver's certified lower bracket.
+    OptimalLower,
+    /// Makespan above guarantee × certified optimal upper bracket.
+    GuaranteeRatio,
+    /// Scaling every estimate by 2 did not double the makespan.
+    ScalingEquivariance,
+    /// Relabeling machines changed the makespan.
+    MachinePermutation,
+    /// `α = 1` exact case disagrees with clairvoyant LPT list scheduling.
+    AlphaOneCollapse,
+    /// More replicas worsened the makespan on the provably monotone
+    /// identical-estimate/uniform-factor family.
+    ReplicaMonotonicity,
+}
+
+impl CheckKind {
+    /// Stable wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckKind::StrategyError => "strategy-error",
+            CheckKind::EngineParity => "engine-parity",
+            CheckKind::ScheduleInvariants => "schedule-invariants",
+            CheckKind::LowerBound => "lower-bound",
+            CheckKind::OptimalLower => "optimal-lower",
+            CheckKind::GuaranteeRatio => "guarantee-ratio",
+            CheckKind::ScalingEquivariance => "scaling-equivariance",
+            CheckKind::MachinePermutation => "machine-permutation",
+            CheckKind::AlphaOneCollapse => "alpha-one-collapse",
+            CheckKind::ReplicaMonotonicity => "replica-monotonicity",
+        }
+    }
+
+    /// Parses the wire tag.
+    pub fn parse(s: &str) -> Option<CheckKind> {
+        [
+            CheckKind::StrategyError,
+            CheckKind::EngineParity,
+            CheckKind::ScheduleInvariants,
+            CheckKind::LowerBound,
+            CheckKind::OptimalLower,
+            CheckKind::GuaranteeRatio,
+            CheckKind::ScalingEquivariance,
+            CheckKind::MachinePermutation,
+            CheckKind::AlphaOneCollapse,
+            CheckKind::ReplicaMonotonicity,
+        ]
+        .into_iter()
+        .find(|k| k.as_str() == s)
+    }
+}
+
+/// One breached invariant on one (case, strategy) pair.
+#[derive(Debug, Clone)]
+pub struct ConformanceViolation {
+    /// Which invariant broke.
+    pub check: CheckKind,
+    /// Registry identity of the offending strategy.
+    pub strategy: StrategyId,
+    /// The measured quantity (makespan, ratio, …).
+    pub observed: f64,
+    /// The limit it breached.
+    pub limit: f64,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+/// The verdict for one case across all requested strategies.
+#[derive(Debug, Clone, Default)]
+pub struct CaseReport {
+    /// Number of individual checks evaluated.
+    pub checks_run: u64,
+    /// Every breached invariant.
+    pub violations: Vec<ConformanceViolation>,
+}
+
+impl CaseReport {
+    fn flag(
+        &mut self,
+        check: CheckKind,
+        strategy: StrategyId,
+        observed: f64,
+        limit: f64,
+        detail: String,
+    ) {
+        self.violations.push(ConformanceViolation {
+            check,
+            strategy,
+            observed,
+            limit,
+            detail,
+        });
+    }
+}
+
+/// Runs the full check battery for `spec` over `strategies`.
+///
+/// # Errors
+/// Returns an error only when the *case itself* is invalid (spec domain
+/// or realization outside the envelope) — strategy and engine failures
+/// are reported as violations, not errors.
+pub fn check_case(
+    spec: &CaseSpec,
+    strategies: &[StrategyId],
+    mutation: Mutation,
+    solver: &OptimalSolver,
+) -> Result<CaseReport> {
+    let _span = rds_obs::span("conformance.case");
+    let (instance, unc, real) = spec.build()?;
+    let m = spec.m;
+    let opt = solver.solve_realization(&real, m);
+    let mut report = CaseReport::default();
+    // (replicas, engine makespan) for the LS-Group family, feeding the
+    // case-level monotonicity check.
+    let mut group_points: Vec<(usize, f64)> = Vec::new();
+
+    for &id in strategies.iter().filter(|s| s.applicable(m)) {
+        let strategy = id.build(mutation);
+        report.checks_run += 1;
+        let outcome = match strategy.run(&instance, unc, &real) {
+            Ok(o) => o,
+            Err(e) => {
+                report.flag(
+                    CheckKind::StrategyError,
+                    id,
+                    f64::NAN,
+                    f64::NAN,
+                    format!("strategy failed on a valid case: {e}"),
+                );
+                continue;
+            }
+        };
+        let closed = outcome.makespan.get();
+        let scale = closed.abs().max(1.0);
+        let dispatch = id.dispatch(mutation);
+
+        // Differential: engine parity + schedule invariants.
+        report.checks_run += 2;
+        match engine_run(dispatch, &instance, &outcome.placement, &real) {
+            Err(e) => report.flag(
+                CheckKind::EngineParity,
+                id,
+                f64::NAN,
+                closed,
+                format!("engine failed where the closed form succeeded: {e}"),
+            ),
+            Ok(sim) => {
+                let engine_mk = sim.makespan.get();
+                if (engine_mk - closed).abs() > REL_TOL * scale {
+                    report.flag(
+                        CheckKind::EngineParity,
+                        id,
+                        engine_mk,
+                        closed,
+                        format!("engine makespan {engine_mk} vs closed form {closed}"),
+                    );
+                }
+                let checks = Checks::full(unc, strategy.replication_budget(m));
+                if let Err(e) =
+                    check_schedule(&instance, &outcome.placement, &real, &sim.schedule, &checks)
+                {
+                    report.flag(
+                        CheckKind::ScheduleInvariants,
+                        id,
+                        engine_mk,
+                        closed,
+                        format!("schedule invariant violated: {e}"),
+                    );
+                }
+                if let StrategyId::LsGroup(k) = id {
+                    group_points.push((m / k, engine_mk));
+                }
+
+                // Metamorphic: machine relabeling leaves the makespan
+                // unchanged (placement eligibility forms a partition of
+                // the machines for every registry strategy).
+                report.checks_run += 1;
+                match permuted_engine_makespan(spec, dispatch, &instance, &outcome.placement, &real)
+                {
+                    Err(e) => report.flag(
+                        CheckKind::MachinePermutation,
+                        id,
+                        f64::NAN,
+                        engine_mk,
+                        format!("engine failed on the relabeled placement: {e}"),
+                    ),
+                    Ok(permuted) => {
+                        if (permuted - engine_mk).abs() > REL_TOL * scale {
+                            report.flag(
+                                CheckKind::MachinePermutation,
+                                id,
+                                permuted,
+                                engine_mk,
+                                format!(
+                                    "relabeling machines changed the makespan: \
+                                     {permuted} vs {engine_mk}"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Bounds: no schedule beats the optimum's certified brackets.
+        report.checks_run += 2;
+        let lb = lower_bounds::combined(real.times(), m).get();
+        if closed < lb - REL_TOL * scale {
+            report.flag(
+                CheckKind::LowerBound,
+                id,
+                closed,
+                lb,
+                format!("makespan {closed} below the analytic lower bound {lb}"),
+            );
+        }
+        let opt_lo = opt.lo.get();
+        if closed < opt_lo - REL_TOL * scale {
+            report.flag(
+                CheckKind::OptimalLower,
+                id,
+                closed,
+                opt_lo,
+                format!("makespan {closed} below the certified optimal bracket {opt_lo}"),
+            );
+        }
+
+        // Guarantee: flag only when the makespan exceeds the bound times
+        // the *upper* optimal bracket — since `C* ≤ hi`, any flag
+        // certifies a genuine violation of the proven ratio.
+        report.checks_run += 1;
+        let bound = id.guarantee(spec.alpha, m);
+        let limit = bound * opt.hi.get();
+        if closed > limit * (1.0 + REL_TOL) + 1e-12 {
+            report.flag(
+                CheckKind::GuaranteeRatio,
+                id,
+                closed,
+                limit,
+                format!(
+                    "makespan {closed} exceeds guarantee {bound:.6} × C*_hi {} = {limit}",
+                    opt.hi.get()
+                ),
+            );
+        }
+
+        // Metamorphic: doubling every estimate doubles the makespan
+        // (doubling is exact in floating point, so the tolerance only
+        // absorbs the division).
+        report.checks_run += 1;
+        match scaled_makespan(id, mutation, spec, &real) {
+            Err(e) => report.flag(
+                CheckKind::ScalingEquivariance,
+                id,
+                f64::NAN,
+                closed,
+                format!("strategy failed on the scaled twin: {e}"),
+            ),
+            Ok(scaled_mk) => {
+                let halved = scaled_mk / 2.0;
+                if (halved - closed).abs() > REL_TOL * scale {
+                    report.flag(
+                        CheckKind::ScalingEquivariance,
+                        id,
+                        halved,
+                        closed,
+                        format!(
+                            "doubling estimates scaled the makespan to {scaled_mk} \
+                             (expected {})",
+                            2.0 * closed
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Metamorphic: with α = 1 and exact realizations both LPT
+        // strategies collapse to clairvoyant LPT list scheduling.
+        if spec.alpha == 1.0 && matches!(id, StrategyId::LptNoChoice | StrategyId::LptNoRestriction)
+        {
+            report.checks_run += 1;
+            let lpt = rds_algs::list_scheduling::lpt_estimates(&instance)?
+                .makespan(&real)
+                .get();
+            if (closed - lpt).abs() > REL_TOL * scale {
+                report.flag(
+                    CheckKind::AlphaOneCollapse,
+                    id,
+                    closed,
+                    lpt,
+                    format!("alpha = 1 makespan {closed} differs from clairvoyant LPT {lpt}"),
+                );
+            }
+        }
+    }
+
+    // Metamorphic: on the identical-estimate/uniform-factor family every
+    // LS-Group size provably achieves `f·p·⌈n/m⌉`, so adding replicas
+    // (decreasing k) must never worsen the makespan.
+    if spec.is_identical_uniform() && group_points.len() >= 2 {
+        report.checks_run += 1;
+        group_points.sort_by_key(|&(replicas, _)| replicas);
+        for w in group_points.windows(2) {
+            let (r0, mk0) = w[0];
+            let (r1, mk1) = w[1];
+            let scale = mk0.abs().max(1.0);
+            if mk1 > mk0 + REL_TOL * scale {
+                report.flag(
+                    CheckKind::ReplicaMonotonicity,
+                    StrategyId::LsGroup(m / r1.max(1)),
+                    mk1,
+                    mk0,
+                    format!(
+                        "raising replicas {r0} → {r1} worsened the makespan {mk0} → {mk1} \
+                         on an identical-estimate uniform-factor instance"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// Runs the strategy on the ×2-scaled twin (estimates and actual times
+/// both doubled — exact in floating point) and returns its makespan.
+fn scaled_makespan(
+    id: StrategyId,
+    mutation: Mutation,
+    spec: &CaseSpec,
+    real: &Realization,
+) -> Result<f64> {
+    let (instance, unc, _) = spec.scaled(2.0).build()?;
+    let times: Vec<rds_core::Time> = real
+        .times()
+        .iter()
+        .map(|t| rds_core::Time::of(t.get() * 2.0))
+        .collect();
+    let real2 = Realization::new(&instance, unc, times)?;
+    id.build(mutation)
+        .run(&instance, unc, &real2)
+        .map(|o| o.makespan.get())
+}
+
+/// Engine makespan after relabeling the machines with a deterministic
+/// (case-digest-seeded) permutation.
+fn permuted_engine_makespan(
+    spec: &CaseSpec,
+    dispatch: Dispatch,
+    instance: &Instance,
+    placement: &Placement,
+    real: &Realization,
+) -> Result<f64> {
+    let m = instance.m();
+    let mut perm: Vec<usize> = (0..m).collect();
+    let mut r = rng(spec.digest());
+    for i in (1..m).rev() {
+        let j = r.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let sets: Vec<MachineSet> = placement
+        .sets()
+        .iter()
+        .map(|s| {
+            let mask = MachineMask::from_iter_with_capacity(
+                m,
+                s.iter(m).map(|id| MachineId::new(perm[id.index()])),
+            );
+            MachineSet::from_mask(m, mask)
+        })
+        .collect();
+    let permuted = Placement::new(instance, sets)?;
+    engine_run(dispatch, instance, &permuted, real).map(|sim| sim.makespan.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> OptimalSolver {
+        OptimalSolver::default()
+    }
+
+    #[test]
+    fn shipped_strategies_pass_a_handcrafted_case() {
+        let spec = CaseSpec {
+            estimates: vec![4.0, 3.0, 2.0, 2.0, 1.0, 1.0],
+            m: 2,
+            alpha: 1.5,
+            factors: vec![1.5, 1.0, 0.8, 1.2, 1.0, 0.7],
+        };
+        let report =
+            check_case(&spec, &StrategyId::suite(spec.m), Mutation::None, &solver()).unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "unexpected violations: {:?}",
+            report.violations
+        );
+        assert!(report.checks_run > 20);
+    }
+
+    #[test]
+    fn drop_replica_mutant_is_caught() {
+        let spec = CaseSpec {
+            estimates: vec![2.0; 8],
+            m: 4,
+            alpha: 1.5,
+            factors: vec![1.0; 8],
+        };
+        let report = check_case(
+            &spec,
+            &StrategyId::suite(spec.m),
+            Mutation::DropReplica,
+            &solver(),
+        )
+        .unwrap();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.check == CheckKind::GuaranteeRatio),
+            "mutant not caught: {:?}",
+            report.violations
+        );
+        // The monotonicity family check fires as well on this instance.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.check == CheckKind::ReplicaMonotonicity));
+    }
+
+    #[test]
+    fn alpha_one_exact_case_collapses() {
+        let spec = CaseSpec {
+            estimates: vec![5.0, 4.0, 3.0, 3.0, 2.0],
+            m: 3,
+            alpha: 1.0,
+            factors: vec![1.0; 5],
+        };
+        let report = check_case(
+            &spec,
+            &[StrategyId::LptNoChoice, StrategyId::LptNoRestriction],
+            Mutation::None,
+            &solver(),
+        )
+        .unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "collapse violated: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn invalid_case_is_an_error_not_a_violation() {
+        let spec = CaseSpec {
+            estimates: vec![f64::NAN],
+            m: 1,
+            alpha: 1.0,
+            factors: vec![1.0],
+        };
+        assert!(check_case(&spec, &[StrategyId::LptNoChoice], Mutation::None, &solver()).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Seeded case-stream generation: random, adversarial, and degenerate
+//! instances, all strictly inside the model's domain.
+
+use crate::case::CaseSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rds_workloads::rng::{child_seed, rng};
+use rds_workloads::EstimateDistribution;
+
+/// The uncertainty factors the stream cycles through (`1` exercises the
+/// clairvoyant-collapse checks).
+const ALPHAS: &[f64] = &[1.0, 1.1, 1.5, 2.0, 3.0];
+
+/// Generates the `index`-th case of the stream rooted at `seed`.
+///
+/// The stream interleaves shapes: general random instances (all estimate
+/// distributions and per-task deviations), the identical-estimate
+/// uniform-factor family (where replica monotonicity is provable), the
+/// Theorem-1 adversary shape (unit tasks, `{α, 1/α}` deviations),
+/// degenerate corners (`n = 1`, `m = 1`, `n < m`), and exact `α = 1`
+/// cases. Estimates are kept strictly positive so zero-duration
+/// tie-breaks never blur the differential comparison.
+pub fn generate_case(seed: u64, index: u64, max_n: usize, max_m: usize) -> CaseSpec {
+    let mut r = rng(child_seed(seed, index));
+    let max_n = max_n.max(1);
+    let max_m = max_m.max(1);
+    let m = r.gen_range(1..=max_m);
+    let alpha = ALPHAS[r.gen_range(0..ALPHAS.len())];
+    match index % 8 {
+        4 => identical_uniform_case(&mut r, m, alpha, max_n),
+        5 => adversary_case(&mut r, m.max(2).min(max_m.max(2)), alpha),
+        6 => degenerate_case(&mut r, m, alpha, max_n),
+        7 => exact_case(&mut r, m, max_n),
+        _ => random_case(&mut r, m, alpha, max_n),
+    }
+}
+
+fn factor_in(r: &mut StdRng, alpha: f64) -> f64 {
+    if alpha <= 1.0 {
+        1.0
+    } else {
+        r.gen_range(1.0 / alpha..=alpha)
+    }
+}
+
+fn random_case(r: &mut StdRng, m: usize, alpha: f64, max_n: usize) -> CaseSpec {
+    let n = r.gen_range(1..=max_n);
+    let dist = match r.gen_range(0..5) {
+        0 => EstimateDistribution::Identical { value: 2.0 },
+        1 => EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 },
+        2 => EstimateDistribution::Bimodal {
+            short: 1.0,
+            long: 50.0,
+            p_long: 0.2,
+        },
+        3 => EstimateDistribution::Exponential { mean: 4.0 },
+        _ => EstimateDistribution::HeavyTail {
+            lo: 1.0,
+            shape: 1.2,
+            cap: 500.0,
+        },
+    };
+    dist.validate()
+        .expect("generator distributions are in-domain");
+    let estimates: Vec<f64> = dist
+        .sample_n(n, r)
+        .into_iter()
+        .map(|e| e.clamp(1e-3, 1e6))
+        .collect();
+    let factors = (0..n).map(|_| factor_in(r, alpha)).collect();
+    CaseSpec {
+        estimates,
+        m,
+        alpha,
+        factors,
+    }
+}
+
+fn identical_uniform_case(r: &mut StdRng, m: usize, alpha: f64, max_n: usize) -> CaseSpec {
+    let n = r.gen_range(1..=max_n);
+    let p = r.gen_range(1..=4) as f64;
+    let f = if alpha <= 1.0 {
+        1.0
+    } else {
+        [1.0 / alpha, 1.0, alpha][r.gen_range(0..3usize)]
+    };
+    CaseSpec {
+        estimates: vec![p; n],
+        m,
+        alpha,
+        factors: vec![f; n],
+    }
+}
+
+fn adversary_case(r: &mut StdRng, m: usize, alpha: f64) -> CaseSpec {
+    // The Theorem-1 shape: λ·m unit tasks; a block of them inflated to
+    // α, the rest deflated to 1/α — the committed-machine blow-up.
+    let lambda: usize = r.gen_range(1..=2);
+    let n = lambda * m;
+    let b = r.gen_range(1..=n);
+    let factors = (0..n)
+        .map(|j| if j < b { alpha } else { 1.0 / alpha })
+        .collect();
+    CaseSpec {
+        estimates: vec![1.0; n],
+        m,
+        alpha,
+        factors,
+    }
+}
+
+fn degenerate_case(r: &mut StdRng, m: usize, alpha: f64, max_n: usize) -> CaseSpec {
+    let (n, m) = match r.gen_range(0..3) {
+        0 => (1, m),                                    // single task
+        1 => (r.gen_range(1..=max_n), 1),               // single machine
+        _ => (r.gen_range(1..=m.max(2) - 1), m.max(2)), // fewer tasks than machines
+    };
+    let estimates = (0..n).map(|_| r.gen_range(1..=5) as f64).collect();
+    let factors = (0..n).map(|_| factor_in(r, alpha)).collect();
+    CaseSpec {
+        estimates,
+        m,
+        alpha,
+        factors,
+    }
+}
+
+fn exact_case(r: &mut StdRng, m: usize, max_n: usize) -> CaseSpec {
+    let n = r.gen_range(1..=max_n);
+    let estimates = (0..n).map(|_| r.gen_range(1..=9) as f64).collect();
+    CaseSpec {
+        estimates,
+        m,
+        alpha: 1.0,
+        factors: vec![1.0; n],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_valid() {
+        for index in 0..64 {
+            let a = generate_case(42, index, 12, 8);
+            let b = generate_case(42, index, 12, 8);
+            assert_eq!(a, b, "index {index} not deterministic");
+            a.build()
+                .unwrap_or_else(|e| panic!("index {index} invalid: {e} ({a:?})"));
+            assert!(a.n() >= 1 && a.m >= 1);
+        }
+    }
+
+    #[test]
+    fn stream_covers_the_advertised_shapes() {
+        let mut saw_identical_uniform = false;
+        let mut saw_alpha_one = false;
+        let mut saw_single_machine = false;
+        let mut saw_underfull = false;
+        for index in 0..200 {
+            let c = generate_case(7, index, 12, 8);
+            saw_identical_uniform |= c.is_identical_uniform() && c.n() > 1;
+            saw_alpha_one |= c.alpha == 1.0;
+            saw_single_machine |= c.m == 1;
+            saw_underfull |= c.n() < c.m;
+        }
+        assert!(saw_identical_uniform);
+        assert!(saw_alpha_one);
+        assert!(saw_single_machine);
+        assert!(saw_underfull);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_case(1, 0, 12, 8);
+        let b = generate_case(2, 0, 12, 8);
+        assert_ne!(a, b);
+    }
+}

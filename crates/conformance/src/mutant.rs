@@ -1,0 +1,77 @@
+//! Deliberately broken strategies for validating the oracle itself.
+
+use rds_algs::Strategy;
+use rds_core::{Assignment, Instance, MachineSet, Placement, Realization, Result, Uncertainty};
+
+/// A mutation wrapper that keeps only the *first* machine of every
+/// placement set — silently dropping all other replicas — while still
+/// claiming the wrapped strategy's competitive-ratio guarantee. Phase 2
+/// pins each task to the surviving machine.
+///
+/// This is the oracle's canary: a correct conformance harness must flag
+/// it (the guarantee-ratio and replica-monotonicity checks both fire)
+/// and shrink the failure to a small counterexample.
+pub struct DropReplica(pub Box<dyn Strategy>);
+
+impl DropReplica {
+    fn survivor_of(set: &MachineSet, m: usize) -> rds_core::MachineId {
+        set.iter(m).next().expect("placement sets are never empty")
+    }
+}
+
+impl Strategy for DropReplica {
+    fn name(&self) -> String {
+        format!("{}+drop-replica", self.0.name())
+    }
+
+    fn replication_budget(&self, m: usize) -> usize {
+        self.0.replication_budget(m)
+    }
+
+    fn place(&self, instance: &Instance, uncertainty: Uncertainty) -> Result<Placement> {
+        let inner = self.0.place(instance, uncertainty)?;
+        let m = instance.m();
+        let sets = inner
+            .sets()
+            .iter()
+            .map(|s| MachineSet::One(Self::survivor_of(s, m)))
+            .collect();
+        Placement::new(instance, sets)
+    }
+
+    fn execute(
+        &self,
+        instance: &Instance,
+        placement: &Placement,
+        _realization: &Realization,
+    ) -> Result<Assignment> {
+        let m = instance.m();
+        let machines = placement
+            .sets()
+            .iter()
+            .map(|s| Self::survivor_of(s, m))
+            .collect();
+        Assignment::new(instance, machines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_algs::LptNoRestriction;
+    use rds_core::Uncertainty;
+
+    #[test]
+    fn drops_every_replica_to_one() {
+        let inst = Instance::from_estimates(&[3.0, 2.0, 1.0, 1.0], 3).unwrap();
+        let unc = Uncertainty::of(2.0);
+        let mutant = DropReplica(Box::new(LptNoRestriction));
+        let p = mutant.place(&inst, unc).unwrap();
+        assert_eq!(p.max_replicas(), 1);
+        let real = Realization::exact(&inst);
+        let out = mutant.run(&inst, unc, &real).unwrap();
+        // Everything survives on machine 0 (first of the everywhere set):
+        // the makespan collapses to the serial sum.
+        assert!((out.makespan.get() - 7.0).abs() < 1e-12);
+    }
+}

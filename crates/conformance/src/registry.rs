@@ -1,0 +1,233 @@
+//! The strategy registry: every algorithm under oracle scrutiny, with
+//! its proven guarantee and its phase-2 engine dispatch mode.
+
+use crate::mutant::DropReplica;
+use rds_algs::{LptGroup, LptNoChoice, LptNoRestriction, LsGroup, Strategy};
+use rds_bounds::replication as rb;
+use rds_core::{Instance, MachineId, Placement, Realization, Result};
+use rds_sim::executors;
+use rds_sim::SimResult;
+
+/// A strategy under test, identified symbolically so counterexample
+/// artifacts can name and rebuild it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyId {
+    /// `LPT-No Choice` (Theorem 2): one replica, LPT placement.
+    LptNoChoice,
+    /// `LPT-No Restriction` (Theorem 3): full replication, online LPT.
+    LptNoRestriction,
+    /// `LS-Group` with `k` groups (Theorem 4), task-id dispatch order.
+    LsGroup(usize),
+    /// `LPT-Group` with `k` groups: Theorem 4's guarantee also covers it
+    /// because its proof only uses generic list-scheduling properties.
+    LptGroup(usize),
+}
+
+/// An optional seeded defect injected into a strategy, used to validate
+/// that the oracle actually catches bound violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// Run the strategies as shipped.
+    #[default]
+    None,
+    /// Wrap each strategy in [`DropReplica`].
+    DropReplica,
+}
+
+/// The phase-2 engine dispatch policy matching a strategy's closed form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Each task runs on its unique placed machine.
+    Pinned,
+    /// Ordered dispatch in task-id order (LS variants).
+    TaskIdOrder,
+    /// Ordered dispatch by non-increasing estimate (LPT variants).
+    LptOrder,
+}
+
+impl Mutation {
+    /// Stable wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::DropReplica => "drop-replica",
+        }
+    }
+
+    /// Parses the wire tag.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "none" => Some(Mutation::None),
+            "drop-replica" => Some(Mutation::DropReplica),
+            _ => None,
+        }
+    }
+}
+
+impl StrategyId {
+    /// Every strategy applicable to `m` machines: the two LPT extremes
+    /// plus both group families for every divisor `k` of `m`.
+    pub fn suite(m: usize) -> Vec<StrategyId> {
+        let mut v = vec![StrategyId::LptNoChoice, StrategyId::LptNoRestriction];
+        for k in rb::group_counts(m) {
+            v.push(StrategyId::LsGroup(k));
+            v.push(StrategyId::LptGroup(k));
+        }
+        v
+    }
+
+    /// Stable wire name (used in artifacts and reports).
+    pub fn name(&self) -> String {
+        match self {
+            StrategyId::LptNoChoice => "lpt-no-choice".into(),
+            StrategyId::LptNoRestriction => "lpt-no-restriction".into(),
+            StrategyId::LsGroup(k) => format!("ls-group-{k}"),
+            StrategyId::LptGroup(k) => format!("lpt-group-{k}"),
+        }
+    }
+
+    /// Parses [`Self::name`] output.
+    pub fn parse(s: &str) -> Option<StrategyId> {
+        match s {
+            "lpt-no-choice" => Some(StrategyId::LptNoChoice),
+            "lpt-no-restriction" => Some(StrategyId::LptNoRestriction),
+            _ => {
+                if let Some(k) = s.strip_prefix("ls-group-") {
+                    k.parse().ok().map(StrategyId::LsGroup)
+                } else if let Some(k) = s.strip_prefix("lpt-group-") {
+                    k.parse().ok().map(StrategyId::LptGroup)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether the strategy can run on `m` machines (group strategies
+    /// follow the paper's `k | m` assumption).
+    pub fn applicable(&self, m: usize) -> bool {
+        match self {
+            StrategyId::LsGroup(k) | StrategyId::LptGroup(k) => {
+                *k >= 1 && *k <= m && m.is_multiple_of(*k)
+            }
+            _ => m >= 1,
+        }
+    }
+
+    /// Instantiates the strategy, applying the requested mutation.
+    pub fn build(&self, mutation: Mutation) -> Box<dyn Strategy> {
+        let base: Box<dyn Strategy> = match *self {
+            StrategyId::LptNoChoice => Box::new(LptNoChoice),
+            StrategyId::LptNoRestriction => Box::new(LptNoRestriction),
+            StrategyId::LsGroup(k) => Box::new(LsGroup::new(k)),
+            StrategyId::LptGroup(k) => Box::new(LptGroup::new(k)),
+        };
+        match mutation {
+            Mutation::None => base,
+            Mutation::DropReplica => Box::new(DropReplica(base)),
+        }
+    }
+
+    /// The proven competitive-ratio guarantee for this strategy's
+    /// `(m, k, α)`.
+    pub fn guarantee(&self, alpha: f64, m: usize) -> f64 {
+        match *self {
+            StrategyId::LptNoChoice => rb::lpt_no_choice(alpha, m),
+            StrategyId::LptNoRestriction => rb::lpt_no_restriction_best(alpha, m),
+            StrategyId::LsGroup(k) | StrategyId::LptGroup(k) => rb::ls_group(alpha, m, k),
+        }
+    }
+
+    /// The engine dispatch mode matching the strategy's closed-form
+    /// phase 2. A mutated strategy always pins (its sets are singletons).
+    pub fn dispatch(&self, mutation: Mutation) -> Dispatch {
+        if mutation == Mutation::DropReplica {
+            return Dispatch::Pinned;
+        }
+        match self {
+            StrategyId::LptNoChoice => Dispatch::Pinned,
+            StrategyId::LptNoRestriction | StrategyId::LptGroup(_) => Dispatch::LptOrder,
+            StrategyId::LsGroup(_) => Dispatch::TaskIdOrder,
+        }
+    }
+}
+
+/// Runs the given placement through the event engine with the phase-2
+/// policy `dispatch`, returning the full simulation result.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn engine_run(
+    dispatch: Dispatch,
+    instance: &Instance,
+    placement: &Placement,
+    realization: &Realization,
+) -> Result<SimResult> {
+    match dispatch {
+        Dispatch::Pinned => {
+            let m = instance.m();
+            let machine_of: Vec<MachineId> = placement
+                .sets()
+                .iter()
+                .map(|s| s.iter(m).next().expect("placement sets are never empty"))
+                .collect();
+            executors::simulate_pinned(instance, &machine_of, realization)
+        }
+        Dispatch::TaskIdOrder => executors::simulate_grouped(instance, placement, realization),
+        Dispatch::LptOrder => executors::simulate_ordered(
+            instance,
+            placement,
+            instance.ids_by_estimate_desc(),
+            realization,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_divisors_both_families() {
+        let suite = StrategyId::suite(6);
+        // 2 extremes + 2 families × divisors {1, 2, 3, 6}.
+        assert_eq!(suite.len(), 2 + 2 * 4);
+        assert!(suite.contains(&StrategyId::LsGroup(3)));
+        assert!(suite.contains(&StrategyId::LptGroup(6)));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for id in StrategyId::suite(12) {
+            assert_eq!(StrategyId::parse(&id.name()), Some(id));
+        }
+        assert_eq!(StrategyId::parse("nonsense"), None);
+        assert_eq!(Mutation::parse("drop-replica"), Some(Mutation::DropReplica));
+        assert_eq!(Mutation::parse("none"), Some(Mutation::None));
+        assert_eq!(Mutation::parse("x"), None);
+    }
+
+    #[test]
+    fn applicability_follows_divisibility() {
+        assert!(StrategyId::LsGroup(3).applicable(6));
+        assert!(!StrategyId::LsGroup(4).applicable(6));
+        assert!(!StrategyId::LptGroup(8).applicable(6));
+        assert!(StrategyId::LptNoChoice.applicable(1));
+    }
+
+    #[test]
+    fn guarantees_match_bounds_crate() {
+        assert_eq!(
+            StrategyId::LptNoChoice.guarantee(2.0, 6),
+            rb::lpt_no_choice(2.0, 6)
+        );
+        assert_eq!(
+            StrategyId::LsGroup(2).guarantee(1.5, 6),
+            rb::ls_group(1.5, 6, 2)
+        );
+        assert_eq!(
+            StrategyId::LptGroup(2).guarantee(1.5, 6),
+            rb::ls_group(1.5, 6, 2)
+        );
+    }
+}

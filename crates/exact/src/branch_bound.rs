@@ -105,7 +105,7 @@ pub fn solve(times: &[Time], m: usize, node_limit: u64) -> BnbResult {
         };
     }
     let mut sorted: Vec<(usize, f64)> = times.iter().map(|t| t.get()).enumerate().collect();
-    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     // Incumbent: best of LPT and MULTIFIT.
     let (mf_mk, mf_assign) = multifit(times, m, 40);

@@ -224,7 +224,7 @@ pub fn bracket(times: &[Time], m: usize, eps: f64) -> Result<Bracket> {
         });
     }
     let mut desc: Vec<f64> = times.iter().map(|t| t.get()).collect();
-    desc.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    desc.sort_by(|a, b| b.total_cmp(a));
 
     // Always-valid initial bracket: C* ∈ [lb, 2·lb].
     let mut lo = lb.get();

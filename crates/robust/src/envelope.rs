@@ -159,7 +159,7 @@ mod tests {
         let max_idx = tc
             .iter()
             .enumerate()
-            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .max_by(|x, y| x.1.total_cmp(y.1))
             .unwrap()
             .0;
         assert_eq!(max_idx, 0);

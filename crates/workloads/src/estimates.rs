@@ -7,6 +7,7 @@
 //! analysis uses.
 
 use rand::Rng;
+use rds_core::{Error, Result};
 
 /// A distribution over estimated processing times.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +52,56 @@ pub enum EstimateDistribution {
 }
 
 impl EstimateDistribution {
+    /// Checks the parameters against their documented domain.
+    ///
+    /// Non-finite (NaN/±∞) or out-of-range parameters yield
+    /// [`Error::InvalidParameter`]. Call this at the construction
+    /// boundary so a bad value surfaces as a typed error instead of a
+    /// panic (or a NaN-poisoned sort) mid-solve.
+    pub fn validate(&self) -> Result<()> {
+        fn bad(what: &'static str) -> Result<()> {
+            Err(Error::InvalidParameter { what })
+        }
+        match *self {
+            EstimateDistribution::Identical { value } => {
+                if !(value.is_finite() && value >= 0.0) {
+                    return bad("Identical.value must be finite and >= 0");
+                }
+            }
+            EstimateDistribution::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi) {
+                    return bad("Uniform requires finite 0 <= lo <= hi");
+                }
+            }
+            EstimateDistribution::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
+                if !(short.is_finite() && short >= 0.0 && long.is_finite() && long >= 0.0) {
+                    return bad("Bimodal modes must be finite and >= 0");
+                }
+                if !(p_long.is_finite() && (0.0..=1.0).contains(&p_long)) {
+                    return bad("Bimodal.p_long must be in [0, 1]");
+                }
+            }
+            EstimateDistribution::Exponential { mean } => {
+                if !(mean.is_finite() && mean > 0.0) {
+                    return bad("Exponential.mean must be finite and > 0");
+                }
+            }
+            EstimateDistribution::HeavyTail { lo, shape, cap } => {
+                if !(lo.is_finite() && cap.is_finite() && lo > 0.0 && cap >= lo) {
+                    return bad("HeavyTail requires finite 0 < lo <= cap");
+                }
+                if !(shape.is_finite() && shape > 0.0) {
+                    return bad("HeavyTail.shape must be finite and > 0");
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Samples one estimate.
     ///
     /// # Panics
@@ -152,6 +203,76 @@ mod tests {
     }
 
     #[test]
+    fn validate_accepts_documented_domains() {
+        let good = [
+            EstimateDistribution::Identical { value: 0.0 },
+            EstimateDistribution::Uniform { lo: 1.0, hi: 1.0 },
+            EstimateDistribution::Bimodal {
+                short: 1.0,
+                long: 9.0,
+                p_long: 0.0,
+            },
+            EstimateDistribution::Exponential { mean: 2.0 },
+            EstimateDistribution::HeavyTail {
+                lo: 1.0,
+                shape: 1.5,
+                cap: 10.0,
+            },
+        ];
+        for d in good {
+            assert!(d.validate().is_ok(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_with_typed_error() {
+        use rds_core::Error;
+        let bad = [
+            EstimateDistribution::Identical { value: f64::NAN },
+            EstimateDistribution::Identical {
+                value: f64::INFINITY,
+            },
+            EstimateDistribution::Uniform {
+                lo: f64::NAN,
+                hi: 1.0,
+            },
+            EstimateDistribution::Uniform {
+                lo: 0.0,
+                hi: f64::INFINITY,
+            },
+            EstimateDistribution::Uniform { lo: 2.0, hi: 1.0 },
+            EstimateDistribution::Bimodal {
+                short: f64::NAN,
+                long: 1.0,
+                p_long: 0.5,
+            },
+            EstimateDistribution::Bimodal {
+                short: 1.0,
+                long: 2.0,
+                p_long: f64::NAN,
+            },
+            EstimateDistribution::Exponential { mean: f64::NAN },
+            EstimateDistribution::Exponential { mean: 0.0 },
+            EstimateDistribution::HeavyTail {
+                lo: f64::NAN,
+                shape: 1.0,
+                cap: 2.0,
+            },
+            EstimateDistribution::HeavyTail {
+                lo: 1.0,
+                shape: f64::INFINITY,
+                cap: 0.5,
+            },
+        ];
+        for d in bad {
+            match d.validate() {
+                Err(Error::InvalidParameter { .. }) => {}
+                other => panic!("{d:?}: expected InvalidParameter, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn heavy_tail_bounded_and_heavy() {
         let mut r = rng(5);
         let d = EstimateDistribution::HeavyTail {
@@ -165,7 +286,7 @@ mod tests {
         assert!(samples.iter().any(|&v| v > 100.0));
         // …but the median stays small.
         let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         assert!(sorted[samples.len() / 2] < 3.0);
     }
 }

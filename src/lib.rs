@@ -26,7 +26,9 @@
 //!   (chained, critical-task, randomized);
 //! - [`robust`]: robustness envelopes, criticality, Monte
 //!   Carlo distributions;
-//! - [`report`]: stats, tables, CSV, ASCII plots and Gantts.
+//! - [`report`]: stats, tables, CSV, ASCII plots and Gantts;
+//! - [`conformance`]: the differential/metamorphic oracle checking every
+//!   algorithm against the exact solvers and proven bounds.
 //!
 //! ## Quickstart
 //! ```
@@ -49,6 +51,7 @@
 pub use rds_adversary as adversary;
 pub use rds_algs as algs;
 pub use rds_bounds as bounds;
+pub use rds_conformance as conformance;
 pub use rds_core as core;
 pub use rds_exact as exact;
 pub use rds_par as par;
