@@ -39,9 +39,11 @@ pub mod memory;
 pub mod no_choice;
 pub mod no_restriction;
 pub mod strategy;
+pub mod survival;
 
 pub use group::LsGroup;
 pub use group_lpt::LptGroup;
 pub use no_choice::LptNoChoice;
 pub use no_restriction::LptNoRestriction;
 pub use strategy::{Outcome, Strategy};
+pub use survival::{SurvivalPlacement, SurvivalPlan};

@@ -1,0 +1,124 @@
+//! Property tests for the reliability-aware `SurvivalPlacement`:
+//! budget discipline, target honesty (cross-checked by Monte-Carlo
+//! fault sampling), and optimality bracketing against the exact
+//! subset-enumeration solver.
+
+use proptest::prelude::*;
+use rds_algs::survival::{SurvivalPlacement, TARGET_EPS};
+use rds_algs::Strategy as _;
+use rds_core::{Instance, Realization, ReliabilityModel, Uncertainty};
+use rds_exact::min_memory_survival;
+use rds_workloads::{monte_carlo_survival, rng};
+
+/// A random heterogeneous cluster: per-machine failure probabilities,
+/// contiguous zones, per-zone outage probabilities — plus an instance
+/// sized for it.
+fn clusters() -> impl Strategy<Value = (Instance, ReliabilityModel, f64)> {
+    (
+        2usize..7,                                 // m
+        prop::collection::vec(0.2f64..8.0, 2..16), // estimates
+        prop::collection::vec(0.0f64..0.5, 7),     // machine fail probs (≥ m used)
+        1usize..4,                                 // zones (clamped to m)
+        prop::collection::vec(0.0f64..0.2, 4),     // zone outage probs
+        0.5f64..0.995,                             // survival target
+    )
+        .prop_map(|(m, est, fails, zraw, zfail, target)| {
+            let zones = zraw.min(m);
+            let zone_of: Vec<usize> = (0..m).map(|i| i * zones / m).collect();
+            let model =
+                ReliabilityModel::new(fails[..m].to_vec(), zone_of, zfail[..zones].to_vec())
+                    .unwrap();
+            let inst = Instance::from_estimates(&est, m).unwrap();
+            (inst, model, target)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The planner never spends past its memory budget, in feasible and
+    /// degraded mode alike.
+    #[test]
+    fn never_exceeds_the_memory_budget(
+        (inst, model, target) in clusters(),
+        extra in 0usize..8,
+    ) {
+        let budget = (inst.n() + extra) as f64;
+        let plan = SurvivalPlacement::new(model, target)
+            .unwrap()
+            .with_budget(budget)
+            .unwrap()
+            .plan(&inst)
+            .unwrap();
+        prop_assert!(
+            plan.memory <= budget + TARGET_EPS,
+            "memory {} over budget {budget}", plan.memory,
+        );
+        prop_assert_eq!(plan.memory, plan.placement.total_replicas() as f64);
+    }
+
+    /// On feasible instances the Monte-Carlo survival estimate under the
+    /// same model meets the target within confidence tolerance.
+    #[test]
+    fn monte_carlo_confirms_the_target_when_feasible(
+        (inst, model, target) in clusters(),
+        seed in any::<u64>(),
+    ) {
+        let plan = SurvivalPlacement::new(model.clone(), target)
+            .unwrap()
+            .plan(&inst)
+            .unwrap();
+        if plan.feasible {
+            let trials = 4000;
+            let est = monte_carlo_survival(
+                &plan.placement, &model, trials, &mut rng::rng(seed),
+            );
+            // ~4.5σ binomial band plus analytic slack: false-failure
+            // odds per task are far below the proptest case count.
+            for (j, &p) in est.iter().enumerate() {
+                let sigma = (target * (1.0 - target) / trials as f64).sqrt();
+                let tol = 4.5 * sigma + 0.01;
+                prop_assert!(
+                    p >= target - tol,
+                    "task {j}: mc {p} below target {target} (tol {tol})",
+                );
+            }
+        }
+    }
+
+    /// Differential check against exhaustive enumeration: the greedy
+    /// agrees with the exact solver on feasibility, meets the target
+    /// when feasible, and never beats the provably minimal memory.
+    #[test]
+    fn greedy_brackets_the_exact_optimum(
+        (inst, model, target) in clusters(),
+    ) {
+        let plan = SurvivalPlacement::new(model.clone(), target)
+            .unwrap()
+            .plan(&inst)
+            .unwrap();
+        let exact = min_memory_survival(&inst, &model, target).unwrap();
+        prop_assert_eq!(plan.feasible, exact.feasible);
+        if plan.feasible {
+            for (j, &p) in plan.survival.iter().enumerate() {
+                prop_assert!(p + TARGET_EPS >= target, "task {j} at {p}");
+            }
+            prop_assert!(
+                plan.memory >= exact.memory - 1e-9,
+                "greedy {} beat the exact optimum {}", plan.memory, exact.memory,
+            );
+        }
+    }
+
+    /// End-to-end as a `Strategy`: placement passes the budget check and
+    /// execution is feasible.
+    #[test]
+    fn runs_feasibly_end_to_end(
+        (inst, model, target) in clusters(),
+    ) {
+        let s = SurvivalPlacement::new(model, target).unwrap();
+        let real = Realization::exact(&inst);
+        let out = s.run(&inst, Uncertainty::of(1.5), &real).unwrap();
+        prop_assert!(out.makespan.get() > 0.0);
+    }
+}

@@ -40,9 +40,18 @@ COMMANDS:
             --m <usize> --mtbf <f64> (0 = fault-free)
             [--n <usize>] [--alpha <f64>] [--beta <f64>] [--reps <usize>]
             [--seed <u64>] [--stragglers <rate>] [--gantt]
+            [--min-survival <p>]  exit non-zero when even the best
+            policy's mean survival rate falls below p
             crash safety: [--journal <path>] [--resume] [--validate]
             [--budget-ms <u64>] [--retries <u32>]
             [--stall-ms <u64>] [--stall-trial <u64>]
+  reliability
+            resilience-vs-memory frontier on a seeded heterogeneous
+            cluster: fixed-k chained replication versus survival-target
+            placement under identical scripted fault campaigns
+            --m <usize> [--n <usize>] [--zones <usize>]
+            [--targets <p,p,...>] [--ks <k,k,...>] [--alpha <f64>]
+            [--reps <usize>] [--seed <u64>]
   sweep     empirical competitive-ratio sweep: the standard suite over
             sampled realizations versus the exact-solver bracket
             --m <usize> [--n <usize>] [--alpha <f64>] [--reps <usize>]
@@ -57,7 +66,8 @@ COMMANDS:
             replayable counterexamples
             [--cases <u64>] [--seconds <f64>] [--seed <u64>]
             [--max-n <usize>] [--max-m <usize>]
-            [--mutate <none|drop-replica>] [--artifacts <dir>]
+            [--mutate <none|drop-replica|ignore-reliability>]
+            [--artifacts <dir>]
             [--max-counterexamples <usize>]
             crash safety: [--journal <path>] [--resume]
             replay: --replay <counterexample.json>
@@ -103,6 +113,8 @@ const STANDARD_COUNTERS: &[&str] = &[
     "conformance.checks",
     "conformance.violations",
     "conformance.shrink_steps",
+    "reliability.frontier.fixed_k_points",
+    "reliability.frontier.survival_points",
 ];
 
 /// Histogram companions to [`STANDARD_COUNTERS`].
@@ -469,7 +481,7 @@ pub fn cmd_resilience(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> 
     // Faults land inside roughly twice the load-balance lower bound, so
     // they hit while work is actually in flight.
     let horizon = inst.total_estimate().get() / m as f64 * alpha * 2.0;
-    let model = FaultModel::mtbf(mtbf, horizon).with_stragglers(stragglers, 3.0);
+    let model = FaultModel::mtbf(mtbf, horizon)?.with_stragglers(stragglers, 3.0)?;
 
     let suite = rds_policies::standard_suite(&inst, unc)?;
     let trials = (0..reps)
@@ -586,6 +598,158 @@ pub fn cmd_resilience(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> 
         }
     }
     report_campaign_health(&report, config.journal.as_deref(), out)?;
+    if let Some(threshold) = args.get::<f64>("min-survival")? {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err("--min-survival must be in [0, 1]".into());
+        }
+        let best = rows
+            .iter()
+            .filter(|row| !row.mean_survival.is_nan())
+            .max_by(|a, b| a.mean_survival.total_cmp(&b.mean_survival));
+        match best {
+            Some(row) if row.mean_survival + 1e-12 >= threshold => {
+                writeln!(
+                    out,
+                    "survival gate: PASS ({} reached {:.4} >= {threshold})",
+                    row.name, row.mean_survival
+                )?;
+            }
+            Some(row) => {
+                writeln!(
+                    out,
+                    "survival gate: FAIL (best policy {} reached only {:.4} < {threshold})",
+                    row.name, row.mean_survival
+                )?;
+                return Err(format!(
+                    "survival gate failed: best mean survival {:.4} below --min-survival {threshold}",
+                    row.mean_survival
+                )
+                .into());
+            }
+            None => return Err("survival gate failed: no completed trials".into()),
+        }
+    }
+    Ok(())
+}
+
+/// `rds reliability`: the resilience-vs-memory frontier on a seeded
+/// heterogeneous cluster. Fixed-k chained replication and survival-target
+/// placement run under *identical* scripted fault campaigns, so the
+/// frontier compares memory spent against survival delivered on equal
+/// footing, with the analytic survival bound cross-checked by the engine.
+pub fn cmd_reliability(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use rds_core::ReliabilityModel;
+    use rds_report::plot::{Chart, Series};
+    use rds_workloads::HeterogeneousFaultModel;
+
+    let m: usize = args.require("m")?;
+    let n: usize = args.get_or("n", 3 * m)?;
+    let alpha: f64 = args.get_or("alpha", 1.5)?;
+    let unc = Uncertainty::new(alpha)?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let zones: usize = args.get_or("zones", 3usize.min(m))?;
+    let reps: usize = args.get_or("reps", 30)?;
+    let targets = match args.floats("targets")? {
+        Some(t) => t,
+        None => vec![0.9, 0.97, 0.995],
+    };
+    let ks: Vec<usize> = match args.get::<String>("ks")? {
+        Some(raw) => raw
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("cannot parse --ks entry {p:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        None => (1..=3.min(m)).collect(),
+    };
+    if ks.iter().any(|&k| k < 1 || k > m) {
+        return Err("--ks entries must be in 1..=m".into());
+    }
+
+    // Seeded heterogeneous cluster: per-machine MTBFs spread over an
+    // order of magnitude (some flaky, some solid) and mildly unreliable
+    // zones, so the reliability-aware planner has real structure to use.
+    let mut r = rng::rng(seed);
+    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    let inst = Instance::from_estimates(&est, m)?;
+    let horizon = inst.total_estimate().get() / m as f64 * alpha * 2.0;
+    use rand::Rng as _;
+    let mtbf: Vec<f64> = (0..m).map(|_| horizon * r.gen_range(1.2..12.0)).collect();
+    let zone_outage = r.gen_range(0.01..0.06);
+    let model = ReliabilityModel::from_mtbf(&mtbf, horizon, zones, zone_outage)?;
+    let hetero = HeterogeneousFaultModel::new(model.clone(), horizon)?;
+
+    let points = rds_policies::frontier(&inst, unc, &hetero, &ks, &targets, reps, seed)?;
+
+    writeln!(
+        out,
+        "reliability frontier: n = {n}, m = {m}, zones = {zones}, alpha = {alpha}, \
+         horizon = {horizon:.2}, zone outage = {zone_outage:.3}, reps = {reps}, seed = {seed}"
+    )?;
+    writeln!(
+        out,
+        "machine failure probabilities over the horizon: [{}]",
+        (0..m)
+            .map(|i| format!("{:.3}", model.machine_fail(rds_core::MachineId::new(i))))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )?;
+    let mut t = Table::new(vec![
+        "policy",
+        "memory",
+        "analytic survival",
+        "measured survival",
+        "max replicas",
+        "degraded",
+    ])
+    .align(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.label.clone(),
+            fmt(p.memory, 1),
+            fmt(p.analytic, 4),
+            fmt(p.measured, 4),
+            p.max_replicas.to_string(),
+            if p.degraded {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+        ]);
+    }
+    writeln!(out, "{}", t.to_markdown())?;
+
+    let fixed: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.label.starts_with("k="))
+        .map(|p| (p.memory, p.analytic))
+        .collect();
+    let survival: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| !p.label.starts_with("k="))
+        .map(|p| (p.memory, p.analytic))
+        .collect();
+    let chart = Chart::new("analytic min survival vs memory", 64, 12)
+        .series(Series::new("fixed-k", 'o', fixed))
+        .series(Series::new("survival-target", 'S', survival));
+    write!(out, "{}", chart.render())?;
+
+    writeln!(out, "\ndominance (guaranteed-survival curve vs fixed-k):")?;
+    for (label, winner) in rds_policies::dominance(&points) {
+        match winner {
+            Some(by) => writeln!(out, "  {label}: dominated by {by}")?,
+            None => writeln!(out, "  {label}: not dominated")?,
+        }
+    }
     Ok(())
 }
 
@@ -857,8 +1021,9 @@ pub fn cmd_conformance(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
     }
 
     let mutation_name: String = args.get_or("mutate", "none".to_string())?;
-    let mutation = Mutation::parse(&mutation_name)
-        .ok_or_else(|| format!("unknown mutation {mutation_name:?}; try none|drop-replica"))?;
+    let mutation = Mutation::parse(&mutation_name).ok_or_else(|| {
+        format!("unknown mutation {mutation_name:?}; try none|drop-replica|ignore-reliability")
+    })?;
     let config = rds_conformance::ConformanceConfig {
         seed: args.get_or("seed", 42u64)?,
         cases: args.get_or("cases", 200u64)?,
@@ -891,26 +1056,36 @@ pub fn cmd_conformance(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
         return Ok(());
     }
     writeln!(out, "VIOLATIONS: {}", report.violations)?;
-    let mut t =
-        Table::new(vec!["case", "strategy", "check", "n", "m", "shrink steps"]).align(vec![
-            Align::Right,
-            Align::Left,
-            Align::Left,
-            Align::Right,
-            Align::Right,
-            Align::Right,
-        ]);
-    for ce in &report.counterexamples {
-        t.row(vec![
-            ce.case_index.to_string(),
-            ce.strategy.name(),
-            ce.check.as_str().to_string(),
-            ce.spec.n().to_string(),
-            ce.spec.m.to_string(),
-            ce.shrink_steps.to_string(),
-        ]);
+    if !report.counterexamples.is_empty() {
+        let mut t =
+            Table::new(vec!["case", "strategy", "check", "n", "m", "shrink steps"]).align(vec![
+                Align::Right,
+                Align::Left,
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ]);
+        for ce in &report.counterexamples {
+            t.row(vec![
+                ce.case_index.to_string(),
+                ce.strategy.name(),
+                ce.check.as_str().to_string(),
+                ce.spec.n().to_string(),
+                ce.spec.m.to_string(),
+                ce.shrink_steps.to_string(),
+            ]);
+        }
+        writeln!(out, "{}", t.to_markdown())?;
     }
-    writeln!(out, "{}", t.to_markdown())?;
+    if report.survival_violations > 0 {
+        writeln!(
+            out,
+            "survival arm: {} violation(s); reproduce with --seed {} \
+             (survival specs are fully seeded and never shrunk)",
+            report.survival_violations, config.seed
+        )?;
+    }
     for path in &report.artifacts {
         writeln!(out, "counterexample written to {}", path.display())?;
     }
@@ -937,6 +1112,7 @@ pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdErro
         "envelope" => cmd_envelope(&args, out),
         "memory" => cmd_memory(&args, out),
         "resilience" => cmd_resilience(&args, out),
+        "reliability" => cmd_reliability(&args, out),
         "sweep" => cmd_sweep(&args, out),
         "conformance" => cmd_conformance(&args, out),
         "help" | "--help" | "-h" => {
@@ -1082,6 +1258,119 @@ mod tests {
         assert!(out.contains("mean restarts"));
         assert!(out.contains("mean wasted work"));
         assert!(out.contains("degradation"));
+    }
+
+    #[test]
+    fn resilience_min_survival_gate_passes_and_fails() {
+        // Fault-free campaign: survival is 1, so any threshold passes.
+        let out = run_to_string(&[
+            "resilience",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--mtbf",
+            "0",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+            "--min-survival",
+            "0.9",
+        ])
+        .unwrap();
+        assert!(out.contains("survival gate: PASS"));
+
+        // A brutal MTBF drives survival far below an impossible target;
+        // the command must exit with an error naming the gate.
+        let err = run_to_string(&[
+            "resilience",
+            "--m",
+            "4",
+            "--n",
+            "8",
+            "--mtbf",
+            "3",
+            "--reps",
+            "3",
+            "--seed",
+            "5",
+            "--min-survival",
+            "0.999",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("survival gate failed"));
+        assert!(err.to_string().contains("0.999"));
+
+        let err = run_to_string(&[
+            "resilience",
+            "--m",
+            "3",
+            "--n",
+            "6",
+            "--mtbf",
+            "0",
+            "--reps",
+            "1",
+            "--min-survival",
+            "1.5",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn reliability_frontier_reports_both_curves() {
+        let out = run_to_string(&[
+            "reliability",
+            "--m",
+            "6",
+            "--n",
+            "12",
+            "--reps",
+            "6",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(out.contains("reliability frontier"));
+        assert!(out.contains("machine failure probabilities"));
+        // Both families appear in the table…
+        assert!(out.contains("k=1"));
+        assert!(out.contains("k=3"));
+        assert!(out.contains("S(0.9)"));
+        assert!(out.contains("S(0.995)"));
+        // …and in the chart legend, plus the dominance verdicts.
+        assert!(out.contains("fixed-k"));
+        assert!(out.contains("survival-target"));
+        assert!(out.contains("dominance"));
+        assert!(out.contains("dominated by S("));
+    }
+
+    #[test]
+    fn reliability_accepts_explicit_targets_and_ks() {
+        let out = run_to_string(&[
+            "reliability",
+            "--m",
+            "4",
+            "--n",
+            "8",
+            "--reps",
+            "4",
+            "--seed",
+            "11",
+            "--targets",
+            "0.9",
+            "--ks",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("k=2"));
+        assert!(out.contains("S(0.9)"));
+        assert!(!out.contains("k=1"));
+
+        let err = run_to_string(&["reliability", "--m", "4", "--ks", "9"]).unwrap_err();
+        assert!(err.to_string().contains("1..=m"));
     }
 
     #[test]

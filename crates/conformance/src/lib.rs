@@ -37,6 +37,7 @@ pub mod mutant;
 pub mod registry;
 pub mod runner;
 pub mod shrink;
+pub mod survival;
 
 pub use artifact::Counterexample;
 pub use case::CaseSpec;
@@ -46,3 +47,7 @@ pub use mutant::DropReplica;
 pub use registry::{Dispatch, Mutation, StrategyId};
 pub use runner::{replay, run, ConformanceConfig, ConformanceReport, ReplayOutcome};
 pub use shrink::{shrink, ShrinkResult};
+pub use survival::{
+    check_survival_case, generate_survival_case, run_survival_case, SurvivalCaseReport,
+    SurvivalCheck, SurvivalSpec, SurvivalViolation,
+};

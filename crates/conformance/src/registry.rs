@@ -32,6 +32,10 @@ pub enum Mutation {
     None,
     /// Wrap each strategy in [`DropReplica`].
     DropReplica,
+    /// Flatten the heterogeneous reliability model before survival
+    /// planning (see [`crate::survival`]). The makespan battery runs
+    /// unmutated — this defect only exists in the reliability arm.
+    IgnoreReliability,
 }
 
 /// The phase-2 engine dispatch policy matching a strategy's closed form.
@@ -51,6 +55,7 @@ impl Mutation {
         match self {
             Mutation::None => "none",
             Mutation::DropReplica => "drop-replica",
+            Mutation::IgnoreReliability => "ignore-reliability",
         }
     }
 
@@ -59,6 +64,7 @@ impl Mutation {
         match s {
             "none" => Some(Mutation::None),
             "drop-replica" => Some(Mutation::DropReplica),
+            "ignore-reliability" => Some(Mutation::IgnoreReliability),
             _ => None,
         }
     }
@@ -123,7 +129,7 @@ impl StrategyId {
             StrategyId::LptGroup(k) => Box::new(LptGroup::new(k)),
         };
         match mutation {
-            Mutation::None => base,
+            Mutation::None | Mutation::IgnoreReliability => base,
             Mutation::DropReplica => Box::new(DropReplica(base)),
         }
     }

@@ -8,6 +8,7 @@ use crate::checks::{check_case, CaseReport};
 use crate::generator::generate_case;
 use crate::registry::{Mutation, StrategyId};
 use crate::shrink::shrink;
+use crate::survival::{generate_survival_case, run_survival_case};
 use rds_core::Result;
 use rds_exact::OptimalSolver;
 use rds_par::journal::{CampaignMeta, Journal, TrialRecord, TrialStatus};
@@ -74,6 +75,10 @@ pub struct ConformanceReport {
     pub checks_run: u64,
     /// Total breached invariants (may exceed `counterexamples.len()`).
     pub violations: u64,
+    /// The subset of `violations` raised by the survival arm. These are
+    /// journaled but never shrunk or archived — the survival spec is
+    /// already minimal, so `(seed, index)` is the reproducer.
+    pub survival_violations: u64,
     /// Minimized counterexamples, one per breached (strategy, check).
     pub counterexamples: Vec<Counterexample>,
     /// Artifact files written.
@@ -198,7 +203,7 @@ pub fn run(config: &ConformanceConfig) -> Result<ConformanceReport> {
         }
         let spec = generate_case(config.seed, index, config.max_n, config.max_m);
         report.cases_run += 1;
-        let (violations, error) =
+        let (mut violations, mut error) =
             match check_case(&spec, &StrategyId::suite(spec.m), config.mutation, &solver) {
                 Err(e) => {
                     report.violations += 1;
@@ -216,6 +221,29 @@ pub fn run(config: &ConformanceConfig) -> Result<ConformanceReport> {
                     (n, error)
                 }
             };
+        // The survival arm: same case index, its own seeded spec.
+        // Violations here are counted and journaled with the case but
+        // not shrunk — the spec is already small and fully seeded, so
+        // the (seed, index) pair *is* the reproducer.
+        let survival_spec = generate_survival_case(config.seed, index, config.max_n, config.max_m);
+        let survival_report = run_survival_case(&survival_spec, config.mutation);
+        report.checks_run += survival_report.checks_run;
+        if !survival_report.violations.is_empty() {
+            let n = survival_report.violations.len() as u64;
+            report.violations += n;
+            report.survival_violations += n;
+            violations += n;
+            let first = &survival_report.violations[0];
+            let msg = format!(
+                "{n} survival violation(s); first: [{}] {}",
+                first.check.as_str(),
+                first.detail
+            );
+            error = Some(match error {
+                Some(prev) => format!("{prev}; {msg}"),
+                None => msg,
+            });
+        }
         if let Some(j) = journal.as_mut() {
             j.append(&trial_record(config, index, violations, error))?;
         }
@@ -348,6 +376,20 @@ mod tests {
             assert!(outcome.reproduced, "artifact {path:?} did not reproduce");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ignore_reliability_mutant_fails_the_campaign() {
+        let config = ConformanceConfig {
+            cases: 24,
+            mutation: Mutation::IgnoreReliability,
+            ..ConformanceConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert!(
+            report.violations > 0,
+            "reliability-blind mutant escaped the campaign"
+        );
     }
 
     #[test]

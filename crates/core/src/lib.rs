@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod placement;
 pub mod placement_index;
 pub mod realization;
+pub mod reliability;
 pub mod scalar;
 pub mod schedule;
 pub mod task;
@@ -60,6 +61,7 @@ pub use instance::Instance;
 pub use placement::{GroupPartition, MachineSet, Placement};
 pub use placement_index::PlacementIndex;
 pub use realization::Realization;
+pub use reliability::ReliabilityModel;
 pub use scalar::{Size, Time};
 pub use schedule::{Assignment, Schedule, Slot};
 pub use task::Task;
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use crate::placement::{GroupPartition, MachineSet, Placement};
     pub use crate::placement_index::PlacementIndex;
     pub use crate::realization::Realization;
+    pub use crate::reliability::ReliabilityModel;
     pub use crate::scalar::{Size, Time};
     pub use crate::schedule::{Assignment, Schedule, Slot};
     pub use crate::task::Task;

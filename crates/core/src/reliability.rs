@@ -1,0 +1,440 @@
+//! Heterogeneous cluster reliability: per-machine failure probabilities
+//! and correlated failure domains (zones).
+//!
+//! The resilience engine (PR 1) made *execution* fault-tolerant, but
+//! placement stayed failure-blind: every strategy picks a global replica
+//! count `k` without looking at which machines actually fail. This
+//! module supplies the missing model: each machine `i` fails within the
+//! planning horizon with probability `f_i` (independently), and each
+//! *zone* — a correlated failure domain such as a rack, power feed, or
+//! availability zone — suffers a total outage with probability `g_z`
+//! that takes down every machine in it at once.
+//!
+//! A task whose data lives on the machine set `S` survives when at
+//! least one holder is still alive at the horizon. Grouping the holders
+//! by zone, the death probability factorizes exactly:
+//!
+//! ```text
+//! P(all of S dead) = Π_{z : S∩z ≠ ∅} [ g_z + (1 − g_z) · Π_{i ∈ S∩z} f_i ]
+//! ```
+//!
+//! because zone outages are independent of each other and of the
+//! per-machine failures. [`ReliabilityModel::survival`] evaluates this
+//! closed form; `rds-workloads` samples fault scripts from the same
+//! model so Monte-Carlo estimates and the analytic bound are
+//! differentially comparable (the `rds-conformance` survival check does
+//! exactly that).
+
+use crate::error::{Error, Result};
+use crate::ids::MachineId;
+use crate::placement::{MachineSet, Placement};
+
+/// Per-machine failure probabilities plus correlated failure zones over
+/// a fixed planning horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityModel {
+    /// `f_i`: probability machine `i` fails (independently) within the
+    /// horizon.
+    fail: Vec<f64>,
+    /// Zone id of each machine (`< zone_fail.len()`).
+    zone_of: Vec<usize>,
+    /// `g_z`: probability zone `z` suffers a total correlated outage
+    /// within the horizon.
+    zone_fail: Vec<f64>,
+    /// Relative cost of recovering machine `i` after a failure (data
+    /// re-replication, re-execution). Used for reporting and greedy
+    /// tie-breaks; defaults to 1.
+    recovery_cost: Vec<f64>,
+}
+
+fn check_prob(what: &'static str, p: f64) -> Result<()> {
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(Error::InvalidParameter { what });
+    }
+    Ok(())
+}
+
+impl ReliabilityModel {
+    /// Builds a model from per-machine failure probabilities, a zone
+    /// assignment, and per-zone outage probabilities.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] when any probability is non-finite or
+    /// outside `[0, 1]`, the vectors are empty or mismatched, or a zone
+    /// id is out of range.
+    pub fn new(fail: Vec<f64>, zone_of: Vec<usize>, zone_fail: Vec<f64>) -> Result<Self> {
+        if fail.is_empty() {
+            return Err(Error::InvalidParameter {
+                what: "reliability model needs at least one machine",
+            });
+        }
+        if zone_of.len() != fail.len() {
+            return Err(Error::InvalidParameter {
+                what: "reliability model zone assignment must cover every machine",
+            });
+        }
+        if zone_fail.is_empty() {
+            return Err(Error::InvalidParameter {
+                what: "reliability model needs at least one zone",
+            });
+        }
+        for &p in &fail {
+            check_prob(
+                "machine failure probability must be finite and in [0, 1]",
+                p,
+            )?;
+        }
+        for &p in &zone_fail {
+            check_prob("zone outage probability must be finite and in [0, 1]", p)?;
+        }
+        if zone_of.iter().any(|&z| z >= zone_fail.len()) {
+            return Err(Error::InvalidParameter {
+                what: "machine assigned to a zone id out of range",
+            });
+        }
+        let recovery_cost = vec![1.0; fail.len()];
+        Ok(ReliabilityModel {
+            fail,
+            zone_of,
+            zone_fail,
+            recovery_cost,
+        })
+    }
+
+    /// A homogeneous single-zone model: every machine fails with the
+    /// same probability, no correlated outages.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on `m == 0` or a bad probability.
+    pub fn uniform(m: usize, fail: f64) -> Result<Self> {
+        if m == 0 {
+            return Err(Error::InvalidParameter {
+                what: "reliability model needs at least one machine",
+            });
+        }
+        Self::new(vec![fail; m], vec![0; m], vec![0.0])
+    }
+
+    /// Builds per-machine failure probabilities from MTBF values under a
+    /// Poisson failure process: `f_i = 1 − exp(−horizon / mtbf_i)`.
+    /// Machines are split into `zones` contiguous near-equal zones with
+    /// the given per-zone outage probability.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on non-positive/non-finite MTBF or
+    /// horizon, `zones == 0` or `zones > m`, or a bad outage probability.
+    pub fn from_mtbf(mtbf: &[f64], horizon: f64, zones: usize, zone_outage: f64) -> Result<Self> {
+        if mtbf.is_empty() {
+            return Err(Error::InvalidParameter {
+                what: "reliability model needs at least one machine",
+            });
+        }
+        if !horizon.is_finite() || horizon <= 0.0 {
+            return Err(Error::InvalidParameter {
+                what: "reliability horizon must be finite and > 0",
+            });
+        }
+        if mtbf.iter().any(|&t| !t.is_finite() || t <= 0.0) {
+            return Err(Error::InvalidParameter {
+                what: "mtbf must be finite and > 0",
+            });
+        }
+        let m = mtbf.len();
+        if zones == 0 || zones > m {
+            return Err(Error::InvalidParameter {
+                what: "zone count must be in 1..=m",
+            });
+        }
+        let fail = mtbf.iter().map(|&t| 1.0 - (-horizon / t).exp()).collect();
+        // Contiguous near-equal zones, mirroring `GroupPartition` layout.
+        let base = m / zones;
+        let extra = m % zones;
+        let mut zone_of = Vec::with_capacity(m);
+        for z in 0..zones {
+            let size = base + usize::from(z < extra);
+            zone_of.extend(std::iter::repeat_n(z, size));
+        }
+        Self::new(fail, zone_of, vec![zone_outage; zones])
+    }
+
+    /// Replaces the per-machine recovery-cost weights.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on length mismatch or a non-finite or
+    /// negative cost.
+    pub fn with_recovery_costs(mut self, costs: Vec<f64>) -> Result<Self> {
+        if costs.len() != self.fail.len() {
+            return Err(Error::InvalidParameter {
+                what: "recovery costs must cover every machine",
+            });
+        }
+        if costs.iter().any(|&c| !c.is_finite() || c < 0.0) {
+            return Err(Error::InvalidParameter {
+                what: "recovery cost must be finite and >= 0",
+            });
+        }
+        self.recovery_cost = costs;
+        Ok(self)
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.fail.len()
+    }
+
+    /// Number of zones.
+    #[inline]
+    pub fn zones(&self) -> usize {
+        self.zone_fail.len()
+    }
+
+    /// Independent failure probability of a machine.
+    #[inline]
+    pub fn machine_fail(&self, machine: MachineId) -> f64 {
+        self.fail[machine.index()]
+    }
+
+    /// The zone a machine belongs to.
+    #[inline]
+    pub fn zone_of(&self, machine: MachineId) -> usize {
+        self.zone_of[machine.index()]
+    }
+
+    /// Correlated outage probability of a zone.
+    #[inline]
+    pub fn zone_outage(&self, zone: usize) -> f64 {
+        self.zone_fail[zone]
+    }
+
+    /// Recovery-cost weight of a machine.
+    #[inline]
+    pub fn recovery_cost(&self, machine: MachineId) -> f64 {
+        self.recovery_cost[machine.index()]
+    }
+
+    /// Machines of a zone, in increasing id order.
+    pub fn zone_members(&self, zone: usize) -> impl Iterator<Item = MachineId> + '_ {
+        self.zone_of
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &z)| z == zone)
+            .map(|(i, _)| MachineId::new(i))
+    }
+
+    /// Effective death probability of a *single* machine: its zone goes
+    /// down, or it fails on its own.
+    pub fn effective_fail(&self, machine: MachineId) -> f64 {
+        let g = self.zone_fail[self.zone_of[machine.index()]];
+        g + (1.0 - g) * self.fail[machine.index()]
+    }
+
+    /// Probability that *every* machine of `set` is dead at the horizon
+    /// (the task's data is lost). Exact under the model: zone outages
+    /// are independent of each other and of per-machine failures.
+    pub fn death_probability(&self, set: &MachineSet) -> f64 {
+        let m = self.m();
+        // Per-zone product of the members' independent failure probs;
+        // only zones actually holding a replica contribute a factor.
+        let mut product = vec![f64::NAN; self.zones()];
+        for id in set.iter(m) {
+            let z = self.zone_of[id.index()];
+            let f = self.fail[id.index()];
+            product[z] = if product[z].is_nan() {
+                f
+            } else {
+                product[z] * f
+            };
+        }
+        let mut death = 1.0;
+        let mut any = false;
+        for (z, &p) in product.iter().enumerate() {
+            if p.is_nan() {
+                continue;
+            }
+            any = true;
+            let g = self.zone_fail[z];
+            death *= g + (1.0 - g) * p;
+        }
+        if any {
+            death
+        } else {
+            1.0 // empty set: certain loss
+        }
+    }
+
+    /// Probability that at least one machine of `set` survives the
+    /// horizon (the task can still complete).
+    #[inline]
+    pub fn survival(&self, set: &MachineSet) -> f64 {
+        1.0 - self.death_probability(set)
+    }
+
+    /// `true` when `set` is guaranteed to keep a live replica through
+    /// the total loss of *any single* zone — i.e. no one zone contains
+    /// every member.
+    pub fn survives_single_zone_loss(&self, set: &MachineSet) -> bool {
+        let m = self.m();
+        let mut first_zone = None;
+        for id in set.iter(m) {
+            let z = self.zone_of[id.index()];
+            match first_zone {
+                None => first_zone = Some(z),
+                Some(f) if f != z => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Per-task survival probabilities of a placement.
+    pub fn placement_survival(&self, placement: &Placement) -> Vec<f64> {
+        placement.sets().iter().map(|s| self.survival(s)).collect()
+    }
+
+    /// The weakest task's survival probability under a placement
+    /// (`0` for an empty placement list — vacuously dead).
+    pub fn min_survival(&self, placement: &Placement) -> f64 {
+        placement
+            .sets()
+            .iter()
+            .map(|s| self.survival(s))
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::MachineMask;
+    use crate::instance::Instance;
+
+    fn model() -> ReliabilityModel {
+        // 4 machines, 2 zones: z0 = {0, 1}, z1 = {2, 3}.
+        ReliabilityModel::new(vec![0.1, 0.2, 0.3, 0.4], vec![0, 0, 1, 1], vec![0.05, 0.0]).unwrap()
+    }
+
+    fn mask_set(m: usize, ids: &[usize]) -> MachineSet {
+        MachineSet::from_mask(
+            m,
+            MachineMask::from_iter_with_capacity(m, ids.iter().map(|&i| MachineId::new(i))),
+        )
+    }
+
+    #[test]
+    fn constructor_validates_probabilities() {
+        assert!(matches!(
+            ReliabilityModel::new(vec![1.5], vec![0], vec![0.0]),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            ReliabilityModel::new(vec![f64::NAN], vec![0], vec![0.0]),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            ReliabilityModel::new(vec![0.1], vec![0], vec![-0.1]),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            ReliabilityModel::new(vec![0.1, 0.1], vec![0], vec![0.0]),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            ReliabilityModel::new(vec![0.1], vec![2], vec![0.0]),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(ReliabilityModel::new(vec![0.0], vec![0], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn from_mtbf_validates_domain() {
+        assert!(ReliabilityModel::from_mtbf(&[10.0], 0.0, 1, 0.0).is_err());
+        assert!(ReliabilityModel::from_mtbf(&[0.0], 5.0, 1, 0.0).is_err());
+        assert!(ReliabilityModel::from_mtbf(&[-3.0], 5.0, 1, 0.0).is_err());
+        assert!(ReliabilityModel::from_mtbf(&[10.0, 10.0], 5.0, 3, 0.0).is_err());
+        assert!(ReliabilityModel::from_mtbf(&[10.0], 5.0, 1, f64::INFINITY).is_err());
+        let m = ReliabilityModel::from_mtbf(&[10.0, 20.0], 10.0, 2, 0.02).unwrap();
+        // f = 1 - exp(-h/mtbf): the flakier machine fails more often.
+        assert!(m.machine_fail(MachineId::new(0)) > m.machine_fail(MachineId::new(1)));
+        assert!((m.machine_fail(MachineId::new(0)) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(m.zone_of(MachineId::new(0)), 0);
+        assert_eq!(m.zone_of(MachineId::new(1)), 1);
+    }
+
+    #[test]
+    fn recovery_costs_validated_and_stored() {
+        let m = model()
+            .with_recovery_costs(vec![1.0, 2.0, 3.0, 4.0])
+            .unwrap();
+        assert_eq!(m.recovery_cost(MachineId::new(2)), 3.0);
+        assert!(model().with_recovery_costs(vec![1.0]).is_err());
+        assert!(model()
+            .with_recovery_costs(vec![1.0, -1.0, 1.0, 1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn single_machine_survival_matches_effective_fail() {
+        let m = model();
+        for i in 0..4 {
+            let id = MachineId::new(i);
+            let s = m.survival(&MachineSet::One(id));
+            assert!((s - (1.0 - m.effective_fail(id))).abs() < 1e-12, "p{i}");
+        }
+        // Machine 0: zone outage 0.05, own 0.1 → death 0.05 + 0.95·0.1.
+        assert!((m.effective_fail(MachineId::new(0)) - 0.145).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_zone_replicas_are_discounted_by_correlation() {
+        let m = model();
+        // Two replicas in zone 0: death = 0.05 + 0.95·(0.1·0.2).
+        let same = m.death_probability(&mask_set(4, &[0, 1]));
+        assert!((same - (0.05 + 0.95 * 0.02)).abs() < 1e-12);
+        // Replicas split across zones multiply the *zone* factors:
+        // (0.05 + 0.95·0.1)·(0.0 + 1.0·0.3).
+        let split = m.death_probability(&mask_set(4, &[0, 2]));
+        assert!((split - 0.145 * 0.3).abs() < 1e-12);
+        // Correlation makes the split placement strictly safer here.
+        assert!(split < same);
+    }
+
+    #[test]
+    fn empty_set_is_certain_death() {
+        let m = model();
+        assert_eq!(m.death_probability(&mask_set(4, &[])), 1.0);
+        assert_eq!(m.survival(&mask_set(4, &[])), 0.0);
+    }
+
+    #[test]
+    fn zone_loss_survival_requires_spread() {
+        let m = model();
+        assert!(!m.survives_single_zone_loss(&mask_set(4, &[0, 1])));
+        assert!(m.survives_single_zone_loss(&mask_set(4, &[1, 2])));
+        assert!(!m.survives_single_zone_loss(&MachineSet::One(MachineId::new(3))));
+        assert!(m.survives_single_zone_loss(&MachineSet::All));
+    }
+
+    #[test]
+    fn placement_summaries() {
+        let m = model();
+        let inst = Instance::from_estimates(&[1.0, 1.0], 4).unwrap();
+        let p = Placement::new(
+            &inst,
+            vec![MachineSet::One(MachineId::new(3)), MachineSet::All],
+        )
+        .unwrap();
+        let per_task = m.placement_survival(&p);
+        assert_eq!(per_task.len(), 2);
+        assert!(per_task[1] > per_task[0]);
+        assert!((m.min_survival(&p) - per_task[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zone_members_enumerate() {
+        let m = model();
+        let z1: Vec<usize> = m.zone_members(1).map(|id| id.index()).collect();
+        assert_eq!(z1, vec![2, 3]);
+    }
+}

@@ -34,5 +34,7 @@ pub mod dp;
 pub mod dual_approx;
 pub mod lower_bounds;
 pub mod optimal;
+pub mod survival;
 
 pub use optimal::{Certainty, OptMakespan, OptimalSolver};
+pub use survival::{min_memory_survival, ExactSurvival, ExactTaskPlacement};

@@ -1,0 +1,221 @@
+//! Exact minimum-memory survival placement by subset enumeration.
+//!
+//! Ground truth for `rds_algs::survival::SurvivalPlacement`'s greedy:
+//! under the zone-correlated reliability model, each task's survival
+//! depends only on its *own* machine set, so the minimum-memory
+//! placement meeting a per-task survival target decomposes into `n`
+//! independent subproblems — for each task, the cheapest non-empty
+//! machine subset whose survival reaches the target. With per-task
+//! replica cost constant across machines, cheapest means *smallest*,
+//! so enumerating all `2^m − 1` subsets per task is exact.
+//!
+//! Exponential in `m`, so guarded at `m ≤ 16`; the conformance oracle
+//! and unit tests run it on small clusters to certify the greedy's
+//! feasibility decisions and bound its memory overhead.
+
+use rds_core::{Error, Instance, MachineId, MachineMask, MachineSet, ReliabilityModel, Result};
+
+/// Largest machine count the enumeration accepts (`2^16` subsets/task).
+pub const MAX_MACHINES: usize = 16;
+
+/// The exact answer for one task: the cheapest subset meeting the
+/// target, or the best achievable survival when none does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactTaskPlacement {
+    /// The chosen machine set (the maximizer of survival when the
+    /// target is unreachable).
+    pub set: MachineSet,
+    /// Its analytic survival probability.
+    pub survival: f64,
+    /// `true` when the set meets the target.
+    pub feasible: bool,
+}
+
+/// The exact minimum-memory survival placement, one entry per task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSurvival {
+    /// Per-task optima, indexed by task id.
+    pub tasks: Vec<ExactTaskPlacement>,
+    /// Total memory `Σ_j |M_j| · cost_j` of the optimum (costs follow
+    /// the same convention as the greedy: task size, or 1 when the
+    /// instance is unsized).
+    pub memory: f64,
+    /// `true` when every task meets the target.
+    pub feasible: bool,
+}
+
+/// Slack when comparing survival to the target (mirrors the greedy).
+const TARGET_EPS: f64 = 1e-12;
+
+/// Enumerates the minimum-memory placement meeting `target` for every
+/// task of `instance` under `model`.
+///
+/// For each task independently: among all non-empty subsets with
+/// survival `≥ target`, pick the one with the fewest machines (ties to
+/// the subset with higher survival, then lexicographically smallest
+/// mask). When no subset qualifies, the task gets the survival-maximal
+/// subset instead and the result is marked infeasible.
+///
+/// # Errors
+/// - [`Error::InvalidParameter`] when the model does not match the
+///   instance's machine count or `target` is not a probability.
+/// - [`Error::ResourceLimit`] when `m > MAX_MACHINES`.
+pub fn min_memory_survival(
+    instance: &Instance,
+    model: &ReliabilityModel,
+    target: f64,
+) -> Result<ExactSurvival> {
+    if !target.is_finite() || !(0.0..=1.0).contains(&target) {
+        return Err(Error::InvalidParameter {
+            what: "survival target must be a probability in [0, 1]",
+        });
+    }
+    if model.m() != instance.m() {
+        return Err(Error::InvalidParameter {
+            what: "reliability model machine count must match the instance",
+        });
+    }
+    let m = instance.m();
+    if m > MAX_MACHINES {
+        return Err(Error::ResourceLimit {
+            what: "exact survival enumeration supports at most 16 machines",
+        });
+    }
+
+    // Survival depends on the subset alone, not on the task: enumerate
+    // once, share across tasks.
+    let subsets = 1usize << m;
+    let mut best_feasible: Option<(usize, u32, f64)> = None; // (popcount, bits, survival)
+    let mut best_overall = (0.0f64, 0u32);
+    for bits in 1..subsets as u32 {
+        let set = mask_of(m, bits);
+        let p = model.survival(&set);
+        if p > best_overall.0 {
+            best_overall = (p, bits);
+        }
+        if p + TARGET_EPS >= target {
+            let pc = bits.count_ones() as usize;
+            let better = match best_feasible {
+                None => true,
+                Some((bpc, _, bp)) => pc < bpc || (pc == bpc && p > bp),
+            };
+            if better {
+                best_feasible = Some((pc, bits, p));
+            }
+        }
+    }
+
+    let unsized_ = instance.total_size().get() == 0.0;
+    let mut tasks = Vec::with_capacity(instance.n());
+    let mut memory = 0.0;
+    let mut feasible = true;
+    for id in instance.task_ids() {
+        let cost = if unsized_ {
+            1.0
+        } else {
+            instance.size(id).get()
+        };
+        let (bits, p, ok) = match best_feasible {
+            Some((_, bits, p)) => (bits, p, true),
+            None => (best_overall.1, best_overall.0, false),
+        };
+        feasible &= ok;
+        memory += bits.count_ones() as f64 * cost;
+        tasks.push(ExactTaskPlacement {
+            set: mask_of(m, bits),
+            survival: p,
+            feasible: ok,
+        });
+    }
+    Ok(ExactSurvival {
+        tasks,
+        memory,
+        feasible,
+    })
+}
+
+fn mask_of(m: usize, bits: u32) -> MachineSet {
+    MachineSet::from_mask(
+        m,
+        MachineMask::from_iter_with_capacity(
+            m,
+            (0..m).filter(|&i| bits & (1 << i) != 0).map(MachineId::new),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ReliabilityModel {
+        ReliabilityModel::new(vec![0.4, 0.3, 0.2, 0.1], vec![0, 0, 1, 1], vec![0.1, 0.02]).unwrap()
+    }
+
+    #[test]
+    fn guards_machine_count() {
+        let inst = Instance::from_estimates(&[1.0], 17).unwrap();
+        let m = ReliabilityModel::uniform(17, 0.1).unwrap();
+        assert!(matches!(
+            min_memory_survival(&inst, &m, 0.9),
+            Err(Error::ResourceLimit { .. })
+        ));
+        let mismatched = ReliabilityModel::uniform(3, 0.1).unwrap();
+        let inst4 = Instance::from_estimates(&[1.0], 4).unwrap();
+        assert!(matches!(
+            min_memory_survival(&inst4, &mismatched, 0.9),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            min_memory_survival(&inst4, &ReliabilityModel::uniform(4, 0.1).unwrap(), 1.5),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_target_needs_one_replica() {
+        let inst = Instance::from_estimates(&[1.0, 2.0], 4).unwrap();
+        let exact = min_memory_survival(&inst, &model(), 0.0).unwrap();
+        assert!(exact.feasible);
+        assert_eq!(exact.memory, 2.0);
+        for t in &exact.tasks {
+            assert_eq!(t.set.count(4), 1);
+        }
+    }
+
+    #[test]
+    fn exact_is_minimal_brute_force_check() {
+        // Independently verify minimality for one target: no subset of
+        // fewer machines reaches it.
+        let inst = Instance::from_estimates(&[1.0], 4).unwrap();
+        let m = model();
+        let target = 0.97;
+        let exact = min_memory_survival(&inst, &m, target).unwrap();
+        assert!(exact.feasible);
+        let k = exact.tasks[0].set.count(4);
+        for bits in 1u32..16 {
+            if (bits.count_ones() as usize) < k {
+                let s = m.survival(&mask_of(4, bits));
+                assert!(s < target, "smaller subset {bits:b} reaches the target");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_target_reports_best_achievable() {
+        let weak = ReliabilityModel::new(vec![0.5, 0.5], vec![0, 0], vec![0.3]).unwrap();
+        let inst = Instance::from_estimates(&[1.0], 2).unwrap();
+        let exact = min_memory_survival(&inst, &weak, 0.99).unwrap();
+        assert!(!exact.feasible);
+        let all = weak.survival(&MachineSet::All);
+        assert!((exact.tasks[0].survival - all).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sized_instances_weight_memory_by_size() {
+        let inst = Instance::from_estimates_and_sizes(&[(1.0, 3.0), (1.0, 5.0)], 4).unwrap();
+        let exact = min_memory_survival(&inst, &model(), 0.9).unwrap();
+        let k = exact.tasks[0].set.count(4) as f64;
+        assert!((exact.memory - k * 8.0).abs() < 1e-12);
+    }
+}

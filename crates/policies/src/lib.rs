@@ -38,6 +38,7 @@ pub mod chained;
 pub mod critical;
 pub mod executor;
 pub mod random_k;
+pub mod reliability;
 pub mod resilience;
 
 pub use campaign::{
@@ -46,6 +47,7 @@ pub use campaign::{
 pub use chained::ChainedReplication;
 pub use critical::CriticalTaskReplication;
 pub use random_k::RandomKReplication;
+pub use reliability::{dominance, engine_survival, frontier, placement_memory, FrontierPoint};
 pub use resilience::{
     aggregate_row, run_campaign, run_trial, standard_suite, CampaignRow, ResiliencePolicy,
     TrialMeasurement,

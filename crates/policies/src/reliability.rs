@@ -1,0 +1,268 @@
+//! The resilience-vs-memory frontier: survival-target placement against
+//! the paper's fixed-`k` replication curves.
+//!
+//! The paper buys fault tolerance with a uniform replica count `k` —
+//! every task pays `k` replicas of memory regardless of which machines
+//! it actually sits on. `SurvivalPlacement` spends the same currency
+//! per task, guided by a heterogeneous [`ReliabilityModel`]. This
+//! module measures both families under identical seeded fault
+//! campaigns and emits one [`FrontierPoint`] per configuration, so
+//! `rds reliability` (and the EXPERIMENTS walkthrough) can plot
+//! guaranteed survival against memory and check dominance.
+//!
+//! Each point carries two survival numbers:
+//! - `analytic`: the model's closed-form *minimum per-task* survival —
+//!   the guarantee the placement can print on the box;
+//! - `measured`: the mean task-survival rate over seeded fault scripts
+//!   executed through the [`ResilienceEngine`] (crashes at `t = 0`,
+//!   the horizon-draw semantics the analytic number speaks about).
+
+use rds_algs::survival::SurvivalPlacement;
+use rds_algs::Strategy;
+use rds_core::{Instance, Placement, Realization, ReliabilityModel, Result, Uncertainty};
+use rds_sim::faults::ResilienceEngine;
+use rds_sim::OrderedDispatcher;
+use rds_workloads::{rng, HeterogeneousFaultModel};
+
+use crate::ChainedReplication;
+
+/// One placement on the resilience-vs-memory plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// Display label (`k=2`, `S(0.99)`, …).
+    pub label: String,
+    /// Total memory: `Σ_j |M_j| · s_j` (1 per replica when unsized).
+    pub memory: f64,
+    /// Analytic minimum per-task survival probability under the model.
+    pub analytic: f64,
+    /// Mean engine-measured task survival over the campaign scripts.
+    pub measured: f64,
+    /// Largest per-task replica count.
+    pub max_replicas: usize,
+    /// `true` for survival-target points that fell back to degraded
+    /// max-min mode (always `false` for fixed-`k` points).
+    pub degraded: bool,
+}
+
+impl FrontierPoint {
+    /// `self` dominates `other` on the frontier: at least as safe and
+    /// at least as cheap, strictly better on one axis (analytic
+    /// guarantees compared with a small tolerance).
+    pub fn dominates(&self, other: &FrontierPoint) -> bool {
+        const EPS: f64 = 1e-9;
+        let no_worse = self.analytic + EPS >= other.analytic && self.memory <= other.memory + EPS;
+        let strictly = self.analytic > other.analytic + EPS || self.memory + EPS < other.memory;
+        no_worse && strictly
+    }
+}
+
+/// Memory of a placement under the frontier's cost convention: task
+/// size per replica, or one unit per replica on unsized instances.
+pub fn placement_memory(instance: &Instance, placement: &Placement) -> f64 {
+    let unsized_ = instance.total_size().get() == 0.0;
+    instance
+        .task_ids()
+        .map(|t| {
+            let cost = if unsized_ {
+                1.0
+            } else {
+                instance.size(t).get()
+            };
+            placement.replicas(t) as f64 * cost
+        })
+        .sum()
+}
+
+/// Mean engine-measured task survival of a placement over `reps`
+/// seeded horizon draws (crash scripts sampled from `hetero`, all
+/// machines dying at `t = 0` so the draw matches the analytic model).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn engine_survival(
+    instance: &Instance,
+    placement: &Placement,
+    hetero: &HeterogeneousFaultModel,
+    reps: usize,
+    seed: u64,
+) -> Result<f64> {
+    let real = Realization::exact(instance);
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut r = rng::rng(rng::child_seed(seed, rep as u64));
+        let script = hetero.generate_at_zero(&mut r);
+        let mut dispatcher = OrderedDispatcher::auto(instance.ids_by_estimate_desc(), placement);
+        let report =
+            ResilienceEngine::new(instance, placement, &real, &script)?.run(&mut dispatcher)?;
+        total += report.metrics.survival_rate();
+    }
+    Ok(total / reps.max(1) as f64)
+}
+
+/// Measures the full frontier: fixed-`k` chained replication for each
+/// `k` in `ks`, then `SurvivalPlacement` for each target in `targets`
+/// (unbounded budget — the greedy still minimizes memory). All points
+/// are measured under the *same* seeded scripts.
+///
+/// # Errors
+/// Propagates placement, planning, and engine errors.
+pub fn frontier(
+    instance: &Instance,
+    unc: Uncertainty,
+    hetero: &HeterogeneousFaultModel,
+    ks: &[usize],
+    targets: &[f64],
+    reps: usize,
+    seed: u64,
+) -> Result<Vec<FrontierPoint>> {
+    let _span = rds_obs::span("reliability.frontier");
+    let model: &ReliabilityModel = hetero.model();
+    let mut points = Vec::with_capacity(ks.len() + targets.len());
+    for &k in ks {
+        let placement = ChainedReplication::new(k).place(instance, unc)?;
+        points.push(FrontierPoint {
+            label: format!("k={k}"),
+            memory: placement_memory(instance, &placement),
+            analytic: model.min_survival(&placement),
+            measured: engine_survival(instance, &placement, hetero, reps, seed)?,
+            max_replicas: placement.max_replicas(),
+            degraded: false,
+        });
+        if rds_obs::enabled() {
+            rds_obs::global()
+                .counter("reliability.frontier.fixed_k_points")
+                .inc();
+        }
+    }
+    for &target in targets {
+        let plan = SurvivalPlacement::new(model.clone(), target)?.plan(instance)?;
+        points.push(FrontierPoint {
+            label: format!("S({target})"),
+            memory: plan.memory,
+            analytic: plan.min_survival(),
+            measured: engine_survival(instance, &plan.placement, hetero, reps, seed)?,
+            max_replicas: plan.placement.max_replicas(),
+            degraded: plan.degraded,
+        });
+        if rds_obs::enabled() {
+            rds_obs::global()
+                .counter("reliability.frontier.survival_points")
+                .inc();
+        }
+    }
+    Ok(points)
+}
+
+/// For every fixed-`k` point (label `k=…`), the label of a survival
+/// point that dominates it, if any. The acceptance bar for this
+/// subsystem: on a heterogeneous cluster, reliability-aware placement
+/// should dominate at least one uniform-`k` configuration.
+pub fn dominance(points: &[FrontierPoint]) -> Vec<(String, Option<String>)> {
+    let (fixed, survival): (Vec<_>, Vec<_>) =
+        points.iter().partition(|p| p.label.starts_with("k="));
+    fixed
+        .iter()
+        .map(|f| {
+            let winner = survival
+                .iter()
+                .find(|s| s.dominates(f))
+                .map(|s| s.label.clone());
+            (f.label.clone(), winner)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately lopsided 6-machine cluster: zone 0 is flaky and
+    /// outage-prone, zone 2 is solid.
+    fn hetero() -> HeterogeneousFaultModel {
+        let model = ReliabilityModel::new(
+            vec![0.35, 0.3, 0.15, 0.12, 0.03, 0.02],
+            vec![0, 0, 1, 1, 2, 2],
+            vec![0.08, 0.02, 0.005],
+        )
+        .unwrap();
+        HeterogeneousFaultModel::new(model, 40.0).unwrap()
+    }
+
+    fn instance() -> Instance {
+        let est: Vec<f64> = (0..18).map(|i| 1.0 + (i % 5) as f64).collect();
+        Instance::from_estimates(&est, 6).unwrap()
+    }
+
+    #[test]
+    fn frontier_is_deterministic_and_complete() {
+        let inst = instance();
+        let h = hetero();
+        let a = frontier(
+            &inst,
+            Uncertainty::of(1.5),
+            &h,
+            &[1, 2, 3],
+            &[0.9, 0.99],
+            8,
+            7,
+        )
+        .unwrap();
+        let b = frontier(
+            &inst,
+            Uncertainty::of(1.5),
+            &h,
+            &[1, 2, 3],
+            &[0.9, 0.99],
+            8,
+            7,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        // Fixed-k memory is k per task on unsized instances.
+        assert_eq!(a[0].memory, 18.0);
+        assert_eq!(a[1].memory, 36.0);
+        // More replicas, better guarantee.
+        assert!(a[1].analytic > a[0].analytic);
+    }
+
+    #[test]
+    fn survival_points_dominate_some_fixed_k() {
+        let inst = instance();
+        let h = hetero();
+        let points = frontier(
+            &inst,
+            Uncertainty::of(1.5),
+            &h,
+            &[1, 2, 3],
+            &[0.9, 0.97, 0.995],
+            6,
+            11,
+        )
+        .unwrap();
+        let verdicts = dominance(&points);
+        assert!(
+            verdicts.iter().any(|(_, w)| w.is_some()),
+            "no fixed-k point dominated: {points:?}"
+        );
+    }
+
+    #[test]
+    fn engine_measurement_tracks_the_analytic_guarantee() {
+        let inst = instance();
+        let h = hetero();
+        let model = h.model().clone();
+        let plan = SurvivalPlacement::new(model, 0.99)
+            .unwrap()
+            .plan(&inst)
+            .unwrap();
+        assert!(plan.feasible);
+        let measured = engine_survival(&inst, &plan.placement, &h, 200, 3).unwrap();
+        // Mean task survival ≥ min per-task survival, up to MC noise.
+        assert!(
+            measured >= plan.min_survival() - 0.03,
+            "measured {measured} far below analytic {}",
+            plan.min_survival()
+        );
+    }
+}

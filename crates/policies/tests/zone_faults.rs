@@ -1,0 +1,129 @@
+//! Correlated-failure edge cases: whole-zone outages against
+//! zone-confined and zone-spread placements.
+//!
+//! Two guarantees under test. First, losing an entire zone that holds
+//! *every* replica of some task must end in a graceful `Partial`
+//! outcome — the engine reports the stranded tasks instead of
+//! panicking or spinning. Second, a placement that spreads every task
+//! across at least two zones provably survives the total loss of any
+//! single zone, and the engine confirms it script by script.
+
+use rds_algs::survival::SurvivalPlacement;
+use rds_core::{Instance, MachineId, MachineSet, Placement, Realization, ReliabilityModel, Time};
+use rds_sim::faults::{FaultEvent, FaultScript, ResilienceEngine};
+use rds_sim::OrderedDispatcher;
+
+/// 6 machines in 3 zones of 2 (zones contiguous: {0,1}, {2,3}, {4,5}).
+fn model() -> ReliabilityModel {
+    ReliabilityModel::new(
+        vec![0.2, 0.25, 0.15, 0.1, 0.05, 0.1],
+        vec![0, 0, 1, 1, 2, 2],
+        vec![0.1, 0.05, 0.02],
+    )
+    .unwrap()
+}
+
+/// A script that crashes every machine of `zone` at `t = 0`.
+fn zone_outage(model: &ReliabilityModel, zone: usize) -> FaultScript {
+    FaultScript::new(
+        model
+            .zone_members(zone)
+            .map(|machine| FaultEvent::Crash {
+                machine,
+                at: Time::ZERO,
+            })
+            .collect(),
+    )
+}
+
+fn run(
+    instance: &Instance,
+    placement: &Placement,
+    script: &FaultScript,
+) -> rds_sim::faults::ResilienceReport {
+    let real = Realization::exact(instance);
+    let mut dispatcher = OrderedDispatcher::auto(instance.ids_by_estimate_desc(), placement);
+    ResilienceEngine::new(instance, placement, &real, script)
+        .unwrap()
+        .run(&mut dispatcher)
+        .unwrap()
+}
+
+#[test]
+fn whole_zone_outage_strands_zone_confined_tasks_gracefully() {
+    let model = model();
+    let inst = Instance::from_estimates(&[3.0, 2.0, 2.0, 1.0], 6).unwrap();
+    // Task 0 confined entirely to zone 0; the rest live in zone 2.
+    let placement = Placement::new(
+        &inst,
+        vec![
+            MachineSet::Span { start: 0, end: 2 },
+            MachineSet::One(MachineId::new(4)),
+            MachineSet::One(MachineId::new(5)),
+            MachineSet::Span { start: 4, end: 6 },
+        ],
+    )
+    .unwrap();
+    assert!(!model.survives_single_zone_loss(placement.set(rds_core::TaskId::new(0))));
+
+    let report = run(&inst, &placement, &zone_outage(&model, 0));
+    // Graceful partial outcome: exactly the confined task is stranded,
+    // everything else completed, and the metrics agree.
+    assert!(!report.outcome.is_completed());
+    assert_eq!(report.outcome.unfinished_count(), 1);
+    assert_eq!(report.metrics.completed, 3);
+    assert!((report.metrics.survival_rate() - 0.75).abs() < 1e-12);
+}
+
+#[test]
+fn zone_spread_placement_survives_any_single_zone_loss() {
+    let model = model();
+    let est: Vec<f64> = (0..12).map(|i| 1.0 + (i % 4) as f64).collect();
+    let inst = Instance::from_estimates(&est, 6).unwrap();
+    // A survival target high enough that every task must leave its
+    // base zone (no single zone is reliable enough on its own).
+    let plan = SurvivalPlacement::new(model.clone(), 0.995)
+        .unwrap()
+        .plan(&inst)
+        .unwrap();
+    assert!(plan.feasible);
+
+    // Analytic guarantee: every task spans at least two zones …
+    for task in inst.task_ids() {
+        assert!(
+            model.survives_single_zone_loss(plan.placement.set(task)),
+            "task {task} confined to one zone"
+        );
+    }
+    // … and the engine confirms: the total loss of ANY single zone
+    // still completes every task.
+    for zone in 0..model.zones() {
+        let report = run(&inst, &plan.placement, &zone_outage(&model, zone));
+        assert!(
+            report.outcome.is_completed(),
+            "zone {zone} outage stranded tasks"
+        );
+        assert_eq!(report.metrics.survival_rate(), 1.0);
+    }
+}
+
+#[test]
+fn losing_every_zone_is_still_graceful() {
+    // The degenerate worst case: all machines dead at t = 0. Nothing
+    // can run, but the engine must still terminate with a full list of
+    // stranded tasks rather than panic.
+    let inst = Instance::from_estimates(&[2.0, 1.0], 6).unwrap();
+    let placement = Placement::everywhere(&inst);
+    let all_down = FaultScript::new(
+        (0..6)
+            .map(|i| FaultEvent::Crash {
+                machine: MachineId::new(i),
+                at: Time::ZERO,
+            })
+            .collect(),
+    );
+    let report = run(&inst, &placement, &all_down);
+    assert!(!report.outcome.is_completed());
+    assert_eq!(report.outcome.unfinished_count(), 2);
+    assert_eq!(report.metrics.survival_rate(), 0.0);
+}

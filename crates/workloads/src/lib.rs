@@ -32,6 +32,6 @@ pub mod rng;
 pub mod scenarios;
 
 pub use estimates::EstimateDistribution;
-pub use faults::FaultModel;
+pub use faults::{monte_carlo_survival, FaultModel, HeterogeneousFaultModel};
 pub use realize::RealizationModel;
 pub use scenarios::Scenario;
