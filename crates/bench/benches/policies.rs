@@ -28,6 +28,7 @@ fn bench_overlapping_policies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("chained_k3", n), &n, |b, _| {
             b.iter(|| {
                 ChainedReplication::new(3)
+                    .unwrap()
                     .run(&inst, unc, &real)
                     .unwrap()
                     .makespan
@@ -36,6 +37,7 @@ fn bench_overlapping_policies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("critical_30pct", n), &n, |b, _| {
             b.iter(|| {
                 CriticalTaskReplication::new(0.3)
+                    .unwrap()
                     .run(&inst, unc, &real)
                     .unwrap()
                     .makespan

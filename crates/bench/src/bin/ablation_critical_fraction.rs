@@ -38,7 +38,7 @@ fn main() {
     let mut curve = Vec::new();
 
     for &f in &fractions {
-        let strategy = CriticalTaskReplication::new(f);
+        let strategy = CriticalTaskReplication::new(f).expect("static fraction list");
         let results = parallel_map(
             (0..reps).collect::<Vec<_>>(),
             sweep_threads(),
@@ -83,6 +83,7 @@ fn main() {
         72,
         14,
     )
+    .expect("static chart shape")
     .series(Series::new("critical-fraction policy", '*', curve.clone()));
     println!("{}", chart.render());
 

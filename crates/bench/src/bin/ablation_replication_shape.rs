@@ -67,7 +67,7 @@ fn main() {
         let (g_mean, g_max) =
             mean_ratio(&LsGroup::new(groups), m, n, alpha, reps, 0x1000 + k as u64);
         let (c_mean, c_max) = mean_ratio(
-            &ChainedReplication::new(k),
+            &ChainedReplication::new(k).expect("static k list"),
             m,
             n,
             alpha,
@@ -75,7 +75,7 @@ fn main() {
             0x2000 + k as u64,
         );
         let (r_mean, r_max) = mean_ratio(
-            &RandomKReplication::new(k, 0xDEAD + k as u64),
+            &RandomKReplication::new(k, 0xDEAD + k as u64).expect("static k list"),
             m,
             n,
             alpha,

@@ -104,6 +104,7 @@ fn main() {
         72,
         16,
     )
+    .expect("static chart shape")
     .series(Series::new("Th.3: 1 + (m−1)α²/(2m)", '*', th3_pts.clone()))
     .series(Series::new("Graham: 2 − 1/m", '-', graham_pts));
     println!("{}", chart.render());

@@ -95,7 +95,7 @@ fn main() -> rds_core::Result<()> {
         format!("adversary witness → α²m/(α²+m−1) = {bound:.4} (log λ)"),
         72,
         16,
-    )
+    )?
     .log_x()
     .series(Series::new("measured witness", '*', pts_witness))
     .series(Series::new("finite-λ formula", '.', pts_formula));

@@ -163,6 +163,7 @@ fn main() {
             72,
             16,
         )
+        .expect("static chart shape")
         .log_x()
         .series(Series::new("Th.4 guarantee", '#', guarantee_pts))
         .series(Series::new("measured adversarial", '*', adversarial_pts));

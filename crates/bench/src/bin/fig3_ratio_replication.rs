@@ -67,6 +67,7 @@ fn print_panel(p: &RatioReplicationPanel) {
         72,
         18,
     )
+    .expect("static chart shape")
     .log_x()
     .series(Series::new("LS-Group(k)", '*', ls_pts))
     .series(Series::new(

@@ -72,6 +72,7 @@ fn run() -> rds_core::Result<()> {
             72,
             18,
         )
+        .expect("static chart shape")
         .series(Series::new("SABO_Δ", 's', clip(sabo_pts)))
         .series(Series::new("ABO_Δ", 'a', clip(abo_pts)))
         .series(Series::new(

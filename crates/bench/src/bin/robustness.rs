@@ -88,7 +88,7 @@ fn main() -> rds_core::Result<()> {
     }
     println!("{}", table.to_markdown());
 
-    let chart = Chart::new("expected value of adaptivity (%) vs α", 72, 14)
+    let chart = Chart::new("expected value of adaptivity (%) vs α", 72, 14)?
         .series(Series::new("full replication", '*', pts_full.clone()))
         .series(Series::new("grouped k=2", 'o', pts_group));
     println!("{}", chart.render());

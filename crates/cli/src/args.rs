@@ -45,7 +45,9 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are flags (no value).
-const FLAGS: &[&str] = &["help", "quick", "gantt", "csv", "resume", "validate"];
+const FLAGS: &[&str] = &[
+    "help", "quick", "gantt", "csv", "resume", "validate", "stdin", "plot",
+];
 
 impl Args {
     /// Parses a raw argument list (without the program/subcommand name).

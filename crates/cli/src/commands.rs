@@ -71,6 +71,23 @@ COMMANDS:
             [--max-counterexamples <usize>]
             crash safety: [--journal <path>] [--resume]
             replay: --replay <counterexample.json>
+  serve     streaming scheduler daemon: continuous arrivals, bounded
+            admission with typed rejection + backpressure, overload
+            shedding and replication degradation (hysteresis
+            watermarks), graceful drain on SIGTERM/SIGINT, crash
+            recovery from an fsync'd journal
+            --m <usize> [--k <usize>] [--tasks <u64>] [--rate <f64>]
+            [--arrivals <poisson|bursty|trace>] [--burst-rate <f64>]
+            [--period <f64>] [--burst-fraction <f64>]
+            [--trace-file <path>] [--est-lo <f64>] [--est-hi <f64>]
+            [--alpha <f64>] [--fail-rate <f64>] [--attempts <u32>]
+            [--deadline-factor <f64>] [--queue-cap <usize>]
+            [--kd <usize>] [--degrade-hi <usize>] [--degrade-lo <usize>]
+            [--shed-hi <usize>] [--shed-lo <usize>]
+            [--fsync-every <usize>] [--seed <u64>] [--plot]
+            [--status-every <u64 events>] [--pace-us <u64>]
+            crash safety: [--journal <path>] [--resume]
+            line protocol on stdin: [--stdin]
   help      show this message
 
 Observability options (any command):
@@ -115,10 +132,24 @@ const STANDARD_COUNTERS: &[&str] = &[
     "conformance.shrink_steps",
     "reliability.frontier.fixed_k_points",
     "reliability.frontier.survival_points",
+    "serve.admitted",
+    "serve.completed",
+    "serve.shed",
+    "serve.rejected",
+    "serve.retries",
+    "serve.degraded",
+    "serve.transitions",
+    "serve.journal.appends",
 ];
 
 /// Histogram companions to [`STANDARD_COUNTERS`].
-const STANDARD_HISTOGRAMS: &[&str] = &["trial.latency", "journal.fsync"];
+const STANDARD_HISTOGRAMS: &[&str] = &[
+    "trial.latency",
+    "journal.fsync",
+    "serve.queue_depth",
+    "serve.response_time",
+    "serve.journal.fsync",
+];
 
 /// Switches global instrumentation on when `--metrics` or `--trace-out`
 /// was given, and seeds the registry with the standard series.
@@ -678,7 +709,11 @@ pub fn cmd_reliability(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
     use rand::Rng as _;
     let mtbf: Vec<f64> = (0..m).map(|_| horizon * r.gen_range(1.2..12.0)).collect();
     let zone_outage = r.gen_range(0.01..0.06);
-    let model = ReliabilityModel::from_mtbf(&mtbf, horizon, zones, zone_outage)?;
+    // Heterogeneous re-staging weights: losing a replica on one machine
+    // can cost several times more than on another (bandwidth, egress).
+    let recovery: Vec<f64> = (0..m).map(|_| r.gen_range(0.5..4.0)).collect();
+    let model = ReliabilityModel::from_mtbf(&mtbf, horizon, zones, zone_outage)?
+        .with_recovery_costs(recovery)?;
     let hetero = HeterogeneousFaultModel::new(model.clone(), horizon)?;
 
     let points = rds_policies::frontier(&inst, unc, &hetero, &ks, &targets, reps, seed)?;
@@ -702,16 +737,14 @@ pub fn cmd_reliability(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
         "analytic survival",
         "measured survival",
         "max replicas",
+        "E[recovery cost]",
         "degraded",
     ])
-    .align(vec![
-        Align::Left,
-        Align::Right,
-        Align::Right,
-        Align::Right,
-        Align::Right,
-        Align::Right,
-    ]);
+    .align({
+        let mut a = vec![Align::Right; 7];
+        a[0] = Align::Left;
+        a
+    });
     for p in &points {
         t.row(vec![
             p.label.clone(),
@@ -719,6 +752,7 @@ pub fn cmd_reliability(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
             fmt(p.analytic, 4),
             fmt(p.measured, 4),
             p.max_replicas.to_string(),
+            fmt(p.recovery_cost, 2),
             if p.degraded {
                 "yes".into()
             } else {
@@ -738,7 +772,7 @@ pub fn cmd_reliability(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
         .filter(|p| !p.label.starts_with("k="))
         .map(|p| (p.memory, p.analytic))
         .collect();
-    let chart = Chart::new("analytic min survival vs memory", 64, 12)
+    let chart = Chart::new("analytic min survival vs memory", 64, 12)?
         .series(Series::new("fixed-k", 'o', fixed))
         .series(Series::new("survival-target", 'S', survival));
     write!(out, "{}", chart.render())?;
@@ -1097,6 +1131,220 @@ pub fn cmd_conformance(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
     .into())
 }
 
+/// Builds a [`rds_serve::ServeConfig`] from command-line options.
+fn serve_config(args: &Args) -> Result<rds_serve::ServeConfig, CmdError> {
+    use rds_workloads::ArrivalProcess;
+
+    let m: usize = args.require("m")?;
+    let k: usize = args.get_or("k", 2.min(m))?;
+    let count: u64 = args.get_or("tasks", 10_000u64)?;
+    let rate: f64 = args.get_or("rate", 4.0)?;
+    let mut cfg = rds_serve::ServeConfig::poisson(m, k, rate, count);
+
+    match args.get::<String>("arrivals")?.as_deref() {
+        None | Some("poisson") => {}
+        Some("bursty") => {
+            cfg.process = ArrivalProcess::Bursty {
+                base_rate: rate,
+                burst_rate: args.get_or("burst-rate", rate * 4.0)?,
+                period: args.get_or("period", 50.0)?,
+                burst_fraction: args.get_or("burst-fraction", 0.2)?,
+            };
+        }
+        Some("trace") => {
+            let path: String = args.require("trace-file")?;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read --trace-file {path}: {e}"))?;
+            let times = text
+                .split(|c: char| c == ',' || c.is_whitespace())
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| format!("bad arrival time {s:?} in {path}"))
+                })
+                .collect::<Result<Vec<f64>, _>>()?;
+            cfg.count = times.len() as u64;
+            cfg.process = ArrivalProcess::Trace { times };
+        }
+        Some(other) => {
+            return Err(
+                format!("unknown --arrivals {other:?} (expected poisson|bursty|trace)").into(),
+            )
+        }
+    }
+
+    if let (Some(lo), Some(hi)) = (args.get("est-lo")?, args.get("est-hi")?) {
+        cfg.estimates = EstimateDistribution::Uniform { lo, hi };
+    }
+    // A custom cap rescales the default watermarks before explicit
+    // overrides apply, so `--queue-cap 64` alone stays well-formed.
+    if let Some(cap) = args.get::<usize>("queue-cap")? {
+        cfg.queue_cap = cap;
+        cfg.degrade_hi = cap / 2;
+        cfg.degrade_lo = cap * 3 / 8;
+        cfg.shed_hi = cap * 3 / 4;
+        cfg.shed_lo = cap * 5 / 8;
+    }
+    cfg.degraded_replication = args.get_or("kd", cfg.degraded_replication)?;
+    cfg.degrade_hi = args.get_or("degrade-hi", cfg.degrade_hi)?;
+    cfg.degrade_lo = args.get_or("degrade-lo", cfg.degrade_lo)?;
+    cfg.shed_hi = args.get_or("shed-hi", cfg.shed_hi)?;
+    cfg.shed_lo = args.get_or("shed-lo", cfg.shed_lo)?;
+    cfg.deadline_factor = args.get_or("deadline-factor", cfg.deadline_factor)?;
+    cfg.alpha = args.get_or("alpha", cfg.alpha)?;
+    cfg.fail_rate = args.get_or("fail-rate", cfg.fail_rate)?;
+    cfg.max_attempts = args.get_or("attempts", cfg.max_attempts)?;
+    cfg.fsync_every = args.get_or("fsync-every", cfg.fsync_every)?;
+    cfg.seed = args.get_or("seed", cfg.seed)?;
+    Ok(cfg)
+}
+
+/// Renders a [`rds_serve::ServeReport`] as tables (and charts with
+/// `--plot`).
+fn serve_render(
+    report: &rds_serve::ServeReport,
+    plot: bool,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
+    use rds_report::plot::{Chart, Series};
+
+    let mut t = Table::new(vec!["outcome", "count"]).align(vec![Align::Left, Align::Right]);
+    t.row(vec!["admitted".into(), report.admitted.to_string()]);
+    t.row(vec!["completed".into(), report.completed.to_string()]);
+    t.row(vec!["shed (deadline)".into(), report.shed.to_string()]);
+    t.row(vec!["failed (retries)".into(), report.failed.to_string()]);
+    t.row(vec![
+        "rejected: queue full".into(),
+        report.rejected_full.to_string(),
+    ]);
+    t.row(vec![
+        "rejected: deadline".into(),
+        report.rejected_deadline.to_string(),
+    ]);
+    t.row(vec![
+        "rejected: draining".into(),
+        report.rejected_draining.to_string(),
+    ]);
+    t.row(vec!["retries".into(), report.retries.to_string()]);
+    t.row(vec![
+        "degraded-k admissions".into(),
+        report.degraded_entries.to_string(),
+    ]);
+    t.row(vec![
+        "overload transitions".into(),
+        report.transitions.to_string(),
+    ]);
+    t.row(vec!["max queue depth".into(), report.max_depth.to_string()]);
+    writeln!(out, "{}", t.to_markdown())?;
+
+    let mut s = Table::new(vec!["metric", "count", "mean", "p50", "p95", "p99", "max"]).align({
+        let mut a = vec![Align::Right; 7];
+        a[0] = Align::Left;
+        a
+    });
+    for (name, d) in [("wait time", &report.wait), ("flow time", &report.flow)] {
+        s.row(vec![
+            name.into(),
+            d.count.to_string(),
+            fmt(d.mean, 3),
+            fmt(d.p50, 3),
+            fmt(d.p95, 3),
+            fmt(d.p99, 3),
+            fmt(d.max, 3),
+        ]);
+    }
+    writeln!(out, "{}", s.to_markdown())?;
+    writeln!(
+        out,
+        "final state: {}  virtual makespan: {}  events: {}{}",
+        report.final_state.label(),
+        fmt(report.makespan, 3),
+        report.events,
+        if report.halted { "  (halted)" } else { "" }
+    )?;
+
+    if plot {
+        if report.depth_series.len() > 1 {
+            let chart = Chart::new("queue depth over virtual time", 64, 12)?.series(Series::new(
+                "depth",
+                '*',
+                report.depth_series.clone(),
+            ));
+            writeln!(out, "\n{}", chart.render())?;
+        }
+        if report.flow_series.len() > 1 {
+            let chart = Chart::new("flow time of completions", 64, 12)?.series(Series::new(
+                "flow",
+                '+',
+                report.flow_series.clone(),
+            ));
+            writeln!(out, "\n{}", chart.render())?;
+        }
+    }
+    Ok(())
+}
+
+/// `rds serve`: run the streaming scheduler daemon to completion (or
+/// drive it over the stdin line protocol with `--stdin`), then report
+/// admission/outcome counters, wait/flow-time digests, and optionally
+/// ASCII charts of the queue-depth and flow-time series.
+pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use rds_serve::{serve_lines, signal, Control, Daemon};
+
+    let cfg = serve_config(args)?;
+    let journal: Option<String> = args.get("journal")?;
+    let resume = args.flag("resume");
+    let status_every: u64 = args.get_or("status-every", 0u64)?;
+    let pace_us: u64 = args.get_or("pace-us", 0u64)?;
+
+    let mut daemon = match &journal {
+        Some(path) => Daemon::with_journal(cfg.clone(), path, resume)?,
+        None => Daemon::new(cfg.clone())?,
+    };
+    signal::install();
+
+    writeln!(
+        out,
+        "serve: m={} k={} (degraded {}) cap={} arrivals={} tasks={} seed={}",
+        cfg.machines,
+        cfg.replication,
+        cfg.degraded_replication,
+        cfg.queue_cap,
+        match cfg.process {
+            rds_workloads::ArrivalProcess::Poisson { .. } => "poisson",
+            rds_workloads::ArrivalProcess::Bursty { .. } => "bursty",
+            rds_workloads::ArrivalProcess::Trace { .. } => "trace",
+        },
+        cfg.count,
+        cfg.seed
+    )?;
+
+    let report = if args.flag("stdin") {
+        let stdin = std::io::stdin();
+        serve_lines(&mut daemon, stdin.lock(), &mut *out)?
+    } else {
+        let mut ticks: u64 = 0;
+        daemon.run(&mut |h| {
+            if signal::drain_requested() {
+                return Control::Drain;
+            }
+            if pace_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(pace_us));
+            }
+            ticks += 1;
+            if status_every > 0 && ticks.is_multiple_of(status_every) {
+                eprintln!("{}", h.line());
+            }
+            Control::Continue
+        })?
+    };
+    serve_render(&report, args.flag("plot"), out)?;
+    if let Some(path) = &journal {
+        writeln!(out, "journal: {path}")?;
+    }
+    Ok(())
+}
+
 /// Dispatches a full command line (without the program name).
 pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdError> {
     let Some((cmd, rest)) = argv.split_first() else {
@@ -1115,6 +1363,7 @@ pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdErro
         "reliability" => cmd_reliability(&args, out),
         "sweep" => cmd_sweep(&args, out),
         "conformance" => cmd_conformance(&args, out),
+        "serve" => cmd_serve(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             return Ok(());
@@ -1701,5 +1950,134 @@ mod tests {
     fn conformance_bad_mutation_is_an_error() {
         let err = run_to_string(&["conformance", "--mutate", "nope"]).unwrap_err();
         assert!(err.to_string().contains("unknown mutation"));
+    }
+
+    #[test]
+    fn serve_runs_a_poisson_stream_to_completion() {
+        let out = run_to_string(&[
+            "serve", "--m", "4", "--k", "2", "--tasks", "300", "--rate", "3", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("serve: m=4 k=2"));
+        assert!(out.contains("| admitted"));
+        assert!(out.contains(" 300 |"), "all 300 arrivals admitted:\n{out}");
+        assert!(out.contains("final state: accepting"));
+        assert!(out.contains("flow time"));
+    }
+
+    #[test]
+    fn serve_overload_sheds_and_reports_typed_counts() {
+        // 2x+ overload on a tiny cap: the run must finish without
+        // panicking and account for every arrival in the typed rows.
+        let out = run_to_string(&[
+            "serve",
+            "--m",
+            "2",
+            "--k",
+            "2",
+            "--tasks",
+            "400",
+            "--rate",
+            "12",
+            "--queue-cap",
+            "16",
+            "--deadline-factor",
+            "4",
+            "--seed",
+            "11",
+            "--plot",
+        ])
+        .unwrap();
+        assert!(out.contains("rejected: queue full") || out.contains("shed (deadline)"));
+        assert!(out.contains("overload transitions"));
+        assert!(out.contains("queue depth over virtual time"));
+    }
+
+    #[test]
+    fn serve_journal_resume_after_partial_run() {
+        let path = std::env::temp_dir().join(format!("rds-cli-serve-{}.jsonl", std::process::id()));
+        let base = [
+            "serve",
+            "--m",
+            "3",
+            "--tasks",
+            "200",
+            "--rate",
+            "5",
+            "--seed",
+            "3",
+            "--journal",
+        ];
+        let mut argv: Vec<&str> = base.to_vec();
+        let p = path.to_str().unwrap().to_string();
+        argv.push(&p);
+        let first = run_to_string(&argv).unwrap();
+        assert!(first.contains("journal:"));
+        // Resume against the sealed journal: replays, dedups, finishes.
+        argv.push("--resume");
+        let second = run_to_string(&argv).unwrap();
+        assert!(second.contains("| admitted"));
+        let log = rds_serve::ServeJournal::read(&path).unwrap();
+        assert_eq!(log.duplicates, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_stdin_line_protocol() {
+        // --stdin reads the process stdin, which is closed/empty under
+        // the test harness — EOF must drain cleanly, not hang or panic.
+        let out = run_to_string(&["serve", "--m", "2", "--tasks", "0", "--stdin"]).unwrap();
+        assert!(out.contains("| admitted"));
+    }
+
+    #[test]
+    fn serve_bad_arrivals_is_a_typed_error() {
+        let err = run_to_string(&["serve", "--m", "2", "--arrivals", "fancy"]).unwrap_err();
+        assert!(err.to_string().contains("unknown --arrivals"));
+        let err = run_to_string(&["serve", "--m", "2", "--arrivals", "trace"]).unwrap_err();
+        assert!(err.to_string().contains("trace-file"));
+    }
+
+    #[test]
+    fn serve_trace_file_drives_arrivals() {
+        let path = std::env::temp_dir().join(format!("rds-cli-trace-{}.csv", std::process::id()));
+        std::fs::write(&path, "0.0, 0.5, 1.0\n2.5\n").unwrap();
+        let out = run_to_string(&[
+            "serve",
+            "--m",
+            "2",
+            "--arrivals",
+            "trace",
+            "--trace-file",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("arrivals=trace tasks=4"));
+        assert!(out.contains(" 4 |"), "4 trace arrivals admitted:\n{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_metrics_expose_live_series() {
+        let path = std::env::temp_dir().join(format!("rds-cli-smetr-{}.json", std::process::id()));
+        let out = run_to_string(&[
+            "serve",
+            "--m",
+            "3",
+            "--tasks",
+            "120",
+            "--rate",
+            "4",
+            "--metrics",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("serve.admitted"));
+        assert!(out.contains("serve.queue_depth"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("serve.completed"));
+        assert!(json.contains("serve.response_time"));
+        std::fs::remove_file(&path).ok();
+        rds_obs::set_enabled(false);
     }
 }

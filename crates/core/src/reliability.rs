@@ -302,6 +302,30 @@ impl ReliabilityModel {
             .fold(f64::INFINITY, f64::min)
             .min(1.0)
     }
+
+    /// Expected recovery cost of a placement over one horizon draw:
+    /// every replica hosted on machine `i` is lost with probability
+    /// [`Self::effective_fail`]`(i)` and must be re-staged at weight
+    /// [`Self::recovery_cost`]`(i)`, so the expectation is
+    /// `Σ_j Σ_{i ∈ M_j} effective_fail(i) · recovery_cost(i)`.
+    ///
+    /// With the default unit weights this is the expected number of
+    /// lost replicas — the currency `rds reliability` trades against
+    /// memory and survival.
+    pub fn expected_recovery_cost(&self, placement: &Placement) -> f64 {
+        let m = self.m();
+        let per_machine: Vec<f64> = (0..m)
+            .map(|i| {
+                let id = MachineId::new(i);
+                self.effective_fail(id) * self.recovery_cost(id)
+            })
+            .collect();
+        placement
+            .sets()
+            .iter()
+            .map(|s| s.iter(m).map(|id| per_machine[id.index()]).sum::<f64>())
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +396,24 @@ mod tests {
         assert!(model()
             .with_recovery_costs(vec![1.0, -1.0, 1.0, 1.0])
             .is_err());
+    }
+
+    #[test]
+    fn expected_recovery_cost_sums_weighted_replica_losses() {
+        let inst = Instance::from_estimates(&[1.0, 1.0], 4).unwrap();
+        let p = Placement::new(&inst, vec![mask_set(4, &[0, 1]), mask_set(4, &[2])]).unwrap();
+        let m = model();
+        // Unit weights: Σ effective_fail over the 3 hosted replicas.
+        let e: Vec<f64> = (0..4)
+            .map(|i| m.effective_fail(MachineId::new(i)))
+            .collect();
+        assert!((m.expected_recovery_cost(&p) - (e[0] + e[1] + e[2])).abs() < 1e-12);
+        // Weighted: machine 2's loss now costs 3x.
+        let w = m.with_recovery_costs(vec![1.0, 1.0, 3.0, 1.0]).unwrap();
+        assert!((w.expected_recovery_cost(&p) - (e[0] + e[1] + 3.0 * e[2])).abs() < 1e-12);
+        // More replicas never lower the expected re-staging bill.
+        let everywhere = Placement::everywhere(&inst);
+        assert!(w.expected_recovery_cost(&everywhere) > w.expected_recovery_cost(&p));
     }
 
     #[test]

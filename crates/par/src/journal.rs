@@ -135,182 +135,10 @@ impl TrialRecord {
 }
 
 // ---------------------------------------------------------------------
-// Flat-JSON encoding
+// Flat-JSON encoding (shared wire format lives in [`crate::wire`])
 // ---------------------------------------------------------------------
 
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn push_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        // Rust's Display for f64 is shortest-round-trip: parsing the
-        // emitted token recovers the exact bits, which is what makes
-        // resumed aggregates byte-identical.
-        out.push_str(&format!("{v}"));
-    } else {
-        out.push_str("null");
-    }
-}
-
-/// A parsed flat-JSON value, numbers kept as raw tokens for exact
-/// round-tripping of both `u64` and `f64`.
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Str(String),
-    Num(String),
-    Bool(bool),
-    Null,
-}
-
-impl Value {
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-    fn as_u64(&self) -> Option<u64> {
-        match self {
-            Value::Num(raw) => raw.parse().ok(),
-            _ => None,
-        }
-    }
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Value::Num(raw) => raw.parse().ok(),
-            _ => None,
-        }
-    }
-}
-
-/// Parses one flat JSON object (the only shape the writer emits).
-/// Returns `None` on any syntax error — the caller decides whether that
-/// is a torn tail or corruption.
-fn parse_flat_object(line: &str) -> Option<BTreeMap<String, Value>> {
-    let mut chars = line.trim().chars().peekable();
-    let mut map = BTreeMap::new();
-
-    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-        while chars.peek().is_some_and(|c| c.is_whitespace()) {
-            chars.next();
-        }
-    }
-
-    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
-        if chars.next()? != '"' {
-            return None;
-        }
-        let mut s = String::new();
-        loop {
-            match chars.next()? {
-                '"' => return Some(s),
-                '\\' => match chars.next()? {
-                    '"' => s.push('"'),
-                    '\\' => s.push('\\'),
-                    '/' => s.push('/'),
-                    'n' => s.push('\n'),
-                    'r' => s.push('\r'),
-                    't' => s.push('\t'),
-                    'u' => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            code = code * 16 + chars.next()?.to_digit(16)?;
-                        }
-                        s.push(char::from_u32(code)?);
-                    }
-                    _ => return None,
-                },
-                c => s.push(c),
-            }
-        }
-    }
-
-    skip_ws(&mut chars);
-    if chars.next()? != '{' {
-        return None;
-    }
-    skip_ws(&mut chars);
-    if chars.peek() == Some(&'}') {
-        chars.next();
-    } else {
-        loop {
-            skip_ws(&mut chars);
-            let key = parse_string(&mut chars)?;
-            skip_ws(&mut chars);
-            if chars.next()? != ':' {
-                return None;
-            }
-            skip_ws(&mut chars);
-            let value = match *chars.peek()? {
-                '"' => Value::Str(parse_string(&mut chars)?),
-                't' => {
-                    for expect in "true".chars() {
-                        if chars.next()? != expect {
-                            return None;
-                        }
-                    }
-                    Value::Bool(true)
-                }
-                'f' => {
-                    for expect in "false".chars() {
-                        if chars.next()? != expect {
-                            return None;
-                        }
-                    }
-                    Value::Bool(false)
-                }
-                'n' => {
-                    for expect in "null".chars() {
-                        if chars.next()? != expect {
-                            return None;
-                        }
-                    }
-                    Value::Null
-                }
-                _ => {
-                    let mut raw = String::new();
-                    while chars
-                        .peek()
-                        .is_some_and(|&c| c.is_ascii_digit() || "+-.eE".contains(c))
-                    {
-                        raw.push(chars.next()?);
-                    }
-                    if raw.is_empty() || raw.parse::<f64>().is_err() {
-                        return None;
-                    }
-                    Value::Num(raw)
-                }
-            };
-            map.insert(key, value);
-            skip_ws(&mut chars);
-            match chars.next()? {
-                ',' => continue,
-                '}' => break,
-                _ => return None,
-            }
-        }
-    }
-    skip_ws(&mut chars);
-    if chars.next().is_some() {
-        return None; // trailing garbage on the line
-    }
-    Some(map)
-}
+use crate::wire::{parse_flat_object, push_f64, push_json_string, Value};
 
 fn meta_line(meta: &CampaignMeta) -> String {
     let mut s = String::from("{\"v\":1,\"kind\":\"meta\",\"campaign\":");

@@ -30,6 +30,7 @@
 pub mod journal;
 pub mod pool;
 pub mod sweep;
+pub mod wire;
 
 pub use journal::{CampaignMeta, Journal, TrialRecord, TrialStatus};
 pub use pool::{supervise, CancelToken, Supervised, ThreadPool, WatchdogPolicy};

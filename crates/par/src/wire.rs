@@ -1,0 +1,253 @@
+//! Dependency-free flat-JSON wire encoding shared by the append-only
+//! journals (`rds-par` campaign journal, `rds-serve` task journal).
+//!
+//! The writers emit exactly one flat JSON object per line — no nesting,
+//! no arrays — so the reader can be a small hand-rolled parser instead
+//! of a serde dependency. Numbers are kept as raw tokens on parse so
+//! `u64` and `f64` both round-trip exactly (`f64` via Rust's
+//! shortest-round-trip `Display`), which is what makes `--resume`
+//! byte-identical.
+
+use std::collections::BTreeMap;
+
+/// Appends `s` as a JSON string literal (quotes + escapes).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number token (`null` for NaN/±∞).
+///
+/// Rust's `Display` for `f64` is shortest-round-trip: parsing the
+/// emitted token recovers the exact bits, which is what makes resumed
+/// aggregates byte-identical.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A parsed flat-JSON value, numbers kept as raw tokens for exact
+/// round-tripping of both `u64` and `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number, kept as its raw source token.
+    Num(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, if this is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (the only shape the writers emit).
+/// Returns `None` on any syntax error — the caller decides whether that
+/// is a torn tail or corruption.
+pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, Value>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut map = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(s),
+                '\\' => match chars.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + chars.next()?.to_digit(16)?;
+                        }
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next()? != ':' {
+                return None;
+            }
+            skip_ws(&mut chars);
+            let value = match *chars.peek()? {
+                '"' => Value::Str(parse_string(&mut chars)?),
+                't' => {
+                    for expect in "true".chars() {
+                        if chars.next()? != expect {
+                            return None;
+                        }
+                    }
+                    Value::Bool(true)
+                }
+                'f' => {
+                    for expect in "false".chars() {
+                        if chars.next()? != expect {
+                            return None;
+                        }
+                    }
+                    Value::Bool(false)
+                }
+                'n' => {
+                    for expect in "null".chars() {
+                        if chars.next()? != expect {
+                            return None;
+                        }
+                    }
+                    Value::Null
+                }
+                _ => {
+                    let mut raw = String::new();
+                    while chars
+                        .peek()
+                        .is_some_and(|&c| c.is_ascii_digit() || "+-.eE".contains(c))
+                    {
+                        raw.push(chars.next()?);
+                    }
+                    if raw.is_empty() || raw.parse::<f64>().is_err() {
+                        return None;
+                    }
+                    Value::Num(raw)
+                }
+            };
+            map.insert(key, value);
+            skip_ws(&mut chars);
+            match chars.next()? {
+                ',' => continue,
+                '}' => break,
+                _ => return None,
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None; // trailing garbage on the line
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_round_trip_through_escapes() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd\te\u{1}");
+        let line = format!("{{\"k\":{s}}}");
+        let map = parse_flat_object(&line).unwrap();
+        assert_eq!(map["k"].as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e-300, 123_456_789.123_456_78] {
+            let mut s = String::from("{\"x\":");
+            push_f64(&mut s, v);
+            s.push('}');
+            let map = parse_flat_object(&s).unwrap();
+            assert_eq!(map["x"].as_f64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        let mut s = String::new();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_flat_object("{\"a\":1").is_none());
+        assert!(parse_flat_object("{\"a\":1} extra").is_none());
+        assert!(parse_flat_object("[1,2]").is_none());
+        assert!(parse_flat_object("{\"a\":+-}").is_none());
+    }
+
+    #[test]
+    fn bools_and_nulls_parse() {
+        let map = parse_flat_object("{\"t\":true,\"f\":false,\"n\":null}").unwrap();
+        assert_eq!(map["t"].as_bool(), Some(true));
+        assert_eq!(map["f"].as_bool(), Some(false));
+        assert_eq!(map["n"], Value::Null);
+    }
+}

@@ -23,9 +23,17 @@ pub struct ChainedReplication {
 
 impl ChainedReplication {
     /// Replicates each task on `k ≥ 1` consecutive machines (mod `m`).
-    pub fn new(k: usize) -> Self {
-        assert!(k >= 1, "k must be >= 1");
-        ChainedReplication { k }
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] when `k == 0` — a replication factor
+    /// of zero places every task nowhere.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter {
+                what: "chained replication needs k >= 1",
+            });
+        }
+        Ok(ChainedReplication { k })
     }
 
     /// The replica count `k`.
@@ -98,6 +106,7 @@ mod tests {
         let inst = Instance::from_estimates(&[3.0, 2.0, 1.0, 1.0, 1.0], 4).unwrap();
         for k in 1..=4 {
             let p = ChainedReplication::new(k)
+                .unwrap()
                 .place(&inst, Uncertainty::CERTAIN)
                 .unwrap();
             for j in 0..inst.n() {
@@ -113,6 +122,7 @@ mod tests {
         // chain from machine 3 with k = 3 wraps to {3, 0, 1}.
         let inst = Instance::from_estimates(&[4.0, 3.0, 2.0, 1.0], 4).unwrap();
         let p = ChainedReplication::new(3)
+            .unwrap()
             .place(&inst, Uncertainty::CERTAIN)
             .unwrap();
         // LPT pins task 3 (estimate 1) to machine 3; chain wraps.
@@ -128,6 +138,7 @@ mod tests {
         let inst = Instance::from_estimates(&[1.0], 2).unwrap();
         assert!(matches!(
             ChainedReplication::new(3)
+                .unwrap()
                 .place(&inst, Uncertainty::CERTAIN)
                 .unwrap_err(),
             Error::BadGroupCount { k: 3, m: 2 }
@@ -141,7 +152,10 @@ mod tests {
         // First-dispatched tasks get slow; chains let neighbours help.
         let real = Realization::from_factors(&inst, unc, &[2.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5])
             .unwrap();
-        let out = ChainedReplication::new(2).run(&inst, unc, &real).unwrap();
+        let out = ChainedReplication::new(2)
+            .unwrap()
+            .run(&inst, unc, &real)
+            .unwrap();
         out.assignment.check_feasible(&out.placement).unwrap();
         // Pinned LPT would put 2 tasks per machine; the slow machine pair
         // would finish at 4 + something. With chains the second task of
@@ -151,9 +165,18 @@ mod tests {
     }
 
     #[test]
+    fn k_zero_is_a_typed_error() {
+        assert!(matches!(
+            ChainedReplication::new(0),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
     fn k_equals_m_is_everywhere() {
         let inst = Instance::from_estimates(&[1.0, 2.0], 3).unwrap();
         let p = ChainedReplication::new(3)
+            .unwrap()
             .place(&inst, Uncertainty::CERTAIN)
             .unwrap();
         assert_eq!(p.max_replicas(), 3);

@@ -11,7 +11,7 @@ use crate::executor::{execute_online, lpt_order};
 use rds_algs::list_scheduling::lpt_estimates;
 use rds_algs::Strategy;
 use rds_core::{
-    Assignment, Instance, MachineSet, Placement, Realization, Result, TaskId, Uncertainty,
+    Assignment, Error, Instance, MachineSet, Placement, Realization, Result, TaskId, Uncertainty,
 };
 
 /// Replicates the most processing-time-critical tasks everywhere, pins
@@ -25,14 +25,16 @@ impl CriticalTaskReplication {
     /// Replicates the smallest prefix of LPT-ordered tasks covering at
     /// least `fraction ∈ [0, 1]` of the total estimated work.
     ///
-    /// # Panics
-    /// Panics unless `0 ≤ fraction ≤ 1`.
-    pub fn new(fraction: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&fraction),
-            "fraction = {fraction} out of [0, 1]"
-        );
-        CriticalTaskReplication { fraction }
+    /// # Errors
+    /// [`Error::InvalidParameter`] unless `0 ≤ fraction ≤ 1` (NaN
+    /// included — a NaN fraction would silently replicate nothing).
+    pub fn new(fraction: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(Error::InvalidParameter {
+                what: "critical fraction must be in [0, 1]",
+            });
+        }
+        Ok(CriticalTaskReplication { fraction })
     }
 
     /// The work fraction treated as critical.
@@ -107,20 +109,28 @@ mod tests {
     fn critical_set_covers_requested_fraction() {
         let i = inst();
         // Total 30; 50% needs the 10 and 8 (18 ≥ 15).
-        let c = CriticalTaskReplication::new(0.5).critical_set(&i);
+        let c = CriticalTaskReplication::new(0.5).unwrap().critical_set(&i);
         let idx: Vec<usize> = c.iter().map(|t| t.index()).collect();
         assert_eq!(idx, vec![0, 1]);
         // 0% → nothing, 100% → everything.
         assert!(CriticalTaskReplication::new(0.0)
+            .unwrap()
             .critical_set(&i)
             .is_empty());
-        assert_eq!(CriticalTaskReplication::new(1.0).critical_set(&i).len(), 8);
+        assert_eq!(
+            CriticalTaskReplication::new(1.0)
+                .unwrap()
+                .critical_set(&i)
+                .len(),
+            8
+        );
     }
 
     #[test]
     fn placement_mixes_pinned_and_replicated() {
         let i = inst();
         let p = CriticalTaskReplication::new(0.5)
+            .unwrap()
             .place(&i, Uncertainty::CERTAIN)
             .unwrap();
         assert_eq!(p.replicas(TaskId::new(0)), 4);
@@ -138,6 +148,7 @@ mod tests {
         let unc = Uncertainty::of(1.5);
         let real = Realization::uniform_factor(&i, unc, 1.2).unwrap();
         let crit = CriticalTaskReplication::new(0.0)
+            .unwrap()
             .run(&i, unc, &real)
             .unwrap();
         let pinned = rds_algs::LptNoChoice.run(&i, unc, &real).unwrap();
@@ -153,6 +164,7 @@ mod tests {
         let real =
             Realization::from_factors(&i, unc, &[2.0, 2.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5]).unwrap();
         let crit = CriticalTaskReplication::new(0.5)
+            .unwrap()
             .run(&i, unc, &real)
             .unwrap();
         let pinned = rds_algs::LptNoChoice.run(&i, unc, &real).unwrap();
@@ -166,8 +178,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of [0, 1]")]
-    fn fraction_domain() {
-        CriticalTaskReplication::new(1.5);
+    fn fraction_domain_is_a_typed_error() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            assert!(matches!(
+                CriticalTaskReplication::new(bad),
+                Err(Error::InvalidParameter { .. })
+            ));
+        }
     }
 }

@@ -25,7 +25,7 @@
 //! let inst = Instance::from_estimates(&[4.0, 3.0, 2.0, 2.0, 1.0], 3)?;
 //! let unc = Uncertainty::of(1.5);
 //! let real = Realization::uniform_factor(&inst, unc, 1.5)?;
-//! let out = ChainedReplication::new(2).run(&inst, unc, &real)?;
+//! let out = ChainedReplication::new(2)?.run(&inst, unc, &real)?;
 //! assert_eq!(out.placement.max_replicas(), 2);
 //! # Ok::<(), rds_core::Error>(())
 //! ```

@@ -25,9 +25,16 @@ pub struct RandomKReplication {
 impl RandomKReplication {
     /// Replicates each task on `k` uniformly random distinct machines,
     /// deterministically derived from `seed`.
-    pub fn new(k: usize, seed: u64) -> Self {
-        assert!(k >= 1, "k must be >= 1");
-        RandomKReplication { k, seed }
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] when `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter {
+                what: "random replication needs k >= 1",
+            });
+        }
+        Ok(RandomKReplication { k, seed })
     }
 
     /// The replica count `k`.
@@ -84,6 +91,7 @@ mod tests {
         let inst = Instance::from_estimates(&[1.0; 20], 6).unwrap();
         for k in 1..=6 {
             let p = RandomKReplication::new(k, 42)
+                .unwrap()
                 .place(&inst, Uncertainty::CERTAIN)
                 .unwrap();
             for j in 0..inst.n() {
@@ -96,13 +104,16 @@ mod tests {
     fn deterministic_per_seed() {
         let inst = Instance::from_estimates(&[1.0; 10], 5).unwrap();
         let a = RandomKReplication::new(2, 7)
+            .unwrap()
             .place(&inst, Uncertainty::CERTAIN)
             .unwrap();
         let b = RandomKReplication::new(2, 7)
+            .unwrap()
             .place(&inst, Uncertainty::CERTAIN)
             .unwrap();
         assert_eq!(a, b);
         let c = RandomKReplication::new(2, 8)
+            .unwrap()
             .place(&inst, Uncertainty::CERTAIN)
             .unwrap();
         assert_ne!(a, c);
@@ -114,6 +125,7 @@ mod tests {
         let unc = Uncertainty::of(1.8);
         let real = Realization::uniform_factor(&inst, unc, 1.5).unwrap();
         let out = RandomKReplication::new(2, 123)
+            .unwrap()
             .run(&inst, unc, &real)
             .unwrap();
         out.assignment.check_feasible(&out.placement).unwrap();
@@ -121,9 +133,18 @@ mod tests {
     }
 
     #[test]
+    fn k_zero_is_a_typed_error() {
+        assert!(matches!(
+            RandomKReplication::new(0, 1),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
     fn k_too_large_rejected() {
         let inst = Instance::from_estimates(&[1.0], 2).unwrap();
         assert!(RandomKReplication::new(5, 1)
+            .unwrap()
             .place(&inst, Uncertainty::CERTAIN)
             .is_err());
     }

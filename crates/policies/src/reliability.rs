@@ -39,6 +39,11 @@ pub struct FrontierPoint {
     pub measured: f64,
     /// Largest per-task replica count.
     pub max_replicas: usize,
+    /// Expected recovery cost over one horizon draw
+    /// ([`ReliabilityModel::expected_recovery_cost`]): the re-staging
+    /// bill this placement signs up for, in the model's per-machine
+    /// cost weights.
+    pub recovery_cost: f64,
     /// `true` for survival-target points that fell back to degraded
     /// max-min mode (always `false` for fixed-`k` points).
     pub degraded: bool,
@@ -119,13 +124,14 @@ pub fn frontier(
     let model: &ReliabilityModel = hetero.model();
     let mut points = Vec::with_capacity(ks.len() + targets.len());
     for &k in ks {
-        let placement = ChainedReplication::new(k).place(instance, unc)?;
+        let placement = ChainedReplication::new(k)?.place(instance, unc)?;
         points.push(FrontierPoint {
             label: format!("k={k}"),
             memory: placement_memory(instance, &placement),
             analytic: model.min_survival(&placement),
             measured: engine_survival(instance, &placement, hetero, reps, seed)?,
             max_replicas: placement.max_replicas(),
+            recovery_cost: model.expected_recovery_cost(&placement),
             degraded: false,
         });
         if rds_obs::enabled() {
@@ -142,6 +148,7 @@ pub fn frontier(
             analytic: plan.min_survival(),
             measured: engine_survival(instance, &plan.placement, hetero, reps, seed)?,
             max_replicas: plan.placement.max_replicas(),
+            recovery_cost: model.expected_recovery_cost(&plan.placement),
             degraded: plan.degraded,
         });
         if rds_obs::enabled() {
@@ -224,6 +231,9 @@ mod tests {
         assert_eq!(a[1].memory, 36.0);
         // More replicas, better guarantee.
         assert!(a[1].analytic > a[0].analytic);
+        // … but a bigger expected re-staging bill after faults.
+        assert!(a[1].recovery_cost > a[0].recovery_cost);
+        assert!(a.iter().all(|p| p.recovery_cost > 0.0));
     }
 
     #[test]

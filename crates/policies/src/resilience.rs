@@ -57,8 +57,8 @@ pub fn standard_suite(instance: &Instance, unc: Uncertainty) -> Result<Vec<Resil
     let groups = (instance.m() / 3).max(1);
     let strategies: Vec<Box<dyn Strategy>> = vec![
         Box::new(LptNoChoice),
-        Box::new(ChainedReplication::new(2)),
-        Box::new(ChainedReplication::new(3)),
+        Box::new(ChainedReplication::new(2)?),
+        Box::new(ChainedReplication::new(3)?),
         Box::new(LsGroup::new_relaxed(groups)),
         Box::new(LptNoRestriction),
     ];

@@ -1,5 +1,7 @@
 //! ASCII histograms for makespan/ratio distributions.
 
+use rds_core::{Error, Result};
+
 /// A fixed-bin histogram over a closed range.
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -14,33 +16,49 @@ pub struct Histogram {
 impl Histogram {
     /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
     ///
-    /// # Panics
-    /// Panics unless `lo < hi` and `bins >= 1`.
-    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo < hi && bins >= 1, "bad histogram shape");
-        Histogram {
+    /// # Errors
+    /// [`Error::InvalidParameter`] unless `lo < hi` (finite) and
+    /// `bins >= 1` — the bounds are usually user- or data-derived, so a
+    /// bad shape must surface as a value, not a panic.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(Error::InvalidParameter {
+                what: "histogram range needs finite lo < hi",
+            });
+        }
+        if bins == 0 {
+            return Err(Error::InvalidParameter {
+                what: "histogram needs at least one bin",
+            });
+        }
+        Ok(Histogram {
             lo,
             hi,
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
-        }
+        })
     }
 
     /// Builds a histogram spanning the data's own range.
     ///
-    /// # Panics
-    /// Panics if `values` is empty.
-    pub fn of(values: &[f64], bins: usize) -> Self {
-        assert!(!values.is_empty(), "no data");
+    /// # Errors
+    /// [`Error::InvalidParameter`] when `values` is empty or contains a
+    /// non-finite observation, or when `bins == 0`.
+    pub fn of(values: &[f64], bins: usize) -> Result<Self> {
+        if values.is_empty() {
+            return Err(Error::InvalidParameter {
+                what: "histogram needs at least one observation",
+            });
+        }
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let hi = if hi > lo { hi } else { lo + 1.0 };
-        let mut h = Self::new(lo, hi, bins);
+        let mut h = Self::new(lo, hi, bins)?;
         for &v in values {
             h.push(v);
         }
-        h
+        Ok(h)
     }
 
     /// Records an observation.
@@ -93,7 +111,7 @@ mod tests {
 
     #[test]
     fn bins_partition_the_range() {
-        let mut h = Histogram::new(0.0, 10.0, 5);
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
         for v in [0.0, 1.9, 2.0, 5.5, 9.99, 10.0] {
             h.push(v);
         }
@@ -103,7 +121,7 @@ mod tests {
 
     #[test]
     fn under_and_overflow_tracked() {
-        let mut h = Histogram::new(1.0, 2.0, 2);
+        let mut h = Histogram::new(1.0, 2.0, 2).unwrap();
         h.push(0.5);
         h.push(3.0);
         h.push(1.5);
@@ -115,20 +133,20 @@ mod tests {
 
     #[test]
     fn of_spans_data() {
-        let h = Histogram::of(&[1.0, 2.0, 3.0, 4.0], 4);
+        let h = Histogram::of(&[1.0, 2.0, 3.0, 4.0], 4).unwrap();
         assert_eq!(h.count(), 4);
         assert_eq!(h.bins().iter().sum::<u64>(), 4);
     }
 
     #[test]
     fn constant_data_does_not_panic() {
-        let h = Histogram::of(&[2.0, 2.0], 3);
+        let h = Histogram::of(&[2.0, 2.0], 3).unwrap();
         assert_eq!(h.count(), 2);
     }
 
     #[test]
     fn render_scales_bars() {
-        let mut h = Histogram::new(0.0, 2.0, 2);
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
         for _ in 0..10 {
             h.push(0.5);
         }
@@ -141,8 +159,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad histogram shape")]
-    fn rejects_inverted_range() {
-        Histogram::new(2.0, 1.0, 3);
+    fn bad_shapes_are_typed_errors_not_panics() {
+        assert!(matches!(
+            Histogram::new(2.0, 1.0, 3),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(matches!(
+            Histogram::of(&[], 4),
+            Err(Error::InvalidParameter { .. })
+        ));
     }
 }

@@ -4,6 +4,8 @@
 //! leaving the terminal; the bench binaries also emit CSV for real
 //! plotting tools.
 
+use rds_core::{Error, Result};
+
 /// One named data series.
 #[derive(Debug, Clone)]
 pub struct Series {
@@ -39,17 +41,22 @@ pub struct Chart {
 impl Chart {
     /// Creates a chart of the given character dimensions.
     ///
-    /// # Panics
-    /// Panics unless `width >= 16` and `height >= 4`.
-    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
-        assert!(width >= 16 && height >= 4, "chart too small");
-        Chart {
+    /// # Errors
+    /// [`Error::InvalidParameter`] unless `width >= 16` and
+    /// `height >= 4` — anything smaller cannot carry axes and a legend.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Result<Self> {
+        if width < 16 || height < 4 {
+            return Err(Error::InvalidParameter {
+                what: "chart needs width >= 16 and height >= 4",
+            });
+        }
+        Ok(Chart {
             width,
             height,
             title: title.into(),
             series: Vec::new(),
             log_x: false,
-        }
+        })
     }
 
     /// Uses a logarithmic x axis (e.g. for the replication counts of
@@ -162,6 +169,7 @@ mod tests {
     #[test]
     fn renders_points_and_legend() {
         let chart = Chart::new("test", 40, 10)
+            .unwrap()
             .series(Series::new("up", '*', vec![(0.0, 0.0), (1.0, 1.0)]))
             .series(Series::new("down", 'o', vec![(0.0, 1.0), (1.0, 0.0)]));
         let text = chart.render();
@@ -177,14 +185,17 @@ mod tests {
 
     #[test]
     fn empty_chart_is_harmless() {
-        let chart = Chart::new("empty", 20, 5);
+        let chart = Chart::new("empty", 20, 5).unwrap();
         assert!(chart.render().contains("(no data)"));
     }
 
     #[test]
     fn constant_series_does_not_divide_by_zero() {
-        let chart =
-            Chart::new("const", 20, 5).series(Series::new("c", '#', vec![(1.0, 2.0), (2.0, 2.0)]));
+        let chart = Chart::new("const", 20, 5).unwrap().series(Series::new(
+            "c",
+            '#',
+            vec![(1.0, 2.0), (2.0, 2.0)],
+        ));
         let text = chart.render();
         assert!(text.contains('#'));
     }
@@ -192,8 +203,11 @@ mod tests {
     #[test]
     fn log_x_spreads_divisors() {
         let points: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 128.0].iter().map(|&x| (x, x)).collect();
-        let lin = Chart::new("lin", 64, 6).series(Series::new("s", '*', points.clone()));
+        let lin = Chart::new("lin", 64, 6)
+            .unwrap()
+            .series(Series::new("s", '*', points.clone()));
         let log = Chart::new("log", 64, 6)
+            .unwrap()
             .log_x()
             .series(Series::new("s", '*', points));
         // In log space, 1→2 and 2→4 are the same distance; just assert it
@@ -202,8 +216,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "chart too small")]
-    fn minimum_size() {
-        Chart::new("tiny", 4, 2);
+    fn minimum_size_is_a_typed_error() {
+        assert!(matches!(
+            Chart::new("tiny", 4, 2),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(Chart::new("narrow", 15, 10).is_err());
+        assert!(Chart::new("flat", 40, 3).is_err());
     }
 }

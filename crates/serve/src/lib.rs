@@ -1,0 +1,50 @@
+//! `rds-serve`: the persistent streaming scheduler daemon.
+//!
+//! Everything else in this workspace is batch: build an instance, run
+//! a campaign, exit. This crate is the online mode ROADMAP item 1 asks
+//! for — tasks *arrive continuously* ([`rds_workloads::arrivals`]),
+//! replica-placement decisions are made incrementally with bounded
+//! state, and the engine runs as a persistent event loop measuring
+//! response time, flow time, and queue depth instead of makespan.
+//!
+//! The headline is the robustness layer around the loop:
+//!
+//! - a **bounded admission queue** with explicit backpressure and typed
+//!   rejection ([`Rejection`]) — work is never dropped silently;
+//! - **overload policies**: the [`overload`] state machine degrades
+//!   replication `k` and sheds deadline-expired work under pressure,
+//!   restoring full replication on recovery (hysteresis watermarks);
+//! - **per-task deadlines** with bounded retry/backoff riding the PR 2
+//!   watchdog machinery ([`rds_par::WatchdogPolicy`]);
+//! - **graceful drain** on SIGTERM/SIGINT ([`signal`]): stop admission
+//!   → run down in-flight work → seal the fsync'd [`journal`];
+//! - **crash recovery**: the daemon is deterministic given its config,
+//!   so `--resume` replays the stream and the journal dedups terminal
+//!   records — no admitted task is lost or run twice, even after
+//!   SIGKILL (proven by the drain property tests and the CI smoke);
+//! - **liveness/readiness introspection** ([`Health`]).
+//!
+//! Wang/Joshi/Wornell ("Efficient Task Replication for Fast Response
+//! Times") supplies the replication-for-latency theory; Zavou et al.
+//! ("Online Distributed Scheduling on a Fault-prone Parallel System")
+//! frames the online fault-prone setting this daemon lives in.
+
+#![warn(missing_docs)]
+// `signal` binds two C symbols (no libc crate in the offline build);
+// every other module is `forbid(unsafe_code)`-clean.
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod daemon;
+pub mod journal;
+pub mod overload;
+pub mod protocol;
+pub mod signal;
+pub mod stats;
+
+pub use config::ServeConfig;
+pub use daemon::{Control, Daemon, Health, ServeReport};
+pub use journal::{DrainRecord, ServeJournal, ServeLog, TerminalKind, TerminalRecord};
+pub use overload::{Admission, OverloadState, Rejection};
+pub use protocol::serve_lines;
+pub use stats::StatsDigest;

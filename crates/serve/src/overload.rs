@@ -1,0 +1,233 @@
+//! The overload state machine: `Accepting → Backpressure → Shedding →
+//! Draining`, with hysteresis so the daemon does not thrash at a
+//! watermark boundary.
+//!
+//! Queue depth (admitted tasks not yet started) drives the first three
+//! states; `Draining` is entered only by an explicit drain request and
+//! is absorbing. Each state changes *policy*, never correctness:
+//!
+//! - **Accepting** — full replication `k`, admit everything below cap.
+//! - **Backpressure** — replication degrades to `degraded_replication`
+//!   (graceful degradation: fewer replicas per task means the backlog
+//!   drains faster at the cost of placement flexibility); admissions
+//!   continue, the state is visible to clients via readiness.
+//! - **Shedding** — additionally, arrivals that provably cannot meet
+//!   their deadline are rejected (typed), and queued tasks whose
+//!   deadline has already expired are shed at dispatch time — every
+//!   shed is journaled and counted, never silent.
+//! - **Draining** — intake closed; in-flight and queued work runs to
+//!   completion, then the journal is sealed.
+
+use crate::config::ServeConfig;
+
+/// The daemon's admission state. Ordering is severity: `Accepting <
+/// Backpressure < Shedding < Draining`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OverloadState {
+    /// Healthy: full replication, admit below cap.
+    Accepting,
+    /// Degraded replication; clients should slow down.
+    Backpressure,
+    /// Deadline-based load shedding engaged.
+    Shedding,
+    /// Intake closed; running down to empty (absorbing).
+    Draining,
+}
+
+impl OverloadState {
+    /// Short stable label for logs/metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverloadState::Accepting => "accepting",
+            OverloadState::Backpressure => "backpressure",
+            OverloadState::Shedding => "shedding",
+            OverloadState::Draining => "draining",
+        }
+    }
+}
+
+/// Why an arrival was not admitted. Every rejection is typed and
+/// counted — the admission layer never drops work silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The bounded queue is at `queue_cap`.
+    QueueFull,
+    /// Shedding is engaged and the projected start time already misses
+    /// the task's deadline — admitting it would only waste queue space.
+    DeadlineUnmeetable,
+    /// The daemon is draining; intake is closed.
+    Draining,
+}
+
+impl Rejection {
+    /// Short stable label for logs/metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rejection::QueueFull => "queue-full",
+            Rejection::DeadlineUnmeetable => "deadline-unmeetable",
+            Rejection::Draining => "draining",
+        }
+    }
+}
+
+/// Outcome of offering one arrival to the admission layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted with this sequence number.
+    Admitted(u64),
+    /// Rejected, typed.
+    Rejected(Rejection),
+}
+
+/// Tracks the overload state against the configured watermarks.
+#[derive(Debug)]
+pub struct OverloadTracker {
+    state: OverloadState,
+    degrade_hi: usize,
+    degrade_lo: usize,
+    shed_hi: usize,
+    shed_lo: usize,
+    /// Times the daemon entered a degraded state (Backpressure or
+    /// Shedding) from Accepting.
+    pub degraded_entries: u64,
+    /// Total state transitions.
+    pub transitions: u64,
+}
+
+impl OverloadTracker {
+    /// A tracker in `Accepting` with the config's watermarks.
+    pub fn new(cfg: &ServeConfig) -> Self {
+        OverloadTracker {
+            state: OverloadState::Accepting,
+            degrade_hi: cfg.degrade_hi,
+            degrade_lo: cfg.degrade_lo,
+            shed_hi: cfg.shed_hi,
+            shed_lo: cfg.shed_lo,
+            degraded_entries: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> OverloadState {
+        self.state
+    }
+
+    /// Irreversibly enters `Draining`. Returns `true` on the first call.
+    pub fn drain(&mut self) -> bool {
+        if self.state == OverloadState::Draining {
+            return false;
+        }
+        self.state = OverloadState::Draining;
+        self.transitions += 1;
+        true
+    }
+
+    /// Re-evaluates the state for the current queue depth; returns the
+    /// new state if a transition fired. Hysteresis: escalation uses the
+    /// `_hi` watermarks, recovery the `_lo` ones.
+    pub fn observe_depth(&mut self, depth: usize) -> Option<OverloadState> {
+        let next = match self.state {
+            OverloadState::Draining => return None,
+            OverloadState::Accepting => {
+                if depth >= self.shed_hi {
+                    OverloadState::Shedding
+                } else if depth >= self.degrade_hi {
+                    OverloadState::Backpressure
+                } else {
+                    return None;
+                }
+            }
+            OverloadState::Backpressure => {
+                if depth >= self.shed_hi {
+                    OverloadState::Shedding
+                } else if depth <= self.degrade_lo {
+                    OverloadState::Accepting
+                } else {
+                    return None;
+                }
+            }
+            OverloadState::Shedding => {
+                if depth <= self.degrade_lo {
+                    OverloadState::Accepting
+                } else if depth <= self.shed_lo {
+                    OverloadState::Backpressure
+                } else {
+                    return None;
+                }
+            }
+        };
+        if self.state == OverloadState::Accepting && next > OverloadState::Accepting {
+            self.degraded_entries += 1;
+        }
+        self.state = next;
+        self.transitions += 1;
+        Some(next)
+    }
+
+    /// `true` while the state degrades replication.
+    pub fn degraded(&self) -> bool {
+        matches!(
+            self.state,
+            OverloadState::Backpressure | OverloadState::Shedding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+
+    fn tracker() -> OverloadTracker {
+        let mut cfg = ServeConfig::poisson(4, 2, 1.0, 10);
+        cfg.queue_cap = 100;
+        cfg.degrade_hi = 50;
+        cfg.degrade_lo = 40;
+        cfg.shed_hi = 75;
+        cfg.shed_lo = 60;
+        OverloadTracker::new(&cfg)
+    }
+
+    #[test]
+    fn escalates_and_recovers_with_hysteresis() {
+        let mut t = tracker();
+        assert_eq!(t.observe_depth(49), None);
+        assert_eq!(t.observe_depth(50), Some(OverloadState::Backpressure));
+        // Between lo and hi: sticky.
+        assert_eq!(t.observe_depth(45), None);
+        assert_eq!(t.observe_depth(74), None);
+        assert_eq!(t.observe_depth(75), Some(OverloadState::Shedding));
+        assert_eq!(t.observe_depth(61), None);
+        assert_eq!(t.observe_depth(60), Some(OverloadState::Backpressure));
+        assert_eq!(t.observe_depth(40), Some(OverloadState::Accepting));
+        assert_eq!(t.degraded_entries, 1);
+        assert_eq!(t.transitions, 4);
+    }
+
+    #[test]
+    fn jumps_straight_to_shedding_on_spike() {
+        let mut t = tracker();
+        assert_eq!(t.observe_depth(90), Some(OverloadState::Shedding));
+        assert!(t.degraded());
+        // Deep recovery skips Backpressure.
+        assert_eq!(t.observe_depth(10), Some(OverloadState::Accepting));
+        assert!(!t.degraded());
+    }
+
+    #[test]
+    fn draining_is_absorbing() {
+        let mut t = tracker();
+        assert!(t.drain());
+        assert!(!t.drain());
+        assert_eq!(t.observe_depth(99), None);
+        assert_eq!(t.state(), OverloadState::Draining);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(OverloadState::Shedding.label(), "shedding");
+        assert_eq!(Rejection::QueueFull.label(), "queue-full");
+        assert_eq!(Rejection::DeadlineUnmeetable.label(), "deadline-unmeetable");
+    }
+}

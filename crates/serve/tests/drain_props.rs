@@ -1,0 +1,242 @@
+//! Drain/crash correctness properties for the serve daemon.
+//!
+//! The contract under test: across SIGTERM drain, SIGKILL crash, and
+//! `--resume` replay, **every admitted task is completed or
+//! checkpointed exactly once**, and shedding never drops a task
+//! silently — every rejection is typed and counted, every shed is
+//! journaled.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use rds_serve::{Control, Daemon, ServeConfig, ServeJournal, ServeLog, TerminalKind};
+use rds_workloads::{ArrivalProcess, EstimateDistribution};
+
+static UNIQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rds-drain-props-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}-{}.jsonl",
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A small config space that still exercises overload, retries, and
+/// batched fsync.
+fn cfg_strategy() -> impl Strategy<Value = ServeConfig> {
+    (
+        (
+            1usize..5,     // machines
+            1usize..3,     // replication (clamped to machines)
+            0.5f64..12.0,  // rate
+            40u64..160,    // count
+            any::<bool>(), // inject failures?
+            2.0f64..60.0,  // deadline_factor
+        ),
+        (
+            1usize..48,    // fsync_every
+            any::<u64>(),  // seed
+            any::<bool>(), // bursty?
+        ),
+    )
+        .prop_map(
+            |((m, k, rate, count, inject, deadline_factor), (fsync_every, seed, bursty))| {
+                let fail_rate = if inject { 0.15 } else { 0.0 };
+                let mut cfg = ServeConfig::poisson(m, k.min(m), rate, count);
+                if bursty {
+                    cfg.process = ArrivalProcess::Bursty {
+                        base_rate: rate,
+                        burst_rate: rate * 4.0,
+                        period: 20.0,
+                        burst_fraction: 0.25,
+                    };
+                }
+                cfg.estimates = EstimateDistribution::Uniform { lo: 0.2, hi: 1.8 };
+                cfg.queue_cap = 48;
+                cfg.degrade_hi = 20;
+                cfg.degrade_lo = 12;
+                cfg.shed_hi = 32;
+                cfg.shed_lo = 24;
+                cfg.fail_rate = fail_rate;
+                cfg.max_attempts = 2;
+                cfg.deadline_factor = deadline_factor;
+                cfg.fsync_every = fsync_every;
+                cfg.seed = seed;
+                cfg
+            },
+        )
+}
+
+/// Exactly-once over the journal: one terminal record per admitted seq,
+/// no duplicates in the raw file, no gaps below the admission horizon.
+fn assert_exactly_once(log: &ServeLog, admitted: u64) {
+    assert_eq!(log.duplicates, 0, "journal holds duplicate terminal seqs");
+    assert_eq!(
+        log.records.len() as u64,
+        admitted,
+        "terminal records != admitted tasks"
+    );
+    let mut seqs: Vec<u64> = log.records.iter().map(|r| r.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len() as u64, admitted);
+    if let Some(&max) = seqs.last() {
+        assert_eq!(max, admitted - 1, "seq gap below the admission horizon");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SIGKILL-crash at an arbitrary event, then resume: the journal
+    /// ends with exactly one terminal record per admitted task, and the
+    /// completed set equals the uninterrupted run's.
+    #[test]
+    fn crash_resume_is_exactly_once(cfg in cfg_strategy(), crash_at in 1u64..400) {
+        // Uninterrupted reference run.
+        let ref_path = tmp("ref");
+        let mut d = Daemon::with_journal(cfg.clone(), &ref_path, false).unwrap();
+        let ref_report = d.run(&mut |_| Control::Continue).unwrap();
+        let ref_log = ServeJournal::read(&ref_path).unwrap();
+        assert_exactly_once(&ref_log, ref_report.admitted);
+
+        // Crash mid-stream (Halt = SIGKILL stand-in: unsynced journal
+        // tail is dropped), then resume and run to completion.
+        let path = tmp("crash");
+        let mut d = Daemon::with_journal(cfg.clone(), &path, false).unwrap();
+        let mut polls = 0u64;
+        let crashed = d
+            .run(&mut |_| {
+                polls += 1;
+                if polls == crash_at { Control::Halt } else { Control::Continue }
+            })
+            .unwrap();
+        let mut d = Daemon::with_journal(cfg.clone(), &path, true).unwrap();
+        let resumed = d.run(&mut |_| Control::Continue).unwrap();
+
+        let log = ServeJournal::read(&path).unwrap();
+        assert_exactly_once(&log, resumed.admitted);
+        prop_assert_eq!(log.done_seqs(), ref_log.done_seqs());
+        prop_assert_eq!(resumed.admitted, ref_report.admitted);
+        // The crash may have lost only unsynced work, never synced work.
+        prop_assert!(crashed.halted || polls < crash_at);
+        prop_assert_eq!(
+            log.drain.as_ref().map(|dr| (dr.admitted, dr.completed)),
+            Some((resumed.admitted, resumed.completed))
+        );
+    }
+
+    /// SIGTERM drain at an arbitrary poll: intake closes, everything
+    /// admitted reaches exactly one terminal record (zero lost), and a
+    /// restart against the sealed journal loses nothing either.
+    #[test]
+    fn drain_loses_nothing(cfg in cfg_strategy(), drain_at in 1u64..300) {
+        let path = tmp("drain");
+        let mut d = Daemon::with_journal(cfg.clone(), &path, false).unwrap();
+        let mut polls = 0u64;
+        let report = d
+            .run(&mut |_| {
+                polls += 1;
+                if polls == drain_at { Control::Drain } else { Control::Continue }
+            })
+            .unwrap();
+        prop_assert!(!report.halted);
+        prop_assert_eq!(
+            report.admitted,
+            report.completed + report.shed + report.failed,
+            "drained run lost tasks: {:?}", report
+        );
+        let log = ServeJournal::read(&path).unwrap();
+        assert_exactly_once(&log, report.admitted);
+
+        // Restart with --resume after the clean drain: replay admits the
+        // full stream; previously journaled seqs keep their records and
+        // the tail is filled in — still exactly once for every task.
+        let mut d = Daemon::with_journal(cfg.clone(), &path, true).unwrap();
+        let resumed = d.run(&mut |_| Control::Continue).unwrap();
+        let log = ServeJournal::read(&path).unwrap();
+        assert_exactly_once(&log, resumed.admitted);
+        prop_assert!(resumed.admitted >= report.admitted);
+    }
+
+    /// Shedding and rejection are never silent: counters reconcile with
+    /// the journal record-by-record and with the arrival stream.
+    #[test]
+    fn shedding_is_typed_and_counted(cfg in cfg_strategy()) {
+        let path = tmp("shed");
+        let mut d = Daemon::with_journal(cfg.clone(), &path, false).unwrap();
+        let report = d.run(&mut |_| Control::Continue).unwrap();
+        let log = ServeJournal::read(&path).unwrap();
+
+        let done = log.records.iter().filter(|r| r.kind == TerminalKind::Done).count() as u64;
+        let shed = log.records.iter().filter(|r| r.kind == TerminalKind::Shed).count() as u64;
+        let failed = log.records.iter().filter(|r| r.kind == TerminalKind::Failed).count() as u64;
+        prop_assert_eq!(done, report.completed);
+        prop_assert_eq!(shed, report.shed);
+        prop_assert_eq!(failed, report.failed);
+
+        // Every arrival is accounted for: admitted or rejected, typed.
+        prop_assert_eq!(
+            report.admitted
+                + report.rejected_full
+                + report.rejected_deadline
+                + report.rejected_draining,
+            cfg.count
+        );
+        // Terminal accounting is total.
+        prop_assert_eq!(
+            report.admitted,
+            report.completed + report.shed + report.failed
+        );
+    }
+}
+
+/// Deterministic (non-proptest) end-to-end: crash twice at different
+/// points, resume each time, and converge to the reference run.
+#[test]
+fn double_crash_still_converges() {
+    let mut cfg = ServeConfig::poisson(3, 2, 6.0, 200);
+    cfg.queue_cap = 32;
+    cfg.degrade_hi = 16;
+    cfg.degrade_lo = 8;
+    cfg.shed_hi = 24;
+    cfg.shed_lo = 20;
+    cfg.deadline_factor = 6.0;
+    cfg.fail_rate = 0.1;
+    cfg.fsync_every = 7;
+    cfg.seed = 99;
+
+    let ref_path = tmp("ref2");
+    let ref_report = Daemon::with_journal(cfg.clone(), &ref_path, false)
+        .unwrap()
+        .run(&mut |_| Control::Continue)
+        .unwrap();
+    let ref_log = ServeJournal::read(&ref_path).unwrap();
+
+    let path = tmp("double");
+    for crash_at in [37u64, 113] {
+        let mut polls = 0u64;
+        let resume = path.exists() && crash_at != 37;
+        let mut d = Daemon::with_journal(cfg.clone(), &path, resume).unwrap();
+        let _ = d
+            .run(&mut |_| {
+                polls += 1;
+                if polls == crash_at {
+                    Control::Halt
+                } else {
+                    Control::Continue
+                }
+            })
+            .unwrap();
+    }
+    let mut d = Daemon::with_journal(cfg.clone(), &path, true).unwrap();
+    let resumed = d.run(&mut |_| Control::Continue).unwrap();
+    let log = ServeJournal::read(&path).unwrap();
+    assert_eq!(log.duplicates, 0);
+    assert_eq!(log.done_seqs(), ref_log.done_seqs());
+    assert_eq!(resumed.admitted, ref_report.admitted);
+    assert_eq!(log.records.len() as u64, resumed.admitted);
+}

@@ -103,6 +103,13 @@ impl EventQueue {
         self.heap.pop().map(|Reverse(Entry(ev))| ev)
     }
 
+    /// The earliest event without removing it — lets an outer loop (the
+    /// serve daemon) merge this queue with other event sources (task
+    /// arrivals, retry timers) by comparing heads.
+    pub fn peek(&self) -> Option<&IdleEvent> {
+        self.heap.peek().map(|Reverse(Entry(ev))| ev)
+    }
+
     /// Number of queued events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -117,6 +124,14 @@ impl EventQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::all_idle(3);
+        let head = *q.peek().unwrap();
+        assert_eq!(q.pop().unwrap(), head);
+        assert_eq!(head.machine.index(), 0);
+    }
 
     #[test]
     fn pops_in_time_then_machine_order() {

@@ -294,6 +294,11 @@ pub struct ResilienceMetrics {
     /// Work units spent on attempts that did not complete (killed or
     /// cancelled) — the price of faults plus the price of speculation.
     pub wasted_work: Time,
+    /// Recovery-cost weight accumulated over machine-down events
+    /// (crashes and outage starts), charged from the engine's
+    /// per-machine weights ([`ResilienceEngine::with_recovery_costs`]).
+    /// With the default unit weights this counts down events.
+    pub recovery_cost: f64,
     /// Completion time of the last finished task (zero when nothing
     /// finished).
     pub makespan: Time,
@@ -414,6 +419,7 @@ pub struct ResilienceEngine<'a> {
     realization: &'a Realization,
     script: &'a FaultScript,
     speculation: Option<Speculation>,
+    recovery_costs: Option<Vec<f64>>,
 }
 
 impl<'a> ResilienceEngine<'a> {
@@ -451,6 +457,7 @@ impl<'a> ResilienceEngine<'a> {
             realization,
             script,
             speculation: None,
+            recovery_costs: None,
         })
     }
 
@@ -458,6 +465,30 @@ impl<'a> ResilienceEngine<'a> {
     pub fn with_speculation(mut self, speculation: Speculation) -> Self {
         self.speculation = Some(speculation);
         self
+    }
+
+    /// Sets per-machine recovery-cost weights, charged to
+    /// [`ResilienceMetrics::recovery_cost`] each time the machine goes
+    /// down. The weight convention matches
+    /// [`rds_core::ReliabilityModel::with_recovery_costs`], so a model's
+    /// weights can be passed straight through.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on length mismatch or a non-finite
+    /// or negative weight.
+    pub fn with_recovery_costs(mut self, costs: Vec<f64>) -> Result<Self> {
+        if costs.len() != self.instance.m() {
+            return Err(Error::InvalidParameter {
+                what: "recovery costs must cover every machine",
+            });
+        }
+        if costs.iter().any(|&c| !c.is_finite() || c < 0.0) {
+            return Err(Error::InvalidParameter {
+                what: "recovery cost must be finite and >= 0",
+            });
+        }
+        self.recovery_costs = Some(costs);
+        Ok(self)
     }
 
     /// Runs the execution to quiescence under `dispatcher`.
@@ -494,6 +525,8 @@ struct Run<'a, 'b> {
     metrics: ResilienceMetrics,
     remaining: usize,
     next_attempt_id: u64,
+    /// Per-machine down-event weights (unit when the engine set none).
+    recovery_costs: Vec<f64>,
     /// Metric handles resolved once at run start (`None` while
     /// instrumentation is disabled, so the hot path pays one branch).
     obs_events: Option<std::sync::Arc<rds_obs::Counter>>,
@@ -551,11 +584,16 @@ impl<'a, 'b> Run<'a, 'b> {
                 speculative_wins: 0,
                 cancelled: 0,
                 wasted_work: Time::ZERO,
+                recovery_cost: 0.0,
                 makespan: Time::ZERO,
                 fault_free_makespan: None,
             },
             remaining: n,
             next_attempt_id: 0,
+            recovery_costs: engine
+                .recovery_costs
+                .clone()
+                .unwrap_or_else(|| vec![1.0; m]),
             obs_events: rds_obs::enabled().then(|| rds_obs::global().counter("engine.events")),
             obs_dispatch: rds_obs::enabled().then(|| rds_obs::global().counter("engine.dispatch")),
         }
@@ -669,6 +707,7 @@ impl<'a, 'b> Run<'a, 'b> {
         st.parked = false;
         st.epoch += 1;
         let speed = st.speed;
+        self.metrics.recovery_cost += self.recovery_costs[mi];
         self.trace.push(TraceEvent::Failure {
             time,
             machine: MachineId::new(mi),
@@ -1181,6 +1220,50 @@ mod tests {
         assert_eq!(rep.metrics.rejoins, 0);
         assert!(rep.schedule.slots(MachineId::new(0)).is_empty());
         assert_eq!(rep.metrics.makespan, Time::of(4.0));
+    }
+
+    #[test]
+    fn recovery_cost_charges_weighted_down_events() {
+        let inst = Instance::from_estimates(&[1.0, 1.0, 1.0, 1.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let script = FaultScript::new(vec![
+            FaultEvent::Outage {
+                machine: MachineId::new(0),
+                at: Time::of(0.5),
+                down_for: Time::of(1.0),
+            },
+            FaultEvent::Crash {
+                machine: MachineId::new(1),
+                at: Time::of(1.5),
+            },
+        ]);
+        // Default unit weights: two down events.
+        let rep = run_fifo(&inst, &p, &r, &script, None);
+        assert_eq!(rep.metrics.recovery_cost, 2.0);
+        // Weighted: machine 1's loss is 5x as expensive to re-stage.
+        let rep = ResilienceEngine::new(&inst, &p, &r, &script)
+            .unwrap()
+            .with_recovery_costs(vec![0.5, 5.0])
+            .unwrap()
+            .run(&mut OrderedDispatcher::fifo(&inst))
+            .unwrap();
+        assert_eq!(rep.metrics.recovery_cost, 5.5);
+        // Fault-free runs charge nothing.
+        let rep = run_fifo(&inst, &p, &r, &FaultScript::empty(), None);
+        assert_eq!(rep.metrics.recovery_cost, 0.0);
+    }
+
+    #[test]
+    fn recovery_cost_weights_are_validated() {
+        let inst = Instance::from_estimates(&[1.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let script = FaultScript::empty();
+        let e = ResilienceEngine::new(&inst, &p, &r, &script).unwrap();
+        assert!(e.with_recovery_costs(vec![1.0]).is_err());
+        let e = ResilienceEngine::new(&inst, &p, &r, &script).unwrap();
+        assert!(e.with_recovery_costs(vec![1.0, -2.0]).is_err());
     }
 
     #[test]

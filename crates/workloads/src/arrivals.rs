@@ -1,0 +1,369 @@
+//! Continuous task-arrival processes for the streaming scheduler.
+//!
+//! Batch experiments hand the scheduler a finished [`rds_core::Instance`];
+//! the serve path instead consumes an *arrival stream*: tasks appear one
+//! at a time at increasing virtual times, each carrying an estimate drawn
+//! from an [`EstimateDistribution`]. Three processes cover the scenarios
+//! ROADMAP item 1 names:
+//!
+//! - [`ArrivalProcess::Poisson`]: memoryless arrivals at a constant rate
+//!   (exponential inter-arrival gaps via inverse CDF);
+//! - [`ArrivalProcess::Bursty`]: a periodic two-phase modulated Poisson
+//!   process — each period opens with a burst phase at `burst_rate`,
+//!   then relaxes to `base_rate` — the overload shape the admission
+//!   layer's watermarks are tested against;
+//! - [`ArrivalProcess::Trace`]: replay of explicit arrival instants
+//!   (e.g. parsed from a CSV trace file by the CLI).
+//!
+//! All sampling is seeded: the same `(process, estimates, seed)` triple
+//! reproduces the identical stream, which is what lets crash recovery
+//! replay a run deterministically.
+
+use rand::Rng;
+use rds_core::{Error, Result};
+
+use crate::estimates::EstimateDistribution;
+use crate::rng;
+
+/// How task arrival *times* are generated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson process with `rate` arrivals per unit time.
+    Poisson {
+        /// Mean arrivals per unit of virtual time (`> 0`).
+        rate: f64,
+    },
+    /// Periodic two-phase modulated Poisson process. Each period of
+    /// length `period` begins with a burst window of length
+    /// `burst_fraction · period` at `burst_rate`, followed by a calm
+    /// window at `base_rate`.
+    Bursty {
+        /// Rate outside bursts (`> 0`).
+        base_rate: f64,
+        /// Rate inside bursts (`>= base_rate`).
+        burst_rate: f64,
+        /// Length of one burst+calm cycle (`> 0`).
+        period: f64,
+        /// Fraction of each period spent bursting (in `[0, 1]`).
+        burst_fraction: f64,
+    },
+    /// Replay explicit arrival instants (must be finite, non-negative,
+    /// and non-decreasing).
+    Trace {
+        /// Arrival times in non-decreasing order.
+        times: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Checks the parameters against their documented domain.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on non-finite or out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        fn bad(what: &'static str) -> Result<()> {
+            Err(Error::InvalidParameter { what })
+        }
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                if !(rate.is_finite() && rate > 0.0) {
+                    return bad("Poisson.rate must be finite and > 0");
+                }
+            }
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                period,
+                burst_fraction,
+            } => {
+                if !(base_rate.is_finite() && base_rate > 0.0) {
+                    return bad("Bursty.base_rate must be finite and > 0");
+                }
+                if !(burst_rate.is_finite() && burst_rate >= base_rate) {
+                    return bad("Bursty.burst_rate must be finite and >= base_rate");
+                }
+                if !(period.is_finite() && period > 0.0) {
+                    return bad("Bursty.period must be finite and > 0");
+                }
+                if !(burst_fraction.is_finite() && (0.0..=1.0).contains(&burst_fraction)) {
+                    return bad("Bursty.burst_fraction must be in [0, 1]");
+                }
+            }
+            ArrivalProcess::Trace { ref times } => {
+                let mut prev = 0.0_f64;
+                for &t in times {
+                    if !(t.is_finite() && t >= prev) {
+                        return bad("Trace.times must be finite, >= 0, and non-decreasing");
+                    }
+                    prev = t;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The piecewise-constant instantaneous rate at virtual time `t`
+    /// (traces report `0`; they are not rate-driven).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                period,
+                burst_fraction,
+            } => {
+                let phase = t.rem_euclid(period);
+                if phase < burst_fraction * period {
+                    burst_rate
+                } else {
+                    base_rate
+                }
+            }
+            ArrivalProcess::Trace { .. } => 0.0,
+        }
+    }
+}
+
+/// One task arrival: when it appears and the estimate the scheduler sees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival index (0-based admission sequence number of the stream).
+    pub seq: u64,
+    /// Virtual arrival instant.
+    pub at: f64,
+    /// Estimated processing time `p̃` revealed on arrival.
+    pub estimate: f64,
+}
+
+/// Seeded iterator over an arrival stream: times from an
+/// [`ArrivalProcess`], estimates from an [`EstimateDistribution`].
+///
+/// The generator owns its RNG (seeded at construction), so the stream
+/// is a pure function of `(process, estimates, seed, count)` — consumed
+/// lazily one arrival at a time with O(1) state.
+#[derive(Debug)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    estimates: EstimateDistribution,
+    rng: rand::rngs::StdRng,
+    now: f64,
+    seq: u64,
+    remaining: u64,
+}
+
+impl ArrivalGen {
+    /// Builds a generator producing at most `count` arrivals.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] if either distribution is out of
+    /// domain.
+    pub fn new(
+        process: ArrivalProcess,
+        estimates: EstimateDistribution,
+        count: u64,
+        seed: u64,
+    ) -> Result<Self> {
+        process.validate()?;
+        estimates.validate()?;
+        Ok(ArrivalGen {
+            process,
+            estimates,
+            rng: rng::rng(seed),
+            now: 0.0,
+            seq: 0,
+            remaining: count,
+        })
+    }
+
+    /// Arrivals still to be produced.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Samples the next inter-arrival gap for a piecewise-constant-rate
+    /// process by spending a unit-exponential draw across rate phases
+    /// (exact for modulated Poisson: within a phase of rate `λ`, an
+    /// exponential budget `e` buys `e/λ` time).
+    fn next_gap(&mut self) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let mut budget = -u.ln();
+        let mut t = self.now;
+        loop {
+            let rate = self.process.rate_at(t);
+            let phase_end = match self.process {
+                ArrivalProcess::Bursty {
+                    period,
+                    burst_fraction,
+                    ..
+                } => {
+                    let phase = t.rem_euclid(period);
+                    let cycle_start = t - phase;
+                    if phase < burst_fraction * period {
+                        cycle_start + burst_fraction * period
+                    } else {
+                        cycle_start + period
+                    }
+                }
+                _ => f64::INFINITY,
+            };
+            let span = phase_end - t;
+            if budget <= rate * span || !phase_end.is_finite() {
+                return t + budget / rate - self.now;
+            }
+            budget -= rate * span;
+            t = phase_end;
+        }
+    }
+
+    /// Produces the next arrival, or `None` when the stream is
+    /// exhausted (count reached, or trace fully replayed).
+    pub fn next_arrival(&mut self) -> Option<Arrival> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let at = match self.process {
+            ArrivalProcess::Trace { ref times } => {
+                let i = self.seq as usize;
+                if i >= times.len() {
+                    self.remaining = 0;
+                    return None;
+                }
+                times[i]
+            }
+            _ => self.now + self.next_gap(),
+        };
+        let estimate = self.estimates.sample(&mut self.rng);
+        let a = Arrival {
+            seq: self.seq,
+            at,
+            estimate,
+        };
+        self.now = at;
+        self.seq += 1;
+        self.remaining -= 1;
+        Some(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut g: ArrivalGen) -> Vec<Arrival> {
+        let mut v = Vec::new();
+        while let Some(a) = g.next_arrival() {
+            v.push(a);
+        }
+        v
+    }
+
+    #[test]
+    fn poisson_is_seeded_and_monotone() {
+        let mk = || {
+            ArrivalGen::new(
+                ArrivalProcess::Poisson { rate: 4.0 },
+                EstimateDistribution::Uniform { lo: 1.0, hi: 2.0 },
+                500,
+                42,
+            )
+            .unwrap()
+        };
+        let a = drain(mk());
+        let b = drain(mk());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        for w in a.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        // Mean inter-arrival ≈ 1/rate.
+        let mean = a.last().unwrap().at / a.len() as f64;
+        assert!(
+            (mean - 0.25).abs() < 0.05,
+            "mean gap {mean} far from 1/rate"
+        );
+    }
+
+    #[test]
+    fn bursty_rate_modulates() {
+        let p = ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            burst_rate: 20.0,
+            period: 10.0,
+            burst_fraction: 0.3,
+        };
+        assert_eq!(p.rate_at(0.0), 20.0);
+        assert_eq!(p.rate_at(2.9), 20.0);
+        assert_eq!(p.rate_at(3.1), 2.0);
+        assert_eq!(p.rate_at(13.1), 2.0);
+        let g =
+            ArrivalGen::new(p, EstimateDistribution::Identical { value: 1.0 }, 2000, 7).unwrap();
+        let a = drain(g);
+        assert_eq!(a.len(), 2000);
+        // Arrivals concentrate in burst windows: count those landing in
+        // the first 30% of each period.
+        let in_burst = a.iter().filter(|x| x.at.rem_euclid(10.0) < 3.0).count() as f64;
+        let frac = in_burst / a.len() as f64;
+        // Expected fraction = 20·3 / (20·3 + 2·7) = 60/74 ≈ 0.81.
+        assert!(frac > 0.7, "burst fraction {frac} too low");
+    }
+
+    #[test]
+    fn trace_replays_exact_times() {
+        let g = ArrivalGen::new(
+            ArrivalProcess::Trace {
+                times: vec![0.0, 0.5, 0.5, 3.25],
+            },
+            EstimateDistribution::Identical { value: 2.0 },
+            10,
+            1,
+        )
+        .unwrap();
+        let a = drain(g);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[2].at, 0.5);
+        assert_eq!(a[3].at, 3.25);
+        assert!(a.iter().all(|x| x.estimate == 2.0));
+        assert_eq!(a[3].seq, 3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ArrivalProcess::Poisson { rate: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson { rate: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Bursty {
+            base_rate: 5.0,
+            burst_rate: 1.0,
+            period: 10.0,
+            burst_fraction: 0.5,
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Trace {
+            times: vec![1.0, 0.5],
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalGen::new(
+            ArrivalProcess::Poisson { rate: -1.0 },
+            EstimateDistribution::Identical { value: 1.0 },
+            1,
+            0,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn count_caps_the_stream() {
+        let g = ArrivalGen::new(
+            ArrivalProcess::Poisson { rate: 1.0 },
+            EstimateDistribution::Exponential { mean: 1.0 },
+            3,
+            9,
+        )
+        .unwrap();
+        assert_eq!(drain(g).len(), 3);
+    }
+}

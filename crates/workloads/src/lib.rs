@@ -1,6 +1,8 @@
 //! Workload and realization generators for the uncertain-scheduling
 //! experiments.
 //!
+//! - [`arrivals`]: continuous arrival processes (Poisson, bursty,
+//!   trace replay) feeding the streaming `rds serve` scheduler;
 //! - [`estimates`]: distributions over the estimated times `p̃_j`;
 //! - [`faults`]: MTBF-driven fault scripts (crashes, outages, slowdowns,
 //!   stragglers) for the resilience engine;
@@ -25,12 +27,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod estimates;
 pub mod faults;
 pub mod realize;
 pub mod rng;
 pub mod scenarios;
 
+pub use arrivals::{Arrival, ArrivalGen, ArrivalProcess};
 pub use estimates::EstimateDistribution;
 pub use faults::{monte_carlo_survival, FaultModel, HeterogeneousFaultModel};
 pub use realize::RealizationModel;

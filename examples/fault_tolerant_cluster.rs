@@ -37,7 +37,7 @@ fn main() -> Result<()> {
 
     for strategy in [
         Box::new(LsGroup::new(3)) as Box<dyn Strategy>,
-        Box::new(ChainedReplication::new(2)),
+        Box::new(ChainedReplication::new(2)?),
         Box::new(LptNoRestriction),
     ] {
         let placement = strategy.place(&inst, unc)?;

@@ -26,10 +26,10 @@ fn extension_policies_respect_graham_bound() {
             .unwrap();
         let opt = solver.solve_realization(&real, m);
         let strategies: Vec<Box<dyn Strategy>> = vec![
-            Box::new(ChainedReplication::new(2)),
-            Box::new(ChainedReplication::new(3)),
-            Box::new(RandomKReplication::new(2, seed)),
-            Box::new(CriticalTaskReplication::new(0.3)),
+            Box::new(ChainedReplication::new(2).unwrap()),
+            Box::new(ChainedReplication::new(3).unwrap()),
+            Box::new(RandomKReplication::new(2, seed).unwrap()),
+            Box::new(CriticalTaskReplication::new(0.3).unwrap()),
             Box::new(rds_algs::group_lpt::LptGroup::new_relaxed(2)),
         ];
         for s in &strategies {
@@ -52,10 +52,12 @@ fn replica_budgets_interpolate_memory_footprint() {
     // on this instance shape < everywhere.
     let pinned = LptNoChoice.place(&inst, unc).unwrap().total_replicas();
     let critical = CriticalTaskReplication::new(0.3)
+        .unwrap()
         .place(&inst, unc)
         .unwrap()
         .total_replicas();
     let chained = ChainedReplication::new(3)
+        .unwrap()
         .place(&inst, unc)
         .unwrap()
         .total_replicas();
@@ -91,7 +93,10 @@ fn chained_beats_pinned_under_adversarial_straggler() {
             })
             .collect();
         let real = Realization::from_factors(&inst, unc, &factors).unwrap();
-        let chain = ChainedReplication::new(2).run(&inst, unc, &real).unwrap();
+        let chain = ChainedReplication::new(2)
+            .unwrap()
+            .run(&inst, unc, &real)
+            .unwrap();
         let pin = LptNoChoice.run(&inst, unc, &real).unwrap();
         worst_chain = worst_chain.max(chain.makespan.get());
         worst_pin = worst_pin.max(pin.makespan.get());
@@ -146,7 +151,7 @@ fn criticality_guides_critical_replication() {
         .execute(&inst, &placement, &Realization::exact(&inst))
         .unwrap();
     let crit = robust::task_criticality(&inst, &assignment);
-    let policy = CriticalTaskReplication::new(0.5);
+    let policy = CriticalTaskReplication::new(0.5).unwrap();
     let chosen = policy.critical_set(&inst);
     // Every chosen task has criticality at least as high as every
     // non-chosen task.
