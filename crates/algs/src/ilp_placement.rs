@@ -1,0 +1,523 @@
+//! Optimization-based placement: **`ILP`** and **`LP-Round`** strategies
+//! (ROADMAP item 2).
+//!
+//! Both strategies formulate phase 1 as the replication-bound +
+//! memory-aware placement IP of [`rds_exact::ilp`] — binary task×machine
+//! execution variables, per-machine memory-budget rows, and the
+//! α-uncertainty load *envelope* `p̂_j = α·p̃_j` in the objective — and
+//! differ in how hard they solve it:
+//!
+//! - [`IlpPlacement`] runs the exact branch-and-bound over the LP
+//!   relaxation (anytime: a node budget time-boxes the search, falling
+//!   back to the best incumbent on large instances);
+//! - [`LpRoundingPlacement`] solves only the relaxation and rounds
+//!   deterministically with repair — the cheap sibling and the shape of
+//!   the fallback the exact solver degrades to.
+//!
+//! The executing machine chosen by the IP becomes each task's primary
+//! replica; with a replication budget `k > 1` the placement is padded
+//! with up to `k − 1` extra replicas on the least-loaded machines that
+//! still have memory slack, giving phase 2 dispatch freedom without
+//! violating the budget `B`. Phase 2 mirrors the event engine exactly:
+//! machines become idle in `(time, id)` order and each takes the first
+//! pending task (in LPT estimate order) whose placement set admits it.
+
+use crate::strategy::Strategy;
+use rds_core::{
+    Assignment, Error, Instance, MachineId, MachineMask, MachineSet, Placement, Realization,
+    Result, Size, Time, Uncertainty,
+};
+use rds_exact::ilp::{IlpError, IlpResult, PlacementModel, RoundingResult, ILP_TOL};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Default node budget for the branch-and-bound time-box.
+pub const DEFAULT_NODE_LIMIT: u64 = 500_000;
+
+fn convert(err: IlpError) -> Error {
+    match err {
+        IlpError::BadInput(what) => Error::InvalidParameter { what },
+        IlpError::Infeasible => Error::InvalidParameter {
+            what: "memory budget admits no feasible placement",
+        },
+        IlpError::ResourceLimit => Error::ResourceLimit {
+            what: "ILP node budget",
+        },
+    }
+}
+
+fn model_for(
+    instance: &Instance,
+    uncertainty: Uncertainty,
+    budget: Option<Size>,
+) -> Result<PlacementModel> {
+    PlacementModel::from_instance(instance, uncertainty, budget).map_err(convert)
+}
+
+/// Pads the IP's single-machine assignment to at most `k` replicas per
+/// task: extra replicas go to the least-loaded machines (by envelope
+/// load, ties by id) that still have memory slack. Deterministic; never
+/// violates the memory budget the solver already satisfied.
+fn pad_replicas(
+    instance: &Instance,
+    uncertainty: Uncertainty,
+    assign: &[MachineId],
+    k: usize,
+    budget: f64,
+) -> Result<Placement> {
+    let m = instance.m();
+    let mut loads = vec![0.0f64; m];
+    let mut mems = vec![0.0f64; m];
+    for (j, id) in assign.iter().enumerate() {
+        let t = &instance.tasks()[j];
+        loads[id.index()] += uncertainty.hi(t.estimate).get();
+        mems[id.index()] += t.size.get();
+    }
+    if k <= 1 {
+        return Placement::pinned(instance, assign);
+    }
+    let mut masks: Vec<MachineMask> = assign
+        .iter()
+        .map(|&id| MachineMask::singleton(m, id))
+        .collect();
+    for t in instance.ids_by_estimate_desc() {
+        let s = instance.size(t).get();
+        while masks[t.index()].count() < k.min(m) {
+            let pick = (0..m)
+                .filter(|&i| {
+                    !masks[t.index()].contains(MachineId::new(i))
+                        && mems[i] + s <= budget * (1.0 + ILP_TOL)
+                })
+                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)));
+            let Some(pick) = pick else { break };
+            masks[t.index()].insert(MachineId::new(pick));
+            mems[pick] += s;
+        }
+    }
+    let sets = masks
+        .into_iter()
+        .map(|mask| MachineSet::from_mask(m, mask))
+        .collect();
+    Placement::new(instance, sets)
+}
+
+/// Engine-faithful phase-2 dispatch: a min-heap of `(idle_time, machine)`
+/// pops the earliest idle machine, which takes the first pending task in
+/// LPT estimate order its placement set admits; a machine finding no
+/// eligible pending task retires. Identical to `rds-sim`'s ordered
+/// dispatcher on LPT priority with all tasks released at `t = 0`.
+fn dispatch_lpt(
+    instance: &Instance,
+    placement: &Placement,
+    realization: &Realization,
+) -> Result<Assignment> {
+    let m = instance.m();
+    let order = instance.ids_by_estimate_desc();
+    let mut done = vec![false; instance.n()];
+    let mut remaining = instance.n();
+    let mut machines: Vec<MachineId> = vec![MachineId::new(0); instance.n()];
+    let mut heap: BinaryHeap<Reverse<(Time, MachineId)>> = (0..m)
+        .map(|i| Reverse((Time::ZERO, MachineId::new(i))))
+        .collect();
+    while remaining > 0 {
+        let Some(Reverse((idle_at, machine))) = heap.pop() else {
+            // Unreachable: a machine only retires once no pending task
+            // admits it, so a pending task always keeps its machines.
+            return Err(Error::EmptyPlacement {
+                task: done.iter().position(|d| !d).unwrap_or(0),
+            });
+        };
+        let next = order
+            .iter()
+            .copied()
+            .find(|&t| !done[t.index()] && placement.allows(t, machine));
+        if let Some(t) = next {
+            done[t.index()] = true;
+            remaining -= 1;
+            machines[t.index()] = machine;
+            heap.push(Reverse((idle_at + realization.actual(t), machine)));
+        }
+        // else: retire the machine (never pushed back).
+    }
+    Assignment::new(instance, machines)
+}
+
+/// Exact optimization-based placement (branch and bound over the LP
+/// relaxation of the memory-aware placement IP).
+#[derive(Debug, Clone, Copy)]
+pub struct IlpPlacement {
+    k: usize,
+    budget: Option<Size>,
+    node_limit: u64,
+}
+
+impl IlpPlacement {
+    /// An `ILP` strategy with replication budget `k` and no memory cap.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] when `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter {
+                what: "replication budget k must be >= 1",
+            });
+        }
+        Ok(IlpPlacement {
+            k,
+            budget: None,
+            node_limit: DEFAULT_NODE_LIMIT,
+        })
+    }
+
+    /// Caps every machine's memory occupation at `budget`.
+    pub fn with_budget(mut self, budget: Size) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Overrides the branch-and-bound node budget (the time-box).
+    pub fn with_node_limit(mut self, node_limit: u64) -> Self {
+        self.node_limit = node_limit.max(1);
+        self
+    }
+
+    /// The replication budget `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The memory budget, when set.
+    pub fn budget(&self) -> Option<Size> {
+        self.budget
+    }
+
+    /// Solves the underlying IP and exposes the full solver result
+    /// (bounds, node counts, fallback flag) — used by benches and the
+    /// conformance oracle.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on infeasible budgets,
+    /// [`Error::ResourceLimit`] if the time-box expired with no feasible
+    /// incumbent at all.
+    pub fn solve_model(&self, instance: &Instance, uncertainty: Uncertainty) -> Result<IlpResult> {
+        model_for(instance, uncertainty, self.budget)?
+            .solve(self.node_limit)
+            .map_err(convert)
+    }
+}
+
+impl Strategy for IlpPlacement {
+    fn name(&self) -> String {
+        match self.budget {
+            Some(b) => format!("ILP(k={},B={:.3})", self.k, b.get()),
+            None => format!("ILP(k={})", self.k),
+        }
+    }
+
+    fn replication_budget(&self, m: usize) -> usize {
+        self.k.min(m)
+    }
+
+    fn place(&self, instance: &Instance, uncertainty: Uncertainty) -> Result<Placement> {
+        let result = self.solve_model(instance, uncertainty)?;
+        pad_replicas(
+            instance,
+            uncertainty,
+            &result.assignment,
+            self.k,
+            self.budget.map_or(f64::INFINITY, |b| b.get()),
+        )
+    }
+
+    fn execute(
+        &self,
+        instance: &Instance,
+        placement: &Placement,
+        realization: &Realization,
+    ) -> Result<Assignment> {
+        dispatch_lpt(instance, placement, realization)
+    }
+}
+
+/// LP-relaxation + deterministic rounding placement — the polynomial
+/// sibling of [`IlpPlacement`] and the shape its time-box degrades to.
+#[derive(Debug, Clone, Copy)]
+pub struct LpRoundingPlacement {
+    k: usize,
+    budget: Option<Size>,
+}
+
+impl LpRoundingPlacement {
+    /// An `LP-Round` strategy with replication budget `k`, no memory cap.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] when `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter {
+                what: "replication budget k must be >= 1",
+            });
+        }
+        Ok(LpRoundingPlacement { k, budget: None })
+    }
+
+    /// Caps every machine's memory occupation at `budget`.
+    pub fn with_budget(mut self, budget: Size) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The replication budget `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The memory budget, when set.
+    pub fn budget(&self) -> Option<Size> {
+        self.budget
+    }
+
+    /// Runs the LP-rounding path and exposes the solver result.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on infeasible budgets.
+    pub fn solve_model(
+        &self,
+        instance: &Instance,
+        uncertainty: Uncertainty,
+    ) -> Result<RoundingResult> {
+        model_for(instance, uncertainty, self.budget)?
+            .solve_rounding()
+            .map_err(convert)
+    }
+}
+
+impl Strategy for LpRoundingPlacement {
+    fn name(&self) -> String {
+        match self.budget {
+            Some(b) => format!("LP-Round(k={},B={:.3})", self.k, b.get()),
+            None => format!("LP-Round(k={})", self.k),
+        }
+    }
+
+    fn replication_budget(&self, m: usize) -> usize {
+        self.k.min(m)
+    }
+
+    fn place(&self, instance: &Instance, uncertainty: Uncertainty) -> Result<Placement> {
+        let result = self.solve_model(instance, uncertainty)?;
+        pad_replicas(
+            instance,
+            uncertainty,
+            &result.assignment,
+            self.k,
+            self.budget.map_or(f64::INFINITY, |b| b.get()),
+        )
+    }
+
+    fn execute(
+        &self,
+        instance: &Instance,
+        placement: &Placement,
+        realization: &Realization,
+    ) -> Result<Assignment> {
+        dispatch_lpt(instance, placement, realization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_core::memory;
+    use rds_exact::optimal::{Certainty, OptimalSolver};
+
+    fn pseudo(seed: &mut u64, modulus: u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((*seed >> 33) % modulus) as f64 + 1.0
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(IlpPlacement::new(0).is_err());
+        assert!(LpRoundingPlacement::new(0).is_err());
+    }
+
+    #[test]
+    fn pinned_ilp_matches_certified_optimum_on_envelopes() {
+        let mut seed = 17u64;
+        for trial in 0..10 {
+            let n = 5 + trial % 4;
+            let m = 2 + trial % 3;
+            let est: Vec<f64> = (0..n).map(|_| pseudo(&mut seed, 30)).collect();
+            let inst = Instance::from_estimates(&est, m).unwrap();
+            let unc = Uncertainty::of(1.5);
+            let r = IlpPlacement::new(1)
+                .unwrap()
+                .solve_model(&inst, unc)
+                .unwrap();
+            assert!(r.proved, "trial {trial}");
+            let envelopes: Vec<Time> = est.iter().map(|&p| Time::of(1.5 * p)).collect();
+            let opt = OptimalSolver::default().solve(&envelopes, m);
+            assert_eq!(opt.certainty, Certainty::Exact);
+            assert!(
+                (r.makespan.get() - opt.lo.get()).abs() < 1e-9,
+                "trial {trial}: ilp {} opt {}",
+                r.makespan,
+                opt.lo
+            );
+        }
+    }
+
+    #[test]
+    fn memory_budget_is_respected_end_to_end() {
+        let pairs: Vec<(f64, f64)> = vec![
+            (6.0, 5.0),
+            (5.0, 5.0),
+            (4.0, 4.0),
+            (3.0, 3.0),
+            (2.0, 2.0),
+            (2.0, 2.0),
+        ];
+        let inst = Instance::from_estimates_and_sizes(&pairs, 3).unwrap();
+        let unc = Uncertainty::of(1.2);
+        let budget = Size::of(8.0);
+        for strategy in [
+            &IlpPlacement::new(2).unwrap().with_budget(budget) as &dyn Strategy,
+            &LpRoundingPlacement::new(2).unwrap().with_budget(budget) as &dyn Strategy,
+        ] {
+            let real = Realization::uniform_factor(&inst, unc, 1.2).unwrap();
+            let out = strategy.run(&inst, unc, &real).unwrap();
+            let mem = memory::mem_max(&inst, &out.placement);
+            assert!(
+                mem.get() <= budget.get() * (1.0 + 1e-9),
+                "{}: Mem_max {} > B {}",
+                strategy.name(),
+                mem,
+                budget
+            );
+            assert!(out.placement.max_replicas() <= 2);
+        }
+    }
+
+    #[test]
+    fn padding_adds_replicas_when_memory_allows() {
+        let inst = Instance::from_estimates(&[4.0, 3.0, 2.0, 1.0], 4).unwrap();
+        let p = IlpPlacement::new(3)
+            .unwrap()
+            .place(&inst, Uncertainty::CERTAIN)
+            .unwrap();
+        // No memory cap: every task should reach its full k replicas.
+        assert_eq!(p.max_replicas(), 3);
+        for t in inst.task_ids() {
+            assert_eq!(p.replicas(t), 3);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let est = [9.0, 7.0, 5.0, 5.0, 3.0, 2.0, 1.0];
+        let sizes = [2.0, 4.0, 1.0, 3.0, 2.0, 1.0, 2.0];
+        let pairs: Vec<(f64, f64)> = est.iter().zip(&sizes).map(|(&p, &s)| (p, s)).collect();
+        let inst = Instance::from_estimates_and_sizes(&pairs, 3).unwrap();
+        let unc = Uncertainty::of(2.0);
+        for strategy in [
+            &IlpPlacement::new(2).unwrap().with_budget(Size::of(7.0)) as &dyn Strategy,
+            &LpRoundingPlacement::new(2)
+                .unwrap()
+                .with_budget(Size::of(7.0)) as &dyn Strategy,
+        ] {
+            let a = strategy.place(&inst, unc).unwrap();
+            let b = strategy.place(&inst, unc).unwrap();
+            assert_eq!(a.sets(), b.sets(), "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn replicas_give_dispatch_freedom_under_uncertainty() {
+        // One task blows up to its envelope; with k = 2 the dispatcher
+        // can route around the overloaded machine.
+        let inst = Instance::from_estimates(&[4.0, 4.0, 4.0, 4.0], 2).unwrap();
+        let unc = Uncertainty::of(2.0);
+        let real = Realization::from_factors(&inst, unc, &[2.0, 0.5, 0.5, 0.5]).unwrap();
+        let k1 = IlpPlacement::new(1)
+            .unwrap()
+            .run(&inst, unc, &real)
+            .unwrap();
+        let k2 = IlpPlacement::new(2)
+            .unwrap()
+            .run(&inst, unc, &real)
+            .unwrap();
+        assert!(
+            k2.makespan <= k1.makespan,
+            "k=2 {} worse than k=1 {}",
+            k2.makespan,
+            k1.makespan
+        );
+    }
+
+    #[test]
+    fn time_box_fallback_still_yields_feasible_run() {
+        let mut seed = 41u64;
+        let pairs: Vec<(f64, f64)> = (0..24)
+            .map(|_| (pseudo(&mut seed, 40), pseudo(&mut seed, 6)))
+            .collect();
+        let inst = Instance::from_estimates_and_sizes(&pairs, 4).unwrap();
+        let unc = Uncertainty::of(1.5);
+        let strategy = IlpPlacement::new(1)
+            .unwrap()
+            .with_budget(Size::of(30.0))
+            .with_node_limit(2);
+        let r = strategy.solve_model(&inst, unc).unwrap();
+        assert!(!r.proved);
+        assert!(r.used_fallback);
+        let real = Realization::uniform_factor(&inst, unc, 1.0).unwrap();
+        let out = strategy.run(&inst, unc, &real).unwrap();
+        assert!(memory::mem_max(&inst, &out.placement).get() <= 30.0 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn rounding_never_beats_the_exact_solver_on_envelopes() {
+        let mut seed = 7u64;
+        for trial in 0..8 {
+            let n = 6 + trial % 4;
+            let m = 2 + trial % 2;
+            let pairs: Vec<(f64, f64)> = (0..n)
+                .map(|_| (pseudo(&mut seed, 25), pseudo(&mut seed, 5)))
+                .collect();
+            let inst = Instance::from_estimates_and_sizes(&pairs, m).unwrap();
+            let unc = Uncertainty::of(1.3);
+            let total: f64 = pairs.iter().map(|p| p.1).sum();
+            let maxs = pairs.iter().map(|p| p.1).fold(0.0f64, f64::max);
+            let budget = Size::of(total / m as f64 + maxs);
+            let exact = IlpPlacement::new(1)
+                .unwrap()
+                .with_budget(budget)
+                .solve_model(&inst, unc)
+                .unwrap();
+            let rounded = LpRoundingPlacement::new(1)
+                .unwrap()
+                .with_budget(budget)
+                .solve_model(&inst, unc)
+                .unwrap();
+            if exact.proved {
+                assert!(
+                    rounded.makespan.get() >= exact.makespan.get() - 1e-9,
+                    "trial {trial}: rounding {} beat exact {}",
+                    rounded.makespan,
+                    exact.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_is_a_typed_error() {
+        let inst = Instance::from_estimates_and_sizes(&[(1.0, 9.0), (1.0, 9.0)], 2).unwrap();
+        let err = IlpPlacement::new(1)
+            .unwrap()
+            .with_budget(Size::of(5.0))
+            .place(&inst, Uncertainty::CERTAIN)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+    }
+}

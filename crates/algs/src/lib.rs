@@ -34,6 +34,7 @@
 pub mod balancer;
 pub mod group;
 pub mod group_lpt;
+pub mod ilp_placement;
 pub mod list_scheduling;
 pub mod memory;
 pub mod no_choice;
@@ -43,6 +44,7 @@ pub mod survival;
 
 pub use group::LsGroup;
 pub use group_lpt::LptGroup;
+pub use ilp_placement::{IlpPlacement, LpRoundingPlacement};
 pub use no_choice::LptNoChoice;
 pub use no_restriction::LptNoRestriction;
 pub use strategy::{Outcome, Strategy};

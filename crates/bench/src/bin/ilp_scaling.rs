@@ -1,0 +1,184 @@
+//! **PERF-8** — ILP placement solve time and optimality gap vs `n`.
+//!
+//! Sweeps the branch-and-bound placement solver and the LP-rounding
+//! fallback over growing instances (memory budget pinned to the
+//! BFD-achievable band, so every point is feasible but the budget
+//! binds) and records, per `n`:
+//!
+//! - branch-and-bound wall time, nodes expanded, whether optimality was
+//!   *proved* and whether the time-box (node-budget) fallback engaged;
+//! - the optimality gap `makespan / lower_bound - 1` — an upper bound
+//!   on the true gap, since `lower_bound` is itself a lower bound on
+//!   the optimum;
+//! - LP-rounding wall time and its gap against the same lower bound.
+//!
+//! The acceptance property asserted here (and regressed in CI): small
+//! instances are solved to proved optimality, and on large instances
+//! the node budget *engages the anytime fallback* instead of hanging —
+//! the solver always returns a feasible incumbent in bounded time.
+//!
+//! Emits machine-readable JSON (default `BENCH_8.json`, override with
+//! `--out <path>`).
+//!
+//! Run: `cargo run --release -p rds-bench --bin ilp_scaling [--quick]`
+
+use rds_bench::{arg_value, header, quick_mode};
+use rds_core::{Instance, Uncertainty};
+use rds_exact::PlacementModel;
+use rds_workloads::{rng, EstimateDistribution};
+use std::time::Instant;
+
+/// Node budget for the branch-and-bound sweep: generous for small `n`,
+/// but far below what exhaustive search needs at large `n`, so the
+/// anytime fallback must engage there.
+const NODE_LIMIT: u64 = 200_000;
+
+struct Row {
+    n: usize,
+    bnb_seconds: f64,
+    nodes: u64,
+    proved: bool,
+    used_fallback: bool,
+    bnb_gap: f64,
+    lp_seconds: f64,
+    lp_gap: f64,
+}
+
+fn build_model(n: usize, m: usize, seed: u64) -> PlacementModel {
+    use rand::Rng as _;
+    let mut r = rng::rng(seed);
+    let est = EstimateDistribution::Uniform { lo: 0.5, hi: 12.0 }.sample_n(n, &mut r);
+    let sizes: Vec<f64> = (0..n).map(|_| r.gen_range(1.0..9.0)).collect();
+    let pairs: Vec<(f64, f64)> = est.iter().copied().zip(sizes.iter().copied()).collect();
+    let inst = Instance::from_estimates_and_sizes(&pairs, m).expect("valid instance");
+    // The BFD-achievable band: feasible by construction, tight enough
+    // that the budget actually constrains the search.
+    let budget = inst.total_size().get() / m as f64 + inst.max_size().get();
+    PlacementModel::from_instance(
+        &inst,
+        Uncertainty::of(1.5),
+        Some(rds_core::Size::of(budget)),
+    )
+    .expect("valid model")
+}
+
+fn measure(n: usize, m: usize, seed: u64) -> Row {
+    let model = build_model(n, m, seed);
+
+    let t0 = Instant::now();
+    let bnb = model.solve(NODE_LIMIT).expect("feasible by construction");
+    let bnb_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let lp = model.solve_rounding().expect("feasible by construction");
+    let lp_seconds = t1.elapsed().as_secs_f64();
+
+    let lb = bnb.lower_bound.get().max(1e-300);
+    Row {
+        n,
+        bnb_seconds,
+        nodes: bnb.nodes,
+        proved: bnb.proved,
+        used_fallback: bnb.used_fallback,
+        bnb_gap: bnb.makespan.get() / lb - 1.0,
+        lp_seconds,
+        lp_gap: lp.makespan.get() / lb - 1.0,
+    }
+}
+
+fn main() {
+    header("PERF-8 — ILP placement scaling");
+    let quick = quick_mode();
+    let m = 4;
+    let ns: &[usize] = if quick {
+        &[6, 10, 16, 48, 400]
+    } else {
+        &[6, 8, 10, 12, 16, 24, 48, 96, 200, 500, 1200]
+    };
+
+    println!(
+        "{:>6} {:>10} {:>9} {:>7} {:>9} {:>9} {:>10} {:>9}",
+        "n", "bnb s", "nodes", "proved", "fallback", "bnb gap", "lp s", "lp gap"
+    );
+    let rows: Vec<Row> = ns
+        .iter()
+        .map(|&n| {
+            let row = measure(n, m, 0xC0DE_0008 ^ n as u64);
+            println!(
+                "{:>6} {:>10.4} {:>9} {:>7} {:>9} {:>9.4} {:>10.4} {:>9.4}",
+                row.n,
+                row.bnb_seconds,
+                row.nodes,
+                row.proved,
+                row.used_fallback,
+                row.bnb_gap,
+                row.lp_seconds,
+                row.lp_gap
+            );
+            row
+        })
+        .collect();
+
+    // Acceptance: exact on small instances, anytime (not hanging) on
+    // large ones. Gaps are sound: never below zero beyond float noise.
+    for row in &rows {
+        assert!(
+            row.bnb_gap >= -1e-9 && row.lp_gap >= -1e-9,
+            "n={}: makespan below its own lower bound",
+            row.n
+        );
+        if row.n <= 10 {
+            assert!(row.proved, "n={} must be proved optimal", row.n);
+        }
+    }
+    let fallback_engaged = rows.iter().any(|r| r.used_fallback);
+    assert!(
+        fallback_engaged,
+        "the node budget never engaged the anytime fallback — sweep too small"
+    );
+    let max_seconds = rows.iter().map(|r| r.bnb_seconds).fold(0.0f64, f64::max);
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"n\": {}, \"bnb_seconds\": {:.6}, \"nodes\": {}, ",
+                    "\"proved\": {}, \"used_fallback\": {}, \"bnb_gap\": {:.6}, ",
+                    "\"lp_seconds\": {:.6}, \"lp_gap\": {:.6}}}"
+                ),
+                r.n,
+                r.bnb_seconds,
+                r.nodes,
+                r.proved,
+                r.used_fallback,
+                r.bnb_gap,
+                r.lp_seconds,
+                r.lp_gap
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"ilp_scaling\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"m\": {m},\n",
+            "  \"node_limit\": {node_limit},\n",
+            "  \"fallback_engaged\": {fallback},\n",
+            "  \"max_bnb_seconds\": {max_s:.6},\n",
+            "  \"rows\": [\n{rows}\n  ]\n",
+            "}}\n"
+        ),
+        quick = quick,
+        m = m,
+        node_limit = NODE_LIMIT,
+        fallback = fallback_engaged,
+        max_s = max_seconds,
+        rows = row_json.join(",\n"),
+    );
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_8.json".to_string());
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("\nfallback engaged: {fallback_engaged}; worst solve {max_seconds:.3}s");
+    println!("wrote {out}");
+}

@@ -52,6 +52,11 @@ COMMANDS:
             --m <usize> [--n <usize>] [--zones <usize>]
             [--targets <p,p,...>] [--ks <k,k,...>] [--alpha <f64>]
             [--reps <usize>] [--seed <u64>]
+  frontier  makespan-vs-memory Pareto frontier: ILP branch-and-bound and
+            LP-rounding placement swept over a per-machine memory budget
+            grid against the greedy strategies, under one realization
+            --m <usize> [--n <usize>] [--alpha <f64>] [--seed <u64>]
+            [--ks <k,k,...>] [--budget-steps <usize>]
   sweep     empirical competitive-ratio sweep: the standard suite over
             sampled realizations versus the exact-solver bracket
             --m <usize> [--n <usize>] [--alpha <f64>] [--reps <usize>]
@@ -66,7 +71,8 @@ COMMANDS:
             replayable counterexamples
             [--cases <u64>] [--seconds <f64>] [--seed <u64>]
             [--max-n <usize>] [--max-m <usize>]
-            [--mutate <none|drop-replica|ignore-reliability>]
+            [--mutate <none|drop-replica|ignore-reliability|
+                       ignore-memory-budget>]
             [--artifacts <dir>]
             [--max-counterexamples <usize>]
             crash safety: [--journal <path>] [--resume]
@@ -787,6 +793,114 @@ pub fn cmd_reliability(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
     Ok(())
 }
 
+/// `rds frontier`: the makespan-vs-memory Pareto frontier. The
+/// optimization-based placements (`IlpPlacement`, `LpRoundingPlacement`)
+/// sweep a grid of per-machine memory budgets against the paper's greedy
+/// strategies, all executed under the same sampled realization, and the
+/// non-dominated points are marked.
+pub fn cmd_frontier(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use rds_policies::{budget_grid, pareto_sweep};
+    use rds_report::plot::{Chart, Series};
+
+    let m: usize = args.require("m")?;
+    let n: usize = args.get_or("n", 3 * m)?;
+    let alpha: f64 = args.get_or("alpha", 1.5)?;
+    let unc = Uncertainty::new(alpha)?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let steps: usize = args.get_or("budget-steps", 5usize)?;
+    let ks: Vec<usize> = match args.get::<String>("ks")? {
+        Some(raw) => raw
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("cannot parse --ks entry {p:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        None => (1..=2.min(m)).collect(),
+    };
+    if ks.iter().any(|&k| k < 1 || k > m) {
+        return Err("--ks entries must be in 1..=m".into());
+    }
+
+    // Seeded sized instance: sizes drawn independently of the times, so
+    // the load-optimal and memory-optimal placements genuinely differ
+    // and the budget axis has real structure.
+    let mut r = rng::rng(seed);
+    let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
+    use rand::Rng as _;
+    let pairs: Vec<(f64, f64)> = est.iter().map(|&p| (p, r.gen_range(1.0..8.0))).collect();
+    let inst = Instance::from_estimates_and_sizes(&pairs, m)?;
+    let real = RealizationModel::UniformFactor.realize(&inst, unc, &mut r)?;
+    let budgets = budget_grid(&inst, steps);
+
+    let points = pareto_sweep(&inst, unc, &real, &ks, &budgets)?;
+
+    writeln!(
+        out,
+        "makespan-vs-memory frontier: n = {n}, m = {m}, alpha = {alpha}, seed = {seed}, \
+         budgets = [{}], ks = {ks:?}",
+        budgets
+            .iter()
+            .map(|b| format!("{b:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )?;
+    let mut t = Table::new(vec![
+        "strategy",
+        "makespan",
+        "Mem_max",
+        "total memory",
+        "replicas",
+        "pareto",
+    ])
+    .align({
+        let mut a = vec![Align::Right; 6];
+        a[0] = Align::Left;
+        a
+    });
+    for p in &points {
+        t.row(vec![
+            p.label.clone(),
+            fmt(p.makespan, 2),
+            fmt(p.mem_max, 1),
+            fmt(p.total_memory, 1),
+            p.replicas.to_string(),
+            if p.on_frontier { "*".into() } else { "".into() },
+        ]);
+    }
+    writeln!(out, "{}", t.to_markdown())?;
+
+    let greedy: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| !p.label.starts_with("ILP(") && !p.label.starts_with("LP-Round("))
+        .map(|p| (p.mem_max, p.makespan))
+        .collect();
+    let ilp: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.label.starts_with("ILP("))
+        .map(|p| (p.mem_max, p.makespan))
+        .collect();
+    let rounding: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.label.starts_with("LP-Round("))
+        .map(|p| (p.mem_max, p.makespan))
+        .collect();
+    let chart = Chart::new("realized makespan vs Mem_max", 64, 12)?
+        .series(Series::new("greedy", 'o', greedy))
+        .series(Series::new("ilp", 'I', ilp))
+        .series(Series::new("lp-round", 'r', rounding));
+    write!(out, "{}", chart.render())?;
+
+    let on: Vec<&str> = points
+        .iter()
+        .filter(|p| p.on_frontier)
+        .map(|p| p.label.as_str())
+        .collect();
+    writeln!(out, "\npareto frontier: {}", on.join(", "))?;
+    Ok(())
+}
+
 /// `rds sweep`: empirical competitive-ratio sweep of the standard suite
 /// over sampled realizations, measured against the exact solver's lower
 /// bound on each realization. Journaled and resumable like
@@ -1056,7 +1170,10 @@ pub fn cmd_conformance(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
 
     let mutation_name: String = args.get_or("mutate", "none".to_string())?;
     let mutation = Mutation::parse(&mutation_name).ok_or_else(|| {
-        format!("unknown mutation {mutation_name:?}; try none|drop-replica|ignore-reliability")
+        format!(
+            "unknown mutation {mutation_name:?}; try \
+             none|drop-replica|ignore-reliability|ignore-memory-budget"
+        )
     })?;
     let config = rds_conformance::ConformanceConfig {
         seed: args.get_or("seed", 42u64)?,
@@ -1118,6 +1235,14 @@ pub fn cmd_conformance(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
             "survival arm: {} violation(s); reproduce with --seed {} \
              (survival specs are fully seeded and never shrunk)",
             report.survival_violations, config.seed
+        )?;
+    }
+    if report.ilp_violations > 0 {
+        writeln!(
+            out,
+            "ilp arm: {} violation(s); reproduce with --seed {} \
+             (ilp specs are fully seeded and never shrunk)",
+            report.ilp_violations, config.seed
         )?;
     }
     for path in &report.artifacts {
@@ -1361,6 +1486,7 @@ pub fn run<S: AsRef<str>>(argv: &[S], out: &mut dyn Write) -> Result<(), CmdErro
         "memory" => cmd_memory(&args, out),
         "resilience" => cmd_resilience(&args, out),
         "reliability" => cmd_reliability(&args, out),
+        "frontier" => cmd_frontier(&args, out),
         "sweep" => cmd_sweep(&args, out),
         "conformance" => cmd_conformance(&args, out),
         "serve" => cmd_serve(&args, out),
@@ -1944,6 +2070,42 @@ mod tests {
         assert!(err.to_string().contains("counterexample reproduced"));
         assert!(String::from_utf8(buf).unwrap().contains("REPRODUCED"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conformance_ilp_mutant_fails_in_the_ilp_arm() {
+        let mut buf = Vec::new();
+        let err = run(
+            &[
+                "conformance",
+                "--cases",
+                "12",
+                "--mutate",
+                "ignore-memory-budget",
+            ],
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("conformance failed"));
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("ilp arm:"), "unexpected output:\n{out}");
+    }
+
+    #[test]
+    fn frontier_prints_table_chart_and_pareto_set() {
+        let out = run_to_string(&["frontier", "--m", "4", "--n", "10", "--seed", "7"]).unwrap();
+        assert!(out.contains("makespan-vs-memory frontier"), "{out}");
+        assert!(out.contains("ILP(k=1"), "no ILP points:\n{out}");
+        assert!(out.contains("LP-Round(k=1"), "no rounding points:\n{out}");
+        assert!(out.contains("LPT-No Choice"), "no greedy baseline:\n{out}");
+        assert!(out.contains("pareto frontier:"), "{out}");
+        assert!(out.contains("realized makespan vs Mem_max"), "{out}");
+    }
+
+    #[test]
+    fn frontier_rejects_bad_ks() {
+        let err = run_to_string(&["frontier", "--m", "3", "--ks", "0"]).unwrap_err();
+        assert!(err.to_string().contains("1..=m"));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod artifact;
 pub mod case;
 pub mod checks;
 pub mod generator;
+pub mod ilp;
 pub mod mutant;
 pub mod registry;
 pub mod runner;
@@ -43,6 +44,9 @@ pub use artifact::Counterexample;
 pub use case::CaseSpec;
 pub use checks::{check_case, CaseReport, CheckKind, ConformanceViolation};
 pub use generator::generate_case;
+pub use ilp::{
+    check_ilp_case, generate_ilp_case, run_ilp_case, IlpCaseReport, IlpCheck, IlpSpec, IlpViolation,
+};
 pub use mutant::DropReplica;
 pub use registry::{Dispatch, Mutation, StrategyId};
 pub use runner::{replay, run, ConformanceConfig, ConformanceReport, ReplayOutcome};

@@ -36,6 +36,11 @@ pub enum Mutation {
     /// planning (see [`crate::survival`]). The makespan battery runs
     /// unmutated — this defect only exists in the reliability arm.
     IgnoreReliability,
+    /// Drop the memory budget before ILP/LP-rounding placement (see
+    /// [`crate::ilp`]): the planner optimizes as if `B = ∞` while the
+    /// oracle still checks the spec's budget. The makespan and survival
+    /// batteries run unmutated — this defect only exists in the ILP arm.
+    IgnoreMemoryBudget,
 }
 
 /// The phase-2 engine dispatch policy matching a strategy's closed form.
@@ -56,6 +61,7 @@ impl Mutation {
             Mutation::None => "none",
             Mutation::DropReplica => "drop-replica",
             Mutation::IgnoreReliability => "ignore-reliability",
+            Mutation::IgnoreMemoryBudget => "ignore-memory-budget",
         }
     }
 
@@ -65,6 +71,7 @@ impl Mutation {
             "none" => Some(Mutation::None),
             "drop-replica" => Some(Mutation::DropReplica),
             "ignore-reliability" => Some(Mutation::IgnoreReliability),
+            "ignore-memory-budget" => Some(Mutation::IgnoreMemoryBudget),
             _ => None,
         }
     }
@@ -129,7 +136,7 @@ impl StrategyId {
             StrategyId::LptGroup(k) => Box::new(LptGroup::new(k)),
         };
         match mutation {
-            Mutation::None | Mutation::IgnoreReliability => base,
+            Mutation::None | Mutation::IgnoreReliability | Mutation::IgnoreMemoryBudget => base,
             Mutation::DropReplica => Box::new(DropReplica(base)),
         }
     }

@@ -6,6 +6,7 @@ use crate::artifact::Counterexample;
 use crate::case::CaseSpec;
 use crate::checks::{check_case, CaseReport};
 use crate::generator::generate_case;
+use crate::ilp::{generate_ilp_case, run_ilp_case};
 use crate::registry::{Mutation, StrategyId};
 use crate::shrink::shrink;
 use crate::survival::{generate_survival_case, run_survival_case};
@@ -79,6 +80,9 @@ pub struct ConformanceReport {
     /// journaled but never shrunk or archived — the survival spec is
     /// already minimal, so `(seed, index)` is the reproducer.
     pub survival_violations: u64,
+    /// The subset of `violations` raised by the ILP arm, with the same
+    /// journal-only discipline as the survival arm.
+    pub ilp_violations: u64,
     /// Minimized counterexamples, one per breached (strategy, check).
     pub counterexamples: Vec<Counterexample>,
     /// Artifact files written.
@@ -244,6 +248,27 @@ pub fn run(config: &ConformanceConfig) -> Result<ConformanceReport> {
                 None => msg,
             });
         }
+        // The ILP arm: same discipline as the survival arm — counted
+        // and journaled, not shrunk; (seed, index) is the reproducer.
+        let ilp_spec = generate_ilp_case(config.seed, index, config.max_n, config.max_m);
+        let ilp_report = run_ilp_case(&ilp_spec, config.mutation);
+        report.checks_run += ilp_report.checks_run;
+        if !ilp_report.violations.is_empty() {
+            let n = ilp_report.violations.len() as u64;
+            report.violations += n;
+            report.ilp_violations += n;
+            violations += n;
+            let first = &ilp_report.violations[0];
+            let msg = format!(
+                "{n} ilp violation(s); first: [{}] {}",
+                first.check.as_str(),
+                first.detail
+            );
+            error = Some(match error {
+                Some(prev) => format!("{prev}; {msg}"),
+                None => msg,
+            });
+        }
         if let Some(j) = journal.as_mut() {
             j.append(&trial_record(config, index, violations, error))?;
         }
@@ -389,6 +414,24 @@ mod tests {
         assert!(
             report.violations > 0,
             "reliability-blind mutant escaped the campaign"
+        );
+    }
+
+    #[test]
+    fn ignore_memory_budget_mutant_fails_the_campaign() {
+        let config = ConformanceConfig {
+            cases: 24,
+            mutation: Mutation::IgnoreMemoryBudget,
+            ..ConformanceConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert!(
+            report.violations > 0,
+            "memory-blind mutant escaped the campaign"
+        );
+        assert_eq!(
+            report.violations, report.ilp_violations,
+            "ignore-memory-budget must only fire in the ILP arm"
         );
     }
 

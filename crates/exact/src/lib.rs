@@ -32,9 +32,12 @@ pub mod bin_packing;
 pub mod branch_bound;
 pub mod dp;
 pub mod dual_approx;
+pub mod ilp;
 pub mod lower_bounds;
+pub mod lp;
 pub mod optimal;
 pub mod survival;
 
+pub use ilp::{IlpError, IlpResult, LpRelaxation, PlacementModel, RoundingResult};
 pub use optimal::{Certainty, OptMakespan, OptimalSolver};
 pub use survival::{min_memory_survival, ExactSurvival, ExactTaskPlacement};

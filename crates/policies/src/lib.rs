@@ -37,6 +37,7 @@ pub mod campaign;
 pub mod chained;
 pub mod critical;
 pub mod executor;
+pub mod frontier;
 pub mod random_k;
 pub mod reliability;
 pub mod resilience;
@@ -46,6 +47,7 @@ pub use campaign::{
 };
 pub use chained::ChainedReplication;
 pub use critical::CriticalTaskReplication;
+pub use frontier::{budget_grid, mark_frontier, pareto_sweep, ParetoPoint};
 pub use random_k::RandomKReplication;
 pub use reliability::{dominance, engine_survival, frontier, placement_memory, FrontierPoint};
 pub use resilience::{

@@ -16,6 +16,7 @@ pub struct Reservoir {
     buf: Vec<f64>,
     cap: usize,
     seen: u64,
+    dropped: u64,
     sum: f64,
     max: f64,
     rng: StdRng,
@@ -28,14 +29,21 @@ impl Reservoir {
             buf: Vec::with_capacity(cap.min(4096)),
             cap: cap.max(1),
             seen: 0,
+            dropped: 0,
             sum: 0.0,
             max: f64::NEG_INFINITY,
             rng: wrng::rng(seed),
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Non-finite samples (NaN, ±∞) are counted
+    /// in [`Self::dropped`] and excluded from every statistic: a single
+    /// NaN must not poison the mean or scramble the quantile sort.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.dropped += 1;
+            return;
+        }
         self.seen += 1;
         self.sum += x;
         if x > self.max {
@@ -51,9 +59,14 @@ impl Reservoir {
         }
     }
 
-    /// Exact number of observations.
+    /// Exact number of (finite) observations.
     pub fn count(&self) -> u64 {
         self.seen
+    }
+
+    /// Number of non-finite samples rejected at the door.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Exact mean (0 when empty).
@@ -80,7 +93,9 @@ impl Reservoir {
             return 0.0;
         }
         let mut sorted = self.buf.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // The reservoir only admits finite samples, but sort with a total
+        // order anyway so no float input can ever scramble the ranks.
+        sorted.sort_by(f64::total_cmp);
         let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         sorted[idx]
     }
@@ -94,6 +109,7 @@ impl Reservoir {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            dropped: self.dropped(),
         }
     }
 }
@@ -113,6 +129,8 @@ pub struct StatsDigest {
     pub p95: f64,
     /// Sampled 99th percentile.
     pub p99: f64,
+    /// Non-finite samples rejected before aggregation.
+    pub dropped: u64,
 }
 
 /// Bounded time series: keeps every `stride`-th point; when full, drops
@@ -194,6 +212,38 @@ mod tests {
             r.buf
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn non_finite_samples_cannot_poison_quantiles() {
+        // Regression: `partial_cmp().unwrap_or(Equal)` used to leave the
+        // sample unsorted in the presence of NaN, silently corrupting
+        // every quantile; ∞ additionally poisoned mean and max.
+        let mut r = Reservoir::new(64, 11);
+        for i in 0..32 {
+            r.push(i as f64);
+            r.push(f64::NAN);
+            r.push(f64::INFINITY);
+            r.push(f64::NEG_INFINITY);
+        }
+        assert_eq!(r.count(), 32);
+        assert_eq!(r.dropped(), 96);
+        let d = r.digest();
+        assert_eq!(d.count, 32);
+        assert_eq!(d.dropped, 96);
+        for (name, v) in [
+            ("mean", d.mean),
+            ("max", d.max),
+            ("p50", d.p50),
+            ("p95", d.p95),
+            ("p99", d.p99),
+        ] {
+            assert!(v.is_finite(), "{name} is {v}");
+        }
+        assert_eq!(d.max, 31.0);
+        assert!((d.p50 - 15.5).abs() <= 1.0, "p50 {}", d.p50);
+        // Quantiles are monotone again once the sort is total.
+        assert!(d.p50 <= d.p95 && d.p95 <= d.p99);
     }
 
     #[test]

@@ -63,7 +63,7 @@ fn main() -> Result<()> {
         let best = frontier
             .iter()
             .filter(|(_, _, mem)| *mem <= budget)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            .min_by(|a, b| a.1.total_cmp(&b.1));
         match best {
             Some((name, mk, mem)) => println!(
                 "budget {budget:.1} ({}× LB): best is {name} with C_max {mk:.2} (mem {mem:.1})",

@@ -1,0 +1,58 @@
+//! Lint gate for the NaN-ordering bug class (PR 5 / PR 8 sweeps).
+//!
+//! `f64::partial_cmp` inside comparators silently yields `None` on NaN;
+//! the usual recoveries (`.unwrap()`, `.unwrap_or(Equal)`) panic or
+//! scramble the sort — exactly the bug fixed in
+//! `crates/serve/src/stats.rs`. The clippy `disallowed-methods` deny in
+//! `clippy.toml` catches this in CI; this test re-checks the sources
+//! directly so plain `cargo test` fails too, clippy installed or not.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A `partial_cmp` *call* is banned everywhere outside `vendor/`; a
+/// `fn partial_cmp` *definition* (a `PartialOrd` impl delegating to a
+/// total `Ord`) is fine.
+fn scan(path: &Path, violations: &mut Vec<String>) {
+    for entry in fs::read_dir(path).expect("readable source tree") {
+        let entry = entry.expect("readable dir entry");
+        let p = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            scan(&p, violations);
+        } else if name.ends_with(".rs") {
+            let src = fs::read_to_string(&p).expect("readable source file");
+            for (lineno, line) in src.lines().enumerate() {
+                let trimmed = line.trim_start();
+                if trimmed.starts_with("//") {
+                    continue;
+                }
+                if line.contains(".partial_cmp(") && !line.contains("fn partial_cmp") {
+                    violations.push(format!("{}:{}: {}", p.display(), lineno + 1, trimmed));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn no_partial_cmp_calls_outside_vendor() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    for dir in ["crates", "examples", "tests", "src"] {
+        let p = root.join(dir);
+        if p.is_dir() {
+            scan(&p, &mut violations);
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "NaN-unsafe float orderings found — use f64::total_cmp or the \
+         Time/Size newtypes instead:\n{}",
+        violations.join("\n")
+    );
+}

@@ -140,7 +140,7 @@ proptest! {
             let slow = naive
                 .iter()
                 .enumerate()
-                .min_by(|(i, a), (j, b)| a.partial_cmp(b).unwrap().then(i.cmp(j)))
+                .min_by(|(i, a), (j, b)| a.total_cmp(b).then(i.cmp(j)))
                 .unwrap()
                 .0;
             prop_assert_eq!(picked.index(), slow);
@@ -200,5 +200,107 @@ proptest! {
         s.validate(&inst, &real).unwrap();
         prop_assert_eq!(s.to_assignment(&inst).unwrap(), a.clone());
         prop_assert_eq!(s.makespan(), a.makespan(&real));
+    }
+}
+
+/// Deterministic pseudo-random sizes in `[1, 10]` derived from a seed,
+/// so the solver properties get (estimate, size) pairs without needing
+/// tuple strategies.
+fn derive_sizes(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 10) as f64 + 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lp_rounding_is_always_memory_and_replica_feasible(
+        est in estimates(10),
+        m in 2usize..5,
+        alpha in 1.0f64..2.5,
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let sizes = derive_sizes(seed, est.len());
+        let pairs: Vec<(f64, f64)> = est.iter().copied().zip(sizes.iter().copied()).collect();
+        let inst = Instance::from_estimates_and_sizes(&pairs, m).unwrap();
+        let unc = Uncertainty::of(alpha);
+        // avg + max is achievable by the size-driven greedy, so the
+        // rounding path must always succeed under this budget.
+        let budget = Size::of(
+            inst.total_size().get() / m as f64 + inst.max_size().get(),
+        );
+        let strat = rds_algs::LpRoundingPlacement::new(k).unwrap().with_budget(budget);
+        let placement = strat.place(&inst, unc).unwrap();
+        // Memory budget holds after rounding, repair, and k-padding.
+        let mem = rds_core::memory::mem_max(&inst, &placement);
+        prop_assert!(
+            mem.get() <= budget.get() * (1.0 + 1e-9),
+            "Mem_max {} exceeds B {}", mem, budget
+        );
+        // Per-task replica bounds: 1 ≤ |M_j| ≤ k.
+        placement.check_budget(k.min(m)).unwrap();
+        for t in inst.task_ids() {
+            prop_assert!(placement.replicas(t) >= 1);
+        }
+        // The full two-phase run stays feasible.
+        let real = Realization::uniform_factor(&inst, unc, alpha).unwrap();
+        let out = strat.run(&inst, unc, &real).unwrap();
+        out.assignment.check_feasible(&out.placement).unwrap();
+    }
+
+    #[test]
+    fn ilp_never_below_lp_bound_and_matches_certified_optimum(
+        est in estimates(8),
+        m in 2usize..5,
+        alpha in 1.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let unc = Uncertainty::of(alpha);
+        // Unconstrained memory: the IP is P || C_max on the envelopes,
+        // so the B&B must agree exactly with the certified optimum.
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let r = rds_algs::IlpPlacement::new(1).unwrap().solve_model(&inst, unc).unwrap();
+        prop_assert!(r.proved, "n <= 8 must prove within the default budget");
+        prop_assert!(r.makespan.get() >= r.lower_bound.get() - 1e-9);
+        if let Some(lp) = r.lp_bound {
+            prop_assert!(
+                r.makespan.get() >= lp - 1e-9 * lp.max(1.0),
+                "ilp {} below its lp bound {lp}", r.makespan
+            );
+        }
+        let envelopes: Vec<Time> = est.iter().map(|&p| Time::of(alpha * p)).collect();
+        let opt = rds_exact::OptimalSolver::default().solve(&envelopes, m);
+        prop_assert_eq!(opt.certainty, rds_exact::Certainty::Exact);
+        prop_assert!(
+            (r.makespan.get() - opt.lo.get()).abs() < 1e-9 * opt.lo.get().max(1.0),
+            "ilp {} != certified optimum {}", r.makespan, opt.lo
+        );
+
+        // Memory-constrained: the bound ordering still holds.
+        let sizes = derive_sizes(seed, est.len());
+        let pairs: Vec<(f64, f64)> = est.iter().copied().zip(sizes.iter().copied()).collect();
+        let inst = Instance::from_estimates_and_sizes(&pairs, m).unwrap();
+        let budget = Size::of(
+            inst.total_size().get() / m as f64 + inst.max_size().get(),
+        );
+        let r = rds_algs::IlpPlacement::new(1)
+            .unwrap()
+            .with_budget(budget)
+            .solve_model(&inst, unc)
+            .unwrap();
+        prop_assert!(r.makespan.get() >= r.lower_bound.get() - 1e-9);
+        if let Some(lp) = r.lp_bound {
+            prop_assert!(r.makespan.get() >= lp - 1e-9 * lp.max(1.0));
+        }
+        // Tightening memory can only raise the optimum above the
+        // unconstrained one.
+        prop_assert!(r.makespan.get() >= opt.lo.get() - 1e-9 * opt.lo.get().max(1.0));
     }
 }
