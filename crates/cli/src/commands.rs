@@ -43,7 +43,7 @@ COMMANDS:
             [--min-survival <p>]  exit non-zero when even the best
             policy's mean survival rate falls below p
             crash safety: [--journal <path>] [--resume] [--validate]
-            [--budget-ms <u64>] [--retries <u32>]
+            [--shards <usize>] [--budget-ms <u64>] [--retries <u32>]
             [--stall-ms <u64>] [--stall-trial <u64>]
   reliability
             resilience-vs-memory frontier on a seeded heterogeneous
@@ -62,7 +62,7 @@ COMMANDS:
             --m <usize> [--n <usize>] [--alpha <f64>] [--reps <usize>]
             [--seed <u64>] [--model <exact|uniform|two-point|inflate>]
             crash safety: [--journal <path>] [--resume] [--validate]
-            [--budget-ms <u64>] [--retries <u32>]
+            [--shards <usize>] [--budget-ms <u64>] [--retries <u32>]
   conformance
             differential/metamorphic oracle: run every strategy through
             the closed forms AND the event engine on a seeded case
@@ -114,6 +114,12 @@ Crash safety options (resilience, sweep):
   --budget-ms <ms>  per-trial wall-clock budget enforced by a watchdog;
                     a hung trial is cancelled, retried with backoff, and
                     quarantined after --retries attempts
+  --shards <k>      split the campaign into k independent journal
+                    segments named <journal>.shard-<i>-of-<k>; trial t
+                    belongs to shard t % k, any shard can crash and
+                    resume on its own, and the merged aggregates are
+                    bit-identical to an unsharded run (default 1; shard
+                    count is independent of worker-thread count)
 ";
 
 /// The metric series every instrumented run is expected to expose.
@@ -448,6 +454,14 @@ fn campaign_config(
     let mut config = rds_policies::CampaignConfig::new(campaign, seed, params);
     config.journal = args.get::<String>("journal")?.map(std::path::PathBuf::from);
     config.resume = args.flag("resume");
+    config.shards = args.get_or("shards", 1usize)?;
+    if config.shards == 0 {
+        return Err(crate::args::ArgError::BadValue {
+            key: "shards".into(),
+            value: "0".into(),
+        }
+        .into());
+    }
     if let Some(ms) = args.get::<u64>("budget-ms")? {
         config.watchdog.budget = Some(Duration::from_millis(ms));
     }
@@ -932,98 +946,122 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     let params = format!("n={n} m={m} alpha={alpha} reps={reps} model={model_name}");
     let config = campaign_config(args, "sweep", seed, params)?;
 
-    let meta = CampaignMeta {
-        campaign: config.campaign.clone(),
-        digest: inst.digest(),
-        seed,
-        params: config.params.clone(),
-    };
-    let (mut journal, mut records) = match &config.journal {
-        None => (None, Vec::new()),
-        Some(path) if config.resume => {
-            let (j, recs) = Journal::resume(path, &meta)?;
-            (Some(j), recs)
-        }
-        Some(path) => (Some(Journal::create(path, &meta)?), Vec::new()),
-    };
-    let skipped = records.len();
-    let have: HashSet<(String, u64)> = records.iter().map(TrialRecord::key).collect();
-
+    // Like `run_campaign_resumable`, the sweep partitions reps across
+    // `--shards` independent journal segments (rep `r` belongs to shard
+    // `r % shards`); aggregation below sorts by trial, so the merged
+    // report is bit-identical however the reps were sharded.
+    let mut records: Vec<TrialRecord> = Vec::new();
     let mut executed = 0usize;
-    for rep in 0..reps {
-        let rep_idx = rep as u64;
-        let pending: Vec<&rds_policies::ResiliencePolicy> = suite
-            .iter()
-            .filter(|p| !have.contains(&(p.name.clone(), rep_idx)))
-            .collect();
-        if pending.is_empty() {
-            continue;
-        }
-        let trial_seed = rng::child_seed(seed, rep_idx);
-        let mut tr = rng::rng(trial_seed);
-        let real = model.realize(&inst, unc, &mut tr)?;
-        // The exact solver brackets the offline optimum on this
-        // realization; its lower bound is the ratio denominator.
-        let opt_lo = OptimalSolver::default()
-            .solve_realization(&real, inst.m())
-            .lo
-            .get();
-        for policy in pending {
-            let body_inst = inst.clone();
-            let body_policy = policy.clone();
-            let body_real = real.clone();
-            let outcome = supervise(&config.watchdog, trial_seed, move |_token| {
-                let mut d = body_policy.dispatcher(&body_inst);
-                let report = rds_sim::ResilienceEngine::new(
-                    &body_inst,
-                    &body_policy.placement,
-                    &body_real,
-                    &rds_sim::faults::FaultScript::empty(),
-                )?
-                .run(d.as_mut())?;
-                Ok(report.metrics.makespan.get())
-            });
-            let record = match outcome {
-                Supervised::Done { value, attempts } => TrialRecord {
-                    policy: policy.name.clone(),
-                    trial: rep_idx,
-                    seed: trial_seed,
-                    attempts,
-                    status: TrialStatus::Completed,
-                    survival: 1.0,
-                    restarts: 0.0,
-                    rejoins: 0.0,
-                    spec_started: 0.0,
-                    spec_wins: 0.0,
-                    cancelled: 0.0,
-                    wasted: 0.0,
-                    makespan: value,
-                    baseline: Some(opt_lo),
-                    error: None,
-                },
-                Supervised::Quarantined { attempts, error } => TrialRecord {
-                    policy: policy.name.clone(),
-                    trial: rep_idx,
-                    seed: trial_seed,
-                    attempts,
-                    status: TrialStatus::Quarantined,
-                    survival: 0.0,
-                    restarts: 0.0,
-                    rejoins: 0.0,
-                    spec_started: 0.0,
-                    spec_wins: 0.0,
-                    cancelled: 0.0,
-                    wasted: 0.0,
-                    makespan: 0.0,
-                    baseline: None,
-                    error: Some(error.to_string()),
-                },
-            };
-            if let Some(j) = journal.as_mut() {
-                j.append(&record)?;
+    let mut skipped = 0usize;
+    for shard in 0..config.shards {
+        let shard_params = if config.shards == 1 {
+            config.params.clone()
+        } else {
+            format!("{};shard={}/{}", config.params, shard, config.shards)
+        };
+        let meta = CampaignMeta {
+            campaign: config.campaign.clone(),
+            digest: inst.digest(),
+            seed,
+            params: shard_params,
+        };
+        let segment = config.journal.as_ref().map(|base| {
+            if config.shards == 1 {
+                base.clone()
+            } else {
+                rds_par::journal::shard_segment_path(base, shard, config.shards)
             }
-            records.push(record);
-            executed += 1;
+        });
+        let (mut journal, shard_records) = match &segment {
+            None => (None, Vec::new()),
+            Some(path) if config.resume => {
+                let (j, recs) = Journal::resume(path, &meta)?;
+                (Some(j), recs)
+            }
+            Some(path) => (Some(Journal::create(path, &meta)?), Vec::new()),
+        };
+        skipped += shard_records.len();
+        let have: HashSet<(String, u64)> = shard_records.iter().map(TrialRecord::key).collect();
+        records.extend(shard_records);
+
+        for rep in 0..reps {
+            if rep % config.shards != shard {
+                continue;
+            }
+            let rep_idx = rep as u64;
+            let pending: Vec<&rds_policies::ResiliencePolicy> = suite
+                .iter()
+                .filter(|p| !have.contains(&(p.name.clone(), rep_idx)))
+                .collect();
+            if pending.is_empty() {
+                continue;
+            }
+            let trial_seed = rng::child_seed(seed, rep_idx);
+            let mut tr = rng::rng(trial_seed);
+            let real = model.realize(&inst, unc, &mut tr)?;
+            // The exact solver brackets the offline optimum on this
+            // realization; its lower bound is the ratio denominator.
+            let opt_lo = OptimalSolver::default()
+                .solve_realization(&real, inst.m())
+                .lo
+                .get();
+            for policy in pending {
+                let body_inst = inst.clone();
+                let body_policy = policy.clone();
+                let body_real = real.clone();
+                let outcome = supervise(&config.watchdog, trial_seed, move |_token| {
+                    let mut d = body_policy.dispatcher(&body_inst);
+                    let report = rds_sim::ResilienceEngine::new(
+                        &body_inst,
+                        &body_policy.placement,
+                        &body_real,
+                        &rds_sim::faults::FaultScript::empty(),
+                    )?
+                    .run(d.as_mut())?;
+                    Ok(report.metrics.makespan.get())
+                });
+                let record = match outcome {
+                    Supervised::Done { value, attempts } => TrialRecord {
+                        policy: policy.name.clone(),
+                        trial: rep_idx,
+                        seed: trial_seed,
+                        attempts,
+                        status: TrialStatus::Completed,
+                        survival: 1.0,
+                        restarts: 0.0,
+                        rejoins: 0.0,
+                        spec_started: 0.0,
+                        spec_wins: 0.0,
+                        cancelled: 0.0,
+                        wasted: 0.0,
+                        makespan: value,
+                        baseline: Some(opt_lo),
+                        error: None,
+                    },
+                    Supervised::Quarantined { attempts, error } => TrialRecord {
+                        policy: policy.name.clone(),
+                        trial: rep_idx,
+                        seed: trial_seed,
+                        attempts,
+                        status: TrialStatus::Quarantined,
+                        survival: 0.0,
+                        restarts: 0.0,
+                        rejoins: 0.0,
+                        spec_started: 0.0,
+                        spec_wins: 0.0,
+                        cancelled: 0.0,
+                        wasted: 0.0,
+                        makespan: 0.0,
+                        baseline: None,
+                        error: Some(error.to_string()),
+                    },
+                };
+                if let Some(j) = journal.as_mut() {
+                    j.append(&record)?;
+                }
+                records.push(record);
+                executed += 1;
+            }
         }
     }
     if rds_obs::enabled() {
@@ -1835,6 +1873,70 @@ mod tests {
         assert_eq!(table(&full), table(&resumed));
         assert!(resumed.contains("0 trial(s) executed"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_sweep_matches_unsharded_table() {
+        let table = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with('|'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let plain = run_to_string(&[
+            "sweep", "--m", "3", "--n", "9", "--reps", "3", "--seed", "5",
+        ])
+        .unwrap();
+        let base = std::env::temp_dir().join(format!("rds-cli-shardsweep-{}", std::process::id()));
+        let base_str = base.to_string_lossy().into_owned();
+        let sharded = run_to_string(&[
+            "sweep",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--reps",
+            "3",
+            "--seed",
+            "5",
+            "--journal",
+            &base_str,
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(table(&plain), table(&sharded));
+        for shard in 0..2usize {
+            let seg = rds_par::journal::shard_segment_path(&base, shard, 2);
+            assert!(seg.exists(), "missing journal segment {}", seg.display());
+            std::fs::remove_file(&seg).ok();
+        }
+        assert!(!base.exists());
+    }
+
+    #[test]
+    fn zero_shards_is_rejected_with_a_typed_error() {
+        for cmd in [
+            &["sweep", "--m", "3", "--reps", "1", "--shards", "0"][..],
+            &[
+                "resilience",
+                "--m",
+                "3",
+                "--mtbf",
+                "0",
+                "--reps",
+                "1",
+                "--shards",
+                "0",
+            ][..],
+        ] {
+            let err = run_to_string(cmd).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("--shards") && msg.contains("0"),
+                "unexpected error: {msg}"
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod pool;
 pub mod sweep;
 pub mod wire;
 
+pub use journal::shard_segment_path;
 pub use journal::{CampaignMeta, Journal, TrialRecord, TrialStatus};
 pub use pool::{supervise, CancelToken, Supervised, ThreadPool, WatchdogPolicy};
-pub use sweep::{parallel_map, parallel_map_with, parallel_reps, try_parallel_map};
+pub use sweep::{parallel_map, parallel_map_with, parallel_reps, plan_workers, try_parallel_map};

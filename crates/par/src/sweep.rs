@@ -1,8 +1,29 @@
 //! Order-preserving parallel map for experiment sweeps.
+//!
+//! **Workers are not shards.** The `threads` argument here is an
+//! execution-resource knob: how many OS threads drain the work queue of
+//! one process, capped at the item count by [`plan_workers`] because an
+//! idle worker is pure overhead. Journal *shards*
+//! ([`crate::journal::shard_segment_path`]) are a durability and
+//! partitioning knob: how a campaign's trial set is split across
+//! independent resumable segments, possibly across processes. The two
+//! vary independently — a 4-shard campaign can run on 1 thread, and a
+//! 32-thread sweep can write a single journal.
 
 use parking_lot::Mutex;
 use rds_core::Error;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads actually spawned for `items` work items
+/// when `threads` were requested: `max(1, min(threads, items))`.
+///
+/// Extracted so the capping rule is stated (and tested) once instead of
+/// being implied by four spawn loops: requesting more workers than
+/// items never spawns idle threads, and a zero request still makes
+/// progress on one.
+pub fn plan_workers(threads: usize, items: usize) -> usize {
+    threads.max(1).min(items.max(1))
+}
 
 /// Applies `f` to every item on `threads` worker threads (scoped — no
 /// `'static` bound needed) and returns the results in input order.
@@ -35,7 +56,7 @@ where
     let cursor = AtomicUsize::new(0);
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
+        for _ in 0..plan_workers(threads, n) {
             scope.spawn(|_| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -97,7 +118,7 @@ where
     let cursor = AtomicUsize::new(0);
 
     let scoped = crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
+        for _ in 0..plan_workers(threads, n) {
             scope.spawn(|_| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -165,7 +186,7 @@ where
     let cursor = AtomicUsize::new(0);
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
+        for _ in 0..plan_workers(threads, n) {
             scope.spawn(|_| {
                 let mut state = init();
                 loop {
@@ -201,6 +222,15 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn plan_workers_caps_at_items_and_floors_at_one() {
+        assert_eq!(plan_workers(8, 3), 3);
+        assert_eq!(plan_workers(3, 8), 3);
+        assert_eq!(plan_workers(0, 5), 1);
+        assert_eq!(plan_workers(4, 0), 1);
+        assert_eq!(plan_workers(0, 0), 1);
+    }
 
     #[test]
     fn preserves_order() {

@@ -24,7 +24,7 @@ use crate::resilience::{
     aggregate_row, run_trial, CampaignRow, ResiliencePolicy, TrialMeasurement,
 };
 use rds_core::{Error, Instance, Realization, Result};
-use rds_par::journal::{CampaignMeta, Journal, TrialRecord, TrialStatus};
+use rds_par::journal::{shard_segment_path, CampaignMeta, Journal, TrialRecord, TrialStatus};
 use rds_par::pool::{supervise, CancelToken, Supervised, WatchdogPolicy};
 use rds_sim::faults::{FaultScript, Speculation};
 use std::collections::HashSet;
@@ -81,10 +81,17 @@ pub struct CampaignConfig {
     pub speculation: Option<Speculation>,
     /// Harness fault injection: deliberately stall trial bodies.
     pub stall: Option<StallInjection>,
+    /// Journal shard count (default 1 — one journal, the historical
+    /// layout). With `shards > 1`, trial `t` belongs to shard
+    /// `t % shards` and each shard checkpoints into its own segment
+    /// `<journal>.shard-<k>-of-<n>` ([`shard_segment_path`]), so any
+    /// shard can crash and resume independently of the others.
+    pub shards: usize,
 }
 
 impl CampaignConfig {
-    /// A plain configuration: no journal, default watchdog, no stall.
+    /// A plain configuration: no journal, default watchdog, no stall,
+    /// a single shard.
     pub fn new(campaign: impl Into<String>, seed: u64, params: impl Into<String>) -> Self {
         CampaignConfig {
             campaign: campaign.into(),
@@ -95,6 +102,7 @@ impl CampaignConfig {
             watchdog: WatchdogPolicy::default(),
             speculation: None,
             stall: None,
+            shards: 1,
         }
     }
 }
@@ -215,33 +223,69 @@ fn cancellable_stall(delay: Duration, token: &CancelToken) -> bool {
     !token.is_cancelled()
 }
 
-/// Runs the campaign crash-safely: journaled, resumable, supervised.
-///
-/// Trials execute in (suite order, trial order); each finished trial is
-/// journaled before the next starts. Quarantined trials are journaled
-/// too (so a resume does not retry a poisoned pair forever) and reported
-/// in [`CampaignReport::quarantined`] while being excluded from the
-/// aggregate rows.
+/// What one shard of a campaign produced: its journal's union of
+/// resumed and freshly-executed records, before any aggregation.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Every usable-or-quarantined record this shard owns.
+    pub records: Vec<TrialRecord>,
+    /// Trials executed in this invocation.
+    pub executed: usize,
+    /// Trials skipped because the shard's journal already had them.
+    pub skipped: usize,
+}
+
+/// Runs one shard of the campaign: the trials with
+/// `trial % config.shards == shard`, checkpointed into that shard's own
+/// journal segment ([`shard_segment_path`]; the base path itself when
+/// `config.shards == 1`). Shards share nothing on disk, so this is safe
+/// to call from separate processes, and a crashed shard resumes from
+/// its segment without disturbing the others.
 ///
 /// # Errors
-/// - Journal I/O, corruption, and meta-mismatch errors
-///   ([`Error::Io`] / [`Error::JournalCorrupt`] /
-///   [`Error::InvalidInstance`]);
-/// - engine errors never surface here: a failing trial is retried and
-///   ultimately quarantined by the watchdog.
-pub fn run_campaign_resumable(
+/// - [`Error::InvalidParameter`] when `shard >= config.shards` or
+///   `config.shards == 0`;
+/// - journal I/O / corruption / meta-mismatch errors as in
+///   [`run_campaign_resumable`].
+pub fn run_campaign_shard(
     instance: &Instance,
     suite: &[ResiliencePolicy],
     trials: &[Trial],
     config: &CampaignConfig,
-) -> Result<CampaignReport> {
+    shard: usize,
+) -> Result<ShardReport> {
+    if config.shards == 0 {
+        return Err(Error::InvalidParameter {
+            what: "shard count must be >= 1",
+        });
+    }
+    if shard >= config.shards {
+        return Err(Error::InvalidParameter {
+            what: "shard index must be < shard count",
+        });
+    }
+    // Fold the shard identity into the journal meta: a segment written
+    // under a different sharding must be rejected on resume, because
+    // its trial subset would not match.
+    let params = if config.shards == 1 {
+        config.params.clone()
+    } else {
+        format!("{};shard={}/{}", config.params, shard, config.shards)
+    };
     let meta = CampaignMeta {
         campaign: config.campaign.clone(),
         digest: instance.digest(),
         seed: config.seed,
-        params: config.params.clone(),
+        params,
     };
-    let (mut journal, mut records) = match &config.journal {
+    let segment = config.journal.as_ref().map(|base| {
+        if config.shards == 1 {
+            base.clone()
+        } else {
+            shard_segment_path(base, shard, config.shards)
+        }
+    });
+    let (mut journal, mut records) = match &segment {
         None => (None, Vec::new()),
         Some(path) if config.resume => {
             let (j, recs) = Journal::resume(path, &meta)?;
@@ -252,7 +296,6 @@ pub fn run_campaign_resumable(
     let skipped = records.len();
     let have: HashSet<(String, u64)> = records.iter().map(TrialRecord::key).collect();
 
-    let _span = rds_obs::span("campaign.run");
     let obs_trials = rds_obs::enabled().then(|| rds_obs::global().counter("campaign.trials"));
     if skipped > 0 && rds_obs::enabled() {
         rds_obs::global()
@@ -272,6 +315,9 @@ pub fn run_campaign_resumable(
     for policy in suite {
         let shared_policy = Arc::new(policy.clone());
         for (index, trial) in trials.iter().enumerate() {
+            if index % config.shards != shard {
+                continue;
+            }
             let trial_idx = index as u64;
             if have.contains(&(policy.name.clone(), trial_idx)) {
                 continue;
@@ -314,6 +360,53 @@ pub fn run_campaign_resumable(
                 trials_counter.inc();
             }
         }
+    }
+    Ok(ShardReport {
+        records,
+        executed,
+        skipped,
+    })
+}
+
+/// Runs the campaign crash-safely: journaled, resumable, supervised —
+/// and, with `config.shards > 1`, split across independent journal
+/// segments that are merged before aggregation.
+///
+/// Trials execute in (suite order, trial order) within each shard; each
+/// finished trial is journaled before the next starts. Quarantined
+/// trials are journaled too (so a resume does not retry a poisoned pair
+/// forever) and reported in [`CampaignReport::quarantined`] while being
+/// excluded from the aggregate rows. Aggregation sorts each policy's
+/// records by trial index, so the report is bit-identical however the
+/// trials were sharded or interleaved across invocations.
+///
+/// # Errors
+/// - Journal I/O, corruption, and meta-mismatch errors
+///   ([`Error::Io`] / [`Error::JournalCorrupt`] /
+///   [`Error::InvalidInstance`]);
+/// - [`Error::InvalidParameter`] when `config.shards == 0`;
+/// - engine errors never surface here: a failing trial is retried and
+///   ultimately quarantined by the watchdog.
+pub fn run_campaign_resumable(
+    instance: &Instance,
+    suite: &[ResiliencePolicy],
+    trials: &[Trial],
+    config: &CampaignConfig,
+) -> Result<CampaignReport> {
+    let _span = rds_obs::span("campaign.run");
+    if config.shards == 0 {
+        return Err(Error::InvalidParameter {
+            what: "shard count must be >= 1",
+        });
+    }
+    let mut records = Vec::new();
+    let mut executed = 0usize;
+    let mut skipped = 0usize;
+    for shard in 0..config.shards {
+        let part = run_campaign_shard(instance, suite, trials, config, shard)?;
+        records.extend(part.records);
+        executed += part.executed;
+        skipped += part.skipped;
     }
 
     // Aggregate in (suite order, trial order) regardless of which
@@ -454,6 +547,87 @@ mod tests {
             std::fs::remove_file(&prefix_path).ok();
         }
         std::fs::remove_file(&full_path).ok();
+    }
+
+    #[test]
+    fn sharded_campaign_is_bit_identical_to_single_journal() {
+        let (inst, suite, trials) = setup();
+        let single = CampaignConfig::new("resilience", 42, "m=6 n=18");
+        let expected = run_campaign_resumable(&inst, &suite, &trials, &single).unwrap();
+
+        let base = temp_path("sharded");
+        let mut config = single.clone();
+        config.journal = Some(base.clone());
+        config.shards = 2;
+        let sharded = run_campaign_resumable(&inst, &suite, &trials, &config).unwrap();
+        rows_bitwise_equal(&expected.rows, &sharded.rows);
+        assert_eq!(sharded.executed, suite.len() * trials.len());
+
+        // Each shard checkpointed into its own named segment holding
+        // exactly its residue class of trials.
+        for shard in 0..2usize {
+            let seg = rds_par::journal::shard_segment_path(&base, shard, 2);
+            let (_, recs) = rds_par::journal::Journal::read(&seg).unwrap();
+            assert!(!recs.is_empty(), "segment {shard} is empty");
+            assert!(recs.iter().all(|r| r.trial as usize % 2 == shard));
+            std::fs::remove_file(&seg).ok();
+        }
+        assert!(!base.exists(), "sharded run must not write the base path");
+    }
+
+    #[test]
+    fn killed_shard_resumes_independently() {
+        let (inst, suite, trials) = setup();
+        let base = temp_path("kill-shard");
+        let mut config = CampaignConfig::new("resilience", 42, "m=6 n=18");
+        config.journal = Some(base.clone());
+        config.shards = 2;
+        let full = run_campaign_resumable(&inst, &suite, &trials, &config).unwrap();
+
+        // Simulate a SIGKILL mid-shard: truncate shard 1's segment to
+        // its meta line plus one record; leave shard 0 untouched.
+        let seg0 = rds_par::journal::shard_segment_path(&base, 0, 2);
+        let seg1 = rds_par::journal::shard_segment_path(&base, 1, 2);
+        let seg0_before = std::fs::read(&seg0).unwrap();
+        let text = std::fs::read_to_string(&seg1).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 2);
+        let mut prefix = lines[..2].join("\n");
+        prefix.push('\n');
+        std::fs::write(&seg1, prefix).unwrap();
+
+        let mut resume = config.clone();
+        resume.resume = true;
+        let resumed = run_campaign_resumable(&inst, &suite, &trials, &resume).unwrap();
+        // Shard 0 was complete (skipped wholesale); shard 1 re-ran only
+        // its lost trials; the merged aggregates are bit-identical.
+        assert_eq!(resumed.executed, lines.len() - 2);
+        assert_eq!(
+            resumed.skipped + resumed.executed,
+            suite.len() * trials.len()
+        );
+        rows_bitwise_equal(&full.rows, &resumed.rows);
+        assert_eq!(
+            std::fs::read(&seg0).unwrap(),
+            seg0_before,
+            "resume must not rewrite the healthy shard"
+        );
+        std::fs::remove_file(&seg0).ok();
+        std::fs::remove_file(&seg1).ok();
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error() {
+        let (inst, suite, trials) = setup();
+        let mut config = CampaignConfig::new("resilience", 42, "m=6 n=18");
+        config.shards = 0;
+        let err = run_campaign_resumable(&inst, &suite, &trials, &config).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+        let err = run_campaign_shard(&inst, &suite, &trials, &config, 0).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+        config.shards = 2;
+        let err = run_campaign_shard(&inst, &suite, &trials, &config, 2).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
     }
 
     #[test]

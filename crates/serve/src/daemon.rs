@@ -407,6 +407,7 @@ impl Daemon {
                     time: Time::of(self.now),
                     machine: MachineId::new(ri),
                     finished: None,
+                    actual: Time::ZERO,
                 });
             }
         }
@@ -484,6 +485,7 @@ impl Daemon {
             time: Time::of(self.now + duration),
             machine: MachineId::new(mi),
             finished: Some(TaskId::new(seq as usize)),
+            actual: Time::of(duration),
         });
         self.depth -= 1;
         self.running += 1;

@@ -6,7 +6,116 @@
 //! has completed so far) — never the actual time of an unfinished task,
 //! which is how the engine enforces the semi-clairvoyant model.
 
-use rds_core::{Instance, MachineId, Placement, PlacementIndex, TaskId, Time};
+use rds_core::{Instance, MachineId, MachineSet, Placement, PlacementIndex, TaskId, Time};
+
+/// Started flag, stored in bit 31 of [`HotTask::hi`].
+const STARTED: u32 = 1 << 31;
+/// Span-end sentinel meaning "eligibility needs [`Placement::allows`]".
+const NON_SPAN: u32 = STARTED - 1;
+
+/// Packed per-task record for the dispatch hot loop: the pending flag,
+/// the eligibility span, and the actual processing time share one
+/// 16-byte record. At n=10^6 the dispatcher's pending check, the
+/// engine's feasibility check, and the duration lookup would each be an
+/// independent cache miss on separate arrays; packed together, the
+/// scan's pending read warms the very line the engine reads next.
+///
+/// The span covers the `One`/`Span`/`All` placement shapes (the paper's
+/// strategies); arbitrary mask placements store a sentinel and fall
+/// back to [`Placement::allows`]. The faults engine, which tracks its
+/// own per-attempt durations, fills only the pending flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotTask {
+    /// Actual processing time (zero on the faults path, which never
+    /// reads it — its durations are per-attempt, not per-task).
+    actual: f64,
+    /// Eligibility span start (meaningless under the sentinel).
+    lo: u32,
+    /// Bits 0..31: span end (exclusive) or [`NON_SPAN`]; bit 31: the
+    /// started flag.
+    hi: u32,
+}
+
+impl HotTask {
+    /// Record for a pending task with the given actual time and
+    /// placement set (`m` resolves the `All` span).
+    pub fn new(actual: Time, set: &MachineSet, m: usize) -> Self {
+        let (lo, hi) = match *set {
+            MachineSet::One(id) => (id.index() as u32, id.index() as u32 + 1),
+            MachineSet::Span { start, end } => (start, end),
+            MachineSet::All => (0, m as u32),
+            MachineSet::Mask(_) => (0, NON_SPAN),
+        };
+        debug_assert!(hi <= NON_SPAN, "machine count must fit in 31 bits");
+        HotTask {
+            actual: actual.get(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Record for a slotted run whose dispatcher embeds task ids
+    /// ([`Dispatcher::embeds_task_ids`]): the span field carries the
+    /// task id instead, so a dispatch resolves probe, duration, and
+    /// identity from one cache line. Span eligibility is deliberately
+    /// absent — the embedding dispatcher vouches for it.
+    pub fn slotted(actual: Time, task: u32) -> Self {
+        HotTask {
+            actual: actual.get(),
+            lo: task,
+            hi: NON_SPAN,
+        }
+    }
+
+    /// The embedded task id of a [`Self::slotted`] record.
+    #[inline]
+    pub(crate) fn slot_task(&self) -> u32 {
+        self.lo
+    }
+
+    /// Record carrying only the pending flag (faults path).
+    pub fn pending_only(pending: bool) -> Self {
+        HotTask {
+            actual: 0.0,
+            lo: 0,
+            hi: if pending {
+                NON_SPAN
+            } else {
+                NON_SPAN | STARTED
+            },
+        }
+    }
+
+    /// `true` while the task has not been started.
+    #[inline]
+    pub fn is_pending(&self) -> bool {
+        self.hi & STARTED == 0
+    }
+
+    /// Marks the task started.
+    #[inline]
+    pub(crate) fn mark_started(&mut self) {
+        self.hi |= STARTED;
+    }
+
+    /// The task's actual processing time.
+    #[inline]
+    pub(crate) fn actual(&self) -> Time {
+        Time::of(self.actual)
+    }
+
+    /// Span eligibility; `None` when the record holds the sentinel and
+    /// the caller must consult the placement.
+    #[inline]
+    pub(crate) fn span_allows(&self, machine: u32) -> Option<bool> {
+        let end = self.hi & !STARTED;
+        if end == NON_SPAN {
+            None
+        } else {
+            Some(self.lo <= machine && machine < end)
+        }
+    }
+}
 
 /// Read-only scheduler-visible state handed to the dispatcher.
 pub struct SimView<'a> {
@@ -14,14 +123,34 @@ pub struct SimView<'a> {
     pub instance: &'a Instance,
     /// The phase-1 placement restricting eligibility.
     pub placement: &'a Placement,
-    /// `pending[j]` is `true` while task `j` has not been started.
-    pub pending: &'a [bool],
+    /// One hot record per task. Layout depends on [`Self::by_slot`]:
+    /// task-id order (`tasks[j]` is task `j`) when `false`, the
+    /// dispatcher's [`Dispatcher::hot_order`] when `true`.
+    pub tasks: &'a [HotTask],
+    /// `true` when the engine laid `tasks` out in the dispatcher's own
+    /// [`Dispatcher::hot_order`] — records then live at their *order
+    /// position*, not their task id. Dispatch walks order positions
+    /// monotonically, so in that layout the probe frontier is a
+    /// sequential sweep instead of one random DRAM-latency read per
+    /// task at n = 10^6. Dispatchers that declare a layout must index
+    /// `tasks` by position whenever this is set.
+    pub by_slot: bool,
 }
 
 impl SimView<'_> {
+    /// `true` while task `t` has not been started.
+    #[inline]
+    pub fn is_pending(&self, t: TaskId) -> bool {
+        self.tasks[t.index()].is_pending()
+    }
+
     /// `true` if task `t` is still pending and may run on `machine`.
+    #[inline]
     pub fn eligible(&self, t: TaskId, machine: MachineId) -> bool {
-        self.pending[t.index()] && self.placement.allows(t, machine)
+        let h = &self.tasks[t.index()];
+        h.is_pending()
+            && h.span_allows(machine.index() as u32)
+                .unwrap_or_else(|| self.placement.allows(t, machine))
     }
 }
 
@@ -45,6 +174,48 @@ pub trait Dispatcher {
     /// started tasks must make it eligible once more.
     fn on_requeue(&mut self, task: TaskId) {
         let _ = task;
+    }
+
+    /// The dispatcher's preferred hot-column layout: slot `s` should
+    /// hold the record of task `hot_order()[s]`. Returning `Some`
+    /// promises the slice is a permutation of every task id and commits
+    /// the dispatcher to (a) indexing `view.tasks` by order position
+    /// whenever `view.by_slot` is set, and (b) reporting that position
+    /// from [`Self::last_slot`] after each successful dispatch. `None`
+    /// (the default) keeps the task-id layout.
+    fn hot_order(&self) -> Option<&[TaskId]> {
+        None
+    }
+
+    /// Slot — in the [`Self::hot_order`] layout — of the task returned
+    /// by the immediately preceding [`Self::next_task`] call, or
+    /// `u32::MAX` for identity-layout dispatchers. The engine uses it
+    /// to reach the task's hot record without a task-id→slot lookup.
+    fn last_slot(&self) -> u32 {
+        u32::MAX
+    }
+
+    /// `true` when the dispatcher reads task ids out of the hot records
+    /// themselves (slotted runs only). The engine then fills the column
+    /// with [`HotTask::slotted`] records — id in place of the span — and
+    /// trusts the dispatcher for placement eligibility, skipping the
+    /// per-dispatch span check; `RDS_VALIDATE` still verifies the full
+    /// schedule against the placement after the run. This keeps each
+    /// dispatch on a single hot-column cache line at n = 10^6, where a
+    /// second indexed column would cost a DRAM-latency miss per event.
+    fn embeds_task_ids(&self) -> bool {
+        false
+    }
+
+    /// Best-effort cache warm-up for an upcoming dispatch on `machine`.
+    /// The engine calls this for every event in its look-ahead window
+    /// before dispatching any of them: the hook's loads are mutually
+    /// independent, so their DRAM misses overlap instead of serializing
+    /// one dependent miss per event — the difference between ~114 ns and
+    /// ~15 ns per frontier touch at n = 10^6. Must not change any
+    /// observable dispatcher state.
+    fn warm(&self, machine: MachineId, view: &SimView<'_>) {
+        let _ = (machine, view);
     }
 }
 
@@ -78,6 +249,19 @@ pub struct OrderedDispatcher {
     pos_in_order: Vec<u32>,
     /// Per-machine restriction of `order`, when built.
     index: Option<IndexedOrder>,
+    /// `true` when `order` is a full permutation of the task ids, so it
+    /// can serve as the engine's hot-column layout.
+    layout_ok: bool,
+    /// CSR-order hot layout (`csr_layout[c]` = task of CSR entry `c`),
+    /// available when the deduplicated rows *partition* the task set —
+    /// every span workload. In that layout each row probes its own
+    /// contiguous hot-column segment strictly left to right, so the
+    /// active working set is one cache line per row instead of a
+    /// multi-megabyte random band. Preferred over the order layout.
+    csr_layout: Option<Vec<TaskId>>,
+    /// Order position of the last dispatched task (`u32::MAX` outside
+    /// a slotted run) — the [`Dispatcher::last_slot`] answer.
+    last: u32,
 }
 
 /// Sentinel for "task not present in this priority order".
@@ -87,26 +271,51 @@ const ABSENT: u32 = u32::MAX;
 /// positions), plus one fast-forward cursor per machine.
 #[derive(Debug, Clone)]
 struct IndexedOrder {
-    /// `offsets[i]..offsets[i+1]` bounds machine `i`'s slice of `ranks`;
-    /// length `m + 1`.
+    /// Machine → row id. Machines whose candidate lists are identical
+    /// (e.g. every machine of one span group) share a row — and with it
+    /// one cursor, so a task started by one sibling never costs the
+    /// others a re-probe of its (cold, random) pending record. Under the
+    /// paper's span placements this halves the hot-path pending reads
+    /// and the `tasks` column footprint at n = 10^6.
+    row: Vec<u32>,
+    /// `offsets[r]..offsets[r+1]` bounds row `r`'s slice of `ranks`;
+    /// length `rows + 1`.
     offsets: Vec<u32>,
-    /// Positions into `order`, ascending within each machine — machine
-    /// `i`'s eligible tasks in priority order.
+    /// Positions into `order`, ascending within each row — the row's
+    /// eligible tasks in priority order. Kept for the requeue
+    /// rewind's binary search; the dispatch scan reads `tasks`.
     ranks: Vec<u32>,
-    /// Absolute per-machine cursors into `ranks`; entries left of a
-    /// cursor are known-started (unless a requeue rewound it).
+    /// `tasks[c]` = `order[ranks[c]].index()`: the task at each rank
+    /// position, precomputed so the hot scan reads one sequential
+    /// column instead of bouncing through `order` — at n=10^6 that
+    /// indirection is a cache miss per scan step.
+    tasks: Vec<u32>,
+    /// Absolute per-row cursors into `ranks`; entries left of a cursor
+    /// are known-started (unless a requeue rewound it). Sharing a
+    /// cursor is sound because "started" is monotone within a run: the
+    /// first pending entry at or after the shared cursor is the same
+    /// task every sibling's private scan would have found.
     cursors: Vec<u32>,
+    /// Per-machine `(cursor, end)` frontier over the machine's row
+    /// segment, used by the CSR-layout dispatch path: the whole probe
+    /// state is one 8-byte read away from the machine id, with no
+    /// row/offsets hops on the dependent chain. Private cursors re-skip
+    /// a started entry at most once per sibling — still amortized O(1)
+    /// per dispatch since rows hold at most a handful of machines.
+    mframe: Vec<(u32, u32)>,
 }
 
 impl IndexedOrder {
-    fn build(pos_in_order: &[u32], index: &PlacementIndex) -> Self {
+    fn build(order: &[TaskId], pos_in_order: &[u32], index: &PlacementIndex) -> Self {
         let m = index.m();
-        let mut offsets = Vec::with_capacity(m + 1);
-        offsets.push(0u32);
-        let mut ranks = Vec::with_capacity(index.total_replicas());
+        let mut row = Vec::with_capacity(m);
+        let mut offsets = vec![0u32];
+        let mut ranks: Vec<u32> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut seen: std::collections::HashMap<Vec<u32>, u32> = std::collections::HashMap::new();
         for i in 0..m {
-            let start = ranks.len();
-            ranks.extend(
+            scratch.clear();
+            scratch.extend(
                 index
                     .tasks_on(MachineId::new(i))
                     .map(|t| pos_in_order.get(t.index()).copied().unwrap_or(ABSENT))
@@ -114,14 +323,32 @@ impl IndexedOrder {
             );
             // The CSR row is ascending by task id; re-sort by priority
             // rank so each row replays `order` restricted to the machine.
-            ranks[start..].sort_unstable();
-            offsets.push(ranks.len() as u32);
+            scratch.sort_unstable();
+            let next = offsets.len() as u32 - 1;
+            let r = *seen.entry(scratch.clone()).or_insert_with(|| {
+                ranks.extend_from_slice(&scratch);
+                offsets.push(ranks.len() as u32);
+                next
+            });
+            row.push(r);
         }
-        let cursors = offsets[..m].to_vec();
+        let tasks = ranks
+            .iter()
+            .map(|&r| order[r as usize].index() as u32)
+            .collect();
+        let rows = offsets.len() - 1;
+        let cursors = offsets[..rows].to_vec();
+        let mframe = row
+            .iter()
+            .map(|&r| (offsets[r as usize], offsets[r as usize + 1]))
+            .collect();
         IndexedOrder {
+            row,
             offsets,
             ranks,
+            tasks,
             cursors,
+            mframe,
         }
     }
 }
@@ -134,11 +361,17 @@ impl OrderedDispatcher {
         for (pos, t) in order.iter().enumerate() {
             pos_in_order[t.index()] = pos as u32;
         }
+        // A full permutation of 0..n (no gap, no duplicate — a duplicate
+        // forces a gap at equal lengths) can double as the hot layout.
+        let layout_ok = pos_in_order.len() == order.len() && !pos_in_order.contains(&ABSENT);
         OrderedDispatcher {
             order,
             cursor: 0,
             pos_in_order,
             index: None,
+            layout_ok,
+            csr_layout: None,
+            last: u32::MAX,
         }
     }
 
@@ -158,7 +391,20 @@ impl OrderedDispatcher {
     /// feasibility check rejects anything else.
     pub fn indexed(order: Vec<TaskId>, index: &PlacementIndex) -> Self {
         let mut d = Self::new(order);
-        d.index = Some(IndexedOrder::build(&d.pos_in_order, index));
+        let idx = IndexedOrder::build(&d.order, &d.pos_in_order, index);
+        // The CSR layout is valid when the deduplicated rows cover each
+        // task exactly once (then `tasks` is a permutation of the ids).
+        if d.layout_ok && idx.tasks.len() == d.order.len() {
+            let mut seen = vec![false; d.order.len()];
+            let partition = idx.tasks.iter().all(|&t| {
+                let s = &mut seen[t as usize];
+                !std::mem::replace(s, true)
+            });
+            if partition {
+                d.csr_layout = Some(idx.tasks.iter().map(|&t| TaskId::new(t as usize)).collect());
+            }
+        }
+        d.index = Some(idx);
         d
     }
 
@@ -185,42 +431,133 @@ impl OrderedDispatcher {
     /// across many realizations.
     pub fn reset(&mut self) {
         self.cursor = 0;
+        self.last = u32::MAX;
         if let Some(idx) = &mut self.index {
-            let m = idx.cursors.len();
-            idx.cursors.copy_from_slice(&idx.offsets[..m]);
+            let rows = idx.cursors.len();
+            idx.cursors.copy_from_slice(&idx.offsets[..rows]);
+            for (i, f) in idx.mframe.iter_mut().enumerate() {
+                f.0 = idx.offsets[idx.row[i] as usize];
+            }
         }
     }
 }
 
 impl Dispatcher for OrderedDispatcher {
     fn next_task(&mut self, machine: MachineId, _now: Time, view: &SimView<'_>) -> Option<TaskId> {
+        self.last = u32::MAX;
+        // In a slotted run the hot column is in *our* declared layout —
+        // CSR entry order when available, order-position otherwise; in
+        // an unslotted run records live at their task ids.
+        let by_slot = view.by_slot;
+        let csr_slots = self.csr_layout.is_some();
         if let Some(idx) = &mut self.index {
+            if by_slot && csr_slots {
+                // CSR fast path: the machine's whole probe state is its
+                // `(cursor, end)` pair, and the probe index IS the slot,
+                // so each dispatch is one metadata read plus a strictly
+                // left-to-right sweep of the machine's own hot-column
+                // segment — the access pattern that keeps n = 10^6 runs
+                // cache-resident.
+                let (mut c, hi) = idx.mframe[machine.index()];
+                while c < hi {
+                    let rec = &view.tasks[c as usize];
+                    if rec.is_pending() {
+                        idx.mframe[machine.index()].0 = c;
+                        self.last = c;
+                        return Some(TaskId::new(rec.slot_task() as usize));
+                    }
+                    c += 1;
+                }
+                idx.mframe[machine.index()].0 = c;
+                return None;
+            }
             // Indexed path: every entry in the machine's row is eligible
             // by construction, so pending is the only filter, and the
-            // per-machine cursor makes the advance amortized O(1).
-            let i = machine.index();
-            let hi = idx.offsets[i + 1];
-            let mut c = idx.cursors[i];
+            // shared per-row cursor makes the advance amortized O(1)
+            // across all machines sharing the row. Under the CSR layout
+            // the probe IS the cursor position: each row sweeps its own
+            // contiguous hot-column segment left to right, the access
+            // pattern that keeps n = 10^6 runs cache-resident.
+            let r = idx.row[machine.index()] as usize;
+            let hi = idx.offsets[r + 1];
+            let mut c = idx.cursors[r];
             while c < hi {
-                let t = self.order[idx.ranks[c as usize] as usize];
-                if view.pending[t.index()] {
-                    idx.cursors[i] = c;
-                    return Some(t);
+                let slot = if !by_slot {
+                    idx.tasks[c as usize]
+                } else if csr_slots {
+                    c
+                } else {
+                    idx.ranks[c as usize]
+                };
+                if view.tasks[slot as usize].is_pending() {
+                    idx.cursors[r] = c;
+                    if by_slot {
+                        self.last = slot;
+                    }
+                    return Some(TaskId::new(idx.tasks[c as usize] as usize));
                 }
                 c += 1;
             }
-            idx.cursors[i] = c;
+            idx.cursors[r] = c;
             return None;
         }
         // Scan path: advance the global cursor past started tasks to keep
-        // the common case (everywhere placement) O(1) amortized.
-        while self.cursor < self.order.len() && !view.pending[self.order[self.cursor].index()] {
+        // the common case (everywhere placement) O(1) amortized. A task's
+        // slot in our layout is simply its order position.
+        while self.cursor < self.order.len() {
+            let slot = if by_slot {
+                self.cursor
+            } else {
+                self.order[self.cursor].index()
+            };
+            if view.tasks[slot].is_pending() {
+                break;
+            }
             self.cursor += 1;
         }
-        self.order[self.cursor..]
-            .iter()
-            .copied()
-            .find(|&t| view.eligible(t, machine))
+        for k in self.cursor..self.order.len() {
+            let t = self.order[k];
+            let h = &view.tasks[if by_slot { k } else { t.index() }];
+            let ok = h.is_pending()
+                && h.span_allows(machine.index() as u32)
+                    .unwrap_or_else(|| view.placement.allows(t, machine));
+            if ok {
+                if by_slot {
+                    self.last = k as u32;
+                }
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn hot_order(&self) -> Option<&[TaskId]> {
+        if let Some(csr) = &self.csr_layout {
+            return Some(csr.as_slice());
+        }
+        self.layout_ok.then_some(self.order.as_slice())
+    }
+
+    fn embeds_task_ids(&self) -> bool {
+        self.csr_layout.is_some()
+    }
+
+    fn warm(&self, machine: MachineId, view: &SimView<'_>) {
+        // Touch the machine's current frontier record so the real probe
+        // hits a warm line. `black_box` forces the 16-byte load without
+        // letting the optimizer see the value is unused.
+        if self.csr_layout.is_none() {
+            return;
+        }
+        let Some(idx) = &self.index else { return };
+        let (c, hi) = idx.mframe[machine.index()];
+        if c < hi {
+            std::hint::black_box(view.tasks[c as usize]);
+        }
+    }
+
+    fn last_slot(&self) -> u32 {
+        self.last
     }
 
     fn on_requeue(&mut self, task: TaskId) {
@@ -236,14 +573,20 @@ impl Dispatcher for OrderedDispatcher {
         }
         self.cursor = self.cursor.min(pos as usize);
         if let Some(idx) = &mut self.index {
-            for i in 0..idx.cursors.len() {
-                let lo = idx.offsets[i] as usize;
-                let hi = idx.offsets[i + 1] as usize;
-                // The row holds `pos` iff the machine hosts the task;
+            for r in 0..idx.cursors.len() {
+                let lo = idx.offsets[r] as usize;
+                let hi = idx.offsets[r + 1] as usize;
+                // The row holds `pos` iff its machines host the task;
                 // rows are rank-sorted, so a binary search finds it.
                 if let Ok(k) = idx.ranks[lo..hi].binary_search(&pos) {
-                    idx.cursors[i] = idx.cursors[i].min((lo + k) as u32);
+                    idx.cursors[r] = idx.cursors[r].min((lo + k) as u32);
                 }
+            }
+            // Keep the per-machine CSR frontiers no further right than
+            // their (already rewound) shared row cursor — a smaller
+            // cursor is always sound, it just re-scans a few entries.
+            for (i, f) in idx.mframe.iter_mut().enumerate() {
+                f.0 = f.0.min(idx.cursors[idx.row[i] as usize]);
             }
         }
     }
@@ -280,7 +623,7 @@ impl Dispatcher for PinnedDispatcher {
     fn next_task(&mut self, machine: MachineId, _now: Time, view: &SimView<'_>) -> Option<TaskId> {
         let q = &mut self.queues[machine.index()];
         while let Some(&t) = q.last() {
-            if view.pending[t.index()] {
+            if view.is_pending(t) {
                 return Some(t);
             }
             q.pop();
@@ -349,22 +692,24 @@ mod tests {
     #[test]
     fn ordered_respects_pending_and_order() {
         let (inst, p) = setup(3, 2);
-        let mut pending = vec![true; 3];
+        let mut pending = vec![HotTask::pending_only(true); 3];
         let mut d = OrderedDispatcher::fifo(&inst);
         let view = SimView {
             instance: &inst,
             placement: &p,
-            pending: &pending,
+            tasks: &pending,
+            by_slot: false,
         };
         assert_eq!(
             d.next_task(MachineId::new(0), Time::ZERO, &view),
             Some(TaskId::new(0))
         );
-        pending[0] = false;
+        pending[0].mark_started();
         let view = SimView {
             instance: &inst,
             placement: &p,
-            pending: &pending,
+            tasks: &pending,
+            by_slot: false,
         };
         assert_eq!(
             d.next_task(MachineId::new(1), Time::ZERO, &view),
@@ -376,12 +721,13 @@ mod tests {
     fn ordered_skips_ineligible_machines() {
         let inst = Instance::from_estimates(&[1.0, 1.0], 2).unwrap();
         let p = Placement::pinned(&inst, &[MachineId::new(1), MachineId::new(0)]).unwrap();
-        let pending = vec![true; 2];
+        let pending = vec![HotTask::pending_only(true); 2];
         let mut d = OrderedDispatcher::fifo(&inst);
         let view = SimView {
             instance: &inst,
             placement: &p,
-            pending: &pending,
+            tasks: &pending,
+            by_slot: false,
         };
         // Machine 0 cannot take task 0 (pinned to machine 1); gets task 1.
         assert_eq!(
@@ -400,11 +746,12 @@ mod tests {
             MachineId::new(1),
         ];
         let mut d = PinnedDispatcher::new(&machine_of, 2);
-        let pending = vec![true; 4];
+        let pending = vec![HotTask::pending_only(true); 4];
         let view = SimView {
             instance: &inst,
             placement: &p,
-            pending: &pending,
+            tasks: &pending,
+            by_slot: false,
         };
         assert_eq!(
             d.next_task(MachineId::new(0), Time::ZERO, &view),
@@ -424,27 +771,29 @@ mod tests {
         // dispatch returns task 2 without rescanning 0 and 1.
         let (inst, p) = setup(5, 1);
         let mut d = OrderedDispatcher::fifo(&inst);
-        let mut pending = vec![true; 5];
+        let mut pending = vec![HotTask::pending_only(true); 5];
         for j in 0..4 {
             let view = SimView {
                 instance: &inst,
                 placement: &p,
-                pending: &pending,
+                tasks: &pending,
+                by_slot: false,
             };
             assert_eq!(
                 d.next_task(MachineId::new(0), Time::ZERO, &view),
                 Some(TaskId::new(j))
             );
-            pending[j] = false;
+            pending[j].mark_started();
         }
         assert_eq!(d.cursor, 3);
-        pending[2] = true; // the machine running task 2 failed
+        pending[2] = HotTask::pending_only(true); // the machine running task 2 failed
         d.on_requeue(TaskId::new(2));
         assert_eq!(d.cursor, 2, "rewind to the task's position, not zero");
         let view = SimView {
             instance: &inst,
             placement: &p,
-            pending: &pending,
+            tasks: &pending,
+            by_slot: false,
         };
         assert_eq!(
             d.next_task(MachineId::new(0), Time::ZERO, &view),
@@ -482,23 +831,25 @@ mod tests {
         let mut scan = OrderedDispatcher::new(order.clone());
         let mut indexed = OrderedDispatcher::auto(order, &p);
         assert!(indexed.is_indexed());
-        let mut pending = vec![true; 4];
+        let mut pending = vec![HotTask::pending_only(true); 4];
         for machine in [0usize, 2, 1, 3, 0] {
             let view = SimView {
                 instance: &inst,
                 placement: &p,
-                pending: &pending,
+                tasks: &pending,
+                by_slot: false,
             };
             let a = scan.next_task(MachineId::new(machine), Time::ZERO, &view);
             let view = SimView {
                 instance: &inst,
                 placement: &p,
-                pending: &pending,
+                tasks: &pending,
+                by_slot: false,
             };
             let b = indexed.next_task(MachineId::new(machine), Time::ZERO, &view);
             assert_eq!(a, b, "machine {machine}");
             if let Some(t) = a {
-                pending[t.index()] = false;
+                pending[t.index()].mark_started();
             }
         }
     }
@@ -517,28 +868,30 @@ mod tests {
         let order: Vec<TaskId> = inst.task_ids().collect();
         let mut d = OrderedDispatcher::auto(order, &p);
         assert!(d.is_indexed());
-        let mut pending = vec![true; 4];
+        let mut pending = vec![HotTask::pending_only(true); 4];
         // Drain machine 0 fully and machine 1 once.
         for (machine, expect) in [(0, 0), (0, 1), (1, 2)] {
             let view = SimView {
                 instance: &inst,
                 placement: &p,
-                pending: &pending,
+                tasks: &pending,
+                by_slot: false,
             };
             let got = d
                 .next_task(MachineId::new(machine), Time::ZERO, &view)
                 .unwrap();
             assert_eq!(got.index(), expect);
-            pending[expect] = false;
+            pending[expect].mark_started();
         }
         // Requeue task 1 (hosted only on machine 0): machine 0 sees it
         // again, machine 1's cursor is untouched and yields task 3.
-        pending[1] = true;
+        pending[1] = HotTask::pending_only(true);
         d.on_requeue(TaskId::new(1));
         let view = SimView {
             instance: &inst,
             placement: &p,
-            pending: &pending,
+            tasks: &pending,
+            by_slot: false,
         };
         assert_eq!(
             d.next_task(MachineId::new(0), Time::ZERO, &view),
@@ -547,7 +900,8 @@ mod tests {
         let view = SimView {
             instance: &inst,
             placement: &p,
-            pending: &pending,
+            tasks: &pending,
+            by_slot: false,
         };
         assert_eq!(
             d.next_task(MachineId::new(1), Time::ZERO, &view),
@@ -564,29 +918,32 @@ mod tests {
             OrderedDispatcher::fifo(&inst),
             OrderedDispatcher::auto(inst.task_ids().collect(), &p),
         ] {
-            let mut pending = vec![true; 3];
+            let mut pending = vec![HotTask::pending_only(true); 3];
             let view = SimView {
                 instance: &inst,
                 placement: &p,
-                pending: &pending,
+                tasks: &pending,
+                by_slot: false,
             };
             let first = d.next_task(MachineId::new(0), Time::ZERO, &view);
             assert_eq!(first, Some(TaskId::new(0)));
-            pending[0] = false;
-            pending[2] = false;
+            pending[0].mark_started();
+            pending[2].mark_started();
             let view = SimView {
                 instance: &inst,
                 placement: &p,
-                pending: &pending,
+                tasks: &pending,
+                by_slot: false,
             };
             assert_eq!(d.next_task(MachineId::new(0), Time::ZERO, &view), None);
             // A reset must serve the next trial exactly like a rebuild.
             d.reset();
-            let pending = vec![true; 3];
+            let pending = vec![HotTask::pending_only(true); 3];
             let view = SimView {
                 instance: &inst,
                 placement: &p,
-                pending: &pending,
+                tasks: &pending,
+                by_slot: false,
             };
             assert_eq!(
                 d.next_task(MachineId::new(0), Time::ZERO, &view),
@@ -600,21 +957,23 @@ mod tests {
         let (inst, p) = setup(3, 1);
         let pinned_of = [Some(MachineId::new(0)), None, None];
         let mut d = StagedDispatcher::new(&pinned_of, 1, vec![TaskId::new(2), TaskId::new(1)]);
-        let mut pending = vec![true; 3];
+        let mut pending = vec![HotTask::pending_only(true); 3];
         let view = SimView {
             instance: &inst,
             placement: &p,
-            pending: &pending,
+            tasks: &pending,
+            by_slot: false,
         };
         assert_eq!(
             d.next_task(MachineId::new(0), Time::ZERO, &view),
             Some(TaskId::new(0))
         );
-        pending[0] = false;
+        pending[0].mark_started();
         let view = SimView {
             instance: &inst,
             placement: &p,
-            pending: &pending,
+            tasks: &pending,
+            by_slot: false,
         };
         // Then the ordered stage, in the given (2 before 1) order.
         assert_eq!(

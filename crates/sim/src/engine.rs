@@ -9,10 +9,23 @@
 //! structurally.
 
 use crate::arena::SimArena;
-use crate::dispatcher::{Dispatcher, SimView};
-use crate::event::IdleEvent;
+use crate::dispatcher::{Dispatcher, HotTask, SimView};
+use crate::event::{IdleEvent, QueueMode};
 use crate::trace::{Trace, TraceEvent};
-use rds_core::{Error, Instance, Placement, Realization, Result, Schedule, Slot, Time};
+use rds_core::{Error, Instance, Placement, Realization, Result, Schedule, Time};
+
+/// Below this task count the heap always wins — the calendar's reset
+/// and width prepass cost more than `log m` pops save.
+const AUTO_BUCKET_MIN_TASKS: usize = 4096;
+
+/// Below this machine count bucketing cannot beat a tiny heap.
+const AUTO_BUCKET_MIN_MACHINES: usize = 8;
+
+/// Look-ahead window: how many events (whole timestamp groups) the
+/// event loop accumulates before dispatching, so the per-event frontier
+/// warm-ups ([`Dispatcher::warm`]) issue independent loads whose cache
+/// misses overlap. Sized to the depth a core can keep in flight.
+const EVENT_WINDOW: usize = 8;
 
 /// Result of one simulated execution.
 #[derive(Debug, Clone)]
@@ -111,6 +124,24 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Bucket width for the calendar queue, or `None` to use the heap.
+    ///
+    /// The width targets ~1 event per bucket: completions are spaced by
+    /// roughly `mean actual / m` on a busy cluster. A degenerate hint
+    /// (zero or non-finite mean) falls back to the heap, as does any
+    /// instance too small for the calendar's reset cost to pay off.
+    fn bucket_width(&self, mode: QueueMode, n: usize, m: usize) -> Option<f64> {
+        match mode {
+            QueueMode::Heap => None,
+            QueueMode::Auto if n < AUTO_BUCKET_MIN_TASKS || m < AUTO_BUCKET_MIN_MACHINES => None,
+            QueueMode::Auto | QueueMode::Bucketed => {
+                let total: f64 = self.realization.times().iter().map(|t| t.get()).sum();
+                let width = total / (n as f64 * m as f64);
+                (width.is_finite() && width > 0.0).then_some(width)
+            }
+        }
+    }
+
     fn run_inner<const OBS: bool, D: Dispatcher + ?Sized>(
         &self,
         arena: &mut SimArena,
@@ -118,12 +149,54 @@ impl<'a> Engine<'a> {
     ) -> Result<Time> {
         let n = self.instance.n();
         let m = self.instance.m();
-        arena.prepare(n, m);
+        let bucket_width = self.bucket_width(arena.queue_mode(), n, m);
+        arena.prepare(n, m, bucket_width);
+        // Pack each task's hot data — pending flag, eligibility span,
+        // actual duration — into one 16-byte record, filled in a single
+        // sequential pass. Every later touch (dispatcher scan, engine
+        // feasibility check, completion scheduling) then reads the one
+        // cache line this pass wrote, instead of three scattered arrays.
+        // Fill the hot column — in the dispatcher's own layout when it
+        // declares one (records at order positions, making its probe
+        // frontier a sequential sweep), in task-id order otherwise.
+        let embeds = dispatcher.embeds_task_ids();
+        let by_slot = {
+            let actuals = self.realization.times();
+            let sets = self.placement.sets();
+            match dispatcher.hot_order() {
+                Some(ord) if ord.len() == n => {
+                    if embeds {
+                        // Id-embedding records: the span field carries the
+                        // task id so a dispatch never leaves this line.
+                        arena.pending.extend(
+                            ord.iter()
+                                .map(|t| HotTask::slotted(actuals[t.index()], t.index() as u32)),
+                        );
+                    } else {
+                        arena.pending.extend(ord.iter().map(|t| {
+                            let j = t.index();
+                            HotTask::new(actuals[j], &sets[j], m)
+                        }));
+                    }
+                    true
+                }
+                _ => {
+                    arena
+                        .pending
+                        .extend((0..n).map(|j| HotTask::new(actuals[j], &sets[j], m)));
+                    false
+                }
+            }
+        };
+        // An id-embedding slotted run has no span data in the records;
+        // the dispatcher vouches for eligibility (RDS_VALIDATE still
+        // checks the finished schedule against the placement).
+        let trusted = by_slot && embeds;
         let SimArena {
             pending,
-            slots,
             trace,
             queue,
+            round,
             ..
         } = arena;
         let mut remaining = n;
@@ -141,88 +214,145 @@ impl<'a> Engine<'a> {
         });
         let _run_span = rds_obs::span_if(OBS, "engine.run");
 
-        while let Some(IdleEvent {
-            time,
-            machine,
-            finished,
-        }) = queue.pop()
-        {
-            let _event_span = rds_obs::span_if(OBS, "engine.event");
-            if let Some((events, _, _)) = &obs {
-                events.inc();
+        // Batched event loop: the queue is drained in whole timestamp
+        // groups (each in ascending machine order), and up to
+        // `EVENT_WINDOW` events' worth of groups are accumulated before
+        // any of them dispatches. Group boundaries keep the global
+        // `(time, machine)` order intact: everything in the window
+        // precedes everything still queued, and a dispatch whose
+        // completion lands *inside* the window is order-inserted there
+        // (the zero-duration re-entry is the `pos == i` special case of
+        // that rule) — so the trace is byte-identical to the
+        // one-pop-at-a-time loop. The window exists for memory-level
+        // parallelism: `Dispatcher::warm` touches each upcoming event's
+        // frontier line with independent loads, overlapping DRAM misses
+        // that a serial loop would pay one dependent latency each.
+        while queue.pop_round(round) {
+            while round.len() < EVENT_WINDOW && queue.append_round(round) {}
+            if round.len() > 1 && remaining > 0 {
+                let view = SimView {
+                    instance: self.instance,
+                    placement: self.placement,
+                    tasks: pending,
+                    by_slot,
+                };
+                for ev in round.iter() {
+                    dispatcher.warm(ev.machine, &view);
+                }
             }
-            // Report the completion that made this machine idle. The
-            // finishing task's identity travels in the event itself, so
-            // no float comparison can silently drop a `Complete`.
-            if let Some(task) = finished {
-                let actual = self.realization.actual(task);
-                trace.push(TraceEvent::Complete {
+            let mut i = 0;
+            while i < round.len() {
+                let IdleEvent {
                     time,
-                    task,
                     machine,
-                    actual,
-                });
-                dispatcher.on_complete(task, machine, actual, time);
-            }
-            if remaining == 0 {
-                continue;
-            }
-            let view = SimView {
-                instance: self.instance,
-                placement: self.placement,
-                pending,
-            };
-            if let Some((_, dispatch, _)) = &obs {
-                dispatch.inc();
-            }
-            let choice = {
-                let _dispatch_span = rds_obs::span_if(OBS, "engine.dispatch");
-                dispatcher.next_task(machine, time, &view)
-            };
-            match choice {
-                Some(task) => {
-                    if task.index() >= n {
-                        return Err(Error::TaskOutOfRange {
-                            task: task.index(),
-                            n,
-                        });
-                    }
-                    if !pending[task.index()] {
-                        return Err(Error::InvalidParameter {
-                            what: "dispatcher returned an already-started task",
-                        });
-                    }
-                    if !self.placement.allows(task, machine) {
-                        return Err(Error::InfeasibleAssignment {
-                            task: task.index(),
-                            machine: machine.index(),
-                        });
-                    }
-                    pending[task.index()] = false;
-                    remaining -= 1;
-                    let actual = self.realization.actual(task);
-                    let end = time + actual;
-                    slots[machine.index()].push(Slot {
-                        task,
-                        start: time,
-                        end,
-                    });
-                    trace.push(TraceEvent::Start {
+                    finished,
+                    actual: finished_actual,
+                } = round[i];
+                i += 1;
+                let _event_span = rds_obs::span_if(OBS, "engine.event");
+                if let Some((events, _, _)) = &obs {
+                    events.inc();
+                }
+                // Report the completion that made this machine idle. The
+                // finishing task's identity travels in the event itself, so
+                // no float comparison can silently drop a `Complete`.
+                if let Some(task) = finished {
+                    let actual = finished_actual;
+                    trace.push(TraceEvent::Complete {
                         time,
                         task,
                         machine,
+                        actual,
                     });
-                    makespan = makespan.max(end);
-                    queue.push(IdleEvent {
-                        time: end,
-                        machine,
-                        finished: Some(task),
-                    });
+                    dispatcher.on_complete(task, machine, actual, time);
                 }
-                None => {
-                    trace.push(TraceEvent::Starved { time, machine });
-                    if let Some((_, _, starved)) = &obs {
-                        starved.inc();
+                if remaining == 0 {
+                    continue;
+                }
+                let view = SimView {
+                    instance: self.instance,
+                    placement: self.placement,
+                    tasks: pending,
+                    by_slot,
+                };
+                if let Some((_, dispatch, _)) = &obs {
+                    dispatch.inc();
+                }
+                let choice = {
+                    let _dispatch_span = rds_obs::span_if(OBS, "engine.dispatch");
+                    dispatcher.next_task(machine, time, &view)
+                };
+                match choice {
+                    Some(task) => {
+                        if task.index() >= n {
+                            return Err(Error::TaskOutOfRange {
+                                task: task.index(),
+                                n,
+                            });
+                        }
+                        // In a slotted run the record lives at the order
+                        // position the dispatcher just reported; its
+                        // layout contract guarantees the slot is valid.
+                        let si = if by_slot {
+                            let s = dispatcher.last_slot();
+                            if s as usize >= n {
+                                return Err(Error::InvalidParameter {
+                                    what: "slotted dispatcher did not report the task's slot",
+                                });
+                            }
+                            s as usize
+                        } else {
+                            task.index()
+                        };
+                        let hot = pending[si];
+                        if !hot.is_pending() {
+                            return Err(Error::InvalidParameter {
+                                what: "dispatcher returned an already-started task",
+                            });
+                        }
+                        let allowed = trusted
+                            || hot
+                                .span_allows(machine.index() as u32)
+                                .unwrap_or_else(|| self.placement.allows(task, machine));
+                        if !allowed {
+                            return Err(Error::InfeasibleAssignment {
+                                task: task.index(),
+                                machine: machine.index(),
+                            });
+                        }
+                        pending[si].mark_started();
+                        remaining -= 1;
+                        let actual = hot.actual();
+                        let end = time + actual;
+                        trace.push(TraceEvent::Start {
+                            time,
+                            task,
+                            machine,
+                        });
+                        makespan = makespan.max(end);
+                        let next = IdleEvent {
+                            time: end,
+                            machine,
+                            finished: Some(task),
+                            actual,
+                        };
+                        // An event no later than the window's tail must
+                        // run from the window to keep global order; the
+                        // queue only ever holds strictly later groups.
+                        let tail = round.last().map_or(Time::ZERO, |e| e.time);
+                        if end <= tail {
+                            let pos = i + round[i..]
+                                .partition_point(|e| (e.time, e.machine) < (end, machine));
+                            round.insert(pos, next);
+                        } else {
+                            queue.push(next);
+                        }
+                    }
+                    None => {
+                        trace.push(TraceEvent::Starved { time, machine });
+                        if let Some((_, _, starved)) = &obs {
+                            starved.inc();
+                        }
                     }
                 }
             }
@@ -237,9 +367,9 @@ impl<'a> Engine<'a> {
         }
         arena.makespan = makespan;
         if crate::validate::enabled() {
-            // Validation is debug-/opt-in-only, so cloning the slots into
-            // a Schedule here never touches the production hot path.
-            let schedule = Schedule::from_slots(arena.slots.clone());
+            // Validation is debug-/opt-in-only, so materializing the slot
+            // log into a Schedule here never touches the production path.
+            let schedule = Schedule::from_slots(arena.per_machine_slots());
             crate::validate::check_schedule(
                 self.instance,
                 self.placement,

@@ -43,7 +43,8 @@
 //! - A completion at exactly the speculation threshold does *not* launch
 //!   a useless backup (completion processes first).
 
-use crate::dispatcher::{Dispatcher, SimView};
+use crate::arena::SimArena;
+use crate::dispatcher::{Dispatcher, HotTask, SimView};
 use crate::trace::{Trace, TraceEvent};
 use rds_core::{
     Error, Instance, MachineId, Placement, Realization, Result, Schedule, Slot, TaskId, Time,
@@ -500,8 +501,50 @@ impl<'a> ResilienceEngine<'a> {
     /// Only dispatcher-misbehaviour errors (out-of-range, ineligible, or
     /// already-started picks).
     pub fn run(&self, dispatcher: &mut dyn Dispatcher) -> Result<ResilienceReport> {
-        Run::new(self, dispatcher).execute()
+        let mut scratch = FaultScratch::default();
+        Run::new(self, dispatcher, &mut scratch).execute()
     }
+
+    /// Runs the execution to quiescence under `dispatcher`, reusing the
+    /// arena's fault scratch across trials.
+    ///
+    /// Same semantics as [`Self::run`] — the report still owns its
+    /// schedule and trace — but the event heap, per-task / per-machine
+    /// state vectors, and the dispatcher's pending snapshot are borrowed
+    /// from `arena` and returned to it when the run finishes, so a
+    /// steady-state campaign (same instance shape trial after trial)
+    /// rebuilds none of them.
+    ///
+    /// # Errors
+    /// Same as [`Self::run`].
+    pub fn run_in(
+        &self,
+        arena: &mut SimArena,
+        dispatcher: &mut dyn Dispatcher,
+    ) -> Result<ResilienceReport> {
+        Run::new(self, dispatcher, &mut arena.fault_scratch).execute()
+    }
+}
+
+/// Reusable buffers for the resilience engine, owned by [`SimArena`].
+///
+/// A faulty trial needs an event heap seeded with `m` idle events plus
+/// one entry per scripted fault, per-task and per-machine state vectors,
+/// straggler multipliers, and a pending snapshot per dispatch call.
+/// [`ResilienceEngine::run`] builds all of that from scratch;
+/// [`ResilienceEngine::run_in`] takes the buffers out of this scratch at
+/// run start and puts them back (storage intact) at run end, so repeated
+/// same-shape trials allocate only the report's own schedule and trace.
+#[derive(Debug, Default)]
+pub struct FaultScratch {
+    queue: BinaryHeap<Reverse<(Time, u8, usize, u64)>>,
+    machines: Vec<MachineState>,
+    tasks: Vec<TaskState>,
+    straggle: Vec<f64>,
+    spec_queue: VecDeque<TaskId>,
+    spec_launched: Vec<bool>,
+    recovery_costs: Vec<f64>,
+    pending: Vec<HotTask>,
 }
 
 /// Per-run mutable state, split out of the engine for borrow hygiene.
@@ -527,6 +570,10 @@ struct Run<'a, 'b> {
     next_attempt_id: u64,
     /// Per-machine down-event weights (unit when the engine set none).
     recovery_costs: Vec<f64>,
+    /// Pending snapshot handed to the dispatcher, reused across calls.
+    pending: Vec<HotTask>,
+    /// Where the reusable buffers go back when the run finishes.
+    scratch: Option<&'b mut FaultScratch>,
     /// Metric handles resolved once at run start (`None` while
     /// instrumentation is disabled, so the hot path pays one branch).
     obs_events: Option<std::sync::Arc<rds_obs::Counter>>,
@@ -534,11 +581,18 @@ struct Run<'a, 'b> {
 }
 
 impl<'a, 'b> Run<'a, 'b> {
-    fn new(engine: &'a ResilienceEngine<'a>, dispatcher: &'b mut dyn Dispatcher) -> Self {
+    fn new(
+        engine: &'a ResilienceEngine<'a>,
+        dispatcher: &'b mut dyn Dispatcher,
+        scratch: &'b mut FaultScratch,
+    ) -> Self {
         let n = engine.instance.n();
         let m = engine.instance.m();
-        let mut straggle = vec![1.0; n];
-        let mut queue = BinaryHeap::new();
+        let mut straggle = std::mem::take(&mut scratch.straggle);
+        straggle.clear();
+        straggle.resize(n, 1.0);
+        let mut queue = std::mem::take(&mut scratch.queue);
+        queue.clear();
         for i in 0..m {
             queue.push(Reverse((Time::ZERO, KIND_IDLE, i, 0)));
         }
@@ -554,24 +608,42 @@ impl<'a, 'b> Run<'a, 'b> {
                 }
             }
         }
+        let mut machines = std::mem::take(&mut scratch.machines);
+        machines.clear();
+        machines.extend((0..m).map(|_| MachineState {
+            alive: true,
+            crashed: false,
+            speed: 1.0,
+            parked: false,
+            attempt: None,
+            epoch: 0,
+        }));
+        let mut tasks = std::mem::take(&mut scratch.tasks);
+        tasks.clear();
+        tasks.resize(n, TaskState::Pending);
+        let mut spec_queue = std::mem::take(&mut scratch.spec_queue);
+        spec_queue.clear();
+        let mut spec_launched = std::mem::take(&mut scratch.spec_launched);
+        spec_launched.clear();
+        spec_launched.resize(n, false);
+        let mut recovery_costs = std::mem::take(&mut scratch.recovery_costs);
+        recovery_costs.clear();
+        match &engine.recovery_costs {
+            Some(costs) => recovery_costs.extend_from_slice(costs),
+            None => recovery_costs.resize(m, 1.0),
+        }
+        let mut pending = std::mem::take(&mut scratch.pending);
+        pending.clear();
         Run {
             engine,
             dispatcher,
-            machines: (0..m)
-                .map(|_| MachineState {
-                    alive: true,
-                    crashed: false,
-                    speed: 1.0,
-                    parked: false,
-                    attempt: None,
-                    epoch: 0,
-                })
-                .collect(),
-            tasks: vec![TaskState::Pending; n],
+            machines,
+            tasks,
             straggle,
-            spec_queue: VecDeque::new(),
-            spec_launched: vec![false; n],
+            spec_queue,
+            spec_launched,
             queue,
+            // The report moves these out, so they stay per-run.
             slots: vec![Vec::new(); m],
             trace: Trace::new(),
             metrics: ResilienceMetrics {
@@ -590,12 +662,27 @@ impl<'a, 'b> Run<'a, 'b> {
             },
             remaining: n,
             next_attempt_id: 0,
-            recovery_costs: engine
-                .recovery_costs
-                .clone()
-                .unwrap_or_else(|| vec![1.0; m]),
+            recovery_costs,
+            pending,
+            scratch: Some(scratch),
             obs_events: rds_obs::enabled().then(|| rds_obs::global().counter("engine.events")),
             obs_dispatch: rds_obs::enabled().then(|| rds_obs::global().counter("engine.dispatch")),
+        }
+    }
+
+    /// Returns the reusable buffers to the scratch they came from.
+    /// Called once the run is over (the heap is empty and no dispatch
+    /// will happen again); storage — not contents — is what survives.
+    fn reclaim(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            scratch.queue = std::mem::take(&mut self.queue);
+            scratch.machines = std::mem::take(&mut self.machines);
+            scratch.tasks = std::mem::take(&mut self.tasks);
+            scratch.straggle = std::mem::take(&mut self.straggle);
+            scratch.spec_queue = std::mem::take(&mut self.spec_queue);
+            scratch.spec_launched = std::mem::take(&mut self.spec_launched);
+            scratch.recovery_costs = std::mem::take(&mut self.recovery_costs);
+            scratch.pending = std::mem::take(&mut self.pending);
         }
     }
 
@@ -624,7 +711,8 @@ impl<'a, 'b> Run<'a, 'b> {
         } else {
             Outcome::Partial { unfinished }
         };
-        let schedule = Schedule::from_slots(self.slots);
+        let schedule = Schedule::from_slots(std::mem::take(&mut self.slots));
+        self.reclaim();
         if crate::validate::enabled() {
             // Even faulty runs must satisfy the structural invariants;
             // completeness only when the run claims it, duration honesty
@@ -856,21 +944,23 @@ impl<'a, 'b> Run<'a, 'b> {
         }
         let machine = MachineId::new(index);
         let n = self.engine.instance.n();
-        let pending: Vec<bool> = self
-            .tasks
-            .iter()
-            .map(|s| matches!(s, TaskState::Pending))
-            .collect();
-        let view = SimView {
-            instance: self.engine.instance,
-            placement: self.engine.placement,
-            pending: &pending,
-        };
+        self.pending.clear();
+        self.pending.extend(
+            self.tasks
+                .iter()
+                .map(|s| HotTask::pending_only(matches!(s, TaskState::Pending))),
+        );
         if let Some(dispatch) = &self.obs_dispatch {
             dispatch.inc();
         }
         let choice = {
             let _dispatch_span = rds_obs::span("engine.dispatch");
+            let view = SimView {
+                instance: self.engine.instance,
+                placement: self.engine.placement,
+                tasks: &self.pending,
+                by_slot: false,
+            };
             self.dispatcher.next_task(machine, time, &view)
         };
         match choice {
@@ -881,7 +971,7 @@ impl<'a, 'b> Run<'a, 'b> {
                         n,
                     });
                 }
-                if !pending[task.index()] {
+                if !self.pending[task.index()].is_pending() {
                     return Err(Error::InvalidParameter {
                         what: "dispatcher returned an already-started task",
                     });

@@ -59,10 +59,11 @@ pub mod validate;
 pub use arena::SimArena;
 pub use dispatcher::{Dispatcher, OrderedDispatcher, PinnedDispatcher, SimView, StagedDispatcher};
 pub use engine::{Engine, SimResult};
+pub use event::QueueMode;
 pub use failures::{run_with_failures, Failure, FaultySimResult};
 pub use faults::{
-    FaultEvent, FaultScript, Outcome, ResilienceEngine, ResilienceMetrics, ResilienceReport,
-    Speculation,
+    FaultEvent, FaultScratch, FaultScript, Outcome, ResilienceEngine, ResilienceMetrics,
+    ResilienceReport, Speculation,
 };
 pub use trace::{Trace, TraceEvent};
 pub use validate::{check_schedule, validate_schedule, Checks, Violation};

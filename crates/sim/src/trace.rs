@@ -1,4 +1,12 @@
 //! Execution traces: what happened, when, on which machine.
+//!
+//! [`TraceEvent`] stays the public, pattern-matchable record type, but
+//! storage is struct-of-arrays: one parallel column per field (kind
+//! byte, time, task, machine, auxiliary float). Recording an event is
+//! five contiguous appends with no enum padding, which keeps the
+//! engine's hot loop cache-linear at n = 10^6; consumers decode events
+//! on the fly via [`Trace::iter`] / [`Trace::get`] or materialize them
+//! with [`Trace::events`].
 
 use rds_core::{MachineId, TaskId, Time};
 
@@ -94,10 +102,36 @@ impl TraceEvent {
     }
 }
 
-/// A full execution trace.
-#[derive(Debug, Clone, Default)]
+/// Column tag for one event; the discriminant column of the SoA layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Kind {
+    Start,
+    Complete,
+    Starved,
+    Failure,
+    Recovery,
+    Degraded,
+    SpeculativeStart,
+    Cancelled,
+}
+
+/// Sentinel in the task column for events that carry no task.
+const NO_TASK: u32 = u32::MAX;
+
+/// A full execution trace (struct-of-arrays storage).
+///
+/// Equality compares the encoded columns directly — two traces are
+/// equal iff they decode to the same event sequence, bit-for-bit on
+/// every timestamp.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    kinds: Vec<Kind>,
+    times: Vec<f64>,
+    tasks: Vec<u32>,
+    machines: Vec<u32>,
+    /// `actual` for `Complete`, `speed` for `Degraded`, else 0.
+    aux: Vec<f64>,
 }
 
 impl Trace {
@@ -112,52 +146,156 @@ impl Trace {
     /// so sizing to that bound makes recording allocation-free.
     pub fn with_capacity(cap: usize) -> Self {
         Trace {
-            events: Vec::with_capacity(cap),
+            kinds: Vec::with_capacity(cap),
+            times: Vec::with_capacity(cap),
+            tasks: Vec::with_capacity(cap),
+            machines: Vec::with_capacity(cap),
+            aux: Vec::with_capacity(cap),
         }
     }
 
     /// Removes every event, keeping the allocated storage for reuse.
     pub fn clear(&mut self) {
-        self.events.clear();
+        self.kinds.clear();
+        self.times.clear();
+        self.tasks.clear();
+        self.machines.clear();
+        self.aux.clear();
     }
 
     /// Reserves room for at least `additional` further events.
     pub fn reserve(&mut self, additional: usize) {
-        self.events.reserve(additional);
+        self.kinds.reserve(additional);
+        self.times.reserve(additional);
+        self.tasks.reserve(additional);
+        self.machines.reserve(additional);
+        self.aux.reserve(additional);
     }
 
     /// Appends an event (times must be non-decreasing; enforced in debug).
     pub fn push(&mut self, ev: TraceEvent) {
         debug_assert!(
-            self.events
+            self.times
                 .last()
-                .is_none_or(|last| last.time() <= ev.time()),
+                .is_none_or(|&last| last <= ev.time().get()),
             "trace out of order"
         );
-        self.events.push(ev);
+        let (kind, time, task, machine, aux) = match ev {
+            TraceEvent::Start {
+                time,
+                task,
+                machine,
+            } => (Kind::Start, time, task.index() as u32, machine, 0.0),
+            TraceEvent::Complete {
+                time,
+                task,
+                machine,
+                actual,
+            } => (
+                Kind::Complete,
+                time,
+                task.index() as u32,
+                machine,
+                actual.get(),
+            ),
+            TraceEvent::Starved { time, machine } => (Kind::Starved, time, NO_TASK, machine, 0.0),
+            TraceEvent::Failure { time, machine } => (Kind::Failure, time, NO_TASK, machine, 0.0),
+            TraceEvent::Recovery { time, machine } => (Kind::Recovery, time, NO_TASK, machine, 0.0),
+            TraceEvent::Degraded {
+                time,
+                machine,
+                speed,
+            } => (Kind::Degraded, time, NO_TASK, machine, speed),
+            TraceEvent::SpeculativeStart {
+                time,
+                task,
+                machine,
+            } => (
+                Kind::SpeculativeStart,
+                time,
+                task.index() as u32,
+                machine,
+                0.0,
+            ),
+            TraceEvent::Cancelled {
+                time,
+                task,
+                machine,
+            } => (Kind::Cancelled, time, task.index() as u32, machine, 0.0),
+        };
+        self.kinds.push(kind);
+        self.times.push(time.get());
+        self.tasks.push(task);
+        self.machines.push(machine.index() as u32);
+        self.aux.push(aux);
     }
 
-    /// All events in chronological order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Decodes the event at index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> TraceEvent {
+        let time = Time::of(self.times[i]);
+        let machine = MachineId::new(self.machines[i] as usize);
+        let task = || TaskId::new(self.tasks[i] as usize);
+        match self.kinds[i] {
+            Kind::Start => TraceEvent::Start {
+                time,
+                task: task(),
+                machine,
+            },
+            Kind::Complete => TraceEvent::Complete {
+                time,
+                task: task(),
+                machine,
+                actual: Time::of(self.aux[i]),
+            },
+            Kind::Starved => TraceEvent::Starved { time, machine },
+            Kind::Failure => TraceEvent::Failure { time, machine },
+            Kind::Recovery => TraceEvent::Recovery { time, machine },
+            Kind::Degraded => TraceEvent::Degraded {
+                time,
+                machine,
+                speed: self.aux[i],
+            },
+            Kind::SpeculativeStart => TraceEvent::SpeculativeStart {
+                time,
+                task: task(),
+                machine,
+            },
+            Kind::Cancelled => TraceEvent::Cancelled {
+                time,
+                task: task(),
+                machine,
+            },
+        }
+    }
+
+    /// Iterates the events in chronological order, decoding on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// All events in chronological order, materialized. Reporting and
+    /// test convenience — hot paths should use [`Trace::iter`].
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.iter().collect()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.kinds.len()
     }
 
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.kinds.is_empty()
     }
 
-    /// Count of `Start` events (tasks dispatched).
+    /// Count of `Start` events (tasks dispatched) — a scan over the
+    /// one-byte kind column.
     pub fn starts(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Start { .. }))
-            .count()
+        self.kinds.iter().filter(|&&k| k == Kind::Start).count()
     }
 
     /// Total idle time across machines before the makespan: for each
@@ -165,16 +303,10 @@ impl Trace {
     pub fn total_idle(&self, m: usize) -> Time {
         let mut busy = vec![Time::ZERO; m];
         let mut makespan = Time::ZERO;
-        for e in &self.events {
-            if let TraceEvent::Complete {
-                time,
-                machine,
-                actual,
-                ..
-            } = *e
-            {
-                busy[machine.index()] += actual;
-                makespan = makespan.max(time);
+        for i in 0..self.len() {
+            if self.kinds[i] == Kind::Complete {
+                busy[self.machines[i] as usize] += Time::of(self.aux[i]);
+                makespan = makespan.max(Time::of(self.times[i]));
             }
         }
         busy.into_iter().map(|b| makespan.saturating_sub(b)).sum()
@@ -186,8 +318,8 @@ impl Trace {
     /// RFC-4180-trivial since no field needs quoting.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time,event,task,machine,actual\n");
-        for e in &self.events {
-            match *e {
+        for e in self.iter() {
+            match e {
                 TraceEvent::Start {
                     time,
                     task,
@@ -280,6 +412,66 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert_eq!(t.starts(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_the_columns() {
+        let all = vec![
+            TraceEvent::Start {
+                time: Time::ZERO,
+                task: TaskId::new(3),
+                machine: MachineId::new(1),
+            },
+            TraceEvent::Complete {
+                time: Time::of(1.25),
+                task: TaskId::new(3),
+                machine: MachineId::new(1),
+                actual: Time::of(1.25),
+            },
+            TraceEvent::Failure {
+                time: Time::of(1.5),
+                machine: MachineId::new(2),
+            },
+            TraceEvent::Degraded {
+                time: Time::of(1.75),
+                machine: MachineId::new(0),
+                speed: 0.25,
+            },
+            TraceEvent::SpeculativeStart {
+                time: Time::of(2.0),
+                task: TaskId::new(7),
+                machine: MachineId::new(4),
+            },
+            TraceEvent::Cancelled {
+                time: Time::of(2.5),
+                task: TaskId::new(7),
+                machine: MachineId::new(4),
+            },
+            TraceEvent::Recovery {
+                time: Time::of(3.0),
+                machine: MachineId::new(2),
+            },
+            TraceEvent::Starved {
+                time: Time::of(3.0),
+                machine: MachineId::new(0),
+            },
+        ];
+        let mut t = Trace::new();
+        for &e in &all {
+            t.push(e);
+        }
+        assert_eq!(t.events(), all);
+        assert_eq!(t.get(1), all[1]);
+        let mut u = Trace::new();
+        for &e in &all {
+            u.push(e);
+        }
+        assert_eq!(t, u);
+        u.push(TraceEvent::Starved {
+            time: Time::of(4.0),
+            machine: MachineId::new(1),
+        });
+        assert_ne!(t, u);
     }
 
     #[test]

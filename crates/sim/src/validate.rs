@@ -334,7 +334,12 @@ pub fn validate_schedule(
             if checks.durations {
                 let got = slot.end.get() - slot.start.get();
                 let want = realization.actual(slot.task).get();
-                if (got - want).abs() > TOL * want.max(1.0) {
+                // The span `end − start` inherits the clock's rounding
+                // error, so the tolerance must scale with the slot's
+                // absolute position, not just the task's duration: a
+                // short task started late in a long schedule can differ
+                // from its actual by ~ulp(end) ≫ ulp(duration).
+                if (got - want).abs() > TOL * want.max(slot.end.get()).max(1.0) {
                     out.push(Violation::DurationMismatch {
                         task: j,
                         machine: mi,

@@ -47,7 +47,7 @@ fn check_invariants(result: &SimResult, n: usize) {
     let mut starts = vec![0usize; n];
     let mut completes = vec![0usize; n];
     for ev in result.trace.events() {
-        match *ev {
+        match ev {
             TraceEvent::Start { task, .. } => starts[task.index()] += 1,
             TraceEvent::Complete { task, .. } => completes[task.index()] += 1,
             _ => {}
