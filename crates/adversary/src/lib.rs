@@ -8,6 +8,9 @@
 //!   assignments (exhaustive over machines) and adaptive strategies
 //!   (over caller-supplied inflate sets), certified against `rds-exact`
 //!   optimum brackets;
+//! - [`speeds`]: worst-case machine-speed search for the speed-robust
+//!   variant — slow one machine, re-run the hetero engine, keep the
+//!   profile with the worst makespan/lower-bound ratio;
 //! - [`pathological`]: the classical tight instances for LPT and List
 //!   Scheduling used to sanity-check the substrates.
 //!
@@ -30,8 +33,10 @@
 #![forbid(unsafe_code)]
 
 pub mod pathological;
+pub mod speeds;
 pub mod theorem1;
 pub mod worst_case;
 
+pub use speeds::WorstSpeeds;
 pub use theorem1::AdversaryOutcome;
 pub use worst_case::WorstCase;

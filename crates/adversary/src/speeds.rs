@@ -1,0 +1,150 @@
+//! Worst-case machine-speed search against a fixed placement.
+//!
+//! In the speed-robust variant of the model, phase 1 places data on
+//! nominally identical machines; the per-machine speeds are revealed
+//! only in phase 2. This module plays the adversary: given a placement
+//! (and a fixed actual-time realization), it searches over candidate
+//! speed profiles — executing each end-to-end through the hetero event
+//! engine — and reports the profile that maximizes the ratio of the
+//! achieved makespan to the sound speed-scaled lower bound
+//! ([`rds_algs::speed_lower_bound`]).
+//!
+//! The canonical search space mirrors the paper's one-machine attack:
+//! slow exactly one machine (the rest stay at speed 1). Against a
+//! pinned placement that machine's whole queue is stretched; against a
+//! replicated placement phase 2 can route around it, which is exactly
+//! what the speed-robust strategies are supposed to buy.
+
+use rds_algs::speed_lower_bound;
+use rds_core::{Error, Instance, MachineSpeeds, Placement, Realization, Result, Time};
+use rds_sim::executors::simulate_hetero;
+
+/// The worst speed profile found by a search.
+#[derive(Debug, Clone)]
+pub struct WorstSpeeds {
+    /// The profile achieving it.
+    pub speeds: MachineSpeeds,
+    /// The engine makespan under it.
+    pub makespan: Time,
+    /// The sound lower bound under it (`max(Σp/Σs, max p/s_max)`).
+    pub lower_bound: Time,
+    /// `makespan / lower_bound` (≥ 1 for any correct engine).
+    pub ratio: f64,
+}
+
+/// Executes the placement under each candidate profile and returns the
+/// one with the worst makespan/lower-bound ratio.
+///
+/// # Errors
+/// [`Error::InvalidParameter`] when `profiles` is empty; propagates
+/// engine and profile-mismatch errors.
+pub fn worst_over_profiles(
+    instance: &Instance,
+    placement: &Placement,
+    realization: &Realization,
+    profiles: &[MachineSpeeds],
+) -> Result<WorstSpeeds> {
+    let mut worst: Option<WorstSpeeds> = None;
+    for speeds in profiles {
+        let res = simulate_hetero(instance, placement, realization, Some(speeds), None)?;
+        let lower_bound = speed_lower_bound(realization.times(), speeds);
+        let ratio = res.makespan.ratio(lower_bound).unwrap_or(1.0);
+        if worst.as_ref().is_none_or(|w| ratio > w.ratio) {
+            worst = Some(WorstSpeeds {
+                speeds: speeds.clone(),
+                makespan: res.makespan,
+                lower_bound,
+                ratio,
+            });
+        }
+    }
+    worst.ok_or(Error::InvalidParameter {
+        what: "no speed profiles given",
+    })
+}
+
+/// Enumerates the `m` "slow exactly one machine to `slow`" profiles
+/// (plus the uniform all-ones baseline) and returns the worst.
+///
+/// # Errors
+/// [`Error::InvalidParameter`] when `slow` is not in `(0, 1]`;
+/// propagates engine errors.
+pub fn worst_single_slowdown(
+    instance: &Instance,
+    placement: &Placement,
+    realization: &Realization,
+    slow: f64,
+) -> Result<WorstSpeeds> {
+    if !(slow.is_finite() && 0.0 < slow && slow <= 1.0) {
+        return Err(Error::InvalidParameter {
+            what: "slowdown factor must be in (0, 1]",
+        });
+    }
+    let m = instance.m();
+    let mut profiles = Vec::with_capacity(m + 1);
+    profiles.push(MachineSpeeds::uniform(m)?);
+    for target in 0..m {
+        let mut speeds = vec![1.0; m];
+        speeds[target] = slow;
+        profiles.push(MachineSpeeds::new(speeds)?);
+    }
+    worst_over_profiles(instance, placement, realization, &profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_algs::{LptNoChoice, SpeedRobustBags, Strategy};
+    use rds_core::Uncertainty;
+
+    #[test]
+    fn slowdown_hurts_a_pinned_placement() {
+        let inst = Instance::from_estimates(&[1.0; 12], 4).unwrap();
+        let real = Realization::exact(&inst);
+        let placement = LptNoChoice.place(&inst, Uncertainty::CERTAIN).unwrap();
+        let worst = worst_single_slowdown(&inst, &placement, &real, 0.5).unwrap();
+        // The slowed machine's 3 unit tasks take 6; the uniform baseline
+        // finishes at 3 — the adversary must find the slowdown.
+        assert_eq!(worst.makespan, Time::of(6.0));
+        assert!(!worst.speeds.is_uniform());
+        assert!(worst.ratio > 1.0, "ratio = {}", worst.ratio);
+    }
+
+    #[test]
+    fn replication_blunts_the_speed_adversary() {
+        let inst = Instance::from_estimates(&[1.0; 12], 4).unwrap();
+        let real = Realization::exact(&inst);
+        let unc = Uncertainty::CERTAIN;
+        let pinned = LptNoChoice.place(&inst, unc).unwrap();
+        let bagged = SpeedRobustBags::new(2).place(&inst, unc).unwrap();
+        let w_pinned = worst_single_slowdown(&inst, &pinned, &real, 0.5).unwrap();
+        let w_bagged = worst_single_slowdown(&inst, &bagged, &real, 0.5).unwrap();
+        assert!(
+            w_bagged.makespan < w_pinned.makespan,
+            "group replication should dodge the slow machine: {} vs {}",
+            w_bagged.makespan,
+            w_pinned.makespan
+        );
+    }
+
+    #[test]
+    fn uniform_only_search_is_the_homogeneous_run() {
+        let inst = Instance::from_estimates(&[3.0, 2.0, 1.0], 2).unwrap();
+        let real = Realization::exact(&inst);
+        let placement = rds_core::Placement::everywhere(&inst);
+        let profiles = [MachineSpeeds::uniform(2).unwrap()];
+        let w = worst_over_profiles(&inst, &placement, &real, &profiles).unwrap();
+        assert_eq!(w.makespan, Time::of(3.0));
+        assert!(w.ratio >= 1.0);
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        let inst = Instance::from_estimates(&[1.0], 1).unwrap();
+        let real = Realization::exact(&inst);
+        let placement = rds_core::Placement::everywhere(&inst);
+        assert!(worst_over_profiles(&inst, &placement, &real, &[]).is_err());
+        assert!(worst_single_slowdown(&inst, &placement, &real, 0.0).is_err());
+        assert!(worst_single_slowdown(&inst, &placement, &real, 1.5).is_err());
+    }
+}

@@ -39,6 +39,7 @@ pub mod list_scheduling;
 pub mod memory;
 pub mod no_choice;
 pub mod no_restriction;
+pub mod speed_robust;
 pub mod strategy;
 pub mod survival;
 
@@ -47,5 +48,6 @@ pub use group_lpt::LptGroup;
 pub use ilp_placement::{IlpPlacement, LpRoundingPlacement};
 pub use no_choice::LptNoChoice;
 pub use no_restriction::LptNoRestriction;
+pub use speed_robust::{speed_lower_bound, SpeedRobustBags};
 pub use strategy::{Outcome, Strategy};
 pub use survival::{SurvivalPlacement, SurvivalPlan};

@@ -57,10 +57,17 @@ COMMANDS:
             grid against the greedy strategies, under one realization
             --m <usize> [--n <usize>] [--alpha <f64>] [--seed <u64>]
             [--ks <k,k,...>] [--budget-steps <usize>]
+            heterogeneity: [--speeds <spec>] [--topology <spec>]
   sweep     empirical competitive-ratio sweep: the standard suite over
             sampled realizations versus the exact-solver bracket
             --m <usize> [--n <usize>] [--alpha <f64>] [--reps <usize>]
             [--seed <u64>] [--model <exact|uniform|two-point|inflate>]
+            heterogeneity: [--speeds <spec>] [--topology <spec>]
+              speed specs:    unit | uniform:<lo>,<hi>
+                              | two-class:<slow>,<fast>,<p-fast>
+              topology specs: zero | uniform:<latency>
+                              | clustered:<zones>,<local>,<remote>
+                              | random:<lo>,<hi>
             crash safety: [--journal <path>] [--resume] [--validate]
             [--shards <usize>] [--budget-ms <u64>] [--retries <u32>]
   conformance
@@ -72,7 +79,8 @@ COMMANDS:
             [--cases <u64>] [--seconds <f64>] [--seed <u64>]
             [--max-n <usize>] [--max-m <usize>]
             [--mutate <none|drop-replica|ignore-reliability|
-                       ignore-memory-budget>]
+                       ignore-memory-budget|ignore-speeds|
+                       ignore-transfer-cost>]
             [--artifacts <dir>]
             [--max-counterexamples <usize>]
             crash safety: [--journal <path>] [--resume]
@@ -807,13 +815,104 @@ pub fn cmd_reliability(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
     Ok(())
 }
 
+/// Parses a `--speeds` spec: `unit`, `uniform:<lo>,<hi>`, or
+/// `two-class:<slow>,<fast>,<p-fast>`.
+fn parse_speed_spec(raw: &str) -> Result<rds_workloads::SpeedDistribution, CmdError> {
+    use rds_workloads::SpeedDistribution as S;
+    let (head, tail) = raw.split_once(':').unwrap_or((raw, ""));
+    let nums = tail
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("cannot parse --speeds component {p:?}"))
+        })
+        .collect::<Result<Vec<f64>, _>>()?;
+    let dist = match (head, nums.as_slice()) {
+        ("unit", []) => S::Unit,
+        ("uniform", [lo, hi]) => S::Uniform { lo: *lo, hi: *hi },
+        ("two-class", [slow, fast, p_fast]) => S::TwoClass {
+            slow: *slow,
+            fast: *fast,
+            p_fast: *p_fast,
+        },
+        _ => {
+            return Err(format!(
+                "bad --speeds spec {raw:?}; try unit | uniform:<lo>,<hi> | \
+                 two-class:<slow>,<fast>,<p-fast>"
+            )
+            .into())
+        }
+    };
+    dist.validate()?;
+    Ok(dist)
+}
+
+/// Parses a `--topology` spec: `zero`, `uniform:<latency>`,
+/// `clustered:<zones>,<local>,<remote>`, or `random:<lo>,<hi>`.
+fn parse_topology_spec(raw: &str) -> Result<rds_workloads::TopologyModel, CmdError> {
+    use rds_workloads::TopologyModel as T;
+    let (head, tail) = raw.split_once(':').unwrap_or((raw, ""));
+    let nums = tail
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("cannot parse --topology component {p:?}"))
+        })
+        .collect::<Result<Vec<f64>, _>>()?;
+    let model = match (head, nums.as_slice()) {
+        ("zero", []) => T::Zero,
+        ("uniform", [latency]) => T::UniformRemote { latency: *latency },
+        ("clustered", [zones, local, remote]) if zones.fract() == 0.0 && *zones >= 1.0 => {
+            T::Clustered {
+                zones: *zones as usize,
+                local: *local,
+                remote: *remote,
+            }
+        }
+        ("random", [lo, hi]) => T::RandomPairs { lo: *lo, hi: *hi },
+        _ => {
+            return Err(format!(
+                "bad --topology spec {raw:?}; try zero | uniform:<latency> | \
+                 clustered:<zones>,<local>,<remote> | random:<lo>,<hi>"
+            )
+            .into())
+        }
+    };
+    model.validate()?;
+    Ok(model)
+}
+
+/// Realizes the optional `--speeds`/`--topology` specs into a
+/// [`rds_policies::HeteroProfile`] using the given RNG.
+fn hetero_profile(
+    args: &Args,
+    m: usize,
+    r: &mut rand::rngs::StdRng,
+) -> Result<rds_policies::HeteroProfile, CmdError> {
+    let speeds = match args.get::<String>("speeds")? {
+        Some(raw) => Some(parse_speed_spec(&raw)?.realize(m, r)?),
+        None => None,
+    };
+    let topology = match args.get::<String>("topology")? {
+        Some(raw) => Some(parse_topology_spec(&raw)?.build(m, r)?),
+        None => None,
+    };
+    Ok(rds_policies::HeteroProfile { speeds, topology })
+}
+
 /// `rds frontier`: the makespan-vs-memory Pareto frontier. The
 /// optimization-based placements (`IlpPlacement`, `LpRoundingPlacement`)
 /// sweep a grid of per-machine memory budgets against the paper's greedy
 /// strategies, all executed under the same sampled realization, and the
-/// non-dominated points are marked.
+/// non-dominated points are marked. Optional `--speeds`/`--topology`
+/// specs run the sweep under a heterogeneous profile (adding the
+/// `SpeedRobust-Bags` baselines).
 pub fn cmd_frontier(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
-    use rds_policies::{budget_grid, pareto_sweep};
+    use rds_policies::{budget_grid, pareto_sweep_hetero};
     use rds_report::plot::{Chart, Series};
 
     let m: usize = args.require("m")?;
@@ -847,8 +946,11 @@ pub fn cmd_frontier(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     let inst = Instance::from_estimates_and_sizes(&pairs, m)?;
     let real = RealizationModel::UniformFactor.realize(&inst, unc, &mut r)?;
     let budgets = budget_grid(&inst, steps);
+    // Hetero draws come after the realization draw, so homogeneous runs
+    // (no flags) keep their historical stream bit-for-bit.
+    let profile = hetero_profile(args, m, &mut r)?;
 
-    let points = pareto_sweep(&inst, unc, &real, &ks, &budgets)?;
+    let points = pareto_sweep_hetero(&inst, unc, &real, &ks, &budgets, &profile)?;
 
     writeln!(
         out,
@@ -860,6 +962,14 @@ pub fn cmd_frontier(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             .collect::<Vec<_>>()
             .join(", ")
     )?;
+    if !profile.is_homogeneous() {
+        writeln!(
+            out,
+            "hetero profile: speeds = {}, topology = {}",
+            args.get::<String>("speeds")?.as_deref().unwrap_or("unit"),
+            args.get::<String>("topology")?.as_deref().unwrap_or("zero"),
+        )?;
+    }
     let mut t = Table::new(vec![
         "strategy",
         "makespan",
@@ -939,11 +1049,25 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         other => return Err(format!("unknown realization model {other:?}").into()),
     };
 
+    let speeds_raw = args.get::<String>("speeds")?;
+    let topology_raw = args.get::<String>("topology")?;
+    let speed_dist = speeds_raw.as_deref().map(parse_speed_spec).transpose()?;
+    let topo_model = topology_raw.as_deref().map(parse_topology_spec).transpose()?;
+
     let mut r = rng::rng(seed);
     let est = EstimateDistribution::Uniform { lo: 1.0, hi: 10.0 }.sample_n(n, &mut r);
     let inst = Instance::from_estimates(&est, m)?;
     let suite = rds_policies::standard_suite(&inst, unc)?;
-    let params = format!("n={n} m={m} alpha={alpha} reps={reps} model={model_name}");
+    // Hetero specs join the journal params so a resumed shard refuses to
+    // mix homogeneous and heterogeneous records; absent flags leave the
+    // historical params string untouched.
+    let mut params = format!("n={n} m={m} alpha={alpha} reps={reps} model={model_name}");
+    if let Some(raw) = &speeds_raw {
+        params.push_str(&format!(" speeds={raw}"));
+    }
+    if let Some(raw) = &topology_raw {
+        params.push_str(&format!(" topology={raw}"));
+    }
     let config = campaign_config(args, "sweep", seed, params)?;
 
     // Like `run_campaign_resumable`, the sweep partitions reps across
@@ -999,26 +1123,65 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             let trial_seed = rng::child_seed(seed, rep_idx);
             let mut tr = rng::rng(trial_seed);
             let real = model.realize(&inst, unc, &mut tr)?;
+            // Hetero draws come after the realization draw so runs
+            // without the flags keep their historical stream.
+            let speeds = match &speed_dist {
+                Some(d) => Some(d.realize(m, &mut tr)?),
+                None => None,
+            };
+            let topo = match &topo_model {
+                Some(t) => Some(t.build(m, &mut tr)?),
+                None => None,
+            };
             // The exact solver brackets the offline optimum on this
             // realization; its lower bound is the ratio denominator.
-            let opt_lo = OptimalSolver::default()
-                .solve_realization(&real, inst.m())
-                .lo
-                .get();
+            // Under heterogeneous speeds the homogeneous solver bound
+            // no longer applies, so switch to the speed-aware bound
+            // (transfer charges only add time, so it stays sound when
+            // a topology is also present).
+            let opt_lo = match &speeds {
+                Some(s) => rds_algs::speed_lower_bound(real.times(), s).get(),
+                None => {
+                    OptimalSolver::default()
+                        .solve_realization(&real, inst.m())
+                        .lo
+                        .get()
+                }
+            };
             for policy in pending {
                 let body_inst = inst.clone();
                 let body_policy = policy.clone();
                 let body_real = real.clone();
+                let body_speeds = speeds.clone();
+                let body_topo = topo.clone();
                 let outcome = supervise(&config.watchdog, trial_seed, move |_token| {
-                    let mut d = body_policy.dispatcher(&body_inst);
-                    let report = rds_sim::ResilienceEngine::new(
-                        &body_inst,
-                        &body_policy.placement,
-                        &body_real,
-                        &rds_sim::faults::FaultScript::empty(),
-                    )?
-                    .run(d.as_mut())?;
-                    Ok(report.metrics.makespan.get())
+                    if body_speeds.is_none() && body_topo.is_none() {
+                        let mut d = body_policy.dispatcher(&body_inst);
+                        let report = rds_sim::ResilienceEngine::new(
+                            &body_inst,
+                            &body_policy.placement,
+                            &body_real,
+                            &rds_sim::faults::FaultScript::empty(),
+                        )?
+                        .run(d.as_mut())?;
+                        return Ok(report.metrics.makespan.get());
+                    }
+                    // Heterogeneous trial: the locality-aware dispatcher
+                    // takes over phase 2 when a topology is present;
+                    // otherwise each policy keeps its own dispatcher.
+                    let engine =
+                        rds_sim::Engine::new(&body_inst, &body_policy.placement, &body_real)?;
+                    let mut d: Box<dyn rds_sim::Dispatcher> = match &body_topo {
+                        Some(t) => Box::new(rds_sim::LocalityDispatcher::new(
+                            body_inst.ids_by_estimate_desc(),
+                            &body_policy.placement,
+                            t.clone(),
+                        )?),
+                        None => body_policy.dispatcher(&body_inst),
+                    };
+                    let res =
+                        engine.run_hetero(d.as_mut(), body_speeds.as_ref(), body_topo.as_ref())?;
+                    Ok(res.makespan.get())
                 });
                 let record = match outcome {
                     Supervised::Done { value, attempts } => TrialRecord {
@@ -1077,6 +1240,15 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         "competitive-ratio sweep: n = {n}, m = {m}, alpha = {alpha}, \
          model = {model_name}, reps = {reps}, seed = {seed}"
     )?;
+    if speeds_raw.is_some() || topology_raw.is_some() {
+        writeln!(
+            out,
+            "hetero profile: speeds = {}, topology = {} \
+             (ratios measured against the speed-aware lower bound)",
+            speeds_raw.as_deref().unwrap_or("unit"),
+            topology_raw.as_deref().unwrap_or("zero"),
+        )?;
+    }
     let mut t = Table::new(vec![
         "policy",
         "replicas",
@@ -1210,7 +1382,8 @@ pub fn cmd_conformance(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
     let mutation = Mutation::parse(&mutation_name).ok_or_else(|| {
         format!(
             "unknown mutation {mutation_name:?}; try \
-             none|drop-replica|ignore-reliability|ignore-memory-budget"
+             none|drop-replica|ignore-reliability|ignore-memory-budget\
+             |ignore-speeds|ignore-transfer-cost"
         )
     })?;
     let config = rds_conformance::ConformanceConfig {
@@ -1281,6 +1454,14 @@ pub fn cmd_conformance(args: &Args, out: &mut dyn Write) -> Result<(), CmdError>
             "ilp arm: {} violation(s); reproduce with --seed {} \
              (ilp specs are fully seeded and never shrunk)",
             report.ilp_violations, config.seed
+        )?;
+    }
+    if report.hetero_violations > 0 {
+        writeln!(
+            out,
+            "hetero arm: {} violation(s); reproduce with --seed {} \
+             (hetero specs are fully seeded and never shrunk)",
+            report.hetero_violations, config.seed
         )?;
     }
     for path in &report.artifacts {
@@ -2208,6 +2389,97 @@ mod tests {
     fn frontier_rejects_bad_ks() {
         let err = run_to_string(&["frontier", "--m", "3", "--ks", "0"]).unwrap_err();
         assert!(err.to_string().contains("1..=m"));
+    }
+
+    #[test]
+    fn frontier_hetero_flags_add_speed_robust_baselines() {
+        let out = run_to_string(&[
+            "frontier",
+            "--m",
+            "4",
+            "--n",
+            "10",
+            "--seed",
+            "7",
+            "--speeds",
+            "two-class:0.5,1.5,0.5",
+            "--topology",
+            "uniform:0.4",
+        ])
+        .unwrap();
+        assert!(out.contains("hetero profile: speeds = two-class"), "{out}");
+        assert!(out.contains("SpeedRobust-Bags"), "no bags baseline:\n{out}");
+        // Determinism: the hetero draws are seeded off the same stream.
+        let again = run_to_string(&[
+            "frontier",
+            "--m",
+            "4",
+            "--n",
+            "10",
+            "--seed",
+            "7",
+            "--speeds",
+            "two-class:0.5,1.5,0.5",
+            "--topology",
+            "uniform:0.4",
+        ])
+        .unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn frontier_rejects_malformed_hetero_specs() {
+        let err =
+            run_to_string(&["frontier", "--m", "3", "--speeds", "uniform:2,1"]).unwrap_err();
+        assert!(err.to_string().contains("speed"), "{err}");
+        let err = run_to_string(&["frontier", "--m", "3", "--topology", "warp:9"]).unwrap_err();
+        assert!(err.to_string().contains("--topology"), "{err}");
+    }
+
+    #[test]
+    fn sweep_hetero_flags_run_and_report_speed_aware_baseline() {
+        let out = run_to_string(&[
+            "sweep",
+            "--m",
+            "3",
+            "--n",
+            "9",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+            "--speeds",
+            "uniform:0.5,2.0",
+            "--topology",
+            "clustered:2,0.1,1.0",
+        ])
+        .unwrap();
+        assert!(out.contains("hetero profile: speeds = uniform:0.5,2.0"), "{out}");
+        assert!(out.contains("speed-aware lower bound"), "{out}");
+        assert!(out.contains("mean ratio"), "{out}");
+        // Ratios stay finite and at least 1 against the sound bound.
+        assert!(!out.contains("NaN") && !out.contains("inf"), "{out}");
+    }
+
+    #[test]
+    fn sweep_hetero_flags_tag_the_journal_params() {
+        let path =
+            std::env::temp_dir().join(format!("rds-cli-hetero-sweep-{}", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        run_to_string(&[
+            "sweep", "--m", "3", "--n", "9", "--reps", "1", "--seed", "5", "--speeds", "unit",
+            "--journal", &path_str,
+        ])
+        .unwrap();
+        // Resuming without the hetero flags must refuse the journal:
+        // the params differ, so the records are not comparable.
+        let err = run_to_string(&[
+            "sweep", "--m", "3", "--n", "9", "--reps", "1", "--seed", "5", "--journal",
+            &path_str, "--resume",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("params"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod artifact;
 pub mod case;
 pub mod checks;
 pub mod generator;
+pub mod hetero;
 pub mod ilp;
 pub mod mutant;
 pub mod registry;
@@ -44,6 +45,10 @@ pub use artifact::Counterexample;
 pub use case::CaseSpec;
 pub use checks::{check_case, CaseReport, CheckKind, ConformanceViolation};
 pub use generator::generate_case;
+pub use hetero::{
+    check_hetero_case, generate_hetero_case, run_hetero_case, HeteroCaseReport, HeteroCheck,
+    HeteroSpec, HeteroViolation,
+};
 pub use ilp::{
     check_ilp_case, generate_ilp_case, run_ilp_case, IlpCaseReport, IlpCheck, IlpSpec, IlpViolation,
 };

@@ -41,6 +41,15 @@ pub enum Mutation {
     /// oracle still checks the spec's budget. The makespan and survival
     /// batteries run unmutated — this defect only exists in the ILP arm.
     IgnoreMemoryBudget,
+    /// Run the hetero arm's engine with unit speeds while the reference
+    /// charges the true speed profile (see [`crate::hetero`]): the
+    /// timing bug of a scheduler that never reads the realized speeds.
+    /// Every other battery runs unmutated.
+    IgnoreSpeeds,
+    /// Run the hetero arm's engine and dispatcher with a zero topology
+    /// while the reference charges the true transfer latencies (see
+    /// [`crate::hetero`]). Every other battery runs unmutated.
+    IgnoreTransferCost,
 }
 
 /// The phase-2 engine dispatch policy matching a strategy's closed form.
@@ -62,6 +71,8 @@ impl Mutation {
             Mutation::DropReplica => "drop-replica",
             Mutation::IgnoreReliability => "ignore-reliability",
             Mutation::IgnoreMemoryBudget => "ignore-memory-budget",
+            Mutation::IgnoreSpeeds => "ignore-speeds",
+            Mutation::IgnoreTransferCost => "ignore-transfer-cost",
         }
     }
 
@@ -72,6 +83,8 @@ impl Mutation {
             "drop-replica" => Some(Mutation::DropReplica),
             "ignore-reliability" => Some(Mutation::IgnoreReliability),
             "ignore-memory-budget" => Some(Mutation::IgnoreMemoryBudget),
+            "ignore-speeds" => Some(Mutation::IgnoreSpeeds),
+            "ignore-transfer-cost" => Some(Mutation::IgnoreTransferCost),
             _ => None,
         }
     }
@@ -136,8 +149,8 @@ impl StrategyId {
             StrategyId::LptGroup(k) => Box::new(LptGroup::new(k)),
         };
         match mutation {
-            Mutation::None | Mutation::IgnoreReliability | Mutation::IgnoreMemoryBudget => base,
             Mutation::DropReplica => Box::new(DropReplica(base)),
+            _ => base,
         }
     }
 

@@ -6,6 +6,7 @@ use crate::artifact::Counterexample;
 use crate::case::CaseSpec;
 use crate::checks::{check_case, CaseReport};
 use crate::generator::generate_case;
+use crate::hetero::{generate_hetero_case, run_hetero_case};
 use crate::ilp::{generate_ilp_case, run_ilp_case};
 use crate::registry::{Mutation, StrategyId};
 use crate::shrink::shrink;
@@ -83,6 +84,9 @@ pub struct ConformanceReport {
     /// The subset of `violations` raised by the ILP arm, with the same
     /// journal-only discipline as the survival arm.
     pub ilp_violations: u64,
+    /// The subset of `violations` raised by the hetero arm
+    /// (speed-robust + locality), with the same journal-only discipline.
+    pub hetero_violations: u64,
     /// Minimized counterexamples, one per breached (strategy, check).
     pub counterexamples: Vec<Counterexample>,
     /// Artifact files written.
@@ -269,6 +273,27 @@ pub fn run(config: &ConformanceConfig) -> Result<ConformanceReport> {
                 None => msg,
             });
         }
+        // The hetero arm (speed-robust execution + locality dispatch):
+        // same discipline again — counted and journaled, not shrunk.
+        let hetero_spec = generate_hetero_case(config.seed, index, config.max_n, config.max_m);
+        let hetero_report = run_hetero_case(&hetero_spec, config.mutation);
+        report.checks_run += hetero_report.checks_run;
+        if !hetero_report.violations.is_empty() {
+            let n = hetero_report.violations.len() as u64;
+            report.violations += n;
+            report.hetero_violations += n;
+            violations += n;
+            let first = &hetero_report.violations[0];
+            let msg = format!(
+                "{n} hetero violation(s); first: [{}] {}",
+                first.check.as_str(),
+                first.detail
+            );
+            error = Some(match error {
+                Some(prev) => format!("{prev}; {msg}"),
+                None => msg,
+            });
+        }
         if let Some(j) = journal.as_mut() {
             j.append(&trial_record(config, index, violations, error))?;
         }
@@ -432,6 +457,36 @@ mod tests {
         assert_eq!(
             report.violations, report.ilp_violations,
             "ignore-memory-budget must only fire in the ILP arm"
+        );
+    }
+
+    #[test]
+    fn ignore_speeds_mutant_fails_the_campaign() {
+        let config = ConformanceConfig {
+            cases: 24,
+            mutation: Mutation::IgnoreSpeeds,
+            ..ConformanceConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert!(report.violations > 0, "speed-blind mutant escaped");
+        assert_eq!(
+            report.violations, report.hetero_violations,
+            "ignore-speeds must only fire in the hetero arm"
+        );
+    }
+
+    #[test]
+    fn ignore_transfer_cost_mutant_fails_the_campaign() {
+        let config = ConformanceConfig {
+            cases: 24,
+            mutation: Mutation::IgnoreTransferCost,
+            ..ConformanceConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert!(report.violations > 0, "transfer-blind mutant escaped");
+        assert_eq!(
+            report.violations, report.hetero_violations,
+            "ignore-transfer-cost must only fire in the hetero arm"
         );
     }
 

@@ -41,6 +41,7 @@
 
 pub mod bitset;
 pub mod error;
+pub mod hetero;
 pub mod ids;
 pub mod instance;
 pub mod memory;
@@ -56,6 +57,7 @@ pub mod uncertainty;
 
 pub use bitset::MachineMask;
 pub use error::{Error, Result};
+pub use hetero::{MachineSpeeds, NetworkTopology};
 pub use ids::{MachineId, TaskId};
 pub use instance::Instance;
 pub use placement::{GroupPartition, MachineSet, Placement};
@@ -71,6 +73,7 @@ pub use uncertainty::Uncertainty;
 pub mod prelude {
     pub use crate::bitset::MachineMask;
     pub use crate::error::{Error, Result};
+    pub use crate::hetero::{MachineSpeeds, NetworkTopology};
     pub use crate::ids::{machines, tasks, MachineId, TaskId};
     pub use crate::instance::Instance;
     pub use crate::memory;

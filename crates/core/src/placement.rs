@@ -242,6 +242,21 @@ impl Placement {
         self.sets[id.index()].count(self.m)
     }
 
+    /// The task's *primary* replica: the lowest-indexed machine of
+    /// `M_j`. Locality-aware dispatch treats it as the task's data home
+    /// — running anywhere else charges the transfer latency from here.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or its machine set is empty
+    /// (validated placements never contain empty sets).
+    #[inline]
+    pub fn primary(&self, id: TaskId) -> MachineId {
+        self.sets[id.index()]
+            .iter(self.m)
+            .next()
+            .expect("validated placements have no empty machine set")
+    }
+
     /// The largest replica count over all tasks, `max_j |M_j|`.
     pub fn max_replicas(&self) -> usize {
         (0..self.sets.len())

@@ -120,6 +120,11 @@ macro_rules! nonneg_scalar {
             }
         }
 
+        // Intentional `PartialOrd` *definition* delegating to the total
+        // `Ord` above (NaN is unrepresentable, so `total_cmp` and the
+        // IEEE partial order agree). The clippy.toml fence bans
+        // NaN-unsafe `f64::partial_cmp` *calls*; a delegating impl is
+        // exactly the replacement it prescribes.
         impl PartialOrd for $name {
             #[inline]
             fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {

@@ -12,9 +12,12 @@
 //! dominates the greedy baselines.
 
 use rds_algs::{
-    IlpPlacement, LpRoundingPlacement, LptGroup, LptNoChoice, LptNoRestriction, LsGroup, Strategy,
+    IlpPlacement, LpRoundingPlacement, LptGroup, LptNoChoice, LptNoRestriction, LsGroup,
+    SpeedRobustBags, Strategy,
 };
-use rds_core::{memory, Error, Instance, Realization, Result, Size, Uncertainty};
+use rds_core::{
+    memory, Error, Instance, MachineSpeeds, NetworkTopology, Realization, Result, Size, Uncertainty,
+};
 
 /// Tolerance for dominance comparisons on the frontier.
 const EPS: f64 = 1e-9;
@@ -89,27 +92,72 @@ pub fn lp_bound_curve(
         .collect())
 }
 
+/// A heterogeneous execution profile for frontier and sweep
+/// measurement: optional per-machine speeds (revealed in phase 2) and
+/// an optional transfer-latency topology (charged on remote starts).
+/// The default profile is the paper's homogeneous model.
+#[derive(Debug, Clone, Default)]
+pub struct HeteroProfile {
+    /// Per-machine speed factors; `None` means identical machines.
+    pub speeds: Option<MachineSpeeds>,
+    /// Transfer-latency matrix; `None` means data access is free.
+    pub topology: Option<NetworkTopology>,
+}
+
+impl HeteroProfile {
+    /// Whether this profile is the paper's base model.
+    pub fn is_homogeneous(&self) -> bool {
+        self.speeds.is_none() && self.topology.is_none()
+    }
+}
+
 /// Runs one strategy and converts the outcome to a point; returns
 /// `Ok(None)` when the configuration is infeasible (a budget below the
-/// partition minimum) rather than failing the sweep.
+/// partition minimum) rather than failing the sweep. A homogeneous
+/// profile takes the closed-form path (bit-identical to the historical
+/// sweep); a heterogeneous one executes the strategy's placement
+/// through the speed/locality-aware event engine.
 fn run_point(
     strategy: &dyn Strategy,
     instance: &Instance,
     unc: Uncertainty,
     realization: &Realization,
+    profile: &HeteroProfile,
 ) -> Result<Option<ParetoPoint>> {
-    match strategy.run(instance, unc, realization) {
-        Ok(outcome) => Ok(Some(ParetoPoint {
-            label: strategy.name(),
-            makespan: outcome.makespan.get(),
-            mem_max: memory::mem_max(instance, &outcome.placement).get(),
-            total_memory: memory::total(instance, &outcome.placement).get(),
-            replicas: outcome.placement.total_replicas(),
-            on_frontier: false,
-        })),
-        Err(Error::InvalidParameter { .. }) => Ok(None),
-        Err(e) => Err(e),
+    if profile.is_homogeneous() {
+        return match strategy.run(instance, unc, realization) {
+            Ok(outcome) => Ok(Some(ParetoPoint {
+                label: strategy.name(),
+                makespan: outcome.makespan.get(),
+                mem_max: memory::mem_max(instance, &outcome.placement).get(),
+                total_memory: memory::total(instance, &outcome.placement).get(),
+                replicas: outcome.placement.total_replicas(),
+                on_frontier: false,
+            })),
+            Err(Error::InvalidParameter { .. }) => Ok(None),
+            Err(e) => Err(e),
+        };
     }
+    let placement = match strategy.place(instance, unc) {
+        Ok(p) => p,
+        Err(Error::InvalidParameter { .. }) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let res = rds_sim::executors::simulate_hetero(
+        instance,
+        &placement,
+        realization,
+        profile.speeds.as_ref(),
+        profile.topology.as_ref(),
+    )?;
+    Ok(Some(ParetoPoint {
+        label: strategy.name(),
+        makespan: res.makespan.get(),
+        mem_max: memory::mem_max(instance, &placement).get(),
+        total_memory: memory::total(instance, &placement).get(),
+        replicas: placement.total_replicas(),
+        on_frontier: false,
+    }))
 }
 
 /// Marks every non-dominated point of the sweep.
@@ -135,6 +183,31 @@ pub fn pareto_sweep(
     ks: &[usize],
     budgets: &[f64],
 ) -> Result<Vec<ParetoPoint>> {
+    pareto_sweep_hetero(
+        instance,
+        unc,
+        realization,
+        ks,
+        budgets,
+        &HeteroProfile::default(),
+    )
+}
+
+/// [`pareto_sweep`] under a heterogeneous execution profile: every point
+/// is measured through the speed/locality-aware engine, and the
+/// `SpeedRobust-Bags` family joins the baselines (it only pays off when
+/// machines actually differ, so the homogeneous sweep stays unchanged).
+///
+/// # Errors
+/// Propagates placement and execution errors other than infeasibility.
+pub fn pareto_sweep_hetero(
+    instance: &Instance,
+    unc: Uncertainty,
+    realization: &Realization,
+    ks: &[usize],
+    budgets: &[f64],
+    profile: &HeteroProfile,
+) -> Result<Vec<ParetoPoint>> {
     let _span = rds_obs::span("frontier.pareto_sweep");
     let m = instance.m();
     let mut points = Vec::new();
@@ -144,9 +217,12 @@ pub fn pareto_sweep(
     for k in (1..=m).filter(|&k| m.is_multiple_of(k)) {
         baselines.push(Box::new(LsGroup::new(k)));
         baselines.push(Box::new(LptGroup::new(k)));
+        if !profile.is_homogeneous() {
+            baselines.push(Box::new(SpeedRobustBags::new(k)));
+        }
     }
     for s in &baselines {
-        if let Some(p) = run_point(s.as_ref(), instance, unc, realization)? {
+        if let Some(p) = run_point(s.as_ref(), instance, unc, realization, profile)? {
             points.push(p);
         }
     }
@@ -154,11 +230,11 @@ pub fn pareto_sweep(
     for &k in ks {
         for &b in budgets {
             let ilp = IlpPlacement::new(k)?.with_budget(Size::of(b));
-            if let Some(p) = run_point(&ilp, instance, unc, realization)? {
+            if let Some(p) = run_point(&ilp, instance, unc, realization, profile)? {
                 points.push(p);
             }
             let lpr = LpRoundingPlacement::new(k)?.with_budget(Size::of(b));
-            if let Some(p) = run_point(&lpr, instance, unc, realization)? {
+            if let Some(p) = run_point(&lpr, instance, unc, realization, profile)? {
                 points.push(p);
             }
         }
@@ -231,6 +307,44 @@ mod tests {
         // Loosening the budget can only help the fractional optimum.
         let bounds: Vec<f64> = curve.iter().filter_map(|(_, v)| *v).collect();
         assert!(bounds.windows(2).all(|w| w[1] <= w[0] + 1e-9), "{bounds:?}");
+    }
+
+    #[test]
+    fn hetero_sweep_adds_bags_and_degrades_gracefully() {
+        let inst = instance();
+        let unc = Uncertainty::of(1.5);
+        let real = Realization::uniform_factor(&inst, unc, 1.2).unwrap();
+        let budgets = budget_grid(&inst, 3);
+        // A slow machine plus a uniform remote latency.
+        let profile = HeteroProfile {
+            speeds: Some(MachineSpeeds::new(vec![0.5, 1.0, 1.0, 1.0]).unwrap()),
+            topology: Some(NetworkTopology::uniform(4, 0.5).unwrap()),
+        };
+        let hot = pareto_sweep_hetero(&inst, unc, &real, &[1], &budgets, &profile).unwrap();
+        let cold = pareto_sweep(&inst, unc, &real, &[1], &budgets).unwrap();
+        assert!(hot.iter().any(|p| p.label.starts_with("SpeedRobust-Bags")));
+        assert!(!cold.iter().any(|p| p.label.starts_with("SpeedRobust-Bags")));
+        // A slow machine and transfer charges can only hurt the best
+        // achievable makespan of the sweep.
+        let best = |pts: &[ParetoPoint]| {
+            pts.iter().map(|p| p.makespan).fold(f64::INFINITY, f64::min)
+        };
+        assert!(best(&hot) >= best(&cold) - 1e-9);
+        // Determinism.
+        let again = pareto_sweep_hetero(&inst, unc, &real, &[1], &budgets, &profile).unwrap();
+        assert_eq!(hot, again);
+    }
+
+    #[test]
+    fn homogeneous_profile_reproduces_the_plain_sweep() {
+        let inst = instance();
+        let unc = Uncertainty::of(1.4);
+        let real = Realization::uniform_factor(&inst, unc, 1.1).unwrap();
+        let budgets = budget_grid(&inst, 3);
+        let plain = pareto_sweep(&inst, unc, &real, &[1], &budgets).unwrap();
+        let via = pareto_sweep_hetero(&inst, unc, &real, &[1], &budgets, &HeteroProfile::default())
+            .unwrap();
+        assert_eq!(plain, via);
     }
 
     #[test]

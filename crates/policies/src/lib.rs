@@ -47,7 +47,9 @@ pub use campaign::{
 };
 pub use chained::ChainedReplication;
 pub use critical::CriticalTaskReplication;
-pub use frontier::{budget_grid, mark_frontier, pareto_sweep, ParetoPoint};
+pub use frontier::{
+    budget_grid, mark_frontier, pareto_sweep, pareto_sweep_hetero, HeteroProfile, ParetoPoint,
+};
 pub use random_k::RandomKReplication;
 pub use reliability::{dominance, engine_survival, frontier, placement_memory, FrontierPoint};
 pub use resilience::{

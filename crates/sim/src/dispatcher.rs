@@ -6,7 +6,10 @@
 //! has completed so far) — never the actual time of an unfinished task,
 //! which is how the engine enforces the semi-clairvoyant model.
 
-use rds_core::{Instance, MachineId, MachineSet, Placement, PlacementIndex, TaskId, Time};
+use rds_core::{
+    Error, Instance, MachineId, MachineSet, NetworkTopology, Placement, PlacementIndex, Result,
+    TaskId, Time,
+};
 
 /// Started flag, stored in bit 31 of [`HotTask::hi`].
 const STARTED: u32 = 1 << 31;
@@ -592,6 +595,134 @@ impl Dispatcher for OrderedDispatcher {
     }
 }
 
+/// Locality-aware dispatch: the idle machine receives, among the
+/// pending tasks its placement allows, the one with the *cheapest
+/// transfer* from its data home ([`Placement::primary`]) — ties broken
+/// by the priority order. A busier-but-local replica therefore beats a
+/// remote one, the data-locality objective of Zhao et al.
+///
+/// The transfer the dispatcher minimizes is exactly what
+/// [`crate::Engine::run_hetero`] charges when the task starts, so the
+/// policy and the cost model agree by construction.
+///
+/// Collapse guarantee: under an all-zero topology every candidate costs
+/// `0.0`, the scan returns the *first* pending eligible task in order —
+/// precisely [`OrderedDispatcher`]'s scan decision — so the zero-latency
+/// run is schedule-identical to the baseline dispatcher (the
+/// `hetero_props` differential proptests pin this down).
+#[derive(Debug, Clone)]
+pub struct LocalityDispatcher {
+    order: Vec<TaskId>,
+    /// Fast-forward cursor past known-started order positions.
+    cursor: usize,
+    topology: NetworkTopology,
+    /// `homes[j]` = primary machine of task `j`.
+    homes: Vec<u32>,
+}
+
+impl LocalityDispatcher {
+    /// Dispatcher over `order` charging transfers per `topology`, with
+    /// each task's home taken from `placement`.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] when the topology's machine count
+    /// differs from the placement's.
+    pub fn new(
+        order: Vec<TaskId>,
+        placement: &Placement,
+        topology: NetworkTopology,
+    ) -> Result<Self> {
+        if topology.m() != placement.m() {
+            return Err(Error::InvalidParameter {
+                what: "network topology covers a different machine count than the placement",
+            });
+        }
+        let homes = (0..placement.n())
+            .map(|j| placement.primary(TaskId::new(j)).index() as u32)
+            .collect();
+        Ok(LocalityDispatcher {
+            order,
+            cursor: 0,
+            topology,
+            homes,
+        })
+    }
+
+    /// Task-id (FIFO) priority with locality tie-breaking.
+    ///
+    /// # Errors
+    /// Same contract as [`Self::new`].
+    pub fn fifo(
+        instance: &Instance,
+        placement: &Placement,
+        topology: NetworkTopology,
+    ) -> Result<Self> {
+        Self::new(instance.task_ids().collect(), placement, topology)
+    }
+
+    /// Non-increasing estimate (LPT) priority with locality
+    /// tie-breaking.
+    ///
+    /// # Errors
+    /// Same contract as [`Self::new`].
+    pub fn lpt_by_estimate(
+        instance: &Instance,
+        placement: &Placement,
+        topology: NetworkTopology,
+    ) -> Result<Self> {
+        Self::new(instance.ids_by_estimate_desc(), placement, topology)
+    }
+
+    /// The transfer latency this dispatcher charges for starting `task`
+    /// on `machine` (zero on the task's home machine).
+    #[inline]
+    pub fn transfer(&self, task: TaskId, machine: MachineId) -> f64 {
+        let home = MachineId::new(self.homes[task.index()] as usize);
+        self.topology.latency(home, machine)
+    }
+}
+
+impl Dispatcher for LocalityDispatcher {
+    fn next_task(&mut self, machine: MachineId, _now: Time, view: &SimView<'_>) -> Option<TaskId> {
+        // No hot_order is declared, so records always live at task ids.
+        debug_assert!(!view.by_slot, "LocalityDispatcher never declares a layout");
+        while self.cursor < self.order.len()
+            && !view.tasks[self.order[self.cursor].index()].is_pending()
+        {
+            self.cursor += 1;
+        }
+        let mut best: Option<(f64, TaskId)> = None;
+        for k in self.cursor..self.order.len() {
+            let t = self.order[k];
+            let h = &view.tasks[t.index()];
+            let ok = h.is_pending()
+                && h.span_allows(machine.index() as u32)
+                    .unwrap_or_else(|| view.placement.allows(t, machine));
+            if !ok {
+                continue;
+            }
+            let cost = self.transfer(t, machine);
+            if cost == 0.0 {
+                // A local candidate cannot be beaten, and scanning in
+                // priority order makes this the best-ranked local one.
+                return Some(t);
+            }
+            // Strict `<` keeps the earliest-ranked task among equal
+            // costs, matching the (cost, rank) lexicographic minimum.
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, t));
+            }
+        }
+        best.map(|(_, t)| t)
+    }
+
+    fn on_requeue(&mut self, _task: TaskId) {
+        // Faults are rare on this path; a full rescan is simplest and
+        // always sound.
+        self.cursor = 0;
+    }
+}
+
 /// Dispatches a fixed task→machine assignment (no runtime choice):
 /// each machine runs its preassigned tasks in the given per-machine order.
 /// This is `LPT-No Choice`'s phase 2, and `SABO_Δ`'s.
@@ -950,6 +1081,132 @@ mod tests {
                 Some(TaskId::new(0))
             );
         }
+    }
+
+    #[test]
+    fn locality_prefers_local_task_over_rank() {
+        let inst = Instance::from_estimates(&[4.0, 3.0], 2).unwrap();
+        let sets = vec![
+            rds_core::MachineSet::All,                      // home m0
+            rds_core::MachineSet::Span { start: 1, end: 2 } // home m1
+        ];
+        let p = Placement::new(&inst, sets).unwrap();
+        let topo = NetworkTopology::uniform(2, 10.0).unwrap();
+        let mut d = LocalityDispatcher::fifo(&inst, &p, topo).unwrap();
+        let pending = vec![
+            HotTask::new(Time::of(4.0), &p.sets()[0], 2),
+            HotTask::new(Time::of(3.0), &p.sets()[1], 2),
+        ];
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            tasks: &pending,
+            by_slot: false,
+        };
+        // Machine 1: task 0 is remote (home m0, cost 10), task 1 is
+        // local — the local one wins despite its lower rank.
+        assert_eq!(
+            d.next_task(MachineId::new(1), Time::ZERO, &view),
+            Some(TaskId::new(1))
+        );
+        assert_eq!(d.transfer(TaskId::new(0), MachineId::new(1)), 10.0);
+        assert_eq!(d.transfer(TaskId::new(1), MachineId::new(1)), 0.0);
+        // Machine 0: task 0 is local and first in rank.
+        assert_eq!(
+            d.next_task(MachineId::new(0), Time::ZERO, &view),
+            Some(TaskId::new(0))
+        );
+    }
+
+    #[test]
+    fn locality_picks_cheapest_remote_when_nothing_is_local() {
+        use rds_core::{MachineMask, MachineSet};
+        let inst = Instance::from_estimates(&[2.0, 2.0], 3).unwrap();
+        let mk = |ids: &[usize]| {
+            MachineSet::from_mask(
+                3,
+                MachineMask::from_iter_with_capacity(3, ids.iter().map(|&i| MachineId::new(i))),
+            )
+        };
+        // Task 0 homed on m0, task 1 homed on m1; both reach m2.
+        let p = Placement::new(&inst, vec![mk(&[0, 2]), mk(&[1, 2])]).unwrap();
+        // m1 → m2 costs 1, m0 → m2 costs 5.
+        let topo = NetworkTopology::new(
+            3,
+            vec![
+                0.0, 5.0, 5.0, //
+                5.0, 0.0, 1.0, //
+                5.0, 1.0, 0.0,
+            ],
+        )
+        .unwrap();
+        let mut d = LocalityDispatcher::fifo(&inst, &p, topo).unwrap();
+        let pending = vec![
+            HotTask::new(Time::of(2.0), &p.sets()[0], 3),
+            HotTask::new(Time::of(2.0), &p.sets()[1], 3),
+        ];
+        let view = SimView {
+            instance: &inst,
+            placement: &p,
+            tasks: &pending,
+            by_slot: false,
+        };
+        // Machine 2 sees two remote candidates: task 1's transfer (1.0)
+        // undercuts task 0's (5.0), overriding rank.
+        assert_eq!(
+            d.next_task(MachineId::new(2), Time::ZERO, &view),
+            Some(TaskId::new(1))
+        );
+    }
+
+    #[test]
+    fn locality_with_zero_topology_matches_ordered_scan() {
+        let inst = Instance::from_estimates(&[1.0, 1.0, 1.0, 1.0], 2).unwrap();
+        let p = Placement::pinned(
+            &inst,
+            &[
+                MachineId::new(1),
+                MachineId::new(0),
+                MachineId::new(1),
+                MachineId::new(0),
+            ],
+        )
+        .unwrap();
+        let topo = NetworkTopology::zero(2).unwrap();
+        let mut loc = LocalityDispatcher::fifo(&inst, &p, topo).unwrap();
+        let mut ord = OrderedDispatcher::fifo(&inst);
+        let mut pending = vec![HotTask::pending_only(true); 4];
+        for machine in [0usize, 1, 1, 0, 0, 1] {
+            let view = SimView {
+                instance: &inst,
+                placement: &p,
+                tasks: &pending,
+                by_slot: false,
+            };
+            let a = loc.next_task(MachineId::new(machine), Time::ZERO, &view);
+            let view = SimView {
+                instance: &inst,
+                placement: &p,
+                tasks: &pending,
+                by_slot: false,
+            };
+            let b = ord.next_task(MachineId::new(machine), Time::ZERO, &view);
+            assert_eq!(a, b, "machine {machine}");
+            if let Some(t) = a {
+                pending[t.index()].mark_started();
+            }
+        }
+    }
+
+    #[test]
+    fn locality_rejects_mismatched_topology() {
+        let inst = Instance::from_estimates(&[1.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let topo = NetworkTopology::zero(3).unwrap();
+        assert!(matches!(
+            LocalityDispatcher::fifo(&inst, &p, topo).unwrap_err(),
+            Error::InvalidParameter { .. }
+        ));
     }
 
     #[test]

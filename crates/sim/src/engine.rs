@@ -10,9 +10,12 @@
 
 use crate::arena::SimArena;
 use crate::dispatcher::{Dispatcher, HotTask, SimView};
-use crate::event::{IdleEvent, QueueMode};
+use crate::event::{EventQueue, IdleEvent, QueueMode};
 use crate::trace::{Trace, TraceEvent};
-use rds_core::{Error, Instance, Placement, Realization, Result, Schedule, Time};
+use rds_core::{
+    Error, Instance, MachineId, MachineSpeeds, NetworkTopology, Placement, Realization, Result,
+    Schedule, TaskId, Time,
+};
 
 /// Below this task count the heap always wins — the calendar's reset
 /// and width prepass cost more than `log m` pops save.
@@ -26,6 +29,20 @@ const AUTO_BUCKET_MIN_MACHINES: usize = 8;
 /// warm-ups ([`Dispatcher::warm`]) issue independent loads whose cache
 /// misses overlap. Sized to the depth a core can keep in flight.
 const EVENT_WINDOW: usize = 8;
+
+/// Resolved heterogeneity context of one run, internal to the engine.
+///
+/// Unit speeds resolve to an empty slice and a free network to `None`,
+/// so the `HET = true` loop applies *no* float operation in those cases
+/// and the uniform/zero metamorphic collapse to the baseline engine is
+/// bit-identical by construction.
+struct HeteroCtx<'a> {
+    /// Per-machine speeds, or empty for the identical-machines model.
+    speeds: &'a [f64],
+    /// Transfer matrix plus each task's data-home machine
+    /// ([`Placement::primary`]), or `None` when transfers are free.
+    locality: Option<(&'a NetworkTopology, Vec<u32>)>,
+}
 
 /// Result of one simulated execution.
 #[derive(Debug, Clone)]
@@ -50,13 +67,18 @@ impl<'a> Engine<'a> {
     /// Creates an engine for the given execution context.
     ///
     /// # Errors
-    /// Returns [`Error::TaskCountMismatch`] when the pieces disagree on
-    /// the task count.
+    /// - [`Error::TaskCountMismatch`] when the pieces disagree on the
+    ///   task count;
+    /// - [`Error::InvalidParameter`] when the task or machine count
+    ///   exceeds the event queue's `u32` id range
+    ///   ([`EventQueue::check_capacity`] — an id that large would alias
+    ///   a queue sentinel and silently corrupt the calendar).
     pub fn new(
         instance: &'a Instance,
         placement: &'a Placement,
         realization: &'a Realization,
     ) -> Result<Self> {
+        EventQueue::check_capacity(instance.n(), instance.m())?;
         // Name the component that actually disagreed: `min()` of the two
         // counts could report the *matching* one on a one-sided mismatch.
         if placement.n() != instance.n() {
@@ -117,10 +139,78 @@ impl<'a> Engine<'a> {
         // `OBS = false` instantiation contains no guard code at all, so
         // disabled instrumentation costs one atomic load per *run*
         // (the `obs_overhead` bench in rds-bench certifies < 2%).
+        // `HET = false` likewise folds the heterogeneity math away, so
+        // the homogeneous hot path is byte-for-byte the PR 9 loop.
         if rds_obs::enabled() {
-            self.run_inner::<true, D>(arena, dispatcher)
+            self.run_inner::<true, false, D>(arena, dispatcher, None)
         } else {
-            self.run_inner::<false, D>(arena, dispatcher)
+            self.run_inner::<false, false, D>(arena, dispatcher, None)
+        }
+    }
+
+    /// Runs the simulation under heterogeneous machine speeds and/or a
+    /// transfer-latency topology. A task with actual work `p` started
+    /// on machine `i` occupies it for `p / s_i + L(home, i)` where
+    /// `home` is the task's primary replica ([`Placement::primary`]) —
+    /// the one-time cost of pulling the data to a non-home replica.
+    /// `None` (or unit speeds / a zero topology) collapses exactly to
+    /// [`Engine::run`]: no heterogeneity float op is applied at all in
+    /// the `None` cases, and `p / 1.0` and `d + 0.0` are bit-identical
+    /// otherwise.
+    ///
+    /// # Errors
+    /// - [`Error::InvalidParameter`] when `speeds` or `topology` covers
+    ///   a different machine count than the instance;
+    /// - the same dispatcher-misbehavior errors as [`Engine::run`].
+    pub fn run_hetero(
+        &self,
+        dispatcher: &mut dyn Dispatcher,
+        speeds: Option<&MachineSpeeds>,
+        topology: Option<&NetworkTopology>,
+    ) -> Result<SimResult> {
+        let mut arena = SimArena::with_capacity(self.instance.n(), self.instance.m());
+        self.run_hetero_in(&mut arena, dispatcher, speeds, topology)?;
+        Ok(arena.take_result())
+    }
+
+    /// Arena-reusing variant of [`Engine::run_hetero`] (the analogue of
+    /// [`Engine::run_in`]). The per-task home column is derived from
+    /// the placement once per call when a topology is present.
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::run_hetero`].
+    pub fn run_hetero_in<D: Dispatcher + ?Sized>(
+        &self,
+        arena: &mut SimArena,
+        dispatcher: &mut D,
+        speeds: Option<&MachineSpeeds>,
+        topology: Option<&NetworkTopology>,
+    ) -> Result<Time> {
+        let m = self.instance.m();
+        if speeds.is_some_and(|s| s.m() != m) {
+            return Err(Error::InvalidParameter {
+                what: "machine speeds cover a different machine count than the instance",
+            });
+        }
+        if topology.is_some_and(|t| t.m() != m) {
+            return Err(Error::InvalidParameter {
+                what: "network topology covers a different machine count than the instance",
+            });
+        }
+        let locality = topology.map(|t| {
+            let homes = (0..self.instance.n())
+                .map(|j| self.placement.primary(TaskId::new(j)).index() as u32)
+                .collect();
+            (t, homes)
+        });
+        let ctx = HeteroCtx {
+            speeds: speeds.map_or(&[][..], MachineSpeeds::speeds),
+            locality,
+        };
+        if rds_obs::enabled() {
+            self.run_inner::<true, true, D>(arena, dispatcher, Some(&ctx))
+        } else {
+            self.run_inner::<false, true, D>(arena, dispatcher, Some(&ctx))
         }
     }
 
@@ -142,10 +232,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run_inner<const OBS: bool, D: Dispatcher + ?Sized>(
+    fn run_inner<const OBS: bool, const HET: bool, D: Dispatcher + ?Sized>(
         &self,
         arena: &mut SimArena,
         dispatcher: &mut D,
+        hetero: Option<&HeteroCtx<'_>>,
     ) -> Result<Time> {
         let n = self.instance.n();
         let m = self.instance.m();
@@ -323,7 +414,25 @@ impl<'a> Engine<'a> {
                         pending[si].mark_started();
                         remaining -= 1;
                         let actual = hot.actual();
-                        let end = time + actual;
+                        // Wall-clock occupancy: the actual work, speed-
+                        // stretched and transfer-charged on the hetero
+                        // path (`HET` is const — the homogeneous
+                        // instantiation contains none of this).
+                        let dur = match (HET, hetero) {
+                            (true, Some(h)) => {
+                                let mut d = actual.get();
+                                if !h.speeds.is_empty() {
+                                    d /= h.speeds[machine.index()];
+                                }
+                                if let Some((topo, homes)) = &h.locality {
+                                    let home = MachineId::new(homes[task.index()] as usize);
+                                    d += topo.latency(home, machine);
+                                }
+                                Time::new(d)?
+                            }
+                            _ => actual,
+                        };
+                        let end = time + dur;
                         trace.push(TraceEvent::Start {
                             time,
                             task,
@@ -334,7 +443,7 @@ impl<'a> Engine<'a> {
                             time: end,
                             machine,
                             finished: Some(task),
-                            actual,
+                            actual: dur,
                         };
                         // An event no later than the window's tail must
                         // run from the window to keep global order; the
@@ -369,13 +478,25 @@ impl<'a> Engine<'a> {
         if crate::validate::enabled() {
             // Validation is debug-/opt-in-only, so materializing the slot
             // log into a Schedule here never touches the production path.
+            // Hetero runs skip the duration check: speed-stretched and
+            // transfer-charged slots deliberately differ from the
+            // realization's actuals (the conformance parity arm checks
+            // those durations against an independent reference instead).
             let schedule = Schedule::from_slots(arena.per_machine_slots());
+            let checks = if HET {
+                crate::validate::Checks {
+                    durations: false,
+                    ..crate::validate::Checks::engine()
+                }
+            } else {
+                crate::validate::Checks::engine()
+            };
             crate::validate::check_schedule(
                 self.instance,
                 self.placement,
                 self.realization,
                 &schedule,
-                &crate::validate::Checks::engine(),
+                &checks,
             )?;
         }
         Ok(makespan)
@@ -385,8 +506,8 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dispatcher::OrderedDispatcher;
-    use rds_core::{MachineId, TaskId, Uncertainty};
+    use crate::dispatcher::{LocalityDispatcher, OrderedDispatcher};
+    use rds_core::Uncertainty;
 
     #[test]
     fn fifo_everywhere_matches_hand_computation() {
@@ -502,6 +623,81 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, TraceEvent::Starved { .. })));
+    }
+
+    #[test]
+    fn speeds_stretch_durations() {
+        // Machine 1 runs twice as fast: its 4.0-work task takes 2.0, so
+        // it also absorbs the third task and finishes exactly with m0.
+        let inst = Instance::from_estimates(&[4.0, 4.0, 4.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let engine = Engine::new(&inst, &p, &r).unwrap();
+        let speeds = MachineSpeeds::new(vec![1.0, 2.0]).unwrap();
+        let res = engine
+            .run_hetero(&mut OrderedDispatcher::fifo(&inst), Some(&speeds), None)
+            .unwrap();
+        assert_eq!(res.makespan, Time::of(4.0));
+        let m1 = res.schedule.slots(MachineId::new(1));
+        assert_eq!(m1.len(), 2);
+        assert_eq!(m1[0].end, Time::of(2.0));
+    }
+
+    #[test]
+    fn transfer_latency_is_charged_on_remote_start() {
+        // Both tasks homed on m0 (everywhere placement → primary 0):
+        // m1's pick pays the 10.0 transfer on top of its work.
+        let inst = Instance::from_estimates(&[2.0, 2.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let topo = NetworkTopology::uniform(2, 10.0).unwrap();
+        let engine = Engine::new(&inst, &p, &r).unwrap();
+        let mut d = LocalityDispatcher::fifo(&inst, &p, topo.clone()).unwrap();
+        let res = engine.run_hetero(&mut d, None, Some(&topo)).unwrap();
+        assert_eq!(res.makespan, Time::of(12.0));
+        assert_eq!(res.schedule.slots(MachineId::new(0))[0].end, Time::of(2.0));
+        assert_eq!(res.schedule.slots(MachineId::new(1))[0].end, Time::of(12.0));
+    }
+
+    #[test]
+    fn unit_speeds_and_zero_topology_collapse_to_baseline() {
+        let inst = Instance::from_estimates(&[3.0, 3.0, 2.0, 1.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let engine = Engine::new(&inst, &p, &r).unwrap();
+        let base = engine
+            .run(&mut OrderedDispatcher::lpt_by_estimate(&inst))
+            .unwrap();
+        let speeds = MachineSpeeds::uniform(2).unwrap();
+        let topo = NetworkTopology::zero(2).unwrap();
+        let mut d = LocalityDispatcher::lpt_by_estimate(&inst, &p, topo.clone()).unwrap();
+        let het = engine
+            .run_hetero(&mut d, Some(&speeds), Some(&topo))
+            .unwrap();
+        assert_eq!(het.makespan, base.makespan);
+        assert_eq!(het.trace.events(), base.trace.events());
+    }
+
+    #[test]
+    fn hetero_rejects_mismatched_machine_counts() {
+        let inst = Instance::from_estimates(&[1.0], 2).unwrap();
+        let p = Placement::everywhere(&inst);
+        let r = Realization::exact(&inst);
+        let engine = Engine::new(&inst, &p, &r).unwrap();
+        let speeds = MachineSpeeds::uniform(3).unwrap();
+        assert!(matches!(
+            engine
+                .run_hetero(&mut OrderedDispatcher::fifo(&inst), Some(&speeds), None)
+                .unwrap_err(),
+            Error::InvalidParameter { .. }
+        ));
+        let topo = NetworkTopology::zero(3).unwrap();
+        assert!(matches!(
+            engine
+                .run_hetero(&mut OrderedDispatcher::fifo(&inst), None, Some(&topo))
+                .unwrap_err(),
+            Error::InvalidParameter { .. }
+        ));
     }
 
     #[test]

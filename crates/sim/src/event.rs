@@ -22,7 +22,7 @@
 //! to the heap backend mid-run. Ordering is identical either way, so
 //! the fallback is invisible to the engine.
 
-use rds_core::{MachineId, TaskId, Time};
+use rds_core::{Error, MachineId, Result, TaskId, Time};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
@@ -66,6 +66,10 @@ impl PartialEq for Entry {
 
 impl Eq for Entry {}
 
+// Intentional `PartialOrd` *definition*: it delegates to the total
+// `Ord` below (which compares `Time` newtypes, never raw floats), so
+// the clippy.toml `partial_cmp` fence is not weakened — the fence bans
+// NaN-unsafe `f64::partial_cmp` *calls*, not trait impls.
 impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -93,12 +97,22 @@ pub enum QueueMode {
 }
 
 /// Chain terminator in the per-machine `next` links.
+///
+/// Sentinel-aliasing hazard: the calendar's columns store machine and
+/// task ids as `u32`, so a real id equal to [`NIL`], [`FREE`], or
+/// [`NO_TASK`] would be silently misread as the sentinel (a task
+/// `u32::MAX` would vanish as "no finished task"; a machine
+/// `u32::MAX - 1` would never link onto the wheel).
+/// [`EventQueue::check_capacity`] rejects such counts up front, and the
+/// engine calls it at construction.
 const NIL: u32 = u32::MAX;
 
-/// Sentinel in `next` marking a machine with no event on the wheel.
+/// Sentinel in `next` marking a machine with no event on the wheel
+/// (see the aliasing note on [`NIL`]).
 const FREE: u32 = u32::MAX - 1;
 
-/// Sentinel in the per-machine task column for `finished == None`.
+/// Sentinel in the per-machine task column for `finished == None`
+/// (see the aliasing note on [`NIL`]).
 const NO_TASK: u32 = u32::MAX;
 
 /// The calendar backend: an intrusive timer wheel over virtual index
@@ -443,6 +457,36 @@ pub struct EventQueue {
 }
 
 impl EventQueue {
+    /// Largest task or machine count whose ids stay clear of every
+    /// `u32` sentinel in the calendar's columns ([`NIL`], [`FREE`],
+    /// [`NO_TASK`]): ids must stay strictly below `u32::MAX - 1`, the
+    /// smallest sentinel value.
+    pub const MAX_IDS: usize = FREE as usize;
+
+    /// Guards the calendar's `u32` id columns against sentinel
+    /// aliasing: a task index `≥ u32::MAX - 1` (or such a machine
+    /// index) would be indistinguishable from [`FREE`]/[`NO_TASK`] once
+    /// stored, silently corrupting the wheel. The engine calls this at
+    /// construction so the impossible ids are rejected with a typed
+    /// error instead.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] when `n_tasks` or `m` exceeds
+    /// [`Self::MAX_IDS`].
+    pub fn check_capacity(n_tasks: usize, m: usize) -> Result<()> {
+        if n_tasks > Self::MAX_IDS {
+            return Err(Error::InvalidParameter {
+                what: "task count exceeds the event queue's u32 id range (sentinel aliasing)",
+            });
+        }
+        if m > Self::MAX_IDS {
+            return Err(Error::InvalidParameter {
+                what: "machine count exceeds the event queue's u32 id range (sentinel aliasing)",
+            });
+        }
+        Ok(())
+    }
+
     /// An empty queue (heap backend).
     pub fn new() -> Self {
         Self::default()
@@ -809,6 +853,29 @@ mod tests {
         let mut sorted = popped.clone();
         sorted.sort_by(f64::total_cmp);
         assert_eq!(popped, sorted, "migration must not reorder events");
+    }
+
+    #[test]
+    fn capacity_guard_rejects_sentinel_aliasing_counts() {
+        // Ids live in u32 columns with sentinels at u32::MAX (NIL,
+        // NO_TASK) and u32::MAX - 1 (FREE): a count that reaches either
+        // would make a real id alias a sentinel. The guard rejects it
+        // with a typed error; everything below passes.
+        assert!(EventQueue::check_capacity(0, 0).is_ok());
+        assert!(EventQueue::check_capacity(EventQueue::MAX_IDS, 4).is_ok());
+        assert!(matches!(
+            EventQueue::check_capacity(EventQueue::MAX_IDS + 1, 4).unwrap_err(),
+            Error::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            EventQueue::check_capacity(4, EventQueue::MAX_IDS + 1).unwrap_err(),
+            Error::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            EventQueue::check_capacity(u32::MAX as usize, 4).unwrap_err(),
+            Error::InvalidParameter { .. }
+        ));
+        assert_eq!(EventQueue::MAX_IDS, u32::MAX as usize - 1);
     }
 
     #[test]

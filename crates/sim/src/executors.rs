@@ -5,9 +5,11 @@
 //! implementations in `rds-algs` (the integration tests assert this),
 //! and additionally carry full traces and Gantt-able schedules.
 
-use crate::dispatcher::{OrderedDispatcher, PinnedDispatcher};
+use crate::dispatcher::{Dispatcher, LocalityDispatcher, OrderedDispatcher, PinnedDispatcher};
 use crate::engine::{Engine, SimResult};
-use rds_core::{Instance, MachineId, Placement, Realization, Result, TaskId};
+use rds_core::{
+    Instance, MachineId, MachineSpeeds, NetworkTopology, Placement, Realization, Result, TaskId,
+};
 
 /// Simulates `LPT-No Restriction`: everywhere placement, online LPT by
 /// estimate.
@@ -68,6 +70,33 @@ pub fn simulate_ordered(
 ) -> Result<SimResult> {
     let engine = Engine::new(instance, placement, realization)?;
     engine.run(&mut OrderedDispatcher::auto(order, placement))
+}
+
+/// Simulates a heterogeneous execution: LPT priority, speed-stretched
+/// durations, and — when a topology is given — locality-aware dispatch
+/// with transfer charging ([`Engine::run_hetero`]).
+///
+/// With `speeds = None` and `topology = None` this is exactly the
+/// homogeneous LPT run over `placement`. With a topology, dispatch
+/// switches to [`LocalityDispatcher`] so the policy minimizes the very
+/// transfers the engine charges.
+///
+/// # Errors
+/// Propagates engine errors and machine-count mismatches.
+pub fn simulate_hetero(
+    instance: &Instance,
+    placement: &Placement,
+    realization: &Realization,
+    speeds: Option<&MachineSpeeds>,
+    topology: Option<&NetworkTopology>,
+) -> Result<SimResult> {
+    let engine = Engine::new(instance, placement, realization)?;
+    let order = instance.ids_by_estimate_desc();
+    let mut dispatcher: Box<dyn Dispatcher> = match topology {
+        Some(t) => Box::new(LocalityDispatcher::new(order, placement, t.clone())?),
+        None => Box::new(OrderedDispatcher::auto(order, placement)),
+    };
+    engine.run_hetero(dispatcher.as_mut(), speeds, topology)
 }
 
 #[cfg(test)]

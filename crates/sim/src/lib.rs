@@ -57,7 +57,9 @@ pub mod trace;
 pub mod validate;
 
 pub use arena::SimArena;
-pub use dispatcher::{Dispatcher, OrderedDispatcher, PinnedDispatcher, SimView, StagedDispatcher};
+pub use dispatcher::{
+    Dispatcher, LocalityDispatcher, OrderedDispatcher, PinnedDispatcher, SimView, StagedDispatcher,
+};
 pub use engine::{Engine, SimResult};
 pub use event::QueueMode;
 pub use failures::{run_with_failures, Failure, FaultySimResult};

@@ -1,0 +1,176 @@
+//! Differential property tests on the heterogeneous engine path: the
+//! degenerate profiles must collapse onto the homogeneous engine
+//! *bit-for-bit* — a zero-latency topology under the locality-aware
+//! dispatcher, and unit machine speeds under the plain dispatcher, are
+//! both schedule-identical (makespan, slots, trace) to `Engine::run`
+//! with an `OrderedDispatcher`. Any drift here means the hetero path
+//! charges phantom costs to homogeneous workloads.
+
+use proptest::prelude::*;
+use rds_core::{
+    Instance, MachineId, MachineMask, MachineSet, MachineSpeeds, NetworkTopology, Placement,
+    Realization, TaskId, Uncertainty,
+};
+use rds_sim::{Engine, LocalityDispatcher, OrderedDispatcher, SimArena};
+
+/// A pseudo-random k-replica placement: every task gets machine
+/// `j % m` plus `k − 1` further machines drawn from the seed.
+fn k_replica_placement(inst: &Instance, m: usize, k: usize, seed: u64) -> Placement {
+    let sets: Vec<MachineSet> = (0..inst.n())
+        .map(|j| {
+            let mut mask = MachineMask::empty(m);
+            mask.insert(MachineId::new(j % m));
+            let mut s = seed
+                .wrapping_add(j as u64)
+                .wrapping_mul(6364136223846793005);
+            while mask.count() < k {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                mask.insert(MachineId::new((s >> 33) as usize % m));
+            }
+            MachineSet::from_mask(m, mask)
+        })
+        .collect();
+    Placement::new(inst, sets).unwrap()
+}
+
+/// A pseudo-random priority order (Fisher–Yates from a seed).
+fn shuffled_order(n: usize, seed: u64) -> Vec<TaskId> {
+    let mut order: Vec<TaskId> = (0..n).map(TaskId::new).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        order.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    order
+}
+
+/// Two-sided realization factors in `[1/α, α]`, seed-chosen per task.
+fn seeded_realization(inst: &Instance, alpha: f64, seed: u64) -> Realization {
+    let unc = Uncertainty::of(alpha);
+    let factors: Vec<f64> = (0..inst.n())
+        .map(|j| {
+            if (seed >> (j % 61)) & 1 == 1 {
+                alpha
+            } else {
+                1.0 / alpha
+            }
+        })
+        .collect();
+    Realization::from_factors(inst, unc, &factors).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Metamorphic collapse #1: a zero-latency topology driven through
+    /// the locality-aware dispatcher is schedule-identical to the plain
+    /// ordered dispatcher on the homogeneous engine — locality must cost
+    /// nothing when every transfer is free.
+    #[test]
+    fn zero_topology_locality_dispatch_matches_ordered(
+        est in prop::collection::vec(0.1f64..20.0, 1..30),
+        m in 1usize..6,
+        seed in any::<u64>(),
+        alpha in 1.0f64..2.5,
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let k = 1 + (seed as usize) % m;
+        let placement = k_replica_placement(&inst, m, k, seed);
+        let real = seeded_realization(&inst, alpha, seed);
+        let order = shuffled_order(inst.n(), seed);
+        let engine = Engine::new(&inst, &placement, &real).unwrap();
+
+        let reference = engine
+            .run(&mut OrderedDispatcher::new(order.clone()))
+            .unwrap();
+
+        let zero = NetworkTopology::zero(m).unwrap();
+        let mut local =
+            LocalityDispatcher::new(order, &placement, zero.clone()).unwrap();
+        let mut arena = SimArena::new();
+        let makespan = engine
+            .run_hetero_in(&mut arena, &mut local, None, Some(&zero))
+            .unwrap();
+
+        prop_assert_eq!(
+            makespan.get().to_bits(),
+            reference.makespan.get().to_bits()
+        );
+        prop_assert_eq!(&arena.per_machine_slots()[..], reference.schedule.all_slots());
+        prop_assert_eq!(arena.trace().events(), reference.trace.events());
+    }
+
+    /// Metamorphic collapse #2: unit machine speeds through the hetero
+    /// path are schedule-identical to the homogeneous engine — dividing
+    /// every duration by `1.0` must not perturb a single bit of the
+    /// schedule.
+    #[test]
+    fn unit_speed_hetero_run_matches_plain_run(
+        est in prop::collection::vec(0.1f64..20.0, 1..30),
+        m in 1usize..6,
+        seed in any::<u64>(),
+        alpha in 1.0f64..2.5,
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let k = 1 + (seed as usize) % m;
+        let placement = k_replica_placement(&inst, m, k, seed);
+        let real = seeded_realization(&inst, alpha, seed);
+        let order = shuffled_order(inst.n(), seed);
+        let engine = Engine::new(&inst, &placement, &real).unwrap();
+
+        let reference = engine
+            .run(&mut OrderedDispatcher::new(order.clone()))
+            .unwrap();
+
+        let unit = MachineSpeeds::uniform(m).unwrap();
+        let got = engine
+            .run_hetero(
+                &mut OrderedDispatcher::new(order),
+                Some(&unit),
+                None,
+            )
+            .unwrap();
+
+        prop_assert_eq!(
+            got.makespan.get().to_bits(),
+            reference.makespan.get().to_bits()
+        );
+        prop_assert_eq!(got.schedule.all_slots(), reference.schedule.all_slots());
+        prop_assert_eq!(got.trace.events(), reference.trace.events());
+    }
+
+    /// The combined degenerate profile (unit speeds *and* zero latency)
+    /// also collapses, and re-running it through a reused arena stays
+    /// deterministic run over run.
+    #[test]
+    fn degenerate_profile_is_deterministic_through_arena_reuse(
+        est in prop::collection::vec(0.5f64..10.0, 1..20),
+        m in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let inst = Instance::from_estimates(&est, m).unwrap();
+        let k = 1 + (seed as usize) % m;
+        let placement = k_replica_placement(&inst, m, k, seed);
+        let real = Realization::exact(&inst);
+        let order = shuffled_order(inst.n(), seed);
+        let engine = Engine::new(&inst, &placement, &real).unwrap();
+
+        let reference = engine
+            .run(&mut OrderedDispatcher::new(order.clone()))
+            .unwrap();
+
+        let unit = MachineSpeeds::uniform(m).unwrap();
+        let zero = NetworkTopology::zero(m).unwrap();
+        let mut arena = SimArena::new();
+        for _rerun in 0..2 {
+            let mut local =
+                LocalityDispatcher::new(order.clone(), &placement, zero.clone()).unwrap();
+            let makespan = engine
+                .run_hetero_in(&mut arena, &mut local, Some(&unit), Some(&zero))
+                .unwrap();
+            prop_assert_eq!(makespan, reference.makespan);
+            prop_assert_eq!(&arena.per_machine_slots()[..], reference.schedule.all_slots());
+            prop_assert_eq!(arena.trace().events(), reference.trace.events());
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! - [`estimates`]: distributions over the estimated times `p̃_j`;
 //! - [`faults`]: MTBF-driven fault scripts (crashes, outages, slowdowns,
 //!   stragglers) for the resilience engine;
+//! - [`hetero`]: machine-speed profiles and transfer-latency topologies
+//!   for the heterogeneity scenario axis;
 //! - [`realize`]: models of how actual times deviate within `[p̃/α, α·p̃]`;
 //! - [`scenarios`]: named end-to-end workloads mirroring the paper's
 //!   motivating applications (out-of-core sparse linear algebra,
@@ -30,6 +32,7 @@
 pub mod arrivals;
 pub mod estimates;
 pub mod faults;
+pub mod hetero;
 pub mod realize;
 pub mod rng;
 pub mod scenarios;
@@ -37,5 +40,6 @@ pub mod scenarios;
 pub use arrivals::{Arrival, ArrivalGen, ArrivalProcess};
 pub use estimates::EstimateDistribution;
 pub use faults::{monte_carlo_survival, FaultModel, HeterogeneousFaultModel};
+pub use hetero::{SpeedDistribution, TopologyModel};
 pub use realize::RealizationModel;
 pub use scenarios::Scenario;
